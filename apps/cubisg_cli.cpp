@@ -1,0 +1,455 @@
+// cubisg — command-line front end for the library.
+//
+//   cubisg generate --targets N [--resources R] [--width W] [--seed S]
+//                   [--zero-sum 0|1] --out FILE
+//   cubisg table1 --out FILE
+//   cubisg solve FILE [--solver NAME] [--segments K] [--epsilon E]
+//                [--polish N] [--types N]
+//   cubisg compare FILE [--types N]
+//   cubisg eval FILE --coverage x1,x2,...
+//   cubisg patrol FILE [--solver NAME] [--days N] [--seed S]
+//
+// Scenario files use the cubisg text format (behavior/scenario.hpp).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "behavior/attacker_sim.hpp"
+#include "behavior/scenario.hpp"
+#include "common/rng.hpp"
+#include "core/registry.hpp"
+#include "core/worst_case.hpp"
+#include "games/comb_sampling.hpp"
+#include "games/generators.hpp"
+#include "learning/data_io.hpp"
+#include "learning/suqr_mle.hpp"
+
+namespace {
+
+using namespace cubisg;
+
+[[noreturn]] void usage(const char* why = nullptr) {
+  if (why) std::fprintf(stderr, "error: %s\n\n", why);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  cubisg generate --targets N [--resources R] [--width W]\n"
+               "                  [--seed S] [--zero-sum 0|1] --out FILE\n"
+               "  cubisg table1 --out FILE\n"
+               "  cubisg solve FILE [--solver NAME] [--segments K]\n"
+               "                [--epsilon E] [--polish N] [--types N]\n"
+               "  cubisg compare FILE [--types N]\n"
+               "  cubisg eval FILE --coverage x1,x2,...\n"
+               "  cubisg patrol FILE [--solver NAME] [--days N] [--seed S]\n"
+               "  cubisg simulate-data FILE --records N --out DATA\n"
+               "                [--truth w1,w2,w3] [--seed S]\n"
+               "  cubisg learn FILE --data DATA [--resamples N]\n"
+               "                [--confidence C] [--solve 0|1]\n"
+               "  cubisg report FILE [--out REPORT.md]\n"
+               "\nsolvers:");
+  for (const std::string& n : core::solver_names()) {
+    std::fprintf(stderr, " %s", n.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+/// flag -> value map from argv after the subcommand (and optional file).
+struct Args {
+  std::string file;
+  std::map<std::string, std::string> flags;
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? dflt : it->second;
+  }
+  double get_d(const std::string& key, double dflt) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+  }
+  long get_i(const std::string& key, long dflt) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? dflt
+                             : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args parse_args(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      args.flags[a.substr(2)] = argv[++i];
+    } else if (args.file.empty()) {
+      args.file = a;
+    } else {
+      usage(("unexpected argument " + a).c_str());
+    }
+  }
+  return args;
+}
+
+behavior::Scenario load_or_die(const std::string& path) {
+  if (path.empty()) usage("scenario file required");
+  return behavior::load_scenario(path);
+}
+
+core::SolverSpec spec_from(const Args& args,
+                           const behavior::Scenario& scenario) {
+  core::SolverSpec spec;
+  spec.name = args.get("solver", "cubis");
+  spec.segments = static_cast<std::size_t>(args.get_i("segments", 20));
+  spec.epsilon = args.get_d("epsilon", 1e-3);
+  spec.polish_iterations = static_cast<int>(args.get_i("polish", 0));
+  spec.seed = static_cast<std::uint64_t>(args.get_i("seed", 0x5EED));
+  if (spec.name == "robust-types" || spec.name == "bayesian") {
+    Rng rng(spec.seed);
+    spec.population = std::make_shared<behavior::SampledSuqrPopulation>(
+        scenario.weights, scenario.game.attacker_intervals,
+        static_cast<std::size_t>(args.get_i("types", 100)), rng);
+  }
+  return spec;
+}
+
+void print_solution(const behavior::Scenario& scenario,
+                    const core::DefenderSolution& sol, const char* name) {
+  std::printf("solver:            %s\n", name);
+  std::printf("status:            %s\n",
+              std::string(to_string(sol.status)).c_str());
+  std::printf("coverage:         ");
+  for (double xi : sol.strategy) std::printf(" %.4f", xi);
+  std::printf("\n");
+  std::printf("worst-case utility: %+.4f\n", sol.worst_case_utility);
+  auto bounds = scenario.make_bounds();
+  if (!sol.strategy.empty()) {
+    std::printf("best-case utility:  %+.4f\n",
+                core::best_case_utility(scenario.game.game, bounds,
+                                        sol.strategy));
+  }
+  std::printf("wall time:          %.1f ms\n", sol.wall_seconds * 1e3);
+  if (sol.binary_steps > 0) {
+    std::printf("binary steps:       %d  (lb=%.4f ub=%.4f)\n",
+                sol.binary_steps, sol.lb, sol.ub);
+  }
+}
+
+int cmd_generate(const Args& args) {
+  const std::size_t targets =
+      static_cast<std::size_t>(args.get_i("targets", 0));
+  if (targets == 0) usage("--targets required");
+  const double resources = args.get_d(
+      "resources", std::max(1.0, 0.3 * static_cast<double>(targets)));
+  const double width = args.get_d("width", 2.0);
+  Rng rng(static_cast<std::uint64_t>(args.get_i("seed", 1)));
+  games::GeneratorOptions gopt;
+  gopt.zero_sum = args.get_i("zero-sum", 1) != 0;
+  behavior::Scenario scenario{
+      games::random_uncertain_game(rng, targets, resources, width, gopt),
+      behavior::SuqrWeightIntervals{}, behavior::IntervalMode::kExactBox};
+  const std::string out = args.get("out", "");
+  if (out.empty()) usage("--out required");
+  if (!behavior::save_scenario(out, scenario)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu targets, %.1f resources, width %.1f)\n",
+              out.c_str(), targets, resources, width);
+  return 0;
+}
+
+int cmd_table1(const Args& args) {
+  behavior::Scenario scenario{games::table1_game(),
+                              behavior::SuqrWeightIntervals{},
+                              behavior::IntervalMode::kPaperCorners};
+  const std::string out = args.get("out", "");
+  if (out.empty()) usage("--out required");
+  if (!behavior::save_scenario(out, scenario)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (the paper's Table I instance)\n", out.c_str());
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  behavior::Scenario scenario = load_or_die(args.file);
+  auto bounds = scenario.make_bounds();
+  core::SolverSpec spec = spec_from(args, scenario);
+  auto solver = core::make_solver(spec);
+  core::DefenderSolution sol =
+      solver->solve({scenario.game.game, bounds});
+  print_solution(scenario, sol, solver->name().c_str());
+  return sol.ok() ? 0 : 1;
+}
+
+int cmd_compare(const Args& args) {
+  behavior::Scenario scenario = load_or_die(args.file);
+  auto bounds = scenario.make_bounds();
+  core::SolveContext ctx{scenario.game.game, bounds};
+  std::printf("%-16s %12s %12s %10s\n", "solver", "worst-case", "best-case",
+              "time(ms)");
+  for (const std::string& name : core::solver_names()) {
+    if (name == "cubis-milp") continue;  // slow; run explicitly via solve
+    Args a2 = args;
+    a2.flags["solver"] = name;
+    core::SolverSpec spec = spec_from(a2, scenario);
+    auto solver = core::make_solver(spec);
+    core::DefenderSolution sol = solver->solve(ctx);
+    const double best = sol.strategy.empty()
+                            ? 0.0
+                            : core::best_case_utility(
+                                  scenario.game.game, bounds, sol.strategy);
+    std::printf("%-16s %12.4f %12.4f %10.1f\n", name.c_str(),
+                sol.worst_case_utility, best, sol.wall_seconds * 1e3);
+  }
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  behavior::Scenario scenario = load_or_die(args.file);
+  const std::string cov = args.get("coverage", "");
+  if (cov.empty()) usage("--coverage required");
+  std::vector<double> x;
+  const char* p = cov.c_str();
+  char* end = nullptr;
+  for (double v = std::strtod(p, &end); p != end;
+       v = std::strtod(p, &end)) {
+    x.push_back(v);
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (x.size() != scenario.game.game.num_targets()) {
+    usage("coverage length must equal the number of targets");
+  }
+  auto bounds = scenario.make_bounds();
+  core::WorstCaseResult wc =
+      core::worst_case(scenario.game.game, bounds, x);
+  std::printf("worst-case utility: %+.4f\n", wc.value);
+  std::printf("best-case utility:  %+.4f\n",
+              core::best_case_utility(scenario.game.game, bounds, x));
+  std::printf("worst-case attack distribution:");
+  for (double q : wc.attack_q) std::printf(" %.3f", q);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_patrol(const Args& args) {
+  behavior::Scenario scenario = load_or_die(args.file);
+  auto bounds = scenario.make_bounds();
+  core::SolverSpec spec = spec_from(args, scenario);
+  auto solver = core::make_solver(spec);
+  core::DefenderSolution sol =
+      solver->solve({scenario.game.game, bounds});
+  if (!sol.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 std::string(to_string(sol.status)).c_str());
+    return 1;
+  }
+  std::printf("marginal coverage: ");
+  for (double xi : sol.strategy) std::printf(" %.4f", xi);
+  std::printf("  (worst case %+.4f)\n\n", sol.worst_case_utility);
+
+  auto mix = games::comb_decomposition(sol.strategy);
+  std::printf("implementable mixture (%zu pure patrols):\n", mix.size());
+  for (const auto& alloc : mix) {
+    std::printf("  p=%.4f  patrol {", alloc.probability);
+    for (std::size_t k = 0; k < alloc.covered.size(); ++k) {
+      std::printf("%s%zu", k ? ", " : "", alloc.covered[k]);
+    }
+    std::printf("}\n");
+  }
+
+  const long days = args.get_i("days", 0);
+  if (days > 0) {
+    Rng rng(static_cast<std::uint64_t>(args.get_i("seed", 7)));
+    std::printf("\nsampled schedule (%ld days):\n", days);
+    for (long d = 0; d < days; ++d) {
+      auto patrol = games::comb_sample(sol.strategy, rng);
+      std::printf("  day %2ld: {", d + 1);
+      for (std::size_t k = 0; k < patrol.size(); ++k) {
+        std::printf("%s%zu", k ? ", " : "", patrol[k]);
+      }
+      std::printf("}\n");
+    }
+  }
+  return 0;
+}
+
+std::vector<double> parse_csv_doubles(const std::string& s) {
+  std::vector<double> out;
+  const char* p = s.c_str();
+  char* end = nullptr;
+  for (double v = std::strtod(p, &end); p != end;
+       v = std::strtod(p, &end)) {
+    out.push_back(v);
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+int cmd_report(const Args& args) {
+  behavior::Scenario scenario = load_or_die(args.file);
+  auto bounds = scenario.make_bounds();
+  core::SolveContext ctx{scenario.game.game, bounds};
+  const std::string out_path = args.get("out", "");
+  std::FILE* out = out_path.empty() ? stdout
+                                    : std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  const games::SecurityGame& g = scenario.game.game;
+  std::fprintf(out, "# cubisg deployment report\n\n");
+  std::fprintf(out, "## Instance\n\n");
+  std::fprintf(out, "- targets: %zu\n- resources: %.2f\n- interval mode: "
+               "%s\n\n", g.num_targets(), g.resources(),
+               scenario.mode == behavior::IntervalMode::kPaperCorners
+                   ? "paper-corners" : "exact-box");
+  std::fprintf(out,
+               "| target | Ra | Pa | Rd | Pd | Ra interval | Pa interval |\n"
+               "|---|---|---|---|---|---|---|\n");
+  for (std::size_t i = 0; i < g.num_targets(); ++i) {
+    const auto& p = g.target(i);
+    const auto& iv = scenario.game.attacker_intervals[i];
+    std::fprintf(out,
+                 "| %zu | %.2f | %.2f | %.2f | %.2f | [%.2f, %.2f] | "
+                 "[%.2f, %.2f] |\n",
+                 i, p.attacker_reward, p.attacker_penalty,
+                 p.defender_reward, p.defender_penalty,
+                 iv.attacker_reward.lo(), iv.attacker_reward.hi(),
+                 iv.attacker_penalty.lo(), iv.attacker_penalty.hi());
+  }
+
+  std::fprintf(out, "\n## Solver comparison\n\n");
+  std::fprintf(out, "| solver | worst-case | best-case | time (ms) |\n"
+               "|---|---|---|---|\n");
+  core::DefenderSolution recommended;
+  for (const std::string& name : core::solver_names()) {
+    if (name == "cubis-milp" || name == "robust-types" ||
+        name == "bayesian") {
+      continue;  // slow / needs a sampled population
+    }
+    Args a2 = args;
+    a2.flags["solver"] = name;
+    auto sol = core::make_solver(spec_from(a2, scenario))->solve(ctx);
+    const double best = sol.strategy.empty()
+                            ? 0.0
+                            : core::best_case_utility(g, bounds,
+                                                      sol.strategy);
+    std::fprintf(out, "| %s | %+.4f | %+.4f | %.1f |\n", name.c_str(),
+                 sol.worst_case_utility, best, sol.wall_seconds * 1e3);
+    if (name == "cubis-adaptive") recommended = sol;
+  }
+
+  std::fprintf(out, "\n## Recommended plan (cubis-adaptive)\n\n");
+  std::fprintf(out, "- certified worst-case utility: **%+.4f**\n",
+               recommended.worst_case_utility);
+  std::fprintf(out, "- coverage:");
+  for (double xi : recommended.strategy) std::fprintf(out, " %.3f", xi);
+  std::fprintf(out, "\n\n### Implementable patrol mixture\n\n");
+  auto mix = games::comb_decomposition(recommended.strategy);
+  std::fprintf(out, "| probability | patrol |\n|---|---|\n");
+  for (const auto& alloc : mix) {
+    std::fprintf(out, "| %.4f | {", alloc.probability);
+    for (std::size_t k = 0; k < alloc.covered.size(); ++k) {
+      std::fprintf(out, "%s%zu", k ? ", " : "", alloc.covered[k]);
+    }
+    std::fprintf(out, "} |\n");
+  }
+  if (out != stdout) {
+    std::fclose(out);
+    std::printf("wrote report to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate_data(const Args& args) {
+  behavior::Scenario scenario = load_or_die(args.file);
+  const long records = args.get_i("records", 0);
+  if (records <= 0) usage("--records required");
+  const std::string out = args.get("out", "");
+  if (out.empty()) usage("--out required");
+  behavior::SuqrWeights truth{-4.0, 0.75, 0.65};
+  const std::string truth_csv = args.get("truth", "");
+  if (!truth_csv.empty()) {
+    auto w = parse_csv_doubles(truth_csv);
+    if (w.size() != 3) usage("--truth must be w1,w2,w3");
+    truth = {w[0], w[1], w[2]};
+  }
+  Rng rng(static_cast<std::uint64_t>(args.get_i("seed", 7)));
+  auto data = learning::simulate_attack_data(
+      scenario.game.game, truth, static_cast<std::size_t>(records), rng);
+  if (!learning::save_attack_data(out, data)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %ld attack records to %s (hidden truth %.2f, %.2f, "
+              "%.2f)\n", records, out.c_str(), truth.w1, truth.w2,
+              truth.w3);
+  return 0;
+}
+
+int cmd_learn(const Args& args) {
+  behavior::Scenario scenario = load_or_die(args.file);
+  const std::string data_path = args.get("data", "");
+  if (data_path.empty()) usage("--data required");
+  auto data = learning::load_attack_data(data_path);
+  std::printf("loaded %zu attack records\n", data.size());
+
+  auto fit = learning::fit_suqr(scenario.game.game, data);
+  std::printf("MLE weights:      (%.4f, %.4f, %.4f)   logL %.2f, %s in "
+              "%d iters\n",
+              fit.weights.w1, fit.weights.w2, fit.weights.w3,
+              fit.log_likelihood, fit.converged ? "converged" : "stopped",
+              fit.iterations);
+
+  learning::BootstrapOptions bo;
+  bo.resamples = static_cast<int>(args.get_i("resamples", 80));
+  bo.confidence = args.get_d("confidence", 0.9);
+  bo.seed = static_cast<std::uint64_t>(args.get_i("seed", 0xB007));
+  auto intervals = learning::bootstrap_weight_intervals(
+      scenario.game.game, data, {}, bo);
+  std::printf("bootstrap %.0f%% boxes: w1 [%.3f, %.3f]  w2 [%.3f, %.3f]  "
+              "w3 [%.3f, %.3f]\n",
+              bo.confidence * 100.0, intervals.w1.lo(), intervals.w1.hi(),
+              intervals.w2.lo(), intervals.w2.hi(), intervals.w3.lo(),
+              intervals.w3.hi());
+
+  if (args.get_i("solve", 1) != 0) {
+    behavior::SuqrIntervalBounds bounds(intervals,
+                                        scenario.game.attacker_intervals);
+    core::SolverSpec spec = spec_from(args, scenario);
+    auto solver = core::make_solver(spec);
+    auto sol = solver->solve({scenario.game.game, bounds});
+    std::printf("\nrobust plan on the LEARNED intervals:\n");
+    print_solution(scenario, sol, solver->name().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  Args args = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "table1") return cmd_table1(args);
+    if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "compare") return cmd_compare(args);
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "patrol") return cmd_patrol(args);
+    if (cmd == "simulate-data") return cmd_simulate_data(args);
+    if (cmd == "learn") return cmd_learn(args);
+    if (cmd == "report") return cmd_report(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage(("unknown command " + cmd).c_str());
+}

@@ -1,0 +1,121 @@
+// Experiment AB1 — engineering ablations (extension).
+//
+// Quantifies each engineering decision recorded in DESIGN.md / numerics.md
+// on a fixed instance family:
+//   (a) eta-file refactor interval (1 = paper-era refactor-per-iteration),
+//   (b) node-LP presolve in branch and bound,
+//   (c) DP warm-start of the MILP incumbent,
+//   (d) gradient polish of the CUBIS grid solution,
+//   (e) multisection width of the binary search.
+#include <cstdio>
+#include <vector>
+
+#include "behavior/bounds.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/cubis.hpp"
+#include "games/generators.hpp"
+#include "bench_util.hpp"
+
+namespace {
+using namespace cubisg;
+
+struct Inst {
+  games::UncertainGame ug;
+  behavior::SuqrIntervalBounds bounds;
+};
+
+Inst make(std::uint64_t seed, std::size_t t) {
+  Rng rng(seed);
+  auto ug = games::random_uncertain_game(rng, t, 0.5 * t, 1.5);
+  behavior::SuqrIntervalBounds bounds(behavior::SuqrWeightIntervals{},
+                                      ug.attacker_intervals);
+  return {std::move(ug), std::move(bounds)};
+}
+
+double time_milp_step(const Inst& in, const core::CubisOptions& opt) {
+  core::SolveContext ctx{in.ug.game, in.bounds};
+  const double c = 0.5 * (in.ug.game.min_defender_penalty() +
+                          in.ug.game.max_defender_reward());
+  Timer t;
+  core::cubis_step(ctx, c, opt);
+  return t.millis();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== AB1: engineering ablations ===\n\n");
+  Inst in = make(3100, 4);
+  core::CubisOptions base;
+  base.segments = 20;
+  base.backend = core::StepBackend::kMilp;
+
+  std::printf("-- (a) simplex refactor interval (MILP step, T=4, K=20) --\n");
+  std::printf("%12s %14s\n", "interval", "step-ms");
+  for (std::size_t interval : {1u, 4u, 16u, 64u, 256u}) {
+    core::CubisOptions opt = base;
+    opt.milp.lp.refactor_interval = interval;
+    std::printf("%12zu %14.1f\n", interval, time_milp_step(in, opt));
+  }
+
+  std::printf("\n-- (b) node-LP presolve in branch and bound --\n");
+  std::printf("%12s %14s\n", "presolve", "step-ms");
+  for (bool presolve : {false, true}) {
+    core::CubisOptions opt = base;
+    opt.milp.use_presolve = presolve;
+    std::printf("%12s %14.1f\n", presolve ? "on" : "off",
+                time_milp_step(in, opt));
+  }
+
+  std::printf("\n-- (c) DP warm start of the MILP incumbent --\n");
+  std::printf("%12s %14s\n", "warm-start", "step-ms");
+  for (bool warm : {false, true}) {
+    core::CubisOptions opt = base;
+    opt.warm_start_from_dp = warm;
+    std::printf("%12s %14.1f\n", warm ? "on" : "off",
+                time_milp_step(in, opt));
+  }
+
+  std::printf("\n-- (d) gradient polish of the CUBIS grid solution --\n");
+  std::printf("%12s %18s %12s\n", "polish", "worst-case", "solve-ms");
+  for (int polish : {0, 10, 50}) {
+    std::vector<double> w, ms;
+    for (int g = 0; g < 6; ++g) {
+      Inst pin = make(3200 + g, 8);
+      core::CubisOptions opt;
+      opt.segments = 10;
+      opt.polish_iterations = polish;
+      core::DefenderSolution sol =
+          core::CubisSolver(opt).solve({pin.ug.game, pin.bounds});
+      w.push_back(sol.worst_case_utility);
+      ms.push_back(sol.wall_seconds * 1e3);
+    }
+    std::printf("%12d %18s %12.2f\n", polish, bench::cell(w).c_str(),
+                bench::mean(ms));
+  }
+
+  std::printf("\n-- (e) multisection width of the binary search --\n");
+  std::printf("%12s %14s %14s\n", "sections", "step-evals", "bracket");
+  for (int sections : {1, 2, 4, 8}) {
+    Inst pin = make(3300, 10);
+    core::CubisOptions opt;
+    opt.segments = 20;
+    opt.epsilon = 1e-4;
+    opt.parallel_sections = sections;
+    core::DefenderSolution sol =
+        core::CubisSolver(opt).solve({pin.ug.game, pin.bounds});
+    std::printf("%12d %14d %14.6f\n", sections, sol.binary_steps,
+                sol.ub - sol.lb);
+  }
+
+  std::printf(
+      "\nShape check: (a) larger eta files amortize the O(m^3) factor\n"
+      "(~2.5x from interval 1 to 64) until numerics push back; (b)/(c)\n"
+      "presolve and warm starts are neutral on this shallow one-step probe\n"
+      "and pay off on deeper search trees (full-solve timings in\n"
+      "bench_runtime); (d) polish buys worst-case utility for\n"
+      "milliseconds; (e) k-section trades total step evaluations for\n"
+      "round count (wall-clock wins once steps run on parallel cores).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Experiment B1 — the full baseline landscape (extension of Q1/Q2 to every
+// solver in the registry, including the related-work approaches the paper
+// argues against).
+//
+// For an ensemble of random games, each solver's strategy is scored on
+// three axes:
+//   worst     certified worst case over ALL behaviors in the intervals
+//   samp-min  minimum expected utility over 200 sampled attacker types
+//   samp-mean mean expected utility over the same samples
+//
+// Expected shape (Sections I-II of the paper):
+//   * "bayesian" [20] wins samp-mean but has a weak tail;
+//   * "robust-types" [3] protects the sampled tail but certifies nothing
+//     about behaviors outside its samples (worst < samp-min gap);
+//   * "cubis" certifies the worst case (worst == its strong suit) at a
+//     modest samp-mean price;
+//   * "sse" (rational attacker) and "midpoint" are brittle;
+//   * correlation sweep: every gap narrows as games approach zero-sum.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "behavior/attacker_sim.hpp"
+#include "behavior/bounds.hpp"
+#include "common/rng.hpp"
+#include "core/registry.hpp"
+#include "games/generators.hpp"
+#include "bench_util.hpp"
+
+namespace {
+using namespace cubisg;
+
+struct Scores {
+  std::vector<double> worst, samp_min, samp_mean;
+};
+
+}  // namespace
+
+int main() {
+  const int kGames = 8;
+  const std::size_t kTargets = 8;
+  const double kResources = 3.0;
+  std::printf("=== B1: full baseline landscape ===\n");
+  std::printf("(T=%zu, R=%.0f, width 2.0, %d games, 200 sampled types)\n\n",
+              kTargets, kResources, kGames);
+
+  const std::vector<std::string> solvers = {
+      "cubis", "cubis-adaptive", "midpoint", "maximin",
+      "gradient", "sse", "uniform", "robust-types", "bayesian"};
+
+  std::vector<Scores> scores(solvers.size());
+  for (int g = 0; g < kGames; ++g) {
+    Rng rng(90000 + g);
+    auto ug = games::random_uncertain_game(rng, kTargets, kResources, 2.0);
+    behavior::SuqrIntervalBounds bounds(behavior::SuqrWeightIntervals{},
+                                        ug.attacker_intervals);
+    core::SolveContext ctx{ug.game, bounds};
+    Rng pop_rng(91000 + g);
+    auto population = std::make_shared<behavior::SampledSuqrPopulation>(
+        behavior::SuqrWeightIntervals{}, ug.attacker_intervals, 200,
+        pop_rng);
+
+    for (std::size_t s = 0; s < solvers.size(); ++s) {
+      core::SolverSpec spec;
+      spec.name = solvers[s];
+      spec.segments = 25;
+      spec.num_starts = 4;
+      spec.population = population;
+      auto solution = core::make_solver(spec)->solve(ctx);
+      scores[s].worst.push_back(solution.worst_case_utility);
+      scores[s].samp_min.push_back(
+          population->min_defender_utility(ug.game, solution.strategy));
+      scores[s].samp_mean.push_back(
+          population->mean_defender_utility(ug.game, solution.strategy));
+    }
+  }
+
+  std::printf("%-16s %17s %17s %17s\n", "solver", "worst", "samp-min",
+              "samp-mean");
+  for (std::size_t s = 0; s < solvers.size(); ++s) {
+    std::printf("%-16s %17s %17s %17s\n", solvers[s].c_str(),
+                bench::cell(scores[s].worst).c_str(),
+                bench::cell(scores[s].samp_min).c_str(),
+                bench::cell(scores[s].samp_mean).c_str());
+  }
+
+  // Correlation sweep: how much does the zero-sum assumption matter?
+  std::printf("\n-- covariance sweep: cubis worst case vs payoff "
+              "correlation --\n");
+  std::printf("%12s %17s %17s\n", "correlation", "cubis:worst",
+              "midpoint:worst");
+  for (double corr : {0.0, 0.5, 1.0}) {
+    std::vector<double> cubis_w, mid_w;
+    for (int g = 0; g < kGames; ++g) {
+      Rng rng(93000 + g);
+      auto game = games::covariant_game(rng, kTargets, kResources, corr);
+      // Payoff intervals of width 2 around the drawn attacker payoffs.
+      std::vector<games::IntervalPayoffs> intervals;
+      for (std::size_t i = 0; i < game.num_targets(); ++i) {
+        const auto& p = game.target(i);
+        intervals.push_back(
+            {Interval(std::max(0.1, p.attacker_reward - 1.0),
+                      p.attacker_reward + 1.0),
+             Interval(p.attacker_penalty - 1.0,
+                      std::min(-0.1, p.attacker_penalty + 1.0))});
+      }
+      behavior::SuqrIntervalBounds bounds(behavior::SuqrWeightIntervals{},
+                                          intervals);
+      core::SolveContext ctx{game, bounds};
+      core::SolverSpec cs;
+      cs.name = "cubis";
+      cs.segments = 25;
+      cubis_w.push_back(
+          core::make_solver(cs)->solve(ctx).worst_case_utility);
+      core::SolverSpec ms;
+      ms.name = "midpoint";
+      mid_w.push_back(core::make_solver(ms)->solve(ctx).worst_case_utility);
+    }
+    std::printf("%12.1f %17s %17s\n", corr, bench::cell(cubis_w).c_str(),
+                bench::cell(mid_w).c_str());
+  }
+
+  std::printf(
+      "\nShape check: cubis tops the 'worst' column; bayesian tops\n"
+      "'samp-mean' with a weak tail; robust-types sits between; the\n"
+      "robust-vs-naive gap persists across payoff correlations.\n");
+  return 0;
+}

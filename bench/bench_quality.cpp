@@ -1,0 +1,114 @@
+// Experiments Q1/Q2 — worst-case solution quality vs uncertainty level and
+// vs game size (the standard evaluation of this paper line: random games,
+// mean worst-case defender utility per solver).
+//
+// Q1: fixed ensemble (T = 10, R = 3), sweep the behavioral uncertainty
+//     level — a factor in [0, 1] scaling the width of every interval
+//     (weights AND payoffs) around its midpoint.
+// Q2: full uncertainty, sweep the number of targets T.
+//
+// Columns: CUBIS (paper-faithful, K = 50), CUBIS + gradient polish (our
+// extension), midpoint baseline, maximin, uniform.
+//
+// Expected shape (paper line): at zero uncertainty CUBIS and midpoint
+// coincide; as uncertainty grows the midpoint collapses while CUBIS
+// degrades gracefully and dominates everywhere; maximin only becomes
+// competitive at extreme uncertainty.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "behavior/bounds.hpp"
+#include "common/rng.hpp"
+#include "core/cubis.hpp"
+#include "core/maximin.hpp"
+#include "core/pasaq.hpp"
+#include "games/generators.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace cubisg;
+
+struct Row {
+  std::vector<double> cubis, polished, midpoint, maximin, uniform;
+};
+
+Row run_ensemble(std::size_t targets, double resources, double scale,
+                 int games_count, std::uint64_t seed_base) {
+  Row row;
+  for (int g = 0; g < games_count; ++g) {
+    Rng rng(seed_base + g);
+    auto ug = games::random_uncertain_game(rng, targets, resources, 2.0);
+    auto base = std::make_shared<behavior::SuqrIntervalBounds>(
+        behavior::SuqrWeightIntervals{}, ug.attacker_intervals);
+    behavior::ScaledBounds bounds(base, scale);
+    core::SolveContext ctx{ug.game, bounds};
+
+    core::CubisOptions copt;
+    copt.segments = 50;
+    copt.epsilon = 1e-3;
+    row.cubis.push_back(
+        core::CubisSolver(copt).solve(ctx).worst_case_utility);
+
+    core::CubisOptions popt = copt;
+    popt.polish_iterations = 30;
+    row.polished.push_back(
+        core::CubisSolver(popt).solve(ctx).worst_case_utility);
+
+    row.midpoint.push_back(
+        core::PasaqSolver().solve(ctx).worst_case_utility);
+    row.maximin.push_back(
+        core::MaximinSolver().solve(ctx).worst_case_utility);
+    row.uniform.push_back(
+        core::UniformSolver().solve(ctx).worst_case_utility);
+  }
+  return row;
+}
+
+void print_row(const char* label, const Row& r) {
+  std::printf("%8s %17s %17s %17s %17s %17s\n", label,
+              cubisg::bench::cell(r.cubis).c_str(),
+              cubisg::bench::cell(r.polished).c_str(),
+              cubisg::bench::cell(r.midpoint).c_str(),
+              cubisg::bench::cell(r.maximin).c_str(),
+              cubisg::bench::cell(r.uniform).c_str());
+}
+
+void header() {
+  std::printf("%8s %17s %17s %17s %17s %17s\n", "", "cubis", "cubis+polish",
+              "midpoint", "maximin", "uniform");
+}
+
+}  // namespace
+
+int main() {
+  const int kGames = 10;
+  std::printf("=== Q1/Q2: worst-case utility vs uncertainty and size ===\n");
+  std::printf("(mean +- std over %d random games per cell)\n\n", kGames);
+
+  std::printf("-- Q1: T = 10, R = 3, behavioral-uncertainty scale sweep --\n");
+  header();
+  for (double scale : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%.2f", scale);
+    print_row(label, run_ensemble(10, 3.0, scale, kGames, 40000));
+  }
+
+  std::printf("\n-- Q2: full uncertainty, R = 0.3*T, target-count sweep --\n");
+  header();
+  for (std::size_t t : {5u, 10u, 20u, 40u}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%zu", t);
+    print_row(label, run_ensemble(t, 0.3 * static_cast<double>(t), 1.0,
+                                  kGames, 50000 + t));
+  }
+
+  std::printf(
+      "\nShape check: at scale 0 cubis == midpoint; as uncertainty grows\n"
+      "the midpoint collapses while cubis degrades gracefully and dominates\n"
+      "uniform everywhere; maximin converges to cubis only at full\n"
+      "uncertainty (where the worst case is behavior-free).  The polish\n"
+      "column shows the O(1/K) grid residual recovered by local ascent.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helpers for the experiment benches: seeded ensembles, small
+// statistics, and uniform table printing.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace cubisg::bench {
+
+/// Mean of a sample.
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+/// Sample standard deviation.
+inline double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+/// "m +- s" with fixed width, for table cells.
+inline std::string cell(const std::vector<double>& v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%8.3f+-%-6.3f", mean(v), stddev(v));
+  return buf;
+}
+
+/// Prints a rule line of the given width.
+inline void rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace cubisg::bench

@@ -1,0 +1,95 @@
+// Airport checkpoint allocation — an ARMOR/LAX-style scenario.
+//
+// Eight terminals with heterogeneous stakes; three canine/checkpoint teams
+// to randomize over them.  Intelligence on the adversary is limited, so
+// SUQR parameters carry wide intervals.  The example runs every solver in
+// the library on the same instance and prints a comparison table, then
+// shows how the robust strategy reallocates coverage relative to the
+// non-robust one.
+//
+// Run:  ./airport_checkpoints
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "behavior/bounds.hpp"
+#include "core/cubis.hpp"
+#include "core/gradient.hpp"
+#include "core/maximin.hpp"
+#include "core/pasaq.hpp"
+#include "core/worst_case.hpp"
+#include "games/generators.hpp"
+
+int main() {
+  using namespace cubisg;
+
+  // Terminals: (attacker reward, attacker penalty, defender reward,
+  // defender penalty).  Stakes follow passenger volume; the international
+  // terminal (T4) is the most attractive target.
+  std::vector<games::TargetPayoffs> terminals = {
+      {4.0, -3.0, 3.0, -4.0},   // T1 commuter
+      {5.0, -3.0, 3.0, -5.0},   // T2 domestic
+      {6.0, -4.0, 4.0, -6.0},   // T3 domestic hub
+      {9.0, -5.0, 5.0, -9.0},   // T4 international
+      {7.0, -4.0, 4.0, -7.0},   // T5 international annex
+      {5.0, -3.0, 3.0, -5.0},   // T6 regional
+      {3.0, -2.0, 2.0, -3.0},   // T7 cargo
+      {6.0, -4.0, 4.0, -6.0},   // T8 mixed
+  };
+  games::SecurityGame game(terminals, 3.0);
+
+  // Payoff intelligence is good (+-0.5) but behavioral intelligence poor.
+  std::vector<games::IntervalPayoffs> intervals;
+  for (const auto& t : terminals) {
+    intervals.push_back({Interval(t.attacker_reward - 0.5,
+                                  t.attacker_reward + 0.5),
+                         Interval(t.attacker_penalty - 0.5,
+                                  t.attacker_penalty + 0.5)});
+  }
+  behavior::SuqrWeightIntervals weights;
+  weights.w1 = Interval(-8.0, -2.0);  // wide: deterrence poorly understood
+  weights.w2 = Interval(0.4, 1.1);
+  weights.w3 = Interval(0.2, 1.0);
+  behavior::SuqrIntervalBounds bounds(weights, intervals);
+  core::SolveContext ctx{game, bounds};
+
+  std::printf("Airport: 8 terminals, 3 checkpoint teams\n\n");
+  std::printf("%-24s %12s %10s %8s\n", "solver", "worst-case", "time(ms)",
+              "steps");
+
+  auto row = [&](const char* name, const core::DefenderSolution& sol) {
+    std::printf("%-24s %12.3f %10.1f %8d\n", name, sol.worst_case_utility,
+                sol.wall_seconds * 1e3, sol.binary_steps);
+    return sol;
+  };
+
+  core::CubisOptions copt;
+  copt.segments = 25;
+  copt.epsilon = 1e-3;
+  auto robust = row("cubis-dp (robust)", core::CubisSolver(copt).solve(ctx));
+
+  core::CubisOptions mopt = copt;
+  mopt.segments = 5;  // the MILP path is exact but slower; keep K modest
+  mopt.backend = core::StepBackend::kMilp;
+  row("cubis-milp (paper)", core::CubisSolver(mopt).solve(ctx));
+
+  row("midpoint-pasaq", core::PasaqSolver().solve(ctx));
+  row("maximin", core::MaximinSolver().solve(ctx));
+  core::GradientOptions gopt;
+  gopt.num_starts = 6;
+  row("gradient-multistart", core::GradientSolver(gopt).solve(ctx));
+  row("uniform", core::UniformSolver().solve(ctx));
+
+  auto naive = core::PasaqSolver().solve(ctx);
+  std::printf("\n%-10s %10s %10s %10s\n", "terminal", "robust", "midpoint",
+              "shift");
+  for (std::size_t i = 0; i < game.num_targets(); ++i) {
+    std::printf("T%-9zu %10.3f %10.3f %+10.3f\n", i + 1, robust.strategy[i],
+                naive.strategy[i], robust.strategy[i] - naive.strategy[i]);
+  }
+  std::printf(
+      "\nThe robust plan hedges: coverage moves from the 'probably attacked'\n"
+      "terminals toward those whose loss would be catastrophic if the\n"
+      "behavioral model is wrong.\n");
+  return 0;
+}

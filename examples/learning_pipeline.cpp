@@ -1,0 +1,94 @@
+// From poaching records to robust patrols: the full learning pipeline.
+//
+// A park has one season of attack records (which cell was hit under which
+// patrol schedule).  The rangers:
+//   1. fit a SUQR poacher model by maximum likelihood,
+//   2. quantify its uncertainty with bootstrap confidence intervals,
+//   3. hand those intervals to CUBIS for a robust patrol plan,
+// and compare the plan against trusting the point estimate outright.
+//
+// Run:  ./learning_pipeline [num_records]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "behavior/bounds.hpp"
+#include "common/rng.hpp"
+#include "core/cubis.hpp"
+#include "core/pasaq.hpp"
+#include "games/generators.hpp"
+#include "learning/suqr_mle.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cubisg;
+  const std::size_t records =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+
+  // The park (payoffs known from terrain/animal surveys; behavior is not).
+  Rng rng(42);
+  games::UncertainGame park =
+      games::random_uncertain_game(rng, 12, 4.0, 0.0);
+  const behavior::SuqrWeights hidden_truth{-4.5, 0.8, 0.5};
+
+  std::printf("Step 0: one season of poaching records (%zu attacks)\n",
+              records);
+  Rng season(7);
+  auto data =
+      learning::simulate_attack_data(park.game, hidden_truth, records,
+                                     season);
+
+  std::printf("Step 1: maximum-likelihood SUQR fit\n");
+  auto fit = learning::fit_suqr(park.game, data);
+  std::printf("  fitted (w1, w2, w3) = (%.2f, %.2f, %.2f)   "
+              "[hidden truth: (%.2f, %.2f, %.2f)]\n",
+              fit.weights.w1, fit.weights.w2, fit.weights.w3,
+              hidden_truth.w1, hidden_truth.w2, hidden_truth.w3);
+
+  std::printf("Step 2: bootstrap 90%% confidence intervals\n");
+  learning::BootstrapOptions bo;
+  bo.resamples = 80;
+  auto intervals = learning::bootstrap_weight_intervals(park.game, data,
+                                                        {}, bo);
+  std::printf("  w1 in [%.2f, %.2f], w2 in [%.2f, %.2f], w3 in "
+              "[%.2f, %.2f]\n",
+              intervals.w1.lo(), intervals.w1.hi(), intervals.w2.lo(),
+              intervals.w2.hi(), intervals.w3.lo(), intervals.w3.hi());
+
+  std::printf("Step 3: robust patrol plan (CUBIS on learned intervals)\n");
+  behavior::SuqrIntervalBounds bounds(intervals, park.attacker_intervals);
+  core::SolveContext ctx{park.game, bounds};
+  core::CubisOptions copt;
+  copt.segments = 25;
+  copt.polish_iterations = 20;
+  auto robust = core::CubisSolver(copt).solve(ctx);
+
+  core::PasaqOptions popt;
+  popt.segments = 25;
+  popt.source = core::PasaqModelSource::kCustom;
+  behavior::SuqrWeights w = fit.weights;
+  w.w1 = std::min(w.w1, -1e-3);
+  w.w2 = std::max(w.w2, 0.0);
+  w.w3 = std::max(w.w3, 0.0);
+  popt.model = std::make_shared<behavior::SuqrModel>(w, park.game);
+  auto trusting = core::PasaqSolver(popt).solve(ctx);
+
+  behavior::SuqrModel truth_model(hidden_truth, park.game);
+  const double robust_real = behavior::defender_expected_utility(
+      park.game, truth_model, robust.strategy);
+  const double trusting_real = behavior::defender_expected_utility(
+      park.game, truth_model, trusting.strategy);
+
+  std::printf("\n%-28s %14s %16s\n", "plan", "certified-min",
+              "vs true poacher");
+  std::printf("%-28s %14.3f %16.3f\n", "robust (CUBIS)",
+              robust.worst_case_utility, robust_real);
+  std::printf("%-28s %14s %16.3f\n", "trust-the-point-estimate", "none",
+              trusting_real);
+  std::printf(
+      "\nWith only %zu records the point estimate is noisy; the robust\n"
+      "plan certifies a floor over every behavior the data cannot rule\n"
+      "out.  Re-run with more records (e.g. 5000) to watch the two plans\n"
+      "converge as the intervals tighten.\n",
+      records);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: the paper's 2-target Table I game, end to end.
+//
+// Builds the uncertain game, solves it with CUBIS and with the non-robust
+// midpoint baseline, and shows why robustness pays: the worst-case utility
+// of the robust strategy is far higher.
+//
+// Run:  ./quickstart
+#include <cstdio>
+#include <memory>
+
+#include "behavior/bounds.hpp"
+#include "core/cubis.hpp"
+#include "core/pasaq.hpp"
+#include "core/worst_case.hpp"
+#include "games/generators.hpp"
+
+int main() {
+  using namespace cubisg;
+
+  // --- 1. The game -------------------------------------------------------
+  // Table I of the paper: 2 targets, 1 defender resource, attacker payoff
+  // intervals.  Defender payoffs mirror the attacker midpoints (zero-sum).
+  games::UncertainGame ug = games::table1_game();
+  std::printf("Game: %zu targets, %.0f resource(s)\n",
+              ug.game.num_targets(), ug.game.resources());
+  for (std::size_t i = 0; i < ug.game.num_targets(); ++i) {
+    const auto& iv = ug.attacker_intervals[i];
+    std::printf(
+        "  target %zu: attacker reward [%.0f, %.0f], penalty [%.0f, %.0f]\n",
+        i + 1, iv.attacker_reward.lo(), iv.attacker_reward.hi(),
+        iv.attacker_penalty.lo(), iv.attacker_penalty.hi());
+  }
+
+  // --- 2. Behavioral uncertainty ------------------------------------------
+  // SUQR weights are only known up to intervals (Section III example):
+  // w1 in [-6,-2], w2 in [0.5,1.0], w3 in [0.4,0.9].  These induce bounds
+  // L_i(x) <= F_i(x) <= U_i(x) on the attacker's attractiveness function.
+  behavior::SuqrWeightIntervals weights;  // defaults = the paper's intervals
+  behavior::SuqrIntervalBounds bounds(weights, ug.attacker_intervals,
+                                      behavior::IntervalMode::kPaperCorners);
+  std::printf("\nAttractiveness bounds at x=0.3 (paper: e^-4.1, e^1.7):\n");
+  std::printf("  L1(0.3) = %.6f, U1(0.3) = %.6f\n", bounds.lower(0, 0.3),
+              bounds.upper(0, 0.3));
+
+  core::SolveContext ctx{ug.game, bounds};
+
+  // --- 3. Robust solve with CUBIS -----------------------------------------
+  core::CubisOptions copt;
+  copt.segments = 50;    // K in the piecewise linearization
+  copt.epsilon = 1e-4;   // binary-search convergence threshold
+  core::CubisSolver cubis(copt);
+  core::DefenderSolution robust = cubis.solve(ctx);
+  std::printf("\nCUBIS robust strategy:   (%.2f, %.2f)   worst-case utility %+.3f\n",
+              robust.strategy[0], robust.strategy[1],
+              robust.worst_case_utility);
+
+  // --- 4. The non-robust midpoint baseline --------------------------------
+  core::PasaqOptions popt;
+  popt.segments = 50;
+  popt.epsilon = 1e-4;
+  popt.source = core::PasaqModelSource::kCustom;
+  popt.model = std::make_shared<behavior::SuqrModel>(bounds.midpoint_model());
+  core::PasaqSolver midpoint(popt);
+  core::DefenderSolution naive = midpoint.solve(ctx);
+  std::printf("Midpoint (non-robust):   (%.2f, %.2f)   worst-case utility %+.3f\n",
+              naive.strategy[0], naive.strategy[1],
+              naive.worst_case_utility);
+
+  std::printf(
+      "\nThe midpoint defender believes she gets %+.3f, but an attacker\n"
+      "anywhere inside the uncertainty intervals can drive her down to "
+      "%+.3f.\nThe CUBIS strategy certifies %+.3f no matter which behavior "
+      "is real.\n",
+      naive.solver_objective, naive.worst_case_utility,
+      robust.worst_case_utility);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Price-of-robustness analysis.
+//
+// Sweeps the behavioral uncertainty level (a factor scaling the interval
+// widths) and reports, for the robust and non-robust strategies:
+//   * the certified worst-case utility, and
+//   * the expected utility if the midpoint model happens to be correct.
+// The gap between the two columns is the premium the defender pays (in the
+// benign world) to insure against the adversarial one — and how that
+// premium shrinks to zero as uncertainty vanishes.
+//
+// Run:  ./uncertainty_sweep [targets] [resources] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "behavior/bounds.hpp"
+#include "common/rng.hpp"
+#include "core/cubis.hpp"
+#include "core/pasaq.hpp"
+#include "core/worst_case.hpp"
+#include "games/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cubisg;
+  const std::size_t targets = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
+                                       : 10;
+  const double resources =
+      argc > 2 ? std::strtod(argv[2], nullptr)
+               : static_cast<double>(targets) * 0.3;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  Rng rng(seed);
+  games::UncertainGame ug =
+      games::random_uncertain_game(rng, targets, resources, 2.0);
+  behavior::SuqrWeightIntervals weights;
+  auto base = std::make_shared<behavior::SuqrIntervalBounds>(
+      weights, ug.attacker_intervals);
+  behavior::SuqrModel midpoint_model = base->midpoint_model();
+
+  std::printf("Price of robustness: %zu targets, %.1f resources, seed %llu\n",
+              targets, resources, static_cast<unsigned long long>(seed));
+  std::printf("%8s | %12s %12s | %12s %12s | %10s\n", "width", "robust:worst",
+              "robust:mid", "naive:worst", "naive:mid", "premium");
+
+  for (double factor : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    behavior::ScaledBounds bounds(base, factor);
+    core::SolveContext ctx{ug.game, bounds};
+
+    core::CubisOptions copt;
+    copt.segments = 20;
+    copt.epsilon = 1e-3;
+    core::DefenderSolution robust = core::CubisSolver(copt).solve(ctx);
+
+    core::DefenderSolution naive = core::PasaqSolver().solve(ctx);
+
+    const double robust_if_mid = behavior::defender_expected_utility(
+        ug.game, midpoint_model, robust.strategy);
+    const double naive_if_mid = behavior::defender_expected_utility(
+        ug.game, midpoint_model, naive.strategy);
+    // Premium: expected utility given up in the benign (midpoint) world in
+    // exchange for the worst-case guarantee.
+    const double premium = naive_if_mid - robust_if_mid;
+
+    std::printf("%8.2f | %12.3f %12.3f | %12.3f %12.3f | %10.3f\n", factor,
+                robust.worst_case_utility, robust_if_mid,
+                naive.worst_case_utility, naive_if_mid, premium);
+  }
+
+  std::printf(
+      "\nReading: as the interval width grows, the naive strategy's\n"
+      "worst case collapses while the robust one degrades gracefully;\n"
+      "the premium column is the (small) price paid for that insurance.\n");
+  return 0;
+}

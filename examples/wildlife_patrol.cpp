@@ -1,0 +1,105 @@
+// Wildlife patrol planning — the paper's motivating domain.
+//
+// A protected park is a grid of cells; animal density hotspots define the
+// poachers' rewards.  Poaching records are scarce, so the rangers only
+// know intervals for the poachers' SUQR behavior.  This example plans a
+// robust patrol with CUBIS, renders the coverage as an ASCII heatmap and
+// stress-tests the plan against a sampled poacher population.
+//
+// Run:  ./wildlife_patrol [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "behavior/attacker_sim.hpp"
+#include "behavior/bounds.hpp"
+#include "common/rng.hpp"
+#include "core/cubis.hpp"
+#include "core/pasaq.hpp"
+#include "core/maximin.hpp"
+#include "core/worst_case.hpp"
+#include "games/generators.hpp"
+
+namespace {
+
+void print_grid(const char* title, std::size_t rows, std::size_t cols,
+                const std::vector<double>& values, double lo, double hi) {
+  static const char kShades[] = " .:-=+*#%@";
+  std::printf("%s\n", title);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::printf("    ");
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = values[r * cols + c];
+      int idx = static_cast<int>((v - lo) / (hi - lo + 1e-12) * 9.0);
+      if (idx < 0) idx = 0;
+      if (idx > 9) idx = 9;
+      std::printf("%c%c", kShades[idx], kShades[idx]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cubisg;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 2016;
+  const std::size_t kRows = 5, kCols = 8;
+  const double kRangers = 6.0;
+
+  Rng rng(seed);
+  games::UncertainGame park =
+      games::wildlife_grid_game(rng, kRows, kCols, kRangers, 1.0);
+  std::printf("Park: %zux%zu cells, %.0f ranger patrols, seed %llu\n\n",
+              kRows, kCols, kRangers,
+              static_cast<unsigned long long>(seed));
+
+  std::vector<double> density(park.game.num_targets());
+  double dmax = 0.0;
+  for (std::size_t i = 0; i < density.size(); ++i) {
+    density[i] = park.game.target(i).attacker_reward;
+    dmax = std::max(dmax, density[i]);
+  }
+  print_grid("Animal density (poacher reward):", kRows, kCols, density, 0.0,
+             dmax);
+
+  behavior::SuqrWeightIntervals weights;
+  behavior::SuqrIntervalBounds bounds(weights, park.attacker_intervals);
+  core::SolveContext ctx{park.game, bounds};
+
+  core::CubisOptions copt;
+  copt.segments = 20;
+  copt.epsilon = 1e-3;
+  core::DefenderSolution robust = core::CubisSolver(copt).solve(ctx);
+  core::DefenderSolution naive = core::PasaqSolver().solve(ctx);
+  core::DefenderSolution floor = core::MaximinSolver().solve(ctx);
+
+  std::printf("\n");
+  print_grid("Robust patrol coverage (CUBIS):", kRows, kCols,
+             robust.strategy, 0.0, 1.0);
+
+  // Stress test against 500 sampled poacher types from the parameter box.
+  Rng sim_rng(seed ^ 0xABCDEF);
+  behavior::SampledSuqrPopulation poachers(weights, park.attacker_intervals,
+                                           500, sim_rng);
+
+  std::printf("\n%-22s %12s %14s %14s\n", "strategy", "worst-case",
+              "sampled-min", "sampled-mean");
+  auto report = [&](const char* name, const core::DefenderSolution& sol) {
+    std::printf("%-22s %12.3f %14.3f %14.3f\n", name,
+                sol.worst_case_utility,
+                poachers.min_defender_utility(park.game, sol.strategy),
+                poachers.mean_defender_utility(park.game, sol.strategy));
+  };
+  report("cubis (robust)", robust);
+  report("midpoint (non-robust)", naive);
+  report("maximin (no model)", floor);
+
+  std::printf(
+      "\nReading: 'worst-case' is the certified bound over ALL behaviors\n"
+      "in the intervals; 'sampled-min/mean' are against 500 random poacher\n"
+      "types.  The robust plan gives up a little average utility to protect\n"
+      "the tail.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "behavior/attacker_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/errors.hpp"
+
+namespace cubisg::behavior {
+
+SampledSuqrPopulation::SampledSuqrPopulation(
+    const SuqrWeightIntervals& weights,
+    std::span<const games::IntervalPayoffs> payoffs, std::size_t num_types,
+    Rng& rng) {
+  if (num_types == 0) {
+    throw InvalidModelError("SampledSuqrPopulation: num_types must be >= 1");
+  }
+  types_.reserve(num_types);
+  for (std::size_t t = 0; t < num_types; ++t) {
+    SuqrWeights w;
+    w.w1 = rng.uniform(weights.w1.lo(), weights.w1.hi());
+    w.w2 = rng.uniform(weights.w2.lo(), weights.w2.hi());
+    w.w3 = rng.uniform(weights.w3.lo(), weights.w3.hi());
+    std::vector<double> rewards(payoffs.size());
+    std::vector<double> penalties(payoffs.size());
+    for (std::size_t i = 0; i < payoffs.size(); ++i) {
+      rewards[i] = rng.uniform(payoffs[i].attacker_reward.lo(),
+                               payoffs[i].attacker_reward.hi());
+      penalties[i] = rng.uniform(payoffs[i].attacker_penalty.lo(),
+                                 payoffs[i].attacker_penalty.hi());
+    }
+    types_.emplace_back(w, std::move(rewards), std::move(penalties));
+  }
+}
+
+double SampledSuqrPopulation::mean_defender_utility(
+    const games::SecurityGame& game, std::span<const double> x) const {
+  double sum = 0.0;
+  for (const SuqrModel& t : types_) {
+    sum += defender_expected_utility(game, t, x);
+  }
+  return sum / static_cast<double>(types_.size());
+}
+
+double SampledSuqrPopulation::min_defender_utility(
+    const games::SecurityGame& game, std::span<const double> x) const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const SuqrModel& t : types_) {
+    worst = std::min(worst, defender_expected_utility(game, t, x));
+  }
+  return worst;
+}
+
+double SampledSuqrPopulation::simulate_attacks(
+    const games::SecurityGame& game, std::span<const double> x,
+    std::size_t num_attacks, Rng& rng) const {
+  if (num_attacks == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t a = 0; a < num_attacks; ++a) {
+    const std::size_t t =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(
+                                                        types_.size()) - 1));
+    const std::vector<double> q = attack_probabilities(types_[t], x);
+    // Sample the attacked target from q.
+    double u = rng.uniform();
+    std::size_t target = q.size() - 1;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (u < q[i]) {
+        target = i;
+        break;
+      }
+      u -= q[i];
+    }
+    // The defender's realized utility is Rd with probability x_target
+    // (attack intercepted), Pd otherwise.
+    const games::TargetPayoffs& p = game.target(target);
+    total += rng.uniform() < x[target] ? p.defender_reward
+                                       : p.defender_penalty;
+  }
+  return total / static_cast<double>(num_attacks);
+}
+
+}  // namespace cubisg::behavior

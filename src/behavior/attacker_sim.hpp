@@ -1,0 +1,54 @@
+// Sampled attacker population for realized-utility evaluation.
+//
+// The paper evaluates strategies against the *worst case* of uncertainty;
+// robustness papers in this line additionally report utility against
+// attackers whose SUQR parameters are drawn from the uncertainty box.  This
+// simulator provides that: N attacker types sampled uniformly from the
+// weight/payoff boxes, each responding with its own quantal response.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "behavior/bounds.hpp"
+#include "behavior/suqr.hpp"
+#include "games/generators.hpp"
+#include "games/security_game.hpp"
+
+namespace cubisg::behavior {
+
+/// A population of SUQR attacker types sampled from parameter boxes.
+class SampledSuqrPopulation {
+ public:
+  /// Draws `num_types` attacker parameter vectors uniformly from the boxes.
+  SampledSuqrPopulation(const SuqrWeightIntervals& weights,
+                        std::span<const games::IntervalPayoffs> payoffs,
+                        std::size_t num_types, Rng& rng);
+
+  std::size_t num_types() const { return types_.size(); }
+  const SuqrModel& type(std::size_t t) const { return types_[t]; }
+
+  /// Mean defender expected utility over the population when the defender
+  /// plays x (each type responds with its own quantal response).
+  double mean_defender_utility(const games::SecurityGame& game,
+                               std::span<const double> x) const;
+
+  /// Minimum defender expected utility over the sampled types (an
+  /// empirical, optimistic estimate of the true worst case).
+  double min_defender_utility(const games::SecurityGame& game,
+                              std::span<const double> x) const;
+
+  /// Simulates `num_attacks` attacks: for each, a type is drawn uniformly,
+  /// then a target from its quantal response; returns the empirical mean
+  /// defender utility.  Monte-Carlo counterpart of mean_defender_utility.
+  double simulate_attacks(const games::SecurityGame& game,
+                          std::span<const double> x, std::size_t num_attacks,
+                          Rng& rng) const;
+
+ private:
+  std::vector<SuqrModel> types_;
+};
+
+}  // namespace cubisg::behavior

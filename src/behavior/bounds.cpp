@@ -1,0 +1,191 @@
+#include "behavior/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/errors.hpp"
+
+namespace cubisg::behavior {
+
+SuqrIntervalBounds::SuqrIntervalBounds(
+    SuqrWeightIntervals weights, std::vector<games::IntervalPayoffs> payoffs,
+    IntervalMode mode)
+    : weights_(weights), payoffs_(std::move(payoffs)), mode_(mode) {
+  if (!(weights_.w1.hi() < 0.0)) {
+    throw InvalidModelError(
+        "SuqrIntervalBounds: w1 interval must be strictly negative");
+  }
+  if (weights_.w2.lo() < 0.0 || weights_.w3.lo() < 0.0) {
+    throw InvalidModelError(
+        "SuqrIntervalBounds: w2 and w3 intervals must be non-negative");
+  }
+  if (payoffs_.empty()) {
+    throw InvalidModelError("SuqrIntervalBounds: no targets");
+  }
+  static_exponent_.reserve(payoffs_.size());
+  for (std::size_t i = 0; i < payoffs_.size(); ++i) {
+    const games::IntervalPayoffs& p = payoffs_[i];
+    if (p.attacker_reward.lo() <= 0.0) {
+      throw InvalidModelError(
+          "SuqrIntervalBounds: attacker reward interval must be positive "
+          "at target " + std::to_string(i));
+    }
+    if (p.attacker_penalty.hi() >= 0.0) {
+      throw InvalidModelError(
+          "SuqrIntervalBounds: attacker penalty interval must be negative "
+          "at target " + std::to_string(i));
+    }
+    switch (mode_) {
+      case IntervalMode::kExactBox:
+        static_exponent_.push_back(weights_.w2 * p.attacker_reward +
+                                   weights_.w3 * p.attacker_penalty);
+        break;
+      case IntervalMode::kPaperCorners: {
+        // The paper's Section III arithmetic: all-lower endpoints for L and
+        // all-upper for U; guard the ordering since the corner products are
+        // not always the box extrema (see DESIGN.md §2).
+        const double lo_corner = weights_.w2.lo() * p.attacker_reward.lo() +
+                                 weights_.w3.lo() * p.attacker_penalty.lo();
+        const double hi_corner = weights_.w2.hi() * p.attacker_reward.hi() +
+                                 weights_.w3.hi() * p.attacker_penalty.hi();
+        static_exponent_.push_back(Interval(std::min(lo_corner, hi_corner),
+                                            std::max(lo_corner, hi_corner)));
+        break;
+      }
+    }
+  }
+}
+
+double SuqrIntervalBounds::log_lower(std::size_t i, double x) const {
+  // x >= 0, w1 < 0: the exponent's minimum over w1 uses w1.lo.
+  return weights_.w1.lo() * x + static_exponent_[i].lo();
+}
+
+double SuqrIntervalBounds::log_upper(std::size_t i, double x) const {
+  return weights_.w1.hi() * x + static_exponent_[i].hi();
+}
+
+double SuqrIntervalBounds::lower(std::size_t i, double x) const {
+  return std::exp(log_lower(i, x));
+}
+
+double SuqrIntervalBounds::upper(std::size_t i, double x) const {
+  return std::exp(log_upper(i, x));
+}
+
+SuqrModel SuqrIntervalBounds::midpoint_model() const {
+  SuqrWeights w{weights_.w1.mid(), weights_.w2.mid(), weights_.w3.mid()};
+  std::vector<double> rewards(payoffs_.size());
+  std::vector<double> penalties(payoffs_.size());
+  for (std::size_t i = 0; i < payoffs_.size(); ++i) {
+    rewards[i] = payoffs_[i].attacker_reward.mid();
+    penalties[i] = payoffs_[i].attacker_penalty.mid();
+  }
+  return SuqrModel(w, std::move(rewards), std::move(penalties));
+}
+
+QrLambdaBounds::QrLambdaBounds(Interval lambda,
+                               std::vector<games::IntervalPayoffs> payoffs)
+    : lambda_(lambda), payoffs_(std::move(payoffs)) {
+  if (!(lambda_.lo() > 0.0)) {
+    throw InvalidModelError(
+        "QrLambdaBounds: lambda interval must be strictly positive");
+  }
+  if (payoffs_.empty()) throw InvalidModelError("QrLambdaBounds: no targets");
+  for (std::size_t i = 0; i < payoffs_.size(); ++i) {
+    if (payoffs_[i].attacker_reward.lo() <= 0.0 ||
+        payoffs_[i].attacker_penalty.hi() >= 0.0) {
+      throw InvalidModelError(
+          "QrLambdaBounds: reward intervals must be positive and penalty "
+          "intervals negative at target " + std::to_string(i));
+    }
+  }
+}
+
+Interval QrLambdaBounds::attacker_utility_interval(std::size_t i,
+                                                   double x) const {
+  // Ua = x*Pa + (1-x)*Ra, monotone in each payoff: interval arithmetic
+  // with non-negative coefficients is exact.
+  const games::IntervalPayoffs& p = payoffs_[i];
+  return x * p.attacker_penalty + (1.0 - x) * p.attacker_reward;
+}
+
+double QrLambdaBounds::lower(std::size_t i, double x) const {
+  const Interval ua = attacker_utility_interval(i, x);
+  // min over lambda in [lo,hi] of lambda * ua.lo(): depends on the sign.
+  const double exponent = ua.lo() >= 0.0 ? lambda_.lo() * ua.lo()
+                                         : lambda_.hi() * ua.lo();
+  return std::exp(exponent);
+}
+
+double QrLambdaBounds::upper(std::size_t i, double x) const {
+  const Interval ua = attacker_utility_interval(i, x);
+  const double exponent = ua.hi() >= 0.0 ? lambda_.hi() * ua.hi()
+                                         : lambda_.lo() * ua.hi();
+  return std::exp(exponent);
+}
+
+PointBounds::PointBounds(std::shared_ptr<const AttractivenessModel> model)
+    : model_(std::move(model)) {
+  if (!model_) throw InvalidModelError("PointBounds: null model");
+}
+
+EnsembleBounds::EnsembleBounds(
+    std::vector<std::shared_ptr<const AttractivenessModel>> models)
+    : models_(std::move(models)) {
+  if (models_.empty()) {
+    throw InvalidModelError("EnsembleBounds: empty model set");
+  }
+  for (const auto& m : models_) {
+    if (!m) throw InvalidModelError("EnsembleBounds: null model");
+    if (m->num_targets() != models_.front()->num_targets()) {
+      throw InvalidModelError("EnsembleBounds: target-count mismatch");
+    }
+  }
+}
+
+double EnsembleBounds::lower(std::size_t i, double x) const {
+  double lo = models_.front()->attractiveness(i, x);
+  for (std::size_t t = 1; t < models_.size(); ++t) {
+    lo = std::min(lo, models_[t]->attractiveness(i, x));
+  }
+  return lo;
+}
+
+double EnsembleBounds::upper(std::size_t i, double x) const {
+  double hi = models_.front()->attractiveness(i, x);
+  for (std::size_t t = 1; t < models_.size(); ++t) {
+    hi = std::max(hi, models_[t]->attractiveness(i, x));
+  }
+  return hi;
+}
+
+ScaledBounds::ScaledBounds(std::shared_ptr<const AttractivenessBounds> base,
+                           double factor)
+    : base_(std::move(base)), factor_(factor) {
+  if (!base_) throw InvalidModelError("ScaledBounds: null base");
+  if (!(factor >= 0.0) || factor > 1.0) {
+    throw InvalidModelError("ScaledBounds: factor must lie in [0, 1]");
+  }
+}
+
+double ScaledBounds::lower(std::size_t i, double x) const {
+  const double l = base_->lower(i, x);
+  const double u = base_->upper(i, x);
+  // Interpolate in log space so both endpoints stay positive: the width
+  // parameter scales log(U/L).
+  const double logm = 0.5 * (std::log(l) + std::log(u));
+  const double half = 0.5 * factor_ * (std::log(u) - std::log(l));
+  return std::exp(logm - half);
+}
+
+double ScaledBounds::upper(std::size_t i, double x) const {
+  const double l = base_->lower(i, x);
+  const double u = base_->upper(i, x);
+  const double logm = 0.5 * (std::log(l) + std::log(u));
+  const double half = 0.5 * factor_ * (std::log(u) - std::log(l));
+  return std::exp(logm + half);
+}
+
+}  // namespace cubisg::behavior

@@ -1,0 +1,186 @@
+// Attractiveness uncertainty bounds L_i(x) <= F_i(x) <= U_i(x) (Section III).
+//
+// The paper's uncertainty game model replaces the exact attractiveness
+// F_i(x_i) with a known interval I(x_i) = [L_i(x_i), U_i(x_i)], both
+// endpoints positive and monotonically decreasing in x_i.  This header
+// defines the abstract bounds interface the CUBIS core consumes, plus the
+// SUQR instantiation where the intervals stem from boxes on the weights
+// (w1, w2, w3) and on the attacker payoffs (Ra_i, Pa_i).
+//
+// Two interval semantics are provided (see DESIGN.md §2):
+//  * kPaperCorners replicates the paper's Section III arithmetic, plugging
+//    all lower endpoints into the exponent for L and all upper endpoints
+//    for U (with a min/max guard so L <= U always holds);
+//  * kExactBox computes the true min/max of the SUQR exponent over the
+//    5-dimensional parameter box, which is exact because the exponent is
+//    monotone in each parameter separately.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "games/generators.hpp"
+#include "behavior/suqr.hpp"
+
+namespace cubisg::behavior {
+
+/// Per-target lower/upper attractiveness bound functions.
+class AttractivenessBounds {
+ public:
+  virtual ~AttractivenessBounds() = default;
+  virtual std::size_t num_targets() const = 0;
+  /// L_i(x): positive, decreasing in x on [0, 1].
+  virtual double lower(std::size_t i, double x) const = 0;
+  /// U_i(x): positive, decreasing in x on [0, 1], with L_i(x) <= U_i(x).
+  virtual double upper(std::size_t i, double x) const = 0;
+
+  /// Interval [L_i(x), U_i(x)].
+  Interval interval(std::size_t i, double x) const {
+    return Interval(lower(i, x), upper(i, x));
+  }
+  /// Midpoint attractiveness (the non-robust baseline's model).
+  double midpoint(std::size_t i, double x) const {
+    return 0.5 * (lower(i, x) + upper(i, x));
+  }
+};
+
+/// Interval semantics for SUQR-derived bounds.
+enum class IntervalMode {
+  kPaperCorners,  ///< plug low/high endpoints (paper Section III example)
+  kExactBox,      ///< true min/max over the parameter box
+};
+
+/// Box uncertainty on the SUQR weights.
+struct SuqrWeightIntervals {
+  Interval w1{-6.0, -2.0};  ///< coverage weight; must stay negative
+  Interval w2{0.5, 1.0};    ///< reward weight; must stay non-negative
+  Interval w3{0.4, 0.9};    ///< penalty weight; must stay non-negative
+};
+
+/// SUQR attractiveness bounds from weight and payoff boxes.
+class SuqrIntervalBounds final : public AttractivenessBounds {
+ public:
+  /// Requires w1.hi < 0, w2.lo >= 0, w3.lo >= 0, positive reward intervals
+  /// and negative penalty intervals.
+  SuqrIntervalBounds(SuqrWeightIntervals weights,
+                     std::vector<games::IntervalPayoffs> payoffs,
+                     IntervalMode mode = IntervalMode::kExactBox);
+
+  std::size_t num_targets() const override { return payoffs_.size(); }
+  double lower(std::size_t i, double x) const override;
+  double upper(std::size_t i, double x) const override;
+
+  /// log L_i(x) (exponent lower bound); exposed for overflow-free tests.
+  double log_lower(std::size_t i, double x) const;
+  /// log U_i(x).
+  double log_upper(std::size_t i, double x) const;
+
+  const SuqrWeightIntervals& weights() const { return weights_; }
+  IntervalMode mode() const { return mode_; }
+
+  /// The SUQR model at the box midpoints (weights and payoffs), used by
+  /// parameter-midpoint baselines and the attacker simulator.
+  SuqrModel midpoint_model() const;
+
+ private:
+  SuqrWeightIntervals weights_;
+  std::vector<games::IntervalPayoffs> payoffs_;
+  IntervalMode mode_;
+  /// Precomputed exponent interval of w2*Ra_i + w3*Pa_i per target.
+  std::vector<Interval> static_exponent_;
+};
+
+/// Degenerate bounds L = U = F for a known point model; lets every robust
+/// routine run on certainty as a special case (and is how tests check that
+/// zero width recovers the non-robust solution).
+class PointBounds final : public AttractivenessBounds {
+ public:
+  explicit PointBounds(std::shared_ptr<const AttractivenessModel> model);
+
+  std::size_t num_targets() const override { return model_->num_targets(); }
+  double lower(std::size_t i, double x) const override {
+    return model_->attractiveness(i, x);
+  }
+  double upper(std::size_t i, double x) const override {
+    return model_->attractiveness(i, x);
+  }
+
+ private:
+  std::shared_ptr<const AttractivenessModel> model_;
+};
+
+/// Quantal-response attractiveness bounds: F_i(x) = exp(lambda * Ua_i(x))
+/// with the rationality parameter lambda known only up to an interval
+/// [lo, hi] (0 < lo <= hi) and the attacker payoffs up to the usual boxes.
+/// Eq. 4 of the paper is the general model; this is its classical-QR
+/// instantiation, showing the uncertainty-interval machinery is not tied
+/// to SUQR.
+///
+/// Exactness: Ua(x) = x*Pa + (1-x)*Ra is monotone in Pa and Ra separately,
+/// so the box extremes of Ua are attained at payoff corners; lambda > 0
+/// then maps [Ua_lo, Ua_hi] monotonically, with the sign of Ua deciding
+/// which lambda endpoint minimizes/maximizes lambda*Ua.
+class QrLambdaBounds final : public AttractivenessBounds {
+ public:
+  /// Requires 0 < lambda.lo(); positive reward and negative penalty
+  /// intervals per target.
+  QrLambdaBounds(Interval lambda,
+                 std::vector<games::IntervalPayoffs> payoffs);
+
+  std::size_t num_targets() const override { return payoffs_.size(); }
+  double lower(std::size_t i, double x) const override;
+  double upper(std::size_t i, double x) const override;
+
+  /// Attacker-utility interval at coverage x (exposed for tests).
+  Interval attacker_utility_interval(std::size_t i, double x) const;
+
+ private:
+  Interval lambda_;
+  std::vector<games::IntervalPayoffs> payoffs_;
+};
+
+/// Envelope of a finite candidate-model set: L_i(x) = min_t F_t(i, x),
+/// U_i(x) = max_t F_t(i, x).  Bridges the related-work view (a set of
+/// plausible attacker models, e.g. bootstrap refits or expert proposals)
+/// and the paper's interval view: CUBIS on these bounds certifies a floor
+/// against every model in the set (and, conservatively, against the whole
+/// interval relaxation of it).
+class EnsembleBounds final : public AttractivenessBounds {
+ public:
+  /// Requires a non-empty set of models over the same targets.
+  explicit EnsembleBounds(
+      std::vector<std::shared_ptr<const AttractivenessModel>> models);
+
+  std::size_t num_targets() const override {
+    return models_.front()->num_targets();
+  }
+  double lower(std::size_t i, double x) const override;
+  double upper(std::size_t i, double x) const override;
+
+  std::size_t num_models() const { return models_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const AttractivenessModel>> models_;
+};
+
+/// Bounds wrapper that scales the (multiplicative) interval width by a
+/// factor in [0, 1]: 0 collapses to the geometric midpoint, 1 reproduces
+/// the wrapped bounds.  Used by the uncertainty-level sweeps.
+class ScaledBounds final : public AttractivenessBounds {
+ public:
+  ScaledBounds(std::shared_ptr<const AttractivenessBounds> base,
+               double factor);
+
+  std::size_t num_targets() const override { return base_->num_targets(); }
+  double lower(std::size_t i, double x) const override;
+  double upper(std::size_t i, double x) const override;
+
+ private:
+  std::shared_ptr<const AttractivenessBounds> base_;
+  double factor_;
+};
+
+}  // namespace cubisg::behavior

@@ -1,0 +1,115 @@
+#include "behavior/scenario.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/errors.hpp"
+
+namespace cubisg::behavior {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%a", v);  // hex float: lossless
+  return buf;
+}
+
+double parse(const std::string& s) { return std::strtod(s.c_str(), nullptr); }
+
+}  // namespace
+
+void write_scenario(std::ostream& os, const Scenario& scenario) {
+  const games::SecurityGame& g = scenario.game.game;
+  os << "cubisg-scenario 1\n";
+  os << "targets " << g.num_targets() << " resources "
+     << fmt(g.resources()) << '\n';
+  os << "mode "
+     << (scenario.mode == IntervalMode::kPaperCorners ? "paper-corners"
+                                                      : "exact-box")
+     << '\n';
+  os << "weights " << fmt(scenario.weights.w1.lo()) << ' '
+     << fmt(scenario.weights.w1.hi()) << ' '
+     << fmt(scenario.weights.w2.lo()) << ' '
+     << fmt(scenario.weights.w2.hi()) << ' '
+     << fmt(scenario.weights.w3.lo()) << ' '
+     << fmt(scenario.weights.w3.hi()) << '\n';
+  for (std::size_t i = 0; i < g.num_targets(); ++i) {
+    const games::TargetPayoffs& p = g.target(i);
+    const games::IntervalPayoffs& iv = scenario.game.attacker_intervals[i];
+    os << "target " << fmt(p.attacker_reward) << ' '
+       << fmt(p.attacker_penalty) << ' ' << fmt(p.defender_reward) << ' '
+       << fmt(p.defender_penalty) << ' ' << fmt(iv.attacker_reward.lo())
+       << ' ' << fmt(iv.attacker_reward.hi()) << ' '
+       << fmt(iv.attacker_penalty.lo()) << ' '
+       << fmt(iv.attacker_penalty.hi()) << '\n';
+  }
+}
+
+Scenario read_scenario(std::istream& is) {
+  auto fail = [](const std::string& why) -> Scenario {
+    throw InvalidModelError("read_scenario: " + why);
+  };
+  std::string tag;
+  int version = 0;
+  if (!(is >> tag >> version) || tag != "cubisg-scenario" || version != 1) {
+    return fail("bad header");
+  }
+  std::string key;
+  std::size_t targets = 0;
+  std::string resources;
+  if (!(is >> key >> targets) || key != "targets") return fail("targets");
+  if (!(is >> key >> resources) || key != "resources") {
+    return fail("resources");
+  }
+  std::string mode_name;
+  if (!(is >> key >> mode_name) || key != "mode") return fail("mode");
+  const IntervalMode mode = mode_name == "paper-corners"
+                                ? IntervalMode::kPaperCorners
+                                : IntervalMode::kExactBox;
+  std::string w[6];
+  if (!(is >> key >> w[0] >> w[1] >> w[2] >> w[3] >> w[4] >> w[5]) ||
+      key != "weights") {
+    return fail("weights");
+  }
+  SuqrWeightIntervals weights;
+  weights.w1 = Interval(parse(w[0]), parse(w[1]));
+  weights.w2 = Interval(parse(w[2]), parse(w[3]));
+  weights.w3 = Interval(parse(w[4]), parse(w[5]));
+
+  std::vector<games::TargetPayoffs> payoffs;
+  std::vector<games::IntervalPayoffs> intervals;
+  for (std::size_t i = 0; i < targets; ++i) {
+    std::string f[8];
+    if (!(is >> key >> f[0] >> f[1] >> f[2] >> f[3] >> f[4] >> f[5] >> f[6] >>
+          f[7]) ||
+        key != "target") {
+      return fail("target row " + std::to_string(i));
+    }
+    payoffs.push_back({parse(f[0]), parse(f[1]), parse(f[2]), parse(f[3])});
+    intervals.push_back({Interval(parse(f[4]), parse(f[5])),
+                         Interval(parse(f[6]), parse(f[7]))});
+  }
+  Scenario s{games::UncertainGame{
+                 games::SecurityGame(std::move(payoffs), parse(resources)),
+                 std::move(intervals)},
+             weights, mode};
+  return s;
+}
+
+bool save_scenario(const std::string& path, const Scenario& scenario) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_scenario(f, scenario);
+  return static_cast<bool>(f);
+}
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw InvalidModelError("load_scenario: cannot open " + path);
+  return read_scenario(f);
+}
+
+}  // namespace cubisg::behavior

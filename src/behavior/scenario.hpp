@@ -1,0 +1,38 @@
+// Scenario = a complete problem instance: the uncertain game plus the SUQR
+// weight boxes and interval semantics.  Serializable to a line-oriented
+// text format so instances can be saved, shared and replayed (used by the
+// cubisg CLI and by failure reproducers).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "behavior/bounds.hpp"
+#include "games/generators.hpp"
+
+namespace cubisg::behavior {
+
+/// A self-contained robust-SSG instance.
+struct Scenario {
+  games::UncertainGame game;
+  SuqrWeightIntervals weights;
+  IntervalMode mode = IntervalMode::kExactBox;
+
+  /// Bounds object for this scenario (construct once, reuse).
+  SuqrIntervalBounds make_bounds() const {
+    return SuqrIntervalBounds(weights, game.attacker_intervals, mode);
+  }
+};
+
+/// Writes a scenario in the cubisg scenario format (text, lossless).
+void write_scenario(std::ostream& os, const Scenario& scenario);
+
+/// Reads a scenario written by write_scenario.  Throws InvalidModelError
+/// on malformed input.
+Scenario read_scenario(std::istream& is);
+
+/// File convenience wrappers.
+bool save_scenario(const std::string& path, const Scenario& scenario);
+Scenario load_scenario(const std::string& path);
+
+}  // namespace cubisg::behavior

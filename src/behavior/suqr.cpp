@@ -1,0 +1,109 @@
+#include "behavior/suqr.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/errors.hpp"
+#include "common/math_util.hpp"
+
+namespace cubisg::behavior {
+
+double AttractivenessModel::log_attractiveness(std::size_t i,
+                                               double x) const {
+  return std::log(attractiveness(i, x));
+}
+
+std::vector<double> attack_probabilities(const AttractivenessModel& model,
+                                         std::span<const double> x) {
+  const std::size_t n = model.num_targets();
+  if (x.size() != n) {
+    throw InvalidModelError("attack_probabilities: strategy size mismatch");
+  }
+  std::vector<double> logf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    logf[i] = model.log_attractiveness(i, x[i]);
+  }
+  const double lse = log_sum_exp(logf);
+  std::vector<double> q(n);
+  for (std::size_t i = 0; i < n; ++i) q[i] = std::exp(logf[i] - lse);
+  return q;
+}
+
+double defender_expected_utility(const games::SecurityGame& game,
+                                 const AttractivenessModel& model,
+                                 std::span<const double> x) {
+  const std::vector<double> q = attack_probabilities(model, x);
+  double eu = 0.0;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    eu += q[i] * game.defender_utility(i, x[i]);
+  }
+  return eu;
+}
+
+SuqrModel::SuqrModel(SuqrWeights weights,
+                     std::vector<double> attacker_rewards,
+                     std::vector<double> attacker_penalties)
+    : weights_(weights),
+      rewards_(std::move(attacker_rewards)),
+      penalties_(std::move(attacker_penalties)) {
+  if (!(weights_.w1 < 0.0)) {
+    throw InvalidModelError("SuqrModel: w1 must be negative (coverage deters)");
+  }
+  if (rewards_.size() != penalties_.size() || rewards_.empty()) {
+    throw InvalidModelError("SuqrModel: payoff vectors empty or mismatched");
+  }
+  for (std::size_t i = 0; i < rewards_.size(); ++i) {
+    if (!std::isfinite(rewards_[i]) || !std::isfinite(penalties_[i])) {
+      throw InvalidModelError("SuqrModel: non-finite payoff at target " +
+                              std::to_string(i));
+    }
+  }
+}
+
+namespace {
+std::vector<double> game_rewards(const games::SecurityGame& game) {
+  std::vector<double> r(game.num_targets());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = game.target(i).attacker_reward;
+  }
+  return r;
+}
+std::vector<double> game_penalties(const games::SecurityGame& game) {
+  std::vector<double> p(game.num_targets());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = game.target(i).attacker_penalty;
+  }
+  return p;
+}
+}  // namespace
+
+SuqrModel::SuqrModel(SuqrWeights weights, const games::SecurityGame& game)
+    : SuqrModel(weights, game_rewards(game), game_penalties(game)) {}
+
+double SuqrModel::attractiveness(std::size_t i, double x) const {
+  return std::exp(log_attractiveness(i, x));
+}
+
+double SuqrModel::log_attractiveness(std::size_t i, double x) const {
+  return weights_.w1 * x + weights_.w2 * rewards_[i] +
+         weights_.w3 * penalties_[i];
+}
+
+QuantalResponseModel::QuantalResponseModel(double lambda,
+                                           const games::SecurityGame& game)
+    : lambda_(lambda), game_(&game) {
+  if (!(lambda > 0.0)) {
+    throw InvalidModelError("QuantalResponseModel: lambda must be positive");
+  }
+}
+
+double QuantalResponseModel::attractiveness(std::size_t i, double x) const {
+  return std::exp(log_attractiveness(i, x));
+}
+
+double QuantalResponseModel::log_attractiveness(std::size_t i,
+                                                double x) const {
+  return lambda_ * game_->attacker_utility(i, x);
+}
+
+}  // namespace cubisg::behavior

@@ -1,0 +1,86 @@
+// Quantal-response style behavioral models (Section II of the paper).
+//
+// The general discrete-choice model predicts attack probabilities
+//   q_i(x) = F_i(x_i) / sum_j F_j(x_j)                       (Eq. 4)
+// where F_i: [0,1] -> R+ is positive and monotonically decreasing in the
+// coverage x_i.  SUQR instantiates F_i(x) = exp(w1 x + w2 Ra_i + w3 Pa_i)
+// (Eq. 3) with w1 < 0, w2 >= 0, w3 >= 0.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "games/security_game.hpp"
+
+namespace cubisg::behavior {
+
+/// Point behavioral model: a known attractiveness function per target.
+class AttractivenessModel {
+ public:
+  virtual ~AttractivenessModel() = default;
+  virtual std::size_t num_targets() const = 0;
+  /// F_i(x): positive, decreasing in x over [0, 1].
+  virtual double attractiveness(std::size_t i, double x) const = 0;
+  /// log F_i(x); default implementation takes log of attractiveness but
+  /// models with exponential form override it for stability.
+  virtual double log_attractiveness(std::size_t i, double x) const;
+};
+
+/// Attack probability distribution q(x) of Eq. 4, computed in log space.
+std::vector<double> attack_probabilities(const AttractivenessModel& model,
+                                         std::span<const double> x);
+
+/// Defender expected utility sum_i q_i(x) Ud_i(x_i) under a point model.
+double defender_expected_utility(const games::SecurityGame& game,
+                                 const AttractivenessModel& model,
+                                 std::span<const double> x);
+
+/// SUQR weights (w1: coverage, w2: attacker reward, w3: attacker penalty).
+struct SuqrWeights {
+  double w1 = -4.0;
+  double w2 = 0.75;
+  double w3 = 0.65;
+};
+
+/// The SUQR model of Eq. 3 for a fixed weight vector and point payoffs.
+class SuqrModel final : public AttractivenessModel {
+ public:
+  /// Requires w1 < 0 and per-target finite payoffs.
+  SuqrModel(SuqrWeights weights, std::vector<double> attacker_rewards,
+            std::vector<double> attacker_penalties);
+
+  /// Convenience: payoffs taken from the game's (point) attacker payoffs.
+  SuqrModel(SuqrWeights weights, const games::SecurityGame& game);
+
+  std::size_t num_targets() const override { return rewards_.size(); }
+  double attractiveness(std::size_t i, double x) const override;
+  double log_attractiveness(std::size_t i, double x) const override;
+
+  const SuqrWeights& weights() const { return weights_; }
+
+ private:
+  SuqrWeights weights_;
+  std::vector<double> rewards_;
+  std::vector<double> penalties_;
+};
+
+/// Classic quantal response on the attacker's true expected utility:
+/// F_i(x) = exp(lambda * Ua_i(x)).  Included as the QR special case the
+/// paper's Eq. 4 generalizes.
+class QuantalResponseModel final : public AttractivenessModel {
+ public:
+  /// Requires lambda > 0 (rationality increases with lambda).
+  QuantalResponseModel(double lambda, const games::SecurityGame& game);
+
+  std::size_t num_targets() const override { return game_->num_targets(); }
+  double attractiveness(std::size_t i, double x) const override;
+  double log_attractiveness(std::size_t i, double x) const override;
+
+ private:
+  double lambda_;
+  const games::SecurityGame* game_;  ///< non-owning; caller keeps it alive
+};
+
+}  // namespace cubisg::behavior

@@ -1,0 +1,61 @@
+// Error taxonomy for the cubisg library.
+//
+// Construction/validation failures throw (they are programming or input
+// errors the caller must fix); solver outcomes are reported through status
+// enums embedded in result structs (an infeasible LP is data, not a bug).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cubisg {
+
+/// Thrown when user-supplied model data is malformed (NaN payoff, empty
+/// interval, negative resource count, ...).
+class InvalidModelError : public std::invalid_argument {
+ public:
+  explicit InvalidModelError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Thrown when a numeric routine detects an internal inconsistency that
+/// indicates a bug (singular basis that should be regular, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Outcome of an LP/MILP/NLP solve.  `kOptimal` is the only status whose
+/// solution vectors are meaningful; everything else is a certificate about
+/// the instance or a resource-limit report.
+enum class SolverStatus {
+  kOptimal,         ///< proven optimal (within tolerances)
+  kInfeasible,      ///< proven primal infeasible
+  kUnbounded,       ///< proven unbounded
+  kIterLimit,       ///< stopped at iteration/node limit; best-known returned
+  kTimeLimit,       ///< stopped at wall-clock limit; best-known returned
+  kEarlyPositive,   ///< MILP sign-query: a solution with objective >= target
+                    ///< was found, search stopped early (used by CUBIS)
+  kEarlyNegative,   ///< MILP sign-query: proven that no solution reaches the
+                    ///< target objective, search stopped early
+  kNumericalIssue,  ///< solve aborted due to numeric trouble
+};
+
+/// Human-readable name for a SolverStatus (stable, for logs and tests).
+constexpr std::string_view to_string(SolverStatus s) {
+  switch (s) {
+    case SolverStatus::kOptimal: return "optimal";
+    case SolverStatus::kInfeasible: return "infeasible";
+    case SolverStatus::kUnbounded: return "unbounded";
+    case SolverStatus::kIterLimit: return "iteration-limit";
+    case SolverStatus::kTimeLimit: return "time-limit";
+    case SolverStatus::kEarlyPositive: return "early-positive";
+    case SolverStatus::kEarlyNegative: return "early-negative";
+    case SolverStatus::kNumericalIssue: return "numerical-issue";
+  }
+  return "unknown";
+}
+
+}  // namespace cubisg

@@ -1,0 +1,11 @@
+#include "common/interval.hpp"
+
+#include <ostream>
+
+namespace cubisg {
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << '[' << iv.lo() << ", " << iv.hi() << ']';
+}
+
+}  // namespace cubisg

@@ -1,0 +1,93 @@
+// Closed-interval arithmetic.
+//
+// Intervals model the paper's behavioral uncertainty: payoff entries and
+// SUQR weights are known only up to [lo, hi] ranges, and the attractiveness
+// bounds L_i(x) <= F_i(x) <= U_i(x) are computed by propagating those ranges
+// through the SUQR expression.  Arithmetic here is exact box arithmetic
+// (min/max over endpoint combinations); widening from rounding is irrelevant
+// at the magnitudes used in security games.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iosfwd>
+
+#include "common/errors.hpp"
+
+namespace cubisg {
+
+/// A closed real interval [lo, hi] with lo <= hi.
+class Interval {
+ public:
+  /// Degenerate zero interval.
+  constexpr Interval() : lo_(0.0), hi_(0.0) {}
+
+  /// Degenerate point interval [v, v].
+  constexpr explicit Interval(double v) : lo_(v), hi_(v) {}
+
+  /// Interval [lo, hi]; throws InvalidModelError if lo > hi or not finite.
+  Interval(double lo, double hi) : lo_(lo), hi_(hi) {
+    if (!std::isfinite(lo) || !std::isfinite(hi)) {
+      throw InvalidModelError("Interval endpoints must be finite");
+    }
+    if (lo > hi) {
+      throw InvalidModelError("Interval requires lo <= hi");
+    }
+  }
+
+  constexpr double lo() const { return lo_; }
+  constexpr double hi() const { return hi_; }
+  constexpr double width() const { return hi_ - lo_; }
+  constexpr double mid() const { return 0.5 * (lo_ + hi_); }
+  constexpr bool is_point() const { return lo_ == hi_; }
+  constexpr bool contains(double v) const { return lo_ <= v && v <= hi_; }
+  constexpr bool contains(const Interval& o) const {
+    return lo_ <= o.lo_ && o.hi_ <= hi_;
+  }
+
+  /// Symmetric widening by delta on both sides (delta >= 0).
+  Interval widened(double delta) const {
+    return Interval(lo_ - delta, hi_ + delta);
+  }
+
+  /// Scales the interval width by `factor` around its midpoint.
+  Interval scaled_about_mid(double factor) const {
+    const double m = mid();
+    const double h = 0.5 * width() * factor;
+    return Interval(m - h, m + h);
+  }
+
+  friend Interval operator+(const Interval& a, const Interval& b) {
+    return Interval(a.lo_ + b.lo_, a.hi_ + b.hi_);
+  }
+  friend Interval operator-(const Interval& a, const Interval& b) {
+    return Interval(a.lo_ - b.hi_, a.hi_ - b.lo_);
+  }
+  friend Interval operator*(const Interval& a, const Interval& b) {
+    const double p1 = a.lo_ * b.lo_;
+    const double p2 = a.lo_ * b.hi_;
+    const double p3 = a.hi_ * b.lo_;
+    const double p4 = a.hi_ * b.hi_;
+    return Interval(std::min({p1, p2, p3, p4}), std::max({p1, p2, p3, p4}));
+  }
+  friend Interval operator*(double s, const Interval& a) {
+    return Interval(s) * a;
+  }
+
+  /// Monotone image under exp.
+  friend Interval exp(const Interval& a) {
+    return Interval(std::exp(a.lo_), std::exp(a.hi_));
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+}  // namespace cubisg

@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// Solvers log convergence traces at kDebug and summary lines at kInfo; the
+// default level is kWarn so library users see nothing unless they opt in.
+// The sink is a single global function guarded by a mutex (log volume in
+// this library is low; contention is not a concern).
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace cubisg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_detail {
+void emit(LogLevel level, const std::string& message);
+bool enabled(LogLevel level);
+}  // namespace log_detail
+
+/// Sets the minimum level that is emitted (default kWarn).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replaces the sink (default writes to stderr).  Pass nullptr to restore
+/// the default sink.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+/// Streams a log record if `level` is enabled; usage:
+///   CUBISG_LOG(LogLevel::kInfo) << "lb=" << lb << " ub=" << ub;
+#define CUBISG_LOG(level)                                  \
+  if (!::cubisg::log_detail::enabled(level)) {             \
+  } else                                                   \
+    ::cubisg::log_detail::Record(level)
+
+namespace log_detail {
+class Record {
+ public:
+  explicit Record(LogLevel level) : level_(level) {}
+  ~Record() { emit(level_, stream_.str()); }
+  Record(const Record&) = delete;
+  Record& operator=(const Record&) = delete;
+
+  template <typename T>
+  Record& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_detail
+
+}  // namespace cubisg

@@ -1,0 +1,68 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cubisg {
+
+double log_sum_exp(std::span<const double> values) {
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(m)) return m;  // all -inf, or a +/-inf dominates
+  double s = 0.0;
+  for (double v : values) s += std::exp(v - m);
+  return m + std::log(s);
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n < 2) throw std::invalid_argument("linspace requires n >= 2");
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // avoid drift on the final point
+  return out;
+}
+
+double stable_sum(std::span<const double> values) {
+  double sum = 0.0;
+  double comp = 0.0;  // running compensation for lost low-order bits
+  for (double v : values) {
+    const double t = sum + v;
+    if (std::abs(sum) >= std::abs(v)) {
+      comp += (sum - t) + v;
+    } else {
+      comp += (v - t) + sum;
+    }
+    sum = t;
+  }
+  return sum + comp;
+}
+
+double stable_dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("stable_dot: size mismatch");
+  }
+  double sum = 0.0;
+  double comp = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double v = a[i] * b[i];
+    const double t = sum + v;
+    if (std::abs(sum) >= std::abs(v)) {
+      comp += (sum - t) + v;
+    } else {
+      comp += (v - t) + sum;
+    }
+    sum = t;
+  }
+  return sum + comp;
+}
+
+bool all_finite(std::span<const double> values) {
+  return std::all_of(values.begin(), values.end(),
+                     [](double v) { return std::isfinite(v); });
+}
+
+}  // namespace cubisg

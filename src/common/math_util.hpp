@@ -1,0 +1,38 @@
+// Small numeric helpers shared across solvers.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cubisg {
+
+/// True when |a - b| <= atol + rtol * max(|a|, |b|).
+inline bool approx_equal(double a, double b, double atol = 1e-9,
+                         double rtol = 1e-9) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+/// Numerically stable log(sum_i exp(v_i)).  Returns -inf for empty input.
+double log_sum_exp(std::span<const double> values);
+
+/// n evenly spaced points from lo to hi inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Sum via Neumaier compensation; used where cancellation matters
+/// (fractional objectives with mixed-sign terms).
+double stable_sum(std::span<const double> values);
+
+/// Dot product with compensated accumulation.
+double stable_dot(std::span<const double> a, std::span<const double> b);
+
+/// Clamps v into [lo, hi].
+inline double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// True when every element of `values` is finite.
+bool all_finite(std::span<const double> values);
+
+}  // namespace cubisg

@@ -1,0 +1,24 @@
+// Central numeric tolerances for all cubisg solvers.
+//
+// Every solver in the library pulls its tolerances from here (or from a
+// per-call options struct that defaults to these values) so that there is a
+// single place to reason about numeric robustness.
+#pragma once
+
+namespace cubisg {
+
+/// Library-wide default numeric tolerances.
+struct Tol {
+  /// Primal/dual feasibility tolerance for LP/MILP solves.
+  static constexpr double kFeas = 1e-9;
+  /// Integrality tolerance: |v - round(v)| below this counts as integral.
+  static constexpr double kInt = 1e-6;
+  /// Default binary-search convergence threshold (the paper's epsilon).
+  static constexpr double kBinarySearchEps = 1e-3;
+  /// Generic comparison tolerance for "equal enough" doubles in algorithms.
+  static constexpr double kEq = 1e-9;
+  /// Looser tolerance for cross-checking independently computed quantities.
+  static constexpr double kCrossCheck = 1e-7;
+};
+
+}  // namespace cubisg

@@ -1,0 +1,74 @@
+#include "core/adaptive.hpp"
+
+#include <limits>
+
+#include "common/timer.hpp"
+#include "core/gradient.hpp"
+#include "core/worst_case.hpp"
+
+namespace cubisg::core {
+
+AdaptiveCubisSolver::AdaptiveCubisSolver(AdaptiveCubisOptions options)
+    : opt_(options) {
+  if (opt_.initial_segments == 0 ||
+      opt_.initial_segments > opt_.max_segments) {
+    throw InvalidModelError(
+        "AdaptiveCubisSolver: need 0 < initial_segments <= max_segments");
+  }
+  if (!(opt_.improvement_tol >= 0.0)) {
+    throw InvalidModelError(
+        "AdaptiveCubisSolver: improvement_tol must be non-negative");
+  }
+}
+
+DefenderSolution AdaptiveCubisSolver::solve(const SolveContext& ctx) const {
+  Timer timer;
+  DefenderSolution best;
+  best.status = SolverStatus::kNumericalIssue;
+  double best_w = -std::numeric_limits<double>::infinity();
+  int total_steps = 0;
+  std::int64_t total_nodes = 0;
+  int dry_doublings = 0;
+
+  for (std::size_t k = opt_.initial_segments; k <= opt_.max_segments;
+       k *= 2) {
+    CubisOptions copt = opt_.cubis;
+    copt.segments = k;
+    copt.polish_iterations = 0;  // polish once at the end instead
+    DefenderSolution sol = CubisSolver(copt).solve(ctx);
+    total_steps += sol.binary_steps;
+    total_nodes += sol.milp_nodes;
+    if (!sol.ok()) {
+      if (!best.ok()) best = sol;  // propagate the failure if nothing works
+      continue;
+    }
+    const double improvement = sol.worst_case_utility - best_w;
+    if (sol.worst_case_utility > best_w) {
+      best_w = sol.worst_case_utility;
+      best = sol;
+    }
+    // Grid alignment makes the improvement profile non-monotone; require
+    // two consecutive dry doublings before declaring convergence.
+    if (k > opt_.initial_segments && improvement < opt_.improvement_tol) {
+      if (++dry_doublings >= 2) break;
+    } else {
+      dry_doublings = 0;
+    }
+  }
+
+  if (best.ok() && opt_.polish_iterations > 0) {
+    GradientOptions gopt;
+    gopt.max_iterations = opt_.polish_iterations;
+    auto [polished, w] = local_ascent(ctx, best.strategy, gopt);
+    if (w >= best_w) {
+      best.strategy = std::move(polished);
+    }
+  }
+
+  best.binary_steps = total_steps;
+  best.milp_nodes = total_nodes;
+  finalize_solution(ctx, best, timer.seconds());
+  return best;
+}
+
+}  // namespace cubisg::core

@@ -1,0 +1,43 @@
+// Adaptive-resolution CUBIS (a beyond-the-paper extension).
+//
+// Theorem 1 bounds CUBIS's error by O(eps + 1/K), but choosing K a priori
+// trades accuracy against step cost blindly.  AdaptiveCubisSolver doubles
+// K starting from a coarse grid and stops when the realized worst-case
+// utility of the returned strategy stops improving — typically reaching
+// fine-grid quality while paying coarse-grid cost on the early (and most
+// numerous) binary-search brackets.  An optional final gradient polish
+// removes the residual grid error.
+#pragma once
+
+#include "core/cubis.hpp"
+
+namespace cubisg::core {
+
+/// Options for the adaptive driver.
+struct AdaptiveCubisOptions {
+  std::size_t initial_segments = 4;   ///< starting K
+  std::size_t max_segments = 128;     ///< hard cap on K
+  /// Stop when one doubling improves the realized worst case by less than
+  /// this (absolute utility units).
+  double improvement_tol = 1e-3;
+  /// Base per-resolution CUBIS configuration (segments overridden).
+  CubisOptions cubis;
+  /// Final polish iterations (0 disables).
+  int polish_iterations = 30;
+};
+
+/// CUBIS with geometric grid refinement.
+class AdaptiveCubisSolver final : public DefenderSolver {
+ public:
+  explicit AdaptiveCubisSolver(AdaptiveCubisOptions options = {});
+
+  std::string name() const override { return "cubis-adaptive"; }
+  DefenderSolution solve(const SolveContext& ctx) const override;
+
+  const AdaptiveCubisOptions& options() const { return opt_; }
+
+ private:
+  AdaptiveCubisOptions opt_;
+};
+
+}  // namespace cubisg::core

@@ -1,0 +1,533 @@
+#include "core/cubis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "core/gradient.hpp"
+#include "games/strategy_space.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace cubisg::core {
+
+namespace {
+
+/// Piecewise approximations of f1_i and f2_i (Section IV.C) at value c.
+struct TargetPls {
+  PiecewiseLinear f1;
+  PiecewiseLinear f2;
+};
+
+std::vector<TargetPls> build_f_pls(const SolveContext& ctx, double c,
+                                   std::size_t segments,
+                                   const StepTables* tables) {
+  std::vector<TargetPls> out;
+  out.reserve(ctx.game.num_targets());
+  for (std::size_t i = 0; i < ctx.game.num_targets(); ++i) {
+    if (tables != nullptr) {
+      // Breakpoint values from the precomputed tables (f1 = L*(Ud - c)).
+      const auto k_of = [segments](double x) {
+        return static_cast<std::size_t>(
+            std::llround(x * static_cast<double>(segments)));
+      };
+      auto f1 = [&, i](double x) {
+        const std::size_t k = k_of(x);
+        return f1_of(tables->lower[i][k], tables->utility[i][k], c);
+      };
+      auto f2 = [&, i](double x) {
+        const std::size_t k = k_of(x);
+        return f2_of(tables->upper[i][k], tables->utility[i][k], c);
+      };
+      out.push_back(TargetPls{PiecewiseLinear(f1, segments),
+                              PiecewiseLinear(f2, segments)});
+    } else {
+      auto f1 = [&, i](double x) {
+        return f1_of(ctx.bounds.lower(i, x), ctx.game.defender_utility(i, x),
+                     c);
+      };
+      auto f2 = [&, i](double x) {
+        return f2_of(ctx.bounds.upper(i, x), ctx.game.defender_utility(i, x),
+                     c);
+      };
+      out.push_back(TargetPls{PiecewiseLinear(f1, segments),
+                              PiecewiseLinear(f2, segments)});
+    }
+  }
+  return out;
+}
+
+/// phi_i = chord interpolation of min(f1, f2) at breakpoints, the DP
+/// backend's objective (a uniformly O(1/K)-close under-approximation of
+/// the MILP's min(f1~, f2~); see step_solver.hpp).
+std::vector<PiecewiseLinear> phi_from(const std::vector<TargetPls>& pls) {
+  std::vector<PiecewiseLinear> phi;
+  phi.reserve(pls.size());
+  for (const TargetPls& t : pls) {
+    const std::size_t k_count = t.f1.segments();
+    phi.emplace_back(
+        [&](double x) {
+          // Only ever evaluated at breakpoints during construction.
+          const std::size_t k = static_cast<std::size_t>(
+              std::llround(x * static_cast<double>(k_count)));
+          return std::min(t.f1.value_at_breakpoint(k),
+                          t.f2.value_at_breakpoint(k));
+        },
+        k_count);
+  }
+  return phi;
+}
+
+/// Column layout of the paper MILP (33)-(40).
+struct MilpLayout {
+  int one = 0;                      ///< fixed [1,1] column for constants
+  int x0 = 0;                       ///< x_{i,k} block start (T*K columns)
+  int v0 = 0;                       ///< v_i block start
+  int q0 = 0;                       ///< q_i block start
+  int h0 = 0;                       ///< h_{i,k} block start (T*(K-1))
+  std::size_t t_count = 0;
+  std::size_t k_count = 0;
+
+  int xcol(std::size_t i, std::size_t k) const {
+    return x0 + static_cast<int>(i * k_count + k);
+  }
+  int vcol(std::size_t i) const { return v0 + static_cast<int>(i); }
+  int qcol(std::size_t i) const { return q0 + static_cast<int>(i); }
+  int hcol(std::size_t i, std::size_t k) const {
+    return h0 + static_cast<int>(i * (k_count - 1) + k);
+  }
+};
+
+/// Assembles the MILP (33)-(40).  `big_m` must dominate |f1~ - f2~|.
+///
+/// One deviation from the paper's literal variable scaling: the segment
+/// variables are normalized to x~_{ik} = K * x_{ik} in [0, 1], so the
+/// ordering constraints (38)-(39) have +/-1 coefficients.  With the
+/// paper's 1/K scaling, every ordering pivot multiplies the basis
+/// determinant by 1/K and long degenerate pivot chains drive the basis
+/// numerically singular; the normalized model is mathematically identical
+/// (x_i = sum_k x~_{ik} / K) and keeps every pivot at unit magnitude.
+lp::Model build_step_milp(const SolveContext& ctx,
+                          const std::vector<TargetPls>& pls, double big_m,
+                          const CubisOptions& opt, MilpLayout& layout) {
+  const std::size_t t_count = pls.size();
+  const std::size_t k_count = pls.front().f1.segments();
+  const double k_inv = 1.0 / static_cast<double>(k_count);
+
+  lp::Model m;
+  m.set_objective_sense(lp::Objective::kMaximize);
+  layout.t_count = t_count;
+  layout.k_count = k_count;
+
+  double constant = 0.0;
+  for (const TargetPls& t : pls) constant += t.f1.value_at_zero();
+  layout.one = m.add_col("one", 1.0, 1.0, constant);
+
+  layout.x0 = m.num_cols();
+  for (std::size_t i = 0; i < t_count; ++i) {
+    for (std::size_t k = 0; k < k_count; ++k) {
+      m.add_col("x_" + std::to_string(i) + "_" + std::to_string(k), 0.0, 1.0,
+                pls[i].f1.slope(k) * k_inv);
+    }
+  }
+  layout.v0 = m.num_cols();
+  for (std::size_t i = 0; i < t_count; ++i) {
+    m.add_col("v_" + std::to_string(i), 0.0, big_m, -1.0);
+  }
+  layout.q0 = m.num_cols();
+  for (std::size_t i = 0; i < t_count; ++i) {
+    const int q = m.add_col("q_" + std::to_string(i), 0.0, 1.0, 0.0);
+    m.set_integer(q);
+  }
+  layout.h0 = m.num_cols();
+  for (std::size_t i = 0; i < t_count; ++i) {
+    for (std::size_t k = 0; k + 1 < k_count; ++k) {
+      const int h = m.add_col(
+          "h_" + std::to_string(i) + "_" + std::to_string(k), 0.0, 1.0, 0.0);
+      m.set_integer(h);
+    }
+  }
+
+  // (37) budget rows, in normalized units: sum x~_{ik} <= R_g * K per
+  // budget group (one game-wide group in the paper's setting).
+  const std::size_t num_groups =
+      opt.group_budgets.empty() ? 1 : opt.group_budgets.size();
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const double r_g = opt.group_budgets.empty() ? ctx.game.resources()
+                                                 : opt.group_budgets[g];
+    const int budget =
+        m.add_row("budget" + std::to_string(g), lp::Sense::kLe,
+                  r_g * static_cast<double>(k_count));
+    for (std::size_t i = 0; i < t_count; ++i) {
+      const std::size_t gi =
+          opt.target_groups.empty() ? 0 : opt.target_groups[i];
+      if (gi != g) continue;
+      for (std::size_t k = 0; k < k_count; ++k) {
+        m.set_coeff(budget, layout.xcol(i, k), 1.0);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < t_count; ++i) {
+    const double d0 = pls[i].f1.value_at_zero() - pls[i].f2.value_at_zero();
+    // (35): sum_k (s1-s2) x_ik - v_i <= -d0
+    const int r35 = m.add_row("lb_v" + std::to_string(i), lp::Sense::kLe,
+                              -d0);
+    // (36): v_i - sum_k (s1-s2) x_ik + M q_i <= d0 + M
+    const int r36 = m.add_row("ub_v" + std::to_string(i), lp::Sense::kLe,
+                              d0 + big_m);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      const double ds =
+          (pls[i].f1.slope(k) - pls[i].f2.slope(k)) * k_inv;
+      if (ds != 0.0) {
+        m.set_coeff(r35, layout.xcol(i, k), ds);
+        m.set_coeff(r36, layout.xcol(i, k), -ds);
+      }
+    }
+    m.set_coeff(r35, layout.vcol(i), -1.0);
+    m.set_coeff(r36, layout.vcol(i), 1.0);
+    m.set_coeff(r36, layout.qcol(i), big_m);
+    // (34): v_i - M q_i <= 0
+    const int r34 = m.add_row("link_vq" + std::to_string(i), lp::Sense::kLe,
+                              0.0);
+    m.set_coeff(r34, layout.vcol(i), 1.0);
+    m.set_coeff(r34, layout.qcol(i), -big_m);
+    // (38)-(39): ordered segment filling, unit coefficients in the
+    // normalized units (h_{ik} = 1 iff segment k is full).
+    for (std::size_t k = 0; k + 1 < k_count; ++k) {
+      const int r38 = m.add_row(
+          "fill_lo" + std::to_string(i) + "_" + std::to_string(k),
+          lp::Sense::kLe, 0.0);
+      m.set_coeff(r38, layout.hcol(i, k), 1.0);
+      m.set_coeff(r38, layout.xcol(i, k), -1.0);
+      const int r39 = m.add_row(
+          "fill_hi" + std::to_string(i) + "_" + std::to_string(k),
+          lp::Sense::kLe, 0.0);
+      m.set_coeff(r39, layout.xcol(i, k + 1), 1.0);
+      m.set_coeff(r39, layout.hcol(i, k), -1.0);
+    }
+  }
+  return m;
+}
+
+/// Maps a coverage vector x (on the segment grid or not) to a full MILP
+/// variable assignment satisfying (34)-(40).
+std::vector<double> milp_point_from_x(const MilpLayout& layout,
+                                      const std::vector<TargetPls>& pls,
+                                      const std::vector<double>& x,
+                                      int num_cols) {
+  std::vector<double> full(num_cols, 0.0);
+  full[layout.one] = 1.0;
+  const std::size_t k_count = layout.k_count;
+  const double seg = 1.0 / static_cast<double>(k_count);
+  for (std::size_t i = 0; i < layout.t_count; ++i) {
+    const std::vector<double> portions = segment_portions(x[i], k_count);
+    double fbar1 = pls[i].f1.value_at_zero();
+    double fbar2 = pls[i].f2.value_at_zero();
+    for (std::size_t k = 0; k < k_count; ++k) {
+      // Normalized segment variables: x~ = K * portion in [0, 1].
+      full[layout.xcol(i, k)] = portions[k] / seg;
+      fbar1 += pls[i].f1.slope(k) * portions[k];
+      fbar2 += pls[i].f2.slope(k) * portions[k];
+    }
+    const double diff = fbar1 - fbar2;
+    if (diff > 0.0) {
+      full[layout.vcol(i)] = diff;
+      full[layout.qcol(i)] = 1.0;
+    }
+    for (std::size_t k = 0; k + 1 < k_count; ++k) {
+      full[layout.hcol(i, k)] = portions[k] >= seg - 1e-12 ? 1.0 : 0.0;
+    }
+  }
+  return full;
+}
+
+StepResult solve_step_milp(const SolveContext& ctx,
+                           const std::vector<TargetPls>& pls,
+                           const CubisOptions& opt) {
+  // Big-M: dominates |f1~ - f2~| over the grid (the chords stay within the
+  // breakpoint range of each segment).
+  double big_m = 1.0;
+  for (const TargetPls& t : pls) {
+    for (std::size_t k = 0; k <= t.f1.segments(); ++k) {
+      big_m = std::max(big_m, std::abs(t.f1.value_at_breakpoint(k) -
+                                       t.f2.value_at_breakpoint(k)) + 1.0);
+    }
+  }
+  MilpLayout layout;
+  lp::Model model = build_step_milp(ctx, pls, big_m, opt, layout);
+
+  milp::MilpOptions mopt = opt.milp;
+  mopt.sign_threshold = -opt.feasibility_slack;
+  if (opt.warm_start_from_dp) {
+    StepResult dp =
+        opt.group_budgets.empty()
+            ? solve_step_dp(phi_from(pls), ctx.game.resources())
+            : solve_step_dp_grouped(phi_from(pls), opt.target_groups,
+                                    opt.group_budgets);
+    mopt.warm_start = milp_point_from_x(layout, pls, dp.x, model.num_cols());
+  }
+  milp::MilpSolution sol = milp::solve_milp(model, mopt);
+
+  StepResult out;
+  out.milp_nodes = sol.nodes;
+  if (sol.status == SolverStatus::kEarlyPositive ||
+      ((sol.status == SolverStatus::kOptimal ||
+        sol.status == SolverStatus::kIterLimit ||
+        sol.status == SolverStatus::kTimeLimit) &&
+       sol.has_solution() &&
+       sol.objective >= -opt.feasibility_slack)) {
+    out.status = SolverStatus::kOptimal;
+    out.objective = sol.has_solution() ? sol.objective : 0.0;
+    out.x.assign(layout.t_count, 0.0);
+    const double k_inv = 1.0 / static_cast<double>(layout.k_count);
+    for (std::size_t i = 0; i < layout.t_count; ++i) {
+      double xi = 0.0;
+      for (std::size_t k = 0; k < layout.k_count; ++k) {
+        xi += sol.x[layout.xcol(i, k)] * k_inv;
+      }
+      out.x[i] = std::clamp(xi, 0.0, 1.0);
+    }
+  } else if (sol.status == SolverStatus::kEarlyNegative ||
+             sol.status == SolverStatus::kOptimal ||
+             sol.status == SolverStatus::kInfeasible) {
+    // Proven: no point reaches the threshold (or, for kOptimal, the best
+    // objective is below the slack).
+    out.status = SolverStatus::kOptimal;
+    out.objective = sol.has_solution() ? sol.objective : -1.0;
+    // No witness strategy: leave x empty; caller treats this as infeasible.
+  } else {
+    out.status = sol.status;
+  }
+  return out;
+}
+
+}  // namespace
+
+StepTables build_step_tables(const SolveContext& ctx,
+                             std::size_t segments) {
+  StepTables t;
+  t.segments = segments;
+  const std::size_t n = ctx.game.num_targets();
+  t.lower.assign(n, std::vector<double>(segments + 1));
+  t.upper.assign(n, std::vector<double>(segments + 1));
+  t.utility.assign(n, std::vector<double>(segments + 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k <= segments; ++k) {
+      const double x = static_cast<double>(k) /
+                       static_cast<double>(segments);
+      t.lower[i][k] = ctx.bounds.lower(i, x);
+      t.upper[i][k] = ctx.bounds.upper(i, x);
+      t.utility[i][k] = ctx.game.defender_utility(i, x);
+    }
+  }
+  return t;
+}
+
+StepResult cubis_step(const SolveContext& ctx, double c,
+                      const CubisOptions& options,
+                      const StepTables* tables) {
+  if (tables != nullptr && tables->segments != options.segments) {
+    throw InvalidModelError("cubis_step: table segment-count mismatch");
+  }
+  const std::vector<TargetPls> pls =
+      build_f_pls(ctx, c, options.segments, tables);
+  if (options.backend == StepBackend::kDp) {
+    if (!options.group_budgets.empty()) {
+      return solve_step_dp_grouped(phi_from(pls), options.target_groups,
+                                   options.group_budgets);
+    }
+    return solve_step_dp(phi_from(pls), ctx.game.resources());
+  }
+  return solve_step_milp(ctx, pls, options);
+}
+
+CubisSolver::CubisSolver(CubisOptions options) : opt_(options) {
+  if (opt_.segments == 0) {
+    throw InvalidModelError("CubisSolver: segments must be >= 1");
+  }
+  if (!(opt_.epsilon > 0.0)) {
+    throw InvalidModelError("CubisSolver: epsilon must be positive");
+  }
+}
+
+std::string CubisSolver::name() const {
+  return opt_.backend == StepBackend::kDp ? "cubis-dp" : "cubis-milp";
+}
+
+DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
+  Timer timer;
+  const std::size_t n = ctx.game.num_targets();
+  if (!opt_.group_budgets.empty()) {
+    if (opt_.target_groups.size() != n) {
+      throw InvalidModelError(
+          "CubisSolver: target_groups must cover every target");
+    }
+    double total = 0.0;
+    for (double b : opt_.group_budgets) {
+      if (!(b >= 0.0)) {
+        throw InvalidModelError("CubisSolver: negative group budget");
+      }
+      total += b;
+    }
+    if (std::abs(total - ctx.game.resources()) > 1e-9) {
+      throw InvalidModelError(
+          "CubisSolver: group budgets must sum to the game's resources");
+    }
+  }
+  DefenderSolution sol;
+
+  double lo = ctx.game.min_defender_penalty();
+  double hi = ctx.game.max_defender_reward();
+  // Any strategy's worst case is a convex combination of the u_i, hence
+  // >= lo; the (per-group) uniform strategy is the fallback witness.
+  std::vector<double> best_x;
+  if (opt_.group_budgets.empty()) {
+    best_x = games::uniform_strategy(n, ctx.game.resources());
+  } else {
+    std::vector<std::size_t> group_sizes(opt_.group_budgets.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) ++group_sizes[opt_.target_groups[i]];
+    best_x.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t g = opt_.target_groups[i];
+      best_x[i] = std::min(
+          1.0, opt_.group_budgets[g] /
+                   std::max<std::size_t>(1, group_sizes[g]));
+    }
+  }
+
+  int steps = 0;
+  std::int64_t nodes = 0;
+  const int sections = std::max(1, opt_.parallel_sections);
+  // The bounds/utility breakpoint values do not depend on c: sample them
+  // once and let every step reuse them.
+  const StepTables tables = build_step_tables(ctx, opt_.segments);
+  while (hi - lo > opt_.epsilon) {
+    // Multisection round: `sections` candidate values split [lo, hi] into
+    // sections+1 equal parts; by Proposition 1 feasibility is monotone, so
+    // the results bracket the threshold after one concurrent round.
+    std::vector<double> cs(sections);
+    for (int s = 0; s < sections; ++s) {
+      cs[s] = lo + (hi - lo) * static_cast<double>(s + 1) /
+                       static_cast<double>(sections + 1);
+    }
+    std::vector<StepResult> results;
+    if (sections == 1) {
+      results.push_back(cubis_step(ctx, cs[0], opt_, &tables));
+    } else {
+      ThreadPool& pool = opt_.pool ? *opt_.pool : ThreadPool::global();
+      results = parallel_map(pool, cs.size(), [&](std::size_t s) {
+        return cubis_step(ctx, cs[s], opt_, &tables);
+      });
+    }
+    steps += sections;
+    bool failed = false;
+    // Highest feasible candidate raises lo; lowest infeasible lowers hi.
+    int highest_feasible = -1;
+    int lowest_infeasible = sections;
+    for (int s = 0; s < sections; ++s) {
+      nodes += results[s].milp_nodes;
+      if (results[s].status != SolverStatus::kOptimal) {
+        CUBISG_LOG(LogLevel::kWarn)
+            << "cubis: step at c=" << cs[s] << " failed with "
+            << to_string(results[s].status);
+        sol.status = results[s].status;
+        failed = true;
+        break;
+      }
+      const bool feasible = !results[s].x.empty() &&
+                            results[s].objective >= -opt_.feasibility_slack;
+      CUBISG_LOG(LogLevel::kDebug)
+          << "cubis: c=" << cs[s] << " maxG=" << results[s].objective
+          << (feasible ? " feasible" : " infeasible");
+      if (feasible) {
+        highest_feasible = s;
+      } else {
+        lowest_infeasible = std::min(lowest_infeasible, s);
+      }
+    }
+    if (failed) break;
+    if (highest_feasible >= 0) {
+      lo = cs[highest_feasible];
+      best_x = results[highest_feasible].x;
+    }
+    if (lowest_infeasible < sections) {
+      hi = cs[lowest_infeasible];
+    }
+    if (highest_feasible < 0 && lowest_infeasible == sections) {
+      break;  // cannot happen (every candidate classified); safety net
+    }
+  }
+
+  if (opt_.top_up_resources) {
+    // Eq. 37 allows sum x < R; saturating the budget usually helps, but is
+    // not provably monotone, so keep whichever evaluates better.  With
+    // budget groups, slack is redistributed within each group only.
+    std::vector<double> topped = best_x;
+    const std::size_t num_groups =
+        opt_.group_budgets.empty() ? 1 : opt_.group_budgets.size();
+    std::vector<double> slack(num_groups);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      slack[g] = opt_.group_budgets.empty() ? ctx.game.resources()
+                                            : opt_.group_budgets[g];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t g =
+          opt_.target_groups.empty() ? 0 : opt_.target_groups[i];
+      slack[g] -= topped[i];
+    }
+    double total_slack = 0.0;
+    for (double s : slack) total_slack += std::max(0.0, s);
+    if (total_slack > 1e-12) {
+      // Spread remaining coverage by defender stake (Rd - Pd) descending.
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const auto& pa = ctx.game.target(a);
+                  const auto& pb = ctx.game.target(b);
+                  return pa.defender_reward - pa.defender_penalty >
+                         pb.defender_reward - pb.defender_penalty;
+                });
+      for (std::size_t idx : order) {
+        const std::size_t g =
+            opt_.target_groups.empty() ? 0 : opt_.target_groups[idx];
+        const double add =
+            std::min(1.0 - topped[idx], std::max(0.0, slack[g]));
+        topped[idx] += add;
+        slack[g] -= add;
+      }
+      const double w_orig =
+          worst_case_utility(ctx.game, ctx.bounds, best_x);
+      const double w_top = worst_case_utility(ctx.game, ctx.bounds, topped);
+      if (w_top >= w_orig) best_x = std::move(topped);
+    }
+  }
+
+  if (opt_.polish_iterations > 0 && opt_.group_budgets.empty()) {
+    // (Polish projects onto the single-budget polytope; with budget
+    // groups it would leave the feasible set, so it is skipped there.)
+    GradientOptions gopt;
+    gopt.max_iterations = opt_.polish_iterations;
+    auto [polished, w_polished] = local_ascent(ctx, best_x, gopt);
+    if (w_polished >= worst_case_utility(ctx.game, ctx.bounds, best_x)) {
+      best_x = std::move(polished);
+    }
+  }
+
+  sol.strategy = std::move(best_x);
+  sol.lb = lo;
+  sol.ub = hi;
+  sol.binary_steps = steps;
+  sol.milp_nodes = nodes;
+  sol.solver_objective = lo;
+  if (sol.status == SolverStatus::kNumericalIssue) {
+    sol.status = SolverStatus::kOptimal;  // no step failed
+  }
+  finalize_solution(ctx, sol, timer.seconds());
+  return sol;
+}
+
+}  // namespace cubisg::core

@@ -1,0 +1,116 @@
+#include "core/evaluation.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "behavior/attacker_sim.hpp"
+#include "behavior/bounds.hpp"
+#include "common/rng.hpp"
+#include "games/generators.hpp"
+
+namespace cubisg::core {
+
+namespace {
+
+struct Accumulator {
+  std::vector<double> worst, samp_min, samp_mean, ms;
+};
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double std_of(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean_of(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+}  // namespace
+
+std::vector<EvaluationRow> evaluate_solvers(const EvaluationSpec& spec) {
+  if (spec.solvers.empty()) {
+    throw InvalidModelError("evaluate_solvers: no solvers given");
+  }
+  if (spec.games < 1) {
+    throw InvalidModelError("evaluate_solvers: games must be >= 1");
+  }
+  std::vector<Accumulator> acc(spec.solvers.size());
+
+  for (int g = 0; g < spec.games; ++g) {
+    Rng rng(spec.seed + static_cast<std::uint64_t>(g));
+    auto ug = games::random_uncertain_game(rng, spec.targets,
+                                           spec.resources,
+                                           spec.payoff_width);
+    behavior::SuqrIntervalBounds bounds(behavior::SuqrWeightIntervals{},
+                                        ug.attacker_intervals);
+    SolveContext ctx{ug.game, bounds};
+
+    std::shared_ptr<behavior::SampledSuqrPopulation> population;
+    if (spec.sample_types > 0) {
+      Rng pop_rng(spec.seed ^ (0x5A5A5A5AULL + g));
+      population = std::make_shared<behavior::SampledSuqrPopulation>(
+          behavior::SuqrWeightIntervals{}, ug.attacker_intervals,
+          spec.sample_types, pop_rng);
+    }
+
+    for (std::size_t s = 0; s < spec.solvers.size(); ++s) {
+      SolverSpec solver_spec = spec.solvers[s];
+      if (!solver_spec.population) solver_spec.population = population;
+      auto solution = make_solver(solver_spec)->solve(ctx);
+      acc[s].worst.push_back(solution.worst_case_utility);
+      acc[s].ms.push_back(solution.wall_seconds * 1e3);
+      if (population && !solution.strategy.empty()) {
+        acc[s].samp_min.push_back(
+            population->min_defender_utility(ug.game, solution.strategy));
+        acc[s].samp_mean.push_back(
+            population->mean_defender_utility(ug.game, solution.strategy));
+      }
+    }
+  }
+
+  std::vector<EvaluationRow> rows;
+  for (std::size_t s = 0; s < spec.solvers.size(); ++s) {
+    EvaluationRow row;
+    row.solver = spec.solvers[s].name;
+    row.worst_mean = mean_of(acc[s].worst);
+    row.worst_std = std_of(acc[s].worst);
+    row.sampled_min_mean = mean_of(acc[s].samp_min);
+    row.sampled_mean_mean = mean_of(acc[s].samp_mean);
+    row.wall_ms_mean = mean_of(acc[s].ms);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string to_markdown(const std::vector<EvaluationRow>& rows,
+                        bool with_samples) {
+  std::string out = with_samples
+                        ? "| solver | worst-case | sampled-min | "
+                          "sampled-mean | ms |\n|---|---|---|---|---|\n"
+                        : "| solver | worst-case | ms |\n|---|---|---|\n";
+  char buf[160];
+  for (const EvaluationRow& r : rows) {
+    if (with_samples) {
+      std::snprintf(buf, sizeof buf,
+                    "| %s | %.3f ± %.3f | %.3f | %.3f | %.2f |\n",
+                    r.solver.c_str(), r.worst_mean, r.worst_std,
+                    r.sampled_min_mean, r.sampled_mean_mean,
+                    r.wall_ms_mean);
+    } else {
+      std::snprintf(buf, sizeof buf, "| %s | %.3f ± %.3f | %.2f |\n",
+                    r.solver.c_str(), r.worst_mean, r.worst_std,
+                    r.wall_ms_mean);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cubisg::core

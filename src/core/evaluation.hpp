@@ -1,0 +1,46 @@
+// Programmatic solver-comparison harness.
+//
+// What the benches do by hand — run a set of solvers over a seeded
+// ensemble of random games and score each strategy on the certified
+// worst case and against sampled attacker types — packaged as a library
+// API, so downstream users (and the CLI) can produce the comparison for
+// THEIR instance family without writing the loop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace cubisg::core {
+
+/// The instance family and scoring setup for a comparison run.
+struct EvaluationSpec {
+  std::vector<SolverSpec> solvers;   ///< competitors (population solvers
+                                     ///< get a per-game sampled population)
+  int games = 8;                     ///< ensemble size
+  std::uint64_t seed = 1;            ///< base seed (game g uses seed + g)
+  std::size_t targets = 8;
+  double resources = 3.0;
+  double payoff_width = 2.0;         ///< attacker payoff interval width
+  std::size_t sample_types = 0;      ///< 0 = skip sampled-type scoring
+};
+
+/// One solver's aggregate scores over the ensemble.
+struct EvaluationRow {
+  std::string solver;
+  double worst_mean = 0.0;        ///< mean certified worst case
+  double worst_std = 0.0;
+  double sampled_min_mean = 0.0;  ///< mean of per-game sampled minima
+  double sampled_mean_mean = 0.0; ///< mean of per-game sampled means
+  double wall_ms_mean = 0.0;
+};
+
+/// Runs the comparison.  Deterministic for a fixed spec.
+std::vector<EvaluationRow> evaluate_solvers(const EvaluationSpec& spec);
+
+/// Renders rows as a GitHub-flavored markdown table.
+std::string to_markdown(const std::vector<EvaluationRow>& rows,
+                        bool with_samples);
+
+}  // namespace cubisg::core

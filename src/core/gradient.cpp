@@ -1,0 +1,132 @@
+#include "core/gradient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/worst_case.hpp"
+#include "games/strategy_space.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace cubisg::core {
+
+namespace {
+
+/// One projected-gradient ascent run from `x0`; returns the best iterate.
+std::pair<std::vector<double>, double> ascend(
+    const std::function<double(const std::vector<double>&)>& w_of,
+    double resources, const GradientOptions& opt, std::vector<double> x) {
+  const std::size_t n = x.size();
+  double w = w_of(x);
+  std::vector<double> grad(n), trial(n), shifted;
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    // Central differences (projected evaluation keeps arguments in box;
+    // the sum constraint is handled by projecting the ascent step).
+    for (std::size_t i = 0; i < n; ++i) {
+      shifted = x;
+      const double hi_pt = std::min(1.0, x[i] + opt.grad_eps);
+      const double lo_pt = std::max(0.0, x[i] - opt.grad_eps);
+      shifted[i] = hi_pt;
+      const double up = w_of(shifted);
+      shifted[i] = lo_pt;
+      const double dn = w_of(shifted);
+      grad[i] = (up - dn) / (hi_pt - lo_pt);
+    }
+
+    double step = opt.initial_step;
+    bool improved = false;
+    for (int bt = 0; bt < opt.max_backtracks; ++bt) {
+      for (std::size_t i = 0; i < n; ++i) trial[i] = x[i] + step * grad[i];
+      trial = games::project_to_simplex_box(trial, resources);
+      const double wt = w_of(trial);
+      if (wt > w + 1e-12) {
+        double delta = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          delta = std::max(delta, std::abs(trial[i] - x[i]));
+        }
+        x = trial;
+        w = wt;
+        improved = true;
+        if (delta < opt.converge_tol) return {x, w};
+        break;
+      }
+      step *= opt.step_shrink;
+    }
+    if (!improved) break;  // local maximum (up to line-search resolution)
+  }
+  return {x, w};
+}
+
+}  // namespace
+
+std::pair<std::vector<double>, double> projected_ascent(
+    const std::function<double(const std::vector<double>&)>& objective,
+    double resources, std::vector<double> x0,
+    const GradientOptions& options) {
+  return ascend(objective, resources, options, std::move(x0));
+}
+
+std::pair<std::vector<double>, double> local_ascent(
+    const SolveContext& ctx, std::vector<double> x0,
+    const GradientOptions& options) {
+  auto w_of = [&ctx](const std::vector<double>& xx) {
+    return worst_case_utility(ctx.game, ctx.bounds, xx);
+  };
+  return ascend(w_of, ctx.game.resources(), options, std::move(x0));
+}
+
+GradientSolver::GradientSolver(GradientOptions options) : opt_(options) {
+  if (opt_.num_starts < 1) {
+    throw InvalidModelError("GradientSolver: num_starts must be >= 1");
+  }
+}
+
+DefenderSolution GradientSolver::solve(const SolveContext& ctx) const {
+  Timer timer;
+  const std::size_t n = ctx.game.num_targets();
+  const double resources = ctx.game.resources();
+
+  // Start set: uniform, greedy-by-penalty, then random points.
+  std::vector<std::vector<double>> starts;
+  starts.push_back(games::uniform_strategy(n, resources));
+  {
+    std::vector<double> penalties(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      penalties[i] = ctx.game.target(i).defender_penalty;
+    }
+    starts.push_back(games::greedy_by_penalty(penalties, resources));
+  }
+  Rng rng(opt_.seed);
+  while (starts.size() < static_cast<std::size_t>(opt_.num_starts) + 2) {
+    std::vector<double> x(n);
+    for (double& xi : x) xi = rng.uniform();
+    starts.push_back(games::project_to_simplex_box(x, resources));
+  }
+
+  ThreadPool& pool = opt_.pool ? *opt_.pool : ThreadPool::global();
+  auto w_of = [&ctx](const std::vector<double>& xx) {
+    return worst_case_utility(ctx.game, ctx.bounds, xx);
+  };
+  std::vector<std::pair<std::vector<double>, double>> results =
+      parallel_map(pool, starts.size(), [&](std::size_t s) {
+        return ascend(w_of, resources, opt_, starts[s]);
+      });
+
+  DefenderSolution sol;
+  sol.status = SolverStatus::kOptimal;
+  double best = -std::numeric_limits<double>::infinity();
+  for (auto& [x, w] : results) {
+    if (w > best) {
+      best = w;
+      sol.strategy = std::move(x);
+    }
+  }
+  sol.solver_objective = best;
+  finalize_solution(ctx, sol, timer.seconds());
+  return sol;
+}
+
+}  // namespace cubisg::core

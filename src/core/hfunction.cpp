@@ -1,0 +1,52 @@
+#include "core/hfunction.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cubisg::core {
+
+double h_value(const PointData& p, std::span<const double> beta) {
+  if (beta.size() != p.u.size()) {
+    throw std::invalid_argument("h_value: beta size mismatch");
+  }
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < p.u.size(); ++i) {
+    num += p.L[i] * p.u[i] - (p.U[i] - p.L[i]) * beta[i];
+    den += p.L[i];
+  }
+  return num / den;
+}
+
+double g_value(const PointData& p, std::span<const double> beta, double c) {
+  if (beta.size() != p.u.size()) {
+    throw std::invalid_argument("g_value: beta size mismatch");
+  }
+  double g = 0.0;
+  for (std::size_t i = 0; i < p.u.size(); ++i) {
+    g += p.L[i] * (p.u[i] - c) - (p.U[i] - p.L[i]) * beta[i];
+  }
+  return g;
+}
+
+std::vector<double> beta_of(const PointData& p, double c) {
+  std::vector<double> beta(p.u.size());
+  for (std::size_t i = 0; i < p.u.size(); ++i) {
+    beta[i] = std::max(0.0, c - p.u[i]);
+  }
+  return beta;
+}
+
+double g_at(const PointData& p, double c) {
+  double g = 0.0;
+  for (std::size_t i = 0; i < p.u.size(); ++i) {
+    const double beta = std::max(0.0, c - p.u[i]);
+    g += p.L[i] * (p.u[i] - c) - (p.U[i] - p.L[i]) * beta;
+  }
+  return g;
+}
+
+double f1_of(double L, double u, double c) { return L * (u - c); }
+double f2_of(double U, double u, double c) { return U * (u - c); }
+
+}  // namespace cubisg::core

@@ -1,0 +1,49 @@
+// The paper's H and G functions (Equations 14 and 18).
+//
+// Given a strategy x with defender utilities u_i = Ud_i(x_i) and
+// attractiveness bounds L_i = L_i(x_i), U_i = U_i(x_i):
+//
+//   H(x, b) = [ sum_i L_i u_i - sum_i (U_i - L_i) b_i ] / sum_i L_i   (14)
+//
+// is the defender's worst-case utility as a function of the dual variables
+// b (beta in the paper), and
+//
+//   G(x, b, c) = sum_i L_i u_i - sum_i (U_i - L_i) b_i - c sum_i L_i  (18)
+//
+// is the numerator of H - c.  Proposition 3 pins the optimal duals to
+// b_i = max(0, c - u_i), making both functions univariate in c for fixed x.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cubisg::core {
+
+/// Pointwise data of a strategy evaluation: utilities and bounds at x.
+struct PointData {
+  std::vector<double> u;  ///< Ud_i(x_i)
+  std::vector<double> L;  ///< L_i(x_i)
+  std::vector<double> U;  ///< U_i(x_i)
+};
+
+/// H(x, b) of Eq. 14 given precomputed point data.
+double h_value(const PointData& p, std::span<const double> beta);
+
+/// G(x, b, c) of Eq. 18 given precomputed point data.
+double g_value(const PointData& p, std::span<const double> beta, double c);
+
+/// Proposition 3 duals: b_i = max(0, c - u_i).
+std::vector<double> beta_of(const PointData& p, double c);
+
+/// G(x, beta_of(c), c): strictly decreasing in c; its unique root is the
+/// defender's worst-case utility at x (equals the inner LP optimum).
+double g_at(const PointData& p, double c);
+
+/// The per-target functions of Section IV.C:
+///   f1_i(x) = L_i(x) (Ud_i(x) - c),  f2_i(x) = U_i(x) (Ud_i(x) - c).
+/// Provided as free helpers so the piecewise machinery and the MILP
+/// assembly share one definition.
+double f1_of(double L, double u, double c);
+double f2_of(double U, double u, double c);
+
+}  // namespace cubisg::core

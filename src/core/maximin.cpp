@@ -1,0 +1,46 @@
+#include "core/maximin.hpp"
+
+#include <string>
+
+#include "common/timer.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace cubisg::core {
+
+DefenderSolution MaximinSolver::solve(const SolveContext& ctx) const {
+  Timer timer;
+  const std::size_t n = ctx.game.num_targets();
+
+  lp::Model m;
+  m.set_objective_sense(lp::Objective::kMaximize);
+  std::vector<int> xcol(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xcol[i] = m.add_col("x" + std::to_string(i), 0.0, 1.0, 0.0);
+  }
+  const int z = m.add_col("z", -lp::kInf, lp::kInf, 1.0);
+  const int budget = m.add_row("budget", lp::Sense::kEq,
+                               ctx.game.resources());
+  for (std::size_t i = 0; i < n; ++i) m.set_coeff(budget, xcol[i], 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // z - (Rd_i - Pd_i) x_i <= Pd_i
+    const auto& p = ctx.game.target(i);
+    const int r = m.add_row("floor" + std::to_string(i), lp::Sense::kLe,
+                            p.defender_penalty);
+    m.set_coeff(r, z, 1.0);
+    m.set_coeff(r, xcol[i], -(p.defender_reward - p.defender_penalty));
+  }
+
+  lp::LpSolution s = lp::solve_lp(m);
+  DefenderSolution sol;
+  sol.status = s.status;
+  if (s.optimal()) {
+    sol.strategy.resize(n);
+    for (std::size_t i = 0; i < n; ++i) sol.strategy[i] = s.x[xcol[i]];
+    sol.solver_objective = s.objective;
+  }
+  finalize_solution(ctx, sol, timer.seconds());
+  return sol;
+}
+
+}  // namespace cubisg::core

@@ -1,0 +1,25 @@
+// Behavior-agnostic maximin baseline.
+//
+// Ignores the behavioral model entirely and assumes the attacker hits the
+// target worst for the defender:
+//
+//   max_{x in X} min_i Ud_i(x_i)
+//
+// This is the fully conservative end of the robustness spectrum (the
+// paper's discussion of [3] — worst-case over attacker types — degenerates
+// to this when intervals are vacuous).  It is an LP:
+//   max z  s.t.  z <= Pd_i + (Rd_i - Pd_i) x_i  for all i,  x in X.
+#pragma once
+
+#include "core/solvers.hpp"
+
+namespace cubisg::core {
+
+/// The maximin LP baseline.
+class MaximinSolver final : public DefenderSolver {
+ public:
+  std::string name() const override { return "maximin"; }
+  DefenderSolution solve(const SolveContext& ctx) const override;
+};
+
+}  // namespace cubisg::core

@@ -1,0 +1,148 @@
+#include "core/origami.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/timer.hpp"
+
+namespace cubisg::core {
+
+namespace {
+
+/// Coverage needed at target i for attacker utility u:
+///   Ua_i(x) = Ra_i + (Pa_i - Ra_i) x = u  ->  x = (Ra_i - u)/(Ra_i - Pa_i).
+double coverage_for_utility(const games::TargetPayoffs& p, double u) {
+  return (p.attacker_reward - u) / (p.attacker_reward - p.attacker_penalty);
+}
+
+}  // namespace
+
+OrigamiResult solve_origami(const games::SecurityGame& game) {
+  const std::size_t n = game.num_targets();
+  OrigamiResult out;
+  out.strategy.assign(n, 0.0);
+
+  // Order targets by uncovered attacker utility Ra descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return game.target(a).attacker_reward > game.target(b).attacker_reward;
+  });
+
+  double budget = game.resources();
+  // The attack set is order[0..k): targets currently indifferent at
+  // utility `u`.  Saturated targets (coverage 1) stay in the set but no
+  // longer consume budget as u drops further than their Pa.
+  double u = game.target(order[0]).attacker_reward;
+  std::size_t k = 1;
+
+  // Lower the common utility u in stages; each stage either admits the
+  // next target (u reaches its Ra), saturates a member (u reaches its Pa),
+  // or exhausts the budget.
+  while (true) {
+    // Unsaturated members determine the marginal budget per unit of u.
+    double inv_sum = 0.0;       // sum of 1/(Ra - Pa)
+    double used_fixed = 0.0;    // budget consumed by saturated members
+    double u_floor =
+        -std::numeric_limits<double>::infinity();  // next saturation
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto& p = game.target(order[j]);
+      if (u <= p.attacker_penalty) {
+        used_fixed += 1.0;  // saturated at coverage 1
+      } else {
+        inv_sum += 1.0 / (p.attacker_reward - p.attacker_penalty);
+        u_floor = std::max(u_floor, p.attacker_penalty);
+      }
+    }
+    // Candidate stopping utilities: the next target's Ra, the next
+    // saturation point, and the budget-exhaustion utility.
+    const double u_next = k < n
+                              ? game.target(order[k]).attacker_reward
+                              : -std::numeric_limits<double>::infinity();
+    // Budget consumed at utility value v (> u_floor):
+    //   used_fixed + sum_j coverage_for_utility(j, v)
+    auto budget_at = [&](double v) {
+      double b = used_fixed;
+      for (std::size_t j = 0; j < k; ++j) {
+        const auto& p = game.target(order[j]);
+        if (u <= p.attacker_penalty) continue;  // already saturated
+        b += std::min(1.0, coverage_for_utility(p, v));
+      }
+      return b;
+    };
+
+    double stop_u = std::max(u_next, u_floor);
+    bool exhausted = false;
+    if (inv_sum == 0.0) {
+      // Everything saturated: can only admit the next target (for free —
+      // its required coverage at its own Ra is zero).
+      if (k >= n || used_fixed >= budget) break;
+      u = u_next;
+      ++k;
+      continue;
+    }
+    if (budget_at(stop_u) >= budget) {
+      // The budget runs out before reaching stop_u: solve budget_at(v) = R
+      // on the linear stretch (no saturation changes in (stop_u, u)).
+      //   used_fixed + sum (Ra_j - v)/(Ra_j - Pa_j) = R
+      double ra_ratio = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const auto& p = game.target(order[j]);
+        if (u <= p.attacker_penalty) continue;
+        ra_ratio += p.attacker_reward /
+                    (p.attacker_reward - p.attacker_penalty);
+      }
+      stop_u = (ra_ratio + used_fixed - budget) / inv_sum;
+      exhausted = true;
+    }
+    u = stop_u;
+    if (exhausted) break;
+    if (k < n && u == u_next) {
+      ++k;  // admit the next target into the attack set
+      continue;
+    }
+    // Otherwise a member just saturated (u == its Pa); loop to rebuild the
+    // saturation bookkeeping.  Guard against infinite loops when nothing
+    // can change anymore.
+    if (u <= u_floor && k >= n) break;
+    if (u > u_floor) break;  // nothing left to do
+  }
+
+  // Materialize coverage for the attack set at the final utility u.
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto& p = game.target(order[j]);
+    out.strategy[order[j]] =
+        std::min(1.0, std::max(0.0, coverage_for_utility(p, u)));
+  }
+  out.attack_set.assign(order.begin(), order.begin() + k);
+  std::sort(out.attack_set.begin(), out.attack_set.end());
+  out.attacker_utility = u;
+
+  // The attacker picks, within the attack set, the target best for the
+  // defender (SSE tie-breaking).
+  double best_ud = -std::numeric_limits<double>::infinity();
+  for (std::size_t i : out.attack_set) {
+    const double ud = game.defender_utility(i, out.strategy[i]);
+    if (ud > best_ud) {
+      best_ud = ud;
+      out.attacked_target = i;
+    }
+  }
+  out.defender_utility = best_ud;
+  out.status = SolverStatus::kOptimal;
+  return out;
+}
+
+DefenderSolution OrigamiSolver::solve(const SolveContext& ctx) const {
+  Timer timer;
+  OrigamiResult res = solve_origami(ctx.game);
+  DefenderSolution sol;
+  sol.status = res.status;
+  sol.strategy = std::move(res.strategy);
+  sol.solver_objective = res.defender_utility;
+  finalize_solution(ctx, sol, timer.seconds());
+  return sol;
+}
+
+}  // namespace cubisg::core

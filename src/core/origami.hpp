@@ -1,0 +1,45 @@
+// ORIGAMI — Optimizing Resources In GAmes using Maximal Indifference
+// (Kiekintveld et al., AAMAS 2009).
+//
+// The specialized O(T log T + T^2) algorithm for strong Stackelberg
+// equilibria of security games: grow the attacker's *attack set* in
+// decreasing order of uncovered attacker utility, spreading coverage so
+// every member stays indifferent, until the budget runs out or a target's
+// coverage saturates at 1.  Produces the same equilibrium as the
+// multiple-LPs method (sse.hpp) at a fraction of the cost — the test suite
+// cross-checks the two on random games.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/sse.hpp"
+#include "games/security_game.hpp"
+
+namespace cubisg::core {
+
+/// ORIGAMI output: the SSE coverage plus attack-set diagnostics.
+struct OrigamiResult {
+  SolverStatus status = SolverStatus::kNumericalIssue;
+  std::vector<double> strategy;
+  /// Targets in the final attack set (attacker-indifferent, maximal Ua).
+  std::vector<std::size_t> attack_set;
+  /// The attacker's (indifferent) utility across the attack set.
+  double attacker_utility = 0.0;
+  /// Defender utility at the (favorably tie-broken) attacked target.
+  double defender_utility = 0.0;
+  std::size_t attacked_target = 0;
+};
+
+/// Runs ORIGAMI on `game`.
+OrigamiResult solve_origami(const games::SecurityGame& game);
+
+/// DefenderSolver adaptor for ORIGAMI (same equilibrium as SseSolver at a
+/// fraction of the cost).
+class OrigamiSolver final : public DefenderSolver {
+ public:
+  std::string name() const override { return "origami"; }
+  DefenderSolution solve(const SolveContext& ctx) const override;
+};
+
+}  // namespace cubisg::core

@@ -1,0 +1,135 @@
+#include "core/pasaq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "core/step_solver.hpp"
+#include "games/strategy_space.hpp"
+
+namespace cubisg::core {
+
+namespace {
+
+/// Point attractiveness F_i(x) used by a PASAQ solve.
+class PointF {
+ public:
+  PointF(const SolveContext& ctx, const PasaqOptions& opt)
+      : ctx_(ctx), opt_(opt) {}
+
+  double operator()(std::size_t i, double x) const {
+    switch (opt_.source) {
+      case PasaqModelSource::kIntervalMidpoint:
+        return ctx_.bounds.midpoint(i, x);
+      case PasaqModelSource::kCustom:
+        return opt_.model->attractiveness(i, x);
+    }
+    return 0.0;
+  }
+
+ private:
+  const SolveContext& ctx_;
+  const PasaqOptions& opt_;
+};
+
+}  // namespace
+
+PasaqSolver::PasaqSolver(PasaqOptions options) : opt_(std::move(options)) {
+  if (opt_.segments == 0) {
+    throw InvalidModelError("PasaqSolver: segments must be >= 1");
+  }
+  if (opt_.source == PasaqModelSource::kCustom && !opt_.model) {
+    throw InvalidModelError("PasaqSolver: custom source requires a model");
+  }
+}
+
+double PasaqSolver::believed_utility(const SolveContext& ctx,
+                                     std::span<const double> x) const {
+  PointF f(ctx, opt_);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < ctx.game.num_targets(); ++i) {
+    const double fi = f(i, x[i]);
+    num += fi * ctx.game.defender_utility(i, x[i]);
+    den += fi;
+  }
+  return num / den;
+}
+
+DefenderSolution PasaqSolver::solve(const SolveContext& ctx) const {
+  Timer timer;
+  const std::size_t n = ctx.game.num_targets();
+  PointF f(ctx, opt_);
+
+  double lo = ctx.game.min_defender_penalty();
+  double hi = ctx.game.max_defender_reward();
+  std::vector<double> best_x =
+      games::uniform_strategy(n, ctx.game.resources());
+  int steps = 0;
+
+  while (hi - lo > opt_.epsilon) {
+    const double c = 0.5 * (lo + hi);
+    std::vector<PiecewiseLinear> g;
+    g.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      g.emplace_back(
+          [&, i](double x) {
+            return f(i, x) * (ctx.game.defender_utility(i, x) - c);
+          },
+          opt_.segments);
+    }
+    StepResult step = solve_step_dp(g, ctx.game.resources());
+    ++steps;
+    const bool feasible = step.objective >= -opt_.feasibility_slack;
+    CUBISG_LOG(LogLevel::kDebug)
+        << "pasaq: c=" << c << " max=" << step.objective
+        << (feasible ? " feasible" : " infeasible");
+    if (feasible) {
+      lo = c;
+      best_x = step.x;
+    } else {
+      hi = c;
+    }
+  }
+
+  if (opt_.top_up_resources) {
+    // Saturate the budget; keep whichever the believed model rates higher.
+    std::vector<double> topped = best_x;
+    double slack = ctx.game.resources();
+    for (double xi : topped) slack -= xi;
+    if (slack > 1e-12) {
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const auto& pa = ctx.game.target(a);
+                  const auto& pb = ctx.game.target(b);
+                  return pa.defender_reward - pa.defender_penalty >
+                         pb.defender_reward - pb.defender_penalty;
+                });
+      for (std::size_t idx : order) {
+        const double add = std::min(1.0 - topped[idx], slack);
+        topped[idx] += add;
+        slack -= add;
+        if (slack <= 1e-12) break;
+      }
+      if (believed_utility(ctx, topped) >= believed_utility(ctx, best_x)) {
+        best_x = std::move(topped);
+      }
+    }
+  }
+
+  DefenderSolution sol;
+  sol.status = SolverStatus::kOptimal;
+  sol.strategy = std::move(best_x);
+  sol.lb = lo;
+  sol.ub = hi;
+  sol.binary_steps = steps;
+  sol.solver_objective = lo;  // believed (midpoint-model) utility
+  finalize_solution(ctx, sol, timer.seconds());
+  return sol;
+}
+
+}  // namespace cubisg::core

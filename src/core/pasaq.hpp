@@ -1,0 +1,57 @@
+// PASAQ-style non-robust baseline (the paper's reference [21], Yang et al.
+// IJCAI'11): computes the defender strategy that is optimal *if* the
+// attacker follows a known point attractiveness model F_i — here the
+// midpoint of the uncertainty interval, matching the paper's Section III
+// example ("if the defender simply uses the mid points of the uncertainty
+// intervals...").
+//
+// Algorithm: binary search on the defender utility c.  A value c is
+// achievable iff max_x sum_i F_i(x_i) (Ud_i(x_i) - c) >= 0 (multiply the
+// fractional objective through by the positive denominator).  Each step is
+// a separable piecewise-linear maximization over the resource polytope —
+// the same step solver CUBIS uses.
+#pragma once
+
+#include <memory>
+
+#include "behavior/suqr.hpp"
+#include "common/tolerances.hpp"
+#include "core/solvers.hpp"
+
+namespace cubisg::core {
+
+/// Which point model the baseline assumes for the attacker.
+enum class PasaqModelSource {
+  kIntervalMidpoint,  ///< F = (L + U) / 2 from the context's bounds
+  kCustom,            ///< caller-supplied AttractivenessModel
+};
+
+/// Options for the midpoint baseline.
+struct PasaqOptions {
+  std::size_t segments = 10;
+  double epsilon = Tol::kBinarySearchEps;
+  PasaqModelSource source = PasaqModelSource::kIntervalMidpoint;
+  /// Used when source == kCustom.
+  std::shared_ptr<const behavior::AttractivenessModel> model;
+  bool top_up_resources = true;
+  double feasibility_slack = 1e-9;
+};
+
+/// The midpoint (non-robust) baseline solver.
+class PasaqSolver final : public DefenderSolver {
+ public:
+  explicit PasaqSolver(PasaqOptions options = {});
+
+  std::string name() const override { return "midpoint-pasaq"; }
+  DefenderSolution solve(const SolveContext& ctx) const override;
+
+  /// Expected defender utility of `x` under this solver's assumed point
+  /// model (what the baseline *believes* it achieves).
+  double believed_utility(const SolveContext& ctx,
+                          std::span<const double> x) const;
+
+ private:
+  PasaqOptions opt_;
+};
+
+}  // namespace cubisg::core

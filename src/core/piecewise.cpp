@@ -1,0 +1,73 @@
+#include "core/piecewise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace cubisg::core {
+
+PiecewiseLinear::PiecewiseLinear(const std::function<double(double)>& f,
+                                 std::size_t segments) {
+  if (segments == 0) {
+    throw std::invalid_argument("PiecewiseLinear: segments must be >= 1");
+  }
+  values_.resize(segments + 1);
+  const double k_inv = 1.0 / static_cast<double>(segments);
+  for (std::size_t k = 0; k <= segments; ++k) {
+    values_[k] = f(std::min(1.0, static_cast<double>(k) * k_inv));
+  }
+}
+
+double PiecewiseLinear::slope(std::size_t k) const {
+  if (k + 1 >= values_.size()) {
+    throw std::out_of_range("PiecewiseLinear::slope");
+  }
+  return static_cast<double>(segments()) * (values_[k + 1] - values_[k]);
+}
+
+double PiecewiseLinear::evaluate(double x) const {
+  const std::size_t k_count = segments();
+  const double xc = clamp(x, 0.0, 1.0);
+  // Segment index containing xc.
+  std::size_t k = static_cast<std::size_t>(
+      std::floor(xc * static_cast<double>(k_count)));
+  if (k >= k_count) k = k_count - 1;
+  const double x_lo = static_cast<double>(k) / static_cast<double>(k_count);
+  return values_[k] + slope(k) * (xc - x_lo);
+}
+
+std::vector<double> segment_portions(double x, std::size_t segments) {
+  if (segments == 0) {
+    throw std::invalid_argument("segment_portions: segments must be >= 1");
+  }
+  const double seg = 1.0 / static_cast<double>(segments);
+  std::vector<double> portions(segments, 0.0);
+  double remaining = clamp(x, 0.0, 1.0);
+  for (std::size_t k = 0; k < segments && remaining > 0.0; ++k) {
+    const double take = std::min(seg, remaining);
+    portions[k] = take;
+    remaining -= take;
+  }
+  return portions;
+}
+
+double from_segment_portions(const std::vector<double>& portions) {
+  double x = 0.0;
+  for (double p : portions) x += p;
+  return x;
+}
+
+double max_approximation_error(const std::function<double(double)>& f,
+                               const PiecewiseLinear& approx,
+                               std::size_t samples) {
+  double worst = 0.0;
+  for (std::size_t s = 0; s <= samples; ++s) {
+    const double x = static_cast<double>(s) / static_cast<double>(samples);
+    worst = std::max(worst, std::abs(f(x) - approx.evaluate(x)));
+  }
+  return worst;
+}
+
+}  // namespace cubisg::core

@@ -1,0 +1,55 @@
+// K-segment piecewise-linear approximation machinery (Section IV.C).
+//
+// The coverage domain [0, 1] is split into K equal segments with
+// breakpoints k/K.  A univariate function f is approximated by the chords
+// through (k/K, f(k/K)); the MILP encodes a point x as segment portions
+// x = sum_k x_k with 0 <= x_k <= 1/K filled in order (Example 1 of the
+// paper: K=5, x=0.3 -> x_1=0.2, x_2=0.1, rest 0).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace cubisg::core {
+
+/// Chord approximation of a univariate function on [0, 1].
+class PiecewiseLinear {
+ public:
+  /// Samples `f` at the K+1 breakpoints.  Requires segments >= 1.
+  PiecewiseLinear(const std::function<double(double)>& f,
+                  std::size_t segments);
+
+  std::size_t segments() const { return values_.size() - 1; }
+
+  /// Breakpoint value f(k/K) (exact, by construction).
+  double value_at_breakpoint(std::size_t k) const { return values_[k]; }
+
+  /// Slope s_k of segment k (1-based k in the paper; 0-based here):
+  /// s_k = K * (f((k+1)/K) - f(k/K)).
+  double slope(std::size_t k) const;
+
+  /// The approximation f~(x) for x in [0, 1].
+  double evaluate(double x) const;
+
+  /// f~(0), the constant term of the MILP objective rows.
+  double value_at_zero() const { return values_.front(); }
+
+ private:
+  std::vector<double> values_;  // f at breakpoints 0..K
+};
+
+/// Splits x in [0,1] into ordered segment portions (Example 1):
+/// x_k = 1/K while x >= (k+1)/K, then the remainder, then zeros.
+std::vector<double> segment_portions(double x, std::size_t segments);
+
+/// Reassembles x = sum_k x_k (inverse of segment_portions for valid fills).
+double from_segment_portions(const std::vector<double>& portions);
+
+/// Max |f(x) - f~(x)| sampled on a fine grid; used by the approximation
+/// error tests and the convergence bench (Lemma 1: O(1/K)).
+double max_approximation_error(const std::function<double(double)>& f,
+                               const PiecewiseLinear& approx,
+                               std::size_t samples = 1024);
+
+}  // namespace cubisg::core

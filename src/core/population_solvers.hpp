@@ -1,0 +1,59 @@
+// Population-based baselines from the paper's related work (Section II).
+//
+// Both operate on N sampled SUQR attacker types drawn from the parameter
+// boxes, instead of the interval-bound abstraction CUBIS uses:
+//
+//  * RobustTypesSolver — the robust-to-types approach of Brown, Haskell,
+//    Tambe (GameSec'14, the paper's [3]): maximize the MINIMUM expected
+//    defender utility over the sampled types.  The paper criticizes it as
+//    requiring precise per-type models and as overly conservative; having
+//    it in-repo lets benches quantify that.
+//  * BayesianSolver — the Bayesian approach of Yang, Ford, Tambe, Lemieux
+//    (AAMAS'14, the paper's [20]) with a uniform prior over the sampled
+//    types: maximize the MEAN expected utility.
+//
+// Both objectives are smooth (mean) or piecewise-smooth (min) functions of
+// x and are optimized by multi-start projected gradient ascent over the
+// strategy polytope — the same machinery as the fmincon-substitute.
+#pragma once
+
+#include <memory>
+
+#include "behavior/attacker_sim.hpp"
+#include "core/gradient.hpp"
+#include "core/solvers.hpp"
+
+namespace cubisg::core {
+
+/// Options shared by the population baselines.
+struct PopulationOptions {
+  /// The sampled attacker types.  Required.
+  std::shared_ptr<const behavior::SampledSuqrPopulation> population;
+  /// Ascent configuration (restarts, iterations, ...).
+  GradientOptions ascent;
+};
+
+/// max_x min_t E[defender utility | type t]  (the paper's reference [3]).
+class RobustTypesSolver final : public DefenderSolver {
+ public:
+  explicit RobustTypesSolver(PopulationOptions options);
+  std::string name() const override { return "robust-types"; }
+  DefenderSolution solve(const SolveContext& ctx) const override;
+
+ private:
+  PopulationOptions opt_;
+};
+
+/// max_x mean_t E[defender utility | type t]  (the paper's reference [20],
+/// uniform prior).
+class BayesianSolver final : public DefenderSolver {
+ public:
+  explicit BayesianSolver(PopulationOptions options);
+  std::string name() const override { return "bayesian-mean"; }
+  DefenderSolution solve(const SolveContext& ctx) const override;
+
+ private:
+  PopulationOptions opt_;
+};
+
+}  // namespace cubisg::core

@@ -1,0 +1,35 @@
+// Name-based solver construction, for CLIs, benches and config files.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "behavior/attacker_sim.hpp"
+#include "core/solvers.hpp"
+
+namespace cubisg::core {
+
+/// Declarative description of a solver configuration.
+struct SolverSpec {
+  /// One of solver_names(): "cubis", "cubis-milp", "cubis-adaptive",
+  /// "midpoint", "maximin", "gradient", "sse", "uniform", "robust-types",
+  /// "bayesian".
+  std::string name = "cubis";
+  std::size_t segments = 20;       ///< K for binary-search solvers
+  double epsilon = 1e-3;           ///< binary-search threshold
+  int polish_iterations = 0;       ///< gradient polish (cubis variants)
+  int num_starts = 8;              ///< restarts (gradient-based solvers)
+  std::uint64_t seed = 0x5EED;     ///< seed for stochastic components
+  /// Sampled attacker types; required by "robust-types" and "bayesian".
+  std::shared_ptr<const behavior::SampledSuqrPopulation> population;
+};
+
+/// All registered solver names.
+std::vector<std::string> solver_names();
+
+/// Builds the solver described by `spec`.  Throws InvalidModelError on an
+/// unknown name or a missing required field.
+std::unique_ptr<DefenderSolver> make_solver(const SolverSpec& spec);
+
+}  // namespace cubisg::core

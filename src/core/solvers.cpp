@@ -1,0 +1,29 @@
+#include "core/solvers.hpp"
+
+#include "common/timer.hpp"
+#include "core/worst_case.hpp"
+#include "games/strategy_space.hpp"
+
+namespace cubisg::core {
+
+void finalize_solution(const SolveContext& ctx, DefenderSolution& sol,
+                       double seconds) {
+  sol.wall_seconds = seconds;
+  if (!sol.strategy.empty()) {
+    sol.worst_case_utility =
+        worst_case_utility(ctx.game, ctx.bounds, sol.strategy);
+  }
+}
+
+DefenderSolution UniformSolver::solve(const SolveContext& ctx) const {
+  Timer timer;
+  DefenderSolution sol;
+  sol.strategy = games::uniform_strategy(ctx.game.num_targets(),
+                                         ctx.game.resources());
+  sol.status = SolverStatus::kOptimal;
+  sol.solver_objective = 0.0;
+  finalize_solution(ctx, sol, timer.seconds());
+  return sol;
+}
+
+}  // namespace cubisg::core

@@ -1,0 +1,69 @@
+// Common interface for defender-strategy solvers.
+//
+// Every algorithm (CUBIS and the baselines) consumes the same problem
+// description — a SecurityGame plus attractiveness uncertainty bounds — and
+// produces a strategy with solver statistics, so benches and examples can
+// treat them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "behavior/bounds.hpp"
+#include "common/errors.hpp"
+#include "games/security_game.hpp"
+
+namespace cubisg::core {
+
+/// The problem a defender solver works on.  Both references must outlive
+/// the solve call.
+struct SolveContext {
+  const games::SecurityGame& game;
+  const behavior::AttractivenessBounds& bounds;
+};
+
+/// Outcome of a defender solve.
+struct DefenderSolution {
+  SolverStatus status = SolverStatus::kNumericalIssue;
+  /// Coverage vector with 0 <= x_i <= 1 and sum x_i <= R.  Solvers top the
+  /// budget up when that improves the worst case, but keep slack when a
+  /// pessimistic adversary is better handled by leaving a low-stakes
+  /// target slightly attractive (idle resources are implementable).
+  std::vector<double> strategy;
+  /// Worst-case defender utility of `strategy` under the bounds, computed
+  /// by the canonical closed-form evaluator (comparable across solvers).
+  double worst_case_utility = 0.0;
+  /// The solver's own objective estimate (e.g. the binary search lb).
+  double solver_objective = 0.0;
+  /// Binary-search bracket at termination (CUBIS/PASAQ only).
+  double lb = 0.0;
+  double ub = 0.0;
+  int binary_steps = 0;
+  std::int64_t milp_nodes = 0;
+  double wall_seconds = 0.0;
+
+  bool ok() const { return status == SolverStatus::kOptimal; }
+};
+
+/// Abstract defender solver.
+class DefenderSolver {
+ public:
+  virtual ~DefenderSolver() = default;
+  virtual std::string name() const = 0;
+  virtual DefenderSolution solve(const SolveContext& ctx) const = 0;
+};
+
+/// Baseline: the uniform strategy x_i = R/T (no optimization at all).
+class UniformSolver final : public DefenderSolver {
+ public:
+  std::string name() const override { return "uniform"; }
+  DefenderSolution solve(const SolveContext& ctx) const override;
+};
+
+/// Fills a solution's evaluation fields (worst-case utility) and clock.
+void finalize_solution(const SolveContext& ctx, DefenderSolution& sol,
+                       double seconds);
+
+}  // namespace cubisg::core

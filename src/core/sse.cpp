@@ -1,0 +1,113 @@
+#include "core/sse.hpp"
+
+#include <limits>
+#include <string>
+
+#include "common/timer.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace cubisg::core {
+
+std::size_t best_response_target(const games::SecurityGame& game,
+                                 std::span<const double> x) {
+  std::size_t best = 0;
+  double best_ua = -std::numeric_limits<double>::infinity();
+  double best_ud = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < game.num_targets(); ++i) {
+    const double ua = game.attacker_utility(i, x[i]);
+    const double ud = game.defender_utility(i, x[i]);
+    // Strict attacker improvement, or a tie broken in the defender's favor.
+    if (ua > best_ua + 1e-12 || (ua > best_ua - 1e-12 && ud > best_ud)) {
+      best = i;
+      best_ua = ua;
+      best_ud = ud;
+    }
+  }
+  return best;
+}
+
+double epsilon_response_utility(const games::SecurityGame& game,
+                                std::span<const double> x, double epsilon) {
+  if (!(epsilon >= 0.0)) {
+    throw InvalidModelError("epsilon_response_utility: epsilon must be >= 0");
+  }
+  double best_ua = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < game.num_targets(); ++i) {
+    best_ua = std::max(best_ua, game.attacker_utility(i, x[i]));
+  }
+  double worst_ud = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < game.num_targets(); ++i) {
+    if (game.attacker_utility(i, x[i]) >= best_ua - epsilon - 1e-12) {
+      worst_ud = std::min(worst_ud, game.defender_utility(i, x[i]));
+    }
+  }
+  return worst_ud;
+}
+
+SseResult solve_sse(const games::SecurityGame& game) {
+  const std::size_t n = game.num_targets();
+  SseResult out;
+  double best = -std::numeric_limits<double>::infinity();
+
+  // Multiple-LPs method: one LP per candidate best-response target t.
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto& pt = game.target(t);
+    // max Ud_t(x_t) = Pd_t + (Rd_t - Pd_t) x_t
+    // s.t. Ua_t(x_t) >= Ua_i(x_i) for all i,  x in X.
+    lp::Model m;
+    m.set_objective_sense(lp::Objective::kMaximize);
+    std::vector<int> xc(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double obj =
+          i == t ? pt.defender_reward - pt.defender_penalty : 0.0;
+      xc[i] = m.add_col("x" + std::to_string(i), 0.0, 1.0, obj);
+    }
+    // Fixed column carrying the constant Pd_t, so objective values are
+    // directly comparable across the n LPs.
+    m.add_col("one", 1.0, 1.0, pt.defender_penalty);
+
+    const int budget = m.add_row("budget", lp::Sense::kEq,
+                                 game.resources());
+    for (std::size_t i = 0; i < n; ++i) m.set_coeff(budget, xc[i], 1.0);
+
+    // Ua_t >= Ua_i:
+    //   Ra_t + (Pa_t - Ra_t) x_t >= Ra_i + (Pa_i - Ra_i) x_i
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == t) continue;
+      const auto& pi = game.target(i);
+      const int r = m.add_row("br" + std::to_string(i), lp::Sense::kGe,
+                              pi.attacker_reward - pt.attacker_reward);
+      m.set_coeff(r, xc[t], pt.attacker_penalty - pt.attacker_reward);
+      m.set_coeff(r, xc[i], -(pi.attacker_penalty - pi.attacker_reward));
+    }
+
+    lp::LpSolution s = lp::solve_lp(m);
+    if (!s.optimal()) continue;  // t cannot be made a best response
+    if (s.objective > best) {
+      best = s.objective;
+      out.strategy.assign(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) out.strategy[i] = s.x[xc[i]];
+      out.attacked_target = t;
+      out.defender_utility = s.objective;
+      out.attacker_utility = game.attacker_utility(t, s.x[xc[t]]);
+    }
+  }
+
+  out.status = out.strategy.empty() ? SolverStatus::kInfeasible
+                                    : SolverStatus::kOptimal;
+  return out;
+}
+
+DefenderSolution SseSolver::solve(const SolveContext& ctx) const {
+  Timer timer;
+  SseResult sse = solve_sse(ctx.game);
+  DefenderSolution sol;
+  sol.status = sse.status;
+  sol.strategy = std::move(sse.strategy);
+  sol.solver_objective = sse.defender_utility;
+  finalize_solution(ctx, sol, timer.seconds());
+  return sol;
+}
+
+}  // namespace cubisg::core

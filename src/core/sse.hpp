@@ -1,0 +1,60 @@
+// Strong Stackelberg equilibrium against a perfectly rational attacker.
+//
+// The classical SSG solution concept the behavioral line (QR, SUQR, CUBIS)
+// departs from: the attacker observes x and attacks the target maximizing
+// his own expected utility, breaking ties in the defender's favor.  Solved
+// by the multiple-LPs method (Conitzer & Sandholm 2006, adapted to
+// security games): for each candidate target t, an LP maximizes the
+// defender's utility subject to t being an attacker best response; the
+// best feasible t wins.
+//
+// Included both as a baseline (the "fully rational" end of the behavioral
+// spectrum) and as a substrate other components can reuse (e.g. to measure
+// how far a robust strategy is from the rational-attacker optimum).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/solvers.hpp"
+#include "games/security_game.hpp"
+
+namespace cubisg::core {
+
+/// SSE solve result.
+struct SseResult {
+  SolverStatus status = SolverStatus::kNumericalIssue;
+  std::vector<double> strategy;
+  double defender_utility = 0.0;     ///< at the equilibrium
+  double attacker_utility = 0.0;     ///< best-response value
+  std::size_t attacked_target = 0;   ///< the attacker's (favorable) choice
+};
+
+/// Computes the strong Stackelberg equilibrium of `game`.
+SseResult solve_sse(const games::SecurityGame& game);
+
+/// The attacker's best-response target under coverage x (ties broken in
+/// the defender's favor, per the SSE convention).
+std::size_t best_response_target(const games::SecurityGame& game,
+                                 std::span<const double> x);
+
+/// Fragility analysis (COBRA-style, Pita et al.): the defender's utility
+/// if the attacker may strike ANY target whose utility is within `epsilon`
+/// of his best response, choosing adversarially within that set.  epsilon
+/// = 0 gives the pessimistic-tie-break rational response; epsilon -> inf
+/// converges to the maximin floor min_i Ud_i(x_i).  Monotonically
+/// non-increasing in epsilon — quantifies how much an SSE strategy's value
+/// depends on perfect attacker rationality.
+double epsilon_response_utility(const games::SecurityGame& game,
+                                std::span<const double> x, double epsilon);
+
+/// DefenderSolver adaptor: plans against a rational attacker, evaluated
+/// (like every solver) under the behavioral worst case — quantifying how
+/// badly the rationality assumption can mislead under uncertainty.
+class SseSolver final : public DefenderSolver {
+ public:
+  std::string name() const override { return "sse-rational"; }
+  DefenderSolution solve(const SolveContext& ctx) const override;
+};
+
+}  // namespace cubisg::core

@@ -1,0 +1,113 @@
+#include "core/step_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cubisg::core {
+
+StepResult solve_step_dp(const std::vector<PiecewiseLinear>& phi,
+                         double resources) {
+  if (phi.empty()) throw InvalidModelError("solve_step_dp: no targets");
+  const std::size_t t_count = phi.size();
+  const std::size_t k_count = phi.front().segments();
+  for (const PiecewiseLinear& p : phi) {
+    if (p.segments() != k_count) {
+      throw InvalidModelError("solve_step_dp: mismatched segment counts");
+    }
+  }
+  // Budget in coverage units of 1/K.  A fractional product is floored:
+  // the DP then optimizes over a slightly smaller budget, which is a
+  // CONSERVATIVE under-approximation — feasibility verdicts derived from
+  // its objective remain valid certificates, and the loss is within the
+  // O(1/K) approximation budget the grid already carries.
+  const double units_exact = resources * static_cast<double>(k_count);
+  const auto units =
+      static_cast<std::size_t>(std::floor(units_exact + 1e-9));
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  // value[u] = best sum of phi over processed targets using exactly u units.
+  std::vector<double> value(units + 1, kNegInf);
+  value[0] = 0.0;
+  // choice[i][u] = units assigned to target i in the best fill of u.
+  std::vector<std::vector<std::uint16_t>> choice(
+      t_count, std::vector<std::uint16_t>(units + 1, 0));
+
+  std::vector<double> next(units + 1);
+  for (std::size_t i = 0; i < t_count; ++i) {
+    std::fill(next.begin(), next.end(), kNegInf);
+    const std::size_t max_take = std::min(units, k_count);
+    for (std::size_t u = 0; u <= units; ++u) {
+      if (value[u] == kNegInf) continue;
+      for (std::size_t t = 0; t <= max_take && u + t <= units; ++t) {
+        const double cand = value[u] + phi[i].value_at_breakpoint(t);
+        if (cand > next[u + t]) {
+          next[u + t] = cand;
+          choice[i][u + t] = static_cast<std::uint16_t>(t);
+        }
+      }
+    }
+    value.swap(next);
+  }
+
+  // The budget is an upper bound (paper Eq. 37 uses <= R): take the best
+  // total over all unit usages.
+  std::size_t best_u = 0;
+  double best = kNegInf;
+  for (std::size_t u = 0; u <= units; ++u) {
+    if (value[u] > best) {
+      best = value[u];
+      best_u = u;
+    }
+  }
+
+  StepResult out;
+  out.status = SolverStatus::kOptimal;
+  out.objective = best;
+  out.x.assign(t_count, 0.0);
+  std::size_t u = best_u;
+  for (std::size_t ii = t_count; ii-- > 0;) {
+    const std::size_t t = choice[ii][u];
+    out.x[ii] = static_cast<double>(t) / static_cast<double>(k_count);
+    u -= t;
+  }
+  return out;
+}
+
+StepResult solve_step_dp_grouped(const std::vector<PiecewiseLinear>& phi,
+                                 const std::vector<std::size_t>& groups,
+                                 const std::vector<double>& budgets) {
+  if (groups.size() != phi.size()) {
+    throw InvalidModelError("solve_step_dp_grouped: groups size mismatch");
+  }
+  if (budgets.empty()) {
+    throw InvalidModelError("solve_step_dp_grouped: no budgets");
+  }
+  // Partition target indices by group.
+  std::vector<std::vector<std::size_t>> members(budgets.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i] >= budgets.size()) {
+      throw InvalidModelError("solve_step_dp_grouped: group id out of range");
+    }
+    members[groups[i]].push_back(i);
+  }
+
+  StepResult out;
+  out.status = SolverStatus::kOptimal;
+  out.objective = 0.0;
+  out.x.assign(phi.size(), 0.0);
+  for (std::size_t g = 0; g < budgets.size(); ++g) {
+    if (members[g].empty()) continue;
+    std::vector<PiecewiseLinear> sub;
+    sub.reserve(members[g].size());
+    for (std::size_t i : members[g]) sub.push_back(phi[i]);
+    StepResult part = solve_step_dp(sub, budgets[g]);
+    out.objective += part.objective;
+    for (std::size_t j = 0; j < members[g].size(); ++j) {
+      out.x[members[g][j]] = part.x[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace cubisg::core

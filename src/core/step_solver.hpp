@@ -1,0 +1,54 @@
+// Binary-search step solvers: maximize a sum of per-target piecewise-linear
+// functions over the resource constraint sum_i x_i <= R.
+//
+// Every CUBIS / PASAQ binary-search step reduces to
+//
+//   max_{x in [0,1]^T, sum x_i <= R}  sum_i phi_i(x_i)
+//
+// with phi_i piecewise linear on the K-segment grid (for CUBIS,
+// phi_i = min(f1~_i, f2~_i); for PASAQ, phi_i = g~_i).  Two exact backends:
+//
+//  * kDp — dynamic programming over coverage units of size 1/K.  Exact
+//    whenever R*K is integral: with a single knapsack constraint and box
+//    bounds, some optimal vertex has at most one off-grid coordinate, and
+//    a tight integral budget forces that one onto the grid too, while a
+//    slack budget puts every coordinate at a breakpoint maximum.
+//  * kMilp — the paper's MILP (33)-(40) with segment variables and ordering
+//    binaries, solved by the branch-and-bound substrate.  CUBIS's v_i/q_i
+//    product linearization lives in cubis.cpp on top of this layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "core/piecewise.hpp"
+
+namespace cubisg::core {
+
+/// Result of one step maximization.
+struct StepResult {
+  SolverStatus status = SolverStatus::kNumericalIssue;
+  double objective = 0.0;      ///< max sum_i phi_i(x_i)
+  std::vector<double> x;       ///< maximizing coverage vector
+  std::int64_t milp_nodes = 0;
+};
+
+/// Exact DP solver over coverage units of 1/K.  When resources * segments
+/// is fractional the budget is floored to the grid — a conservative
+/// under-approximation whose error stays within the O(1/K) budget (the
+/// returned x always satisfies sum x <= resources).  All phi must share a
+/// segment count.
+StepResult solve_step_dp(const std::vector<PiecewiseLinear>& phi,
+                         double resources);
+
+/// Grouped variant: targets are partitioned into budget groups (e.g. time
+/// slots of a patrol schedule), each with its own knapsack constraint
+/// sum_{i in g} x_i <= budgets[g].  The groups decouple, so this runs one
+/// DP per group and stitches the results — still exact on the grid.
+/// `groups[i]` is target i's group id in [0, budgets.size()).
+StepResult solve_step_dp_grouped(const std::vector<PiecewiseLinear>& phi,
+                                 const std::vector<std::size_t>& groups,
+                                 const std::vector<double>& budgets);
+
+}  // namespace cubisg::core

@@ -1,0 +1,228 @@
+#include "core/worst_case.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "common/errors.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace cubisg::core {
+
+namespace {
+
+/// Threshold-policy scan: weights for the k lowest-utility targets set to
+/// their upper bound, the rest to their lower bound; minimizing (or
+/// maximizing, with `maximize`) the weighted average of u.
+WorstCaseResult threshold_scan(const PointData& p, bool maximize) {
+  const std::size_t n = p.u.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return maximize ? p.u[a] > p.u[b] : p.u[a] < p.u[b];
+  });
+
+  // Prefix sums over the sorted order.
+  // For the min problem, configuration k assigns U to the first k targets
+  // (lowest utilities) and L to the rest.
+  std::vector<double> prefU_w(n + 1, 0.0), prefU_wu(n + 1, 0.0);
+  std::vector<double> sufL_w(n + 1, 0.0), sufL_wu(n + 1, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = order[k];
+    prefU_w[k + 1] = prefU_w[k] + p.U[i];
+    prefU_wu[k + 1] = prefU_wu[k] + p.U[i] * p.u[i];
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    const std::size_t i = order[k];
+    sufL_w[k] = sufL_w[k + 1] + p.L[i];
+    sufL_wu[k] = sufL_wu[k + 1] + p.L[i] * p.u[i];
+  }
+
+  double best = maximize ? -std::numeric_limits<double>::infinity()
+                         : std::numeric_limits<double>::infinity();
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k <= n; ++k) {
+    const double w = prefU_w[k] + sufL_w[k];
+    const double wu = prefU_wu[k] + sufL_wu[k];
+    const double avg = wu / w;
+    if (maximize ? avg > best : avg < best) {
+      best = avg;
+      best_k = k;
+    }
+  }
+
+  WorstCaseResult out;
+  out.value = best;
+  out.worst_f.assign(n, 0.0);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = order[k];
+    out.worst_f[i] = k < best_k ? p.U[i] : p.L[i];
+    total += out.worst_f[i];
+  }
+  out.attack_q.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) out.attack_q[i] = out.worst_f[i] / total;
+  return out;
+}
+
+/// The paper's inner LP (6)-(8) in (y, z).
+WorstCaseResult inner_lp(const PointData& p) {
+  const std::size_t n = p.u.size();
+  lp::Model m;
+  m.set_objective_sense(lp::Objective::kMinimize);
+  std::vector<int> ycol(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ycol[i] = m.add_col("y" + std::to_string(i), 0.0, 1.0, p.u[i]);
+  }
+  const int zcol = m.add_col("z", 0.0, lp::kInf, 0.0);
+  const int sum_row = m.add_row("sum_y", lp::Sense::kEq, 1.0);
+  for (std::size_t i = 0; i < n; ++i) m.set_coeff(sum_row, ycol[i], 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // y_i - L_i z >= 0
+    const int rlo = m.add_row("lo" + std::to_string(i), lp::Sense::kGe, 0.0);
+    m.set_coeff(rlo, ycol[i], 1.0);
+    m.set_coeff(rlo, zcol, -p.L[i]);
+    // y_i - U_i z <= 0
+    const int rhi = m.add_row("hi" + std::to_string(i), lp::Sense::kLe, 0.0);
+    m.set_coeff(rhi, ycol[i], 1.0);
+    m.set_coeff(rhi, zcol, -p.U[i]);
+  }
+  lp::LpSolution s = lp::solve_lp(m);
+  if (!s.optimal()) {
+    throw NumericalError("worst_case inner LP returned " +
+                         std::string(to_string(s.status)));
+  }
+  WorstCaseResult out;
+  out.value = s.objective;
+  out.attack_q.assign(n, 0.0);
+  out.worst_f.assign(n, 0.0);
+  const double z = s.x[zcol];
+  for (std::size_t i = 0; i < n; ++i) {
+    out.attack_q[i] = s.x[ycol[i]];
+    out.worst_f[i] = z > 0.0 ? s.x[ycol[i]] / z : p.L[i];
+  }
+  return out;
+}
+
+/// Bisection on the strictly decreasing c -> G(x, beta(c), c).
+double dual_root(const PointData& p) {
+  const auto [umin_it, umax_it] =
+      std::minmax_element(p.u.begin(), p.u.end());
+  double lo = *umin_it - 1.0;
+  double hi = *umax_it + 1.0;
+  // G(lo) > 0 > G(hi) by construction (W(x) is a convex combination of u).
+  for (int iter = 0; iter < 100 && hi - lo > 1e-13 * (1.0 + std::abs(hi));
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (g_at(p, mid) >= 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+PointData evaluate_point(const games::SecurityGame& game,
+                         const behavior::AttractivenessBounds& bounds,
+                         std::span<const double> x) {
+  const std::size_t n = game.num_targets();
+  if (x.size() != n || bounds.num_targets() != n) {
+    throw InvalidModelError("evaluate_point: size mismatch");
+  }
+  PointData p;
+  p.u.resize(n);
+  p.L.resize(n);
+  p.U.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.u[i] = game.defender_utility(i, x[i]);
+    p.L[i] = bounds.lower(i, x[i]);
+    p.U[i] = bounds.upper(i, x[i]);
+    if (!(p.L[i] > 0.0) || !(p.U[i] >= p.L[i])) {
+      throw InvalidModelError(
+          "evaluate_point: bounds must satisfy 0 < L <= U at target " +
+          std::to_string(i));
+    }
+  }
+  return p;
+}
+
+WorstCaseResult worst_case_from_point(const PointData& p) {
+  return threshold_scan(p, /*maximize=*/false);
+}
+
+double best_case_from_point(const PointData& p) {
+  return threshold_scan(p, /*maximize=*/true).value;
+}
+
+WorstCaseResult worst_case(const games::SecurityGame& game,
+                           const behavior::AttractivenessBounds& bounds,
+                           std::span<const double> x,
+                           WorstCaseMethod method) {
+  const PointData p = evaluate_point(game, bounds, x);
+  switch (method) {
+    case WorstCaseMethod::kClosedForm:
+      return threshold_scan(p, false);
+    case WorstCaseMethod::kInnerLp:
+      return inner_lp(p);
+    case WorstCaseMethod::kDualRoot: {
+      WorstCaseResult out = threshold_scan(p, false);
+      out.value = dual_root(p);  // value from the dual; witness from scan
+      return out;
+    }
+  }
+  throw std::logic_error("worst_case: unknown method");
+}
+
+double worst_case_utility(const games::SecurityGame& game,
+                          const behavior::AttractivenessBounds& bounds,
+                          std::span<const double> x, WorstCaseMethod method) {
+  return worst_case(game, bounds, x, method).value;
+}
+
+double best_case_utility(const games::SecurityGame& game,
+                         const behavior::AttractivenessBounds& bounds,
+                         std::span<const double> x) {
+  return best_case_from_point(evaluate_point(game, bounds, x));
+}
+
+ExecutionNoiseReport worst_case_under_execution_noise(
+    const games::SecurityGame& game,
+    const behavior::AttractivenessBounds& bounds, std::span<const double> x,
+    double delta, std::size_t samples, Rng& rng) {
+  if (!(delta >= 0.0)) {
+    throw InvalidModelError("execution noise: delta must be >= 0");
+  }
+  if (samples == 0) {
+    throw InvalidModelError("execution noise: samples must be >= 1");
+  }
+  ExecutionNoiseReport report;
+  report.nominal = worst_case_utility(game, bounds, x);
+  if (delta == 0.0) {
+    report.mean = report.nominal;
+    report.min = report.nominal;
+    return report;
+  }
+  double sum = 0.0;
+  double worst = std::numeric_limits<double>::infinity();
+  std::vector<double> noisy(x.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      noisy[i] = std::clamp(x[i] + rng.uniform(-delta, delta), 0.0, 1.0);
+    }
+    const double w = worst_case_utility(game, bounds, noisy);
+    sum += w;
+    worst = std::min(worst, w);
+  }
+  report.mean = sum / static_cast<double>(samples);
+  report.min = worst;
+  return report;
+}
+
+}  // namespace cubisg::core

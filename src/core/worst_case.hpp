@@ -1,0 +1,87 @@
+// Worst-case defender utility for a fixed strategy (the inner problem of
+// the maximin (5)).
+//
+// Three independent evaluators are provided and cross-checked by the test
+// suite; all compute
+//
+//   W(x) = min_{F_i in [L_i(x_i), U_i(x_i)]} sum_i q_i U^d_i(x_i),
+//   q_i = F_i / sum_j F_j
+//
+//  * kClosedForm: the minimizer of a weighted average over a box is a
+//    threshold policy — targets with utility below the optimum get weight
+//    U_i, the rest L_i.  Sorting by utility and scanning the n+1 threshold
+//    configurations with prefix sums is exact and O(n log n).  This is the
+//    canonical (default) evaluator.
+//  * kInnerLp: the paper's LP (6)-(8) in variables (y, z), solved by the
+//    simplex substrate.  Also yields the worst-case attack distribution.
+//  * kDualRoot: bisection on c -> G(x, beta(c), c), which is strictly
+//    decreasing with root W(x) (LP duality, Eqs. 9-14).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "behavior/bounds.hpp"
+#include "common/rng.hpp"
+#include "core/hfunction.hpp"
+#include "games/security_game.hpp"
+
+namespace cubisg::core {
+
+/// Which algorithm computes the worst case.
+enum class WorstCaseMethod { kClosedForm, kInnerLp, kDualRoot };
+
+/// Result of a worst-case evaluation.
+struct WorstCaseResult {
+  double value = 0.0;              ///< W(x)
+  std::vector<double> attack_q;    ///< worst-case attack distribution
+  std::vector<double> worst_f;     ///< minimizing attractiveness values
+};
+
+/// Precomputes u_i, L_i, U_i at x.  Throws on size mismatch or non-positive
+/// bound values.
+PointData evaluate_point(const games::SecurityGame& game,
+                         const behavior::AttractivenessBounds& bounds,
+                         std::span<const double> x);
+
+/// W(x) with the selected method (full result).
+WorstCaseResult worst_case(const games::SecurityGame& game,
+                           const behavior::AttractivenessBounds& bounds,
+                           std::span<const double> x,
+                           WorstCaseMethod method = WorstCaseMethod::kClosedForm);
+
+/// Convenience: just the value.
+double worst_case_utility(const games::SecurityGame& game,
+                          const behavior::AttractivenessBounds& bounds,
+                          std::span<const double> x,
+                          WorstCaseMethod method = WorstCaseMethod::kClosedForm);
+
+/// The symmetric best case: max over the box (attacker behaves as
+/// favourably as the intervals allow).  Used by the price-of-uncertainty
+/// analyses; same threshold argument with the opposite ordering.
+double best_case_utility(const games::SecurityGame& game,
+                         const behavior::AttractivenessBounds& bounds,
+                         std::span<const double> x);
+
+/// Robustness to EXECUTION error, on top of behavioral uncertainty: field
+/// teams realize coverage clip(x_i + e_i, 0, 1) with e_i ~ U[-delta,
+/// +delta] i.i.d.  Reports the Monte-Carlo mean and minimum of the
+/// (behavioral) worst case over `samples` noise draws — how much of the
+/// certificate survives sloppy execution.
+struct ExecutionNoiseReport {
+  double nominal = 0.0;  ///< W(x) with exact execution
+  double mean = 0.0;     ///< E_noise[ W(clip(x + e)) ]
+  double min = 0.0;      ///< min over sampled noise draws
+};
+ExecutionNoiseReport worst_case_under_execution_noise(
+    const games::SecurityGame& game,
+    const behavior::AttractivenessBounds& bounds, std::span<const double> x,
+    double delta, std::size_t samples, Rng& rng);
+
+/// Worst case from precomputed point data (closed form).
+WorstCaseResult worst_case_from_point(const PointData& p);
+
+/// Best case from precomputed point data (closed form).
+double best_case_from_point(const PointData& p);
+
+}  // namespace cubisg::core

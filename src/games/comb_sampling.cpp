@@ -1,0 +1,101 @@
+#include "games/comb_sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace cubisg::games {
+
+namespace {
+
+/// Prefix positions: target i occupies [prefix[i], prefix[i+1]).
+std::vector<double> prefix_positions(std::span<const double> x) {
+  std::vector<double> prefix(x.size() + 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!(x[i] >= -1e-12) || !(x[i] <= 1.0 + 1e-12)) {
+      throw InvalidModelError("comb sampling: coverage outside [0, 1]");
+    }
+    prefix[i + 1] = prefix[i] + std::clamp(x[i], 0.0, 1.0);
+  }
+  return prefix;
+}
+
+/// Targets whose segment contains a tooth at offset u (teeth at u + k).
+std::vector<std::size_t> allocation_at(const std::vector<double>& prefix,
+                                       double u) {
+  std::vector<std::size_t> covered;
+  const double total = prefix.back();
+  for (double tooth = u; tooth < total; tooth += 1.0) {
+    // Find the segment containing `tooth`: prefix[i] <= tooth < prefix[i+1].
+    const auto it =
+        std::upper_bound(prefix.begin(), prefix.end(), tooth);
+    const std::size_t i = static_cast<std::size_t>(it - prefix.begin()) - 1;
+    if (i < prefix.size() - 1 && prefix[i + 1] > tooth) {
+      covered.push_back(i);
+    }
+  }
+  return covered;
+}
+
+}  // namespace
+
+std::vector<std::size_t> comb_sample(std::span<const double> x, double u) {
+  return allocation_at(prefix_positions(x), u);
+}
+
+std::vector<std::size_t> comb_sample(std::span<const double> x, Rng& rng) {
+  return comb_sample(x, rng.uniform());
+}
+
+std::vector<PureAllocation> comb_decomposition(std::span<const double> x) {
+  const std::vector<double> prefix = prefix_positions(x);
+
+  // The allocation changes exactly when a tooth crosses a segment
+  // boundary, i.e. at u = frac(prefix[i]).  Collect those breakpoints.
+  std::vector<double> breaks{0.0, 1.0};
+  for (double p : prefix) {
+    const double f = p - std::floor(p);
+    if (f > 1e-15 && f < 1.0 - 1e-15) breaks.push_back(f);
+  }
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end(),
+                           [](double a, double b) {
+                             return std::abs(a - b) < 1e-15;
+                           }),
+               breaks.end());
+
+  std::vector<PureAllocation> mix;
+  for (std::size_t b = 0; b + 1 < breaks.size(); ++b) {
+    const double lo = breaks[b];
+    const double hi = breaks[b + 1];
+    const double width = hi - lo;
+    if (width <= 1e-15) continue;
+    PureAllocation alloc;
+    alloc.covered = allocation_at(prefix, 0.5 * (lo + hi));
+    alloc.probability = width;
+    // Merge with an identical predecessor (keeps the mixture minimal).
+    if (!mix.empty() && mix.back().covered == alloc.covered) {
+      mix.back().probability += width;
+    } else {
+      mix.push_back(std::move(alloc));
+    }
+  }
+  return mix;
+}
+
+std::vector<double> mixture_marginals(std::size_t num_targets,
+                                      std::span<const PureAllocation> mix) {
+  std::vector<double> marginals(num_targets, 0.0);
+  for (const PureAllocation& a : mix) {
+    for (std::size_t i : a.covered) {
+      if (i >= num_targets) {
+        throw InvalidModelError("mixture_marginals: target out of range");
+      }
+      marginals[i] += a.probability;
+    }
+  }
+  return marginals;
+}
+
+}  // namespace cubisg::games

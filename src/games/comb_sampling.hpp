@@ -1,0 +1,51 @@
+// Comb sampling: turning marginal coverage into implementable patrols.
+//
+// Solvers output a marginal coverage vector x (x_i = probability target i
+// is protected).  Real defenders execute *pure* allocations: on each day,
+// a concrete set of at most R targets is patrolled.  Comb sampling (Tsai
+// et al., "Urban Security: Game-Theoretic Resource Allocation in Networked
+// Physical Domains", AAAI 2010) realizes any feasible marginal exactly:
+// lay the targets end-to-end as segments of length x_i on [0, sum x); draw
+// a uniform offset u in [0,1) and place comb teeth at u, u+1, u+2, ...;
+// patrol exactly the targets whose segment contains a tooth.  Each target
+// (length <= 1) meets at most one tooth, at most ceil(sum x) <= R teeth
+// land, and P[target i patrolled] = x_i exactly.
+//
+// Because the allocation only changes when a tooth crosses a segment
+// boundary, the mixture has at most T+1 distinct pure strategies — this
+// module computes that explicit decomposition as well as single draws.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cubisg::games {
+
+/// A pure defender strategy: the set of patrolled targets and the
+/// probability with which the mixture plays it.
+struct PureAllocation {
+  std::vector<std::size_t> covered;  ///< sorted target indices
+  double probability = 0.0;
+};
+
+/// Explicit comb decomposition of the marginal `x` (0 <= x_i <= 1).
+/// The returned mixture has at most T+1 allocations, probabilities sum to
+/// 1, every allocation patrols at most ceil(sum x) targets, and the
+/// per-target marginals reproduce `x` exactly.
+/// Throws InvalidModelError when some x_i is outside [0, 1].
+std::vector<PureAllocation> comb_decomposition(std::span<const double> x);
+
+/// One comb draw: the pure allocation for offset `u` in [0, 1).
+std::vector<std::size_t> comb_sample(std::span<const double> x, double u);
+
+/// Convenience: draw with an Rng.
+std::vector<std::size_t> comb_sample(std::span<const double> x, Rng& rng);
+
+/// Recomputes the marginal coverage of a mixture (for verification).
+std::vector<double> mixture_marginals(std::size_t num_targets,
+                                      std::span<const PureAllocation> mix);
+
+}  // namespace cubisg::games

@@ -1,0 +1,164 @@
+#include "games/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace cubisg::games {
+
+namespace {
+
+/// Keeps a reward interval strictly positive / a penalty interval strictly
+/// negative, preserving its width where possible.
+Interval clip_interval(double center, double half_width, double lo_limit,
+                       double hi_limit) {
+  double lo = center - half_width;
+  double hi = center + half_width;
+  lo = std::max(lo, lo_limit);
+  hi = std::min(hi, hi_limit);
+  if (lo > hi) {
+    lo = hi = clamp(center, lo_limit, hi_limit);
+  }
+  return Interval(lo, hi);
+}
+
+}  // namespace
+
+SecurityGame random_game(Rng& rng, std::size_t num_targets, double resources,
+                         const GeneratorOptions& options) {
+  std::vector<TargetPayoffs> payoffs(num_targets);
+  for (auto& p : payoffs) {
+    p.attacker_reward =
+        rng.uniform(options.attacker_reward_lo, options.attacker_reward_hi);
+    p.attacker_penalty =
+        rng.uniform(options.attacker_penalty_lo, options.attacker_penalty_hi);
+    if (options.zero_sum) {
+      p.defender_reward = -p.attacker_penalty;
+      p.defender_penalty = -p.attacker_reward;
+    } else {
+      p.defender_reward =
+          rng.uniform(options.attacker_reward_lo, options.attacker_reward_hi);
+      p.defender_penalty = rng.uniform(options.attacker_penalty_lo,
+                                       options.attacker_penalty_hi);
+    }
+  }
+  return SecurityGame(std::move(payoffs), resources);
+}
+
+UncertainGame random_uncertain_game(Rng& rng, std::size_t num_targets,
+                                    double resources, double payoff_width,
+                                    const GeneratorOptions& options) {
+  const double hw = 0.5 * payoff_width;
+  std::vector<TargetPayoffs> payoffs(num_targets);
+  std::vector<IntervalPayoffs> intervals(num_targets);
+  for (std::size_t i = 0; i < num_targets; ++i) {
+    const double ra =
+        rng.uniform(options.attacker_reward_lo, options.attacker_reward_hi);
+    const double pa =
+        rng.uniform(options.attacker_penalty_lo, options.attacker_penalty_hi);
+    intervals[i].attacker_reward = clip_interval(ra, hw, 0.1, 1e6);
+    intervals[i].attacker_penalty = clip_interval(pa, hw, -1e6, -0.1);
+    TargetPayoffs& p = payoffs[i];
+    p.attacker_reward = intervals[i].attacker_reward.mid();
+    p.attacker_penalty = intervals[i].attacker_penalty.mid();
+    if (options.zero_sum) {
+      p.defender_reward = -p.attacker_penalty;
+      p.defender_penalty = -p.attacker_reward;
+    } else {
+      p.defender_reward =
+          rng.uniform(options.attacker_reward_lo, options.attacker_reward_hi);
+      p.defender_penalty = rng.uniform(options.attacker_penalty_lo,
+                                       options.attacker_penalty_hi);
+    }
+  }
+  return UncertainGame{SecurityGame(std::move(payoffs), resources),
+                       std::move(intervals)};
+}
+
+SecurityGame covariant_game(Rng& rng, std::size_t num_targets,
+                            double resources, double correlation,
+                            const GeneratorOptions& options) {
+  if (!(correlation >= 0.0) || correlation > 1.0) {
+    throw InvalidModelError("covariant_game: correlation must be in [0, 1]");
+  }
+  std::vector<TargetPayoffs> payoffs(num_targets);
+  for (auto& p : payoffs) {
+    p.attacker_reward =
+        rng.uniform(options.attacker_reward_lo, options.attacker_reward_hi);
+    p.attacker_penalty =
+        rng.uniform(options.attacker_penalty_lo, options.attacker_penalty_hi);
+    const double rd_free =
+        rng.uniform(options.attacker_reward_lo, options.attacker_reward_hi);
+    const double pd_free = rng.uniform(options.attacker_penalty_lo,
+                                       options.attacker_penalty_hi);
+    p.defender_reward = correlation * (-p.attacker_penalty) +
+                        (1.0 - correlation) * rd_free;
+    p.defender_penalty = correlation * (-p.attacker_reward) +
+                         (1.0 - correlation) * pd_free;
+  }
+  return SecurityGame(std::move(payoffs), resources);
+}
+
+UncertainGame table1_game() {
+  std::vector<IntervalPayoffs> intervals = {
+      {Interval(1.0, 5.0), Interval(-7.0, -3.0)},
+      {Interval(5.0, 9.0), Interval(-9.0, -5.0)},
+  };
+  std::vector<TargetPayoffs> payoffs(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    payoffs[i].attacker_reward = intervals[i].attacker_reward.mid();
+    payoffs[i].attacker_penalty = intervals[i].attacker_penalty.mid();
+    payoffs[i].defender_reward = -payoffs[i].attacker_penalty;
+    payoffs[i].defender_penalty = -payoffs[i].attacker_reward;
+  }
+  return UncertainGame{SecurityGame(std::move(payoffs), 1.0),
+                       std::move(intervals)};
+}
+
+UncertainGame wildlife_grid_game(Rng& rng, std::size_t rows,
+                                 std::size_t cols, double resources,
+                                 double payoff_width) {
+  const std::size_t n = rows * cols;
+  // Animal density: a few Gaussian hotspots over the grid.
+  const int num_hotspots = static_cast<int>(rng.uniform_int(2, 4));
+  struct Hotspot {
+    double r, c, amp, sigma;
+  };
+  std::vector<Hotspot> hotspots;
+  for (int h = 0; h < num_hotspots; ++h) {
+    hotspots.push_back({rng.uniform(0.0, static_cast<double>(rows)),
+                        rng.uniform(0.0, static_cast<double>(cols)),
+                        rng.uniform(4.0, 9.0),
+                        rng.uniform(1.0, 2.5)});
+  }
+  std::vector<TargetPayoffs> payoffs(n);
+  std::vector<IntervalPayoffs> intervals(n);
+  const double hw = 0.5 * payoff_width;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t i = r * cols + c;
+      double density = 0.5;
+      for (const Hotspot& h : hotspots) {
+        const double dr = static_cast<double>(r) - h.r;
+        const double dc = static_cast<double>(c) - h.c;
+        density +=
+            h.amp * std::exp(-(dr * dr + dc * dc) / (2.0 * h.sigma * h.sigma));
+      }
+      // Poacher reward follows density; the penalty of being caught is
+      // roughly uniform (fines/arrest), with mild noise.
+      const double ra = clamp(density, 0.5, 12.0);
+      const double pa = -rng.uniform(2.0, 6.0);
+      intervals[i].attacker_reward = clip_interval(ra, hw, 0.1, 1e6);
+      intervals[i].attacker_penalty = clip_interval(pa, hw, -1e6, -0.1);
+      payoffs[i].attacker_reward = intervals[i].attacker_reward.mid();
+      payoffs[i].attacker_penalty = intervals[i].attacker_penalty.mid();
+      payoffs[i].defender_reward = -payoffs[i].attacker_penalty;
+      payoffs[i].defender_penalty = -payoffs[i].attacker_reward;
+    }
+  }
+  return UncertainGame{SecurityGame(std::move(payoffs), resources),
+                       std::move(intervals)};
+}
+
+}  // namespace cubisg::games

@@ -1,0 +1,79 @@
+// Seeded random game generators.
+//
+// These regenerate the experimental workloads of the paper line: random SSG
+// instances with attacker payoff intervals whose width is the experimental
+// knob for behavioral uncertainty, plus the paper's concrete Table I
+// instance and a spatial wildlife-park generator for the example apps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/rng.hpp"
+#include "games/security_game.hpp"
+
+namespace cubisg::games {
+
+/// Knobs for random instance generation.
+struct GeneratorOptions {
+  double attacker_reward_lo = 1.0;
+  double attacker_reward_hi = 10.0;
+  double attacker_penalty_lo = -10.0;
+  double attacker_penalty_hi = -1.0;
+  /// When true the defender payoffs mirror the attacker's (Rd = -Pa,
+  /// Pd = -Ra); otherwise they are drawn independently from the same
+  /// magnitude ranges.
+  bool zero_sum = true;
+};
+
+/// Random SSG with point payoffs.
+SecurityGame random_game(Rng& rng, std::size_t num_targets, double resources,
+                         const GeneratorOptions& options = {});
+
+/// Per-target uncertainty intervals on the attacker's payoffs.
+struct IntervalPayoffs {
+  Interval attacker_reward;
+  Interval attacker_penalty;
+};
+
+/// An SSG whose attacker payoffs are uncertain.  `game` carries the
+/// midpoint attacker payoffs (and the defender's own, exactly known,
+/// payoffs); `attacker_intervals` carries the ranges used to derive the
+/// behavioral bounds L_i / U_i.
+struct UncertainGame {
+  SecurityGame game;
+  std::vector<IntervalPayoffs> attacker_intervals;
+};
+
+/// Random uncertain SSG.  Each attacker payoff becomes an interval of width
+/// `payoff_width` centered on a random draw (clipped so rewards stay
+/// positive and penalties negative).
+UncertainGame random_uncertain_game(Rng& rng, std::size_t num_targets,
+                                    double resources, double payoff_width,
+                                    const GeneratorOptions& options = {});
+
+/// Covariant random game (Yang et al. IJCAI'11 style): attacker payoffs
+/// are uniform draws; defender payoffs interpolate between the zero-sum
+/// mirror (correlation = 1) and independent draws (correlation = 0):
+///   Rd_i = c * (-Pa_i) + (1-c) * U[reward range]
+///   Pd_i = c * (-Ra_i) + (1-c) * U[penalty range]
+/// Security-game evaluations sweep this correlation to stress solvers away
+/// from the zero-sum special case.
+SecurityGame covariant_game(Rng& rng, std::size_t num_targets,
+                            double resources, double correlation,
+                            const GeneratorOptions& options = {});
+
+/// The paper's Table I instance: 2 targets, 1 resource, attacker reward
+/// intervals [1,5] and [5,9], penalty intervals [-7,-3] and [-9,-5];
+/// defender payoffs are the zero-sum mirror of the attacker midpoints.
+UncertainGame table1_game();
+
+/// A rows x cols wildlife park: animal density peaks around a few random
+/// hotspots; attacker rewards follow density, defender penalties mirror
+/// them.  Used by the wildlife example and domain benches.
+UncertainGame wildlife_grid_game(Rng& rng, std::size_t rows,
+                                 std::size_t cols, double resources,
+                                 double payoff_width);
+
+}  // namespace cubisg::games

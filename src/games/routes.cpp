@@ -1,0 +1,134 @@
+#include "games/routes.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace cubisg::games {
+
+std::vector<PatrolRoute> window_routes(std::size_t num_targets,
+                                       std::size_t width, bool wrap) {
+  if (width == 0 || width > num_targets) {
+    throw InvalidModelError("window_routes: width must be in [1, T]");
+  }
+  std::vector<PatrolRoute> routes;
+  const std::size_t count = wrap ? num_targets : num_targets - width + 1;
+  for (std::size_t start = 0; start < count; ++start) {
+    PatrolRoute r;
+    for (std::size_t k = 0; k < width; ++k) {
+      r.covered.push_back((start + k) % num_targets);
+    }
+    std::sort(r.covered.begin(), r.covered.end());
+    routes.push_back(std::move(r));
+  }
+  return routes;
+}
+
+std::vector<PatrolRoute> all_k_subsets(std::size_t num_targets,
+                                       std::size_t k) {
+  if (k > num_targets) {
+    throw InvalidModelError("all_k_subsets: k must be <= T");
+  }
+  // Count check: C(T, k) capped.
+  double count = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    count *= static_cast<double>(num_targets - i) /
+             static_cast<double>(i + 1);
+  }
+  if (count > 100000.0) {
+    throw InvalidModelError("all_k_subsets: too many subsets");
+  }
+  std::vector<PatrolRoute> routes;
+  std::vector<std::size_t> pick(k);
+  auto rec = [&](auto&& self, std::size_t start, std::size_t depth) -> void {
+    if (depth == k) {
+      PatrolRoute r;
+      r.covered = pick;
+      routes.push_back(std::move(r));
+      return;
+    }
+    for (std::size_t i = start; i + (k - depth) <= num_targets; ++i) {
+      pick[depth] = i;
+      self(self, i + 1, depth + 1);
+    }
+  };
+  rec(rec, 0, 0);
+  return routes;
+}
+
+RouteMixture marginal_to_route_mixture(std::span<const PatrolRoute> routes,
+                                       std::span<const double> x,
+                                       double resources) {
+  if (routes.empty()) {
+    throw InvalidModelError("marginal_to_route_mixture: no routes");
+  }
+  const std::size_t n = x.size();
+  for (const PatrolRoute& r : routes) {
+    for (std::size_t i : r.covered) {
+      if (i >= n) {
+        throw InvalidModelError(
+            "marginal_to_route_mixture: route target out of range");
+      }
+    }
+  }
+
+  // LP: min d  s.t.  sum_r lambda_r a_r(i) - x_i in [-d, d] for all i,
+  //                  sum_r lambda_r <= resources,  lambda >= 0,  d >= 0.
+  lp::Model m;
+  m.set_objective_sense(lp::Objective::kMinimize);
+  std::vector<int> lam(routes.size());
+  for (std::size_t r = 0; r < routes.size(); ++r) {
+    lam[r] = m.add_col("lam" + std::to_string(r), 0.0, lp::kInf, 0.0);
+  }
+  const int dev = m.add_col("deviation", 0.0, lp::kInf, 1.0);
+  const int budget = m.add_row("budget", lp::Sense::kLe, resources);
+  for (std::size_t r = 0; r < routes.size(); ++r) {
+    m.set_coeff(budget, lam[r], 1.0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // achieved_i - d <= x_i  and  achieved_i + d >= x_i.
+    const int up = m.add_row("up" + std::to_string(i), lp::Sense::kLe, x[i]);
+    const int dn = m.add_row("dn" + std::to_string(i), lp::Sense::kGe, x[i]);
+    for (std::size_t r = 0; r < routes.size(); ++r) {
+      const bool covers = std::binary_search(routes[r].covered.begin(),
+                                             routes[r].covered.end(), i);
+      if (covers) {
+        m.set_coeff(up, lam[r], 1.0);
+        m.set_coeff(dn, lam[r], 1.0);
+      }
+    }
+    m.set_coeff(up, dev, -1.0);
+    m.set_coeff(dn, dev, 1.0);
+  }
+
+  lp::LpSolution s = lp::solve_lp(m);
+  if (!s.optimal()) {
+    throw NumericalError("marginal_to_route_mixture: LP returned " +
+                         std::string(to_string(s.status)));
+  }
+  RouteMixture out;
+  out.deviation = s.x[dev];
+  out.achieved.assign(n, 0.0);
+  for (std::size_t r = 0; r < routes.size(); ++r) {
+    const double w = s.x[lam[r]];
+    if (w > 1e-12) {
+      out.weights.push_back({r, w});
+      for (std::size_t i : routes[r].covered) out.achieved[i] += w;
+    }
+  }
+  return out;
+}
+
+std::vector<double> route_mixture_marginals(
+    std::span<const PatrolRoute> routes, const RouteMixture& mixture,
+    std::size_t num_targets) {
+  std::vector<double> marg(num_targets, 0.0);
+  for (const auto& [r, w] : mixture.weights) {
+    for (std::size_t i : routes[r].covered) marg[i] += w;
+  }
+  return marg;
+}
+
+}  // namespace cubisg::games

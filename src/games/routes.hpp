@@ -1,0 +1,59 @@
+// Route-constrained patrols.
+//
+// Comb sampling implements any marginal when a resource can guard any
+// single target.  Real patrols follow ROUTES — e.g. a boat sweeping a
+// contiguous stretch of river, a ranger walking a loop — and the
+// implementable marginals shrink to R * conv(route incidence vectors).
+// This module provides route generators for the common topologies and an
+// LP-based decomposition that either expresses a marginal as a mixture of
+// routes or reports (and minimizes) the deviation when it cannot.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/errors.hpp"
+
+namespace cubisg::games {
+
+/// A pure patrol route: the set of targets it covers.
+struct PatrolRoute {
+  std::vector<std::size_t> covered;  ///< sorted target indices
+};
+
+/// Contiguous windows of `width` targets on a line of `num_targets`
+/// (T - width + 1 routes), or on a cycle (T routes) when `wrap` is true.
+std::vector<PatrolRoute> window_routes(std::size_t num_targets,
+                                       std::size_t width, bool wrap = false);
+
+/// Every subset of exactly `k` targets (use only for small T; throws when
+/// the count would exceed 100000).
+std::vector<PatrolRoute> all_k_subsets(std::size_t num_targets,
+                                       std::size_t k);
+
+/// Result of a route-mixture decomposition.
+struct RouteMixture {
+  /// Weight per route; weights sum to at most `resources` and each route's
+  /// weight is >= 0.  Routes with zero weight are omitted.
+  std::vector<std::pair<std::size_t, double>> weights;  ///< (route, lambda)
+  /// Max |achieved - requested| marginal deviation (0 = implementable).
+  double deviation = 0.0;
+  /// The achieved marginal coverage.
+  std::vector<double> achieved;
+};
+
+/// Expresses the marginal `x` as a mixture of `routes` executed by
+/// `resources` patrol units (sum of weights <= resources), minimizing the
+/// worst per-target deviation |achieved_i - x_i| (an LP).  deviation == 0
+/// (up to LP tolerance) iff `x` is implementable with these routes.
+RouteMixture marginal_to_route_mixture(std::span<const PatrolRoute> routes,
+                                       std::span<const double> x,
+                                       double resources);
+
+/// Marginal coverage achieved by a mixture (for verification).
+std::vector<double> route_mixture_marginals(
+    std::span<const PatrolRoute> routes, const RouteMixture& mixture,
+    std::size_t num_targets);
+
+}  // namespace cubisg::games

@@ -1,0 +1,64 @@
+#include "games/schedule.hpp"
+
+#include <string>
+
+#include "common/errors.hpp"
+
+namespace cubisg::games {
+
+std::vector<std::size_t> ScheduledGame::target_groups() const {
+  std::vector<std::size_t> groups(locations * slots);
+  for (std::size_t i = 0; i < groups.size(); ++i) groups[i] = group_of(i);
+  return groups;
+}
+
+std::vector<double> ScheduledGame::group_budgets() const {
+  return std::vector<double>(slots, per_slot_resources);
+}
+
+ScheduledGame unroll_schedule(const UncertainGame& base, std::size_t slots,
+                              double per_slot_resources,
+                              const std::vector<double>& slot_reward_scale) {
+  if (slots == 0) {
+    throw InvalidModelError("unroll_schedule: need at least one slot");
+  }
+  if (!slot_reward_scale.empty() && slot_reward_scale.size() != slots) {
+    throw InvalidModelError(
+        "unroll_schedule: slot_reward_scale size must equal slots");
+  }
+  const std::size_t locations = base.game.num_targets();
+  std::vector<TargetPayoffs> payoffs;
+  std::vector<IntervalPayoffs> intervals;
+  payoffs.reserve(locations * slots);
+  intervals.reserve(locations * slots);
+
+  for (std::size_t d = 0; d < slots; ++d) {
+    const double scale =
+        slot_reward_scale.empty() ? 1.0 : slot_reward_scale[d];
+    if (!(scale > 0.0)) {
+      throw InvalidModelError("unroll_schedule: reward scale must be > 0");
+    }
+    for (std::size_t l = 0; l < locations; ++l) {
+      TargetPayoffs p = base.game.target(l);
+      const IntervalPayoffs& iv = base.attacker_intervals[l];
+      p.attacker_reward *= scale;
+      // Zero-sum mirror tracks the scaled reward.
+      p.defender_penalty = -p.attacker_reward;
+      payoffs.push_back(p);
+      intervals.push_back(IntervalPayoffs{
+          Interval(iv.attacker_reward.lo() * scale,
+                   iv.attacker_reward.hi() * scale),
+          iv.attacker_penalty});
+    }
+  }
+
+  ScheduledGame out{
+      UncertainGame{
+          SecurityGame(std::move(payoffs),
+                       per_slot_resources * static_cast<double>(slots)),
+          std::move(intervals)},
+      locations, slots, per_slot_resources};
+  return out;
+}
+
+}  // namespace cubisg::games

@@ -1,0 +1,109 @@
+#include "games/security_game.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace cubisg::games {
+
+SecurityGame::SecurityGame(std::vector<TargetPayoffs> payoffs,
+                           double resources)
+    : payoffs_(std::move(payoffs)), resources_(resources) {
+  if (payoffs_.empty()) {
+    throw InvalidModelError("SecurityGame: at least one target required");
+  }
+  if (!std::isfinite(resources_) || resources_ < 0.0 ||
+      resources_ > static_cast<double>(payoffs_.size())) {
+    throw InvalidModelError(
+        "SecurityGame: resources must lie in [0, num_targets]");
+  }
+  for (std::size_t i = 0; i < payoffs_.size(); ++i) {
+    const TargetPayoffs& p = payoffs_[i];
+    if (!std::isfinite(p.attacker_reward) ||
+        !std::isfinite(p.attacker_penalty) ||
+        !std::isfinite(p.defender_reward) ||
+        !std::isfinite(p.defender_penalty)) {
+      throw InvalidModelError("SecurityGame: non-finite payoff at target " +
+                              std::to_string(i));
+    }
+    if (p.attacker_reward <= p.attacker_penalty) {
+      throw InvalidModelError(
+          "SecurityGame: attacker reward must exceed penalty at target " +
+          std::to_string(i));
+    }
+    if (p.defender_reward <= p.defender_penalty) {
+      throw InvalidModelError(
+          "SecurityGame: defender reward must exceed penalty at target " +
+          std::to_string(i));
+    }
+  }
+}
+
+std::vector<double> SecurityGame::defender_utilities(
+    std::span<const double> x) const {
+  if (x.size() != payoffs_.size()) {
+    throw InvalidModelError("defender_utilities: strategy size mismatch");
+  }
+  std::vector<double> u(payoffs_.size());
+  for (std::size_t i = 0; i < payoffs_.size(); ++i) {
+    u[i] = defender_utility(i, x[i]);
+  }
+  return u;
+}
+
+double SecurityGame::min_defender_penalty() const {
+  double v = std::numeric_limits<double>::infinity();
+  for (const TargetPayoffs& p : payoffs_) {
+    v = std::min(v, p.defender_penalty);
+  }
+  return v;
+}
+
+double SecurityGame::max_defender_reward() const {
+  double v = -std::numeric_limits<double>::infinity();
+  for (const TargetPayoffs& p : payoffs_) {
+    v = std::max(v, p.defender_reward);
+  }
+  return v;
+}
+
+SecurityGame pessimistic_defender_game(
+    const SecurityGame& game,
+    std::span<const DefenderPayoffIntervals> intervals) {
+  if (intervals.size() != game.num_targets()) {
+    throw InvalidModelError(
+        "pessimistic_defender_game: interval count mismatch");
+  }
+  std::vector<TargetPayoffs> payoffs(game.num_targets());
+  for (std::size_t i = 0; i < game.num_targets(); ++i) {
+    payoffs[i] = game.target(i);
+    if (!intervals[i].reward.contains(payoffs[i].defender_reward) ||
+        !intervals[i].penalty.contains(payoffs[i].defender_penalty)) {
+      throw InvalidModelError(
+          "pessimistic_defender_game: nominal payoff outside its interval "
+          "at target " + std::to_string(i));
+    }
+    payoffs[i].defender_reward = intervals[i].reward.lo();
+    payoffs[i].defender_penalty = intervals[i].penalty.lo();
+    if (payoffs[i].defender_reward <= payoffs[i].defender_penalty) {
+      throw InvalidModelError(
+          "pessimistic_defender_game: reward.lo must exceed penalty.lo at "
+          "target " + std::to_string(i));
+    }
+  }
+  return SecurityGame(std::move(payoffs), game.resources());
+}
+
+bool SecurityGame::is_feasible_strategy(std::span<const double> x,
+                                        double tol) const {
+  if (x.size() != payoffs_.size()) return false;
+  double sum = 0.0;
+  for (double xi : x) {
+    if (!(xi >= -tol && xi <= 1.0 + tol)) return false;
+    sum += xi;
+  }
+  return std::abs(sum - resources_) <= tol * static_cast<double>(x.size());
+}
+
+}  // namespace cubisg::games

@@ -1,0 +1,97 @@
+// Stackelberg security game (SSG) model.
+//
+// A game has T targets and R < T identical defender resources.  The
+// defender plays a coverage vector x in X = { 0 <= x_i <= 1, sum_i x_i = R }
+// (marginal probabilities of a target being protected).  Payoffs per target
+// follow the SSG convention of the paper (Section II):
+//
+//   attacker attacks i, i uncovered: attacker gets Ra_i, defender Pd_i
+//   attacker attacks i, i covered:   attacker gets Pa_i, defender Rd_i
+//
+// with Ra_i > Pa_i and Rd_i > Pd_i.  Expected utilities at target i are
+//   Ud_i(x_i) = x_i Rd_i + (1 - x_i) Pd_i            (Eq. 1)
+//   Ua_i(x_i) = x_i Pa_i + (1 - x_i) Ra_i            (Eq. 2)
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/interval.hpp"
+
+namespace cubisg::games {
+
+/// Payoffs of a single target.
+struct TargetPayoffs {
+  double attacker_reward;   ///< Ra_i (attack succeeds)
+  double attacker_penalty;  ///< Pa_i (attacker caught), < Ra_i
+  double defender_reward;   ///< Rd_i (attack intercepted)
+  double defender_penalty;  ///< Pd_i (attack succeeds), < Rd_i
+};
+
+/// An SSG instance: targets, payoffs, and the number of resources.
+class SecurityGame {
+ public:
+  /// Validates and stores the instance.  Requires 1 <= targets,
+  /// 0 <= resources <= targets, finite payoffs, Ra_i > Pa_i, Rd_i > Pd_i.
+  SecurityGame(std::vector<TargetPayoffs> payoffs, double resources);
+
+  std::size_t num_targets() const { return payoffs_.size(); }
+  double resources() const { return resources_; }
+  const TargetPayoffs& target(std::size_t i) const { return payoffs_[i]; }
+  const std::vector<TargetPayoffs>& payoffs() const { return payoffs_; }
+
+  /// Defender expected utility at target i under coverage x_i (Eq. 1).
+  double defender_utility(std::size_t i, double x_i) const {
+    const TargetPayoffs& p = payoffs_[i];
+    return x_i * p.defender_reward + (1.0 - x_i) * p.defender_penalty;
+  }
+
+  /// Attacker expected utility at target i under coverage x_i (Eq. 2).
+  double attacker_utility(std::size_t i, double x_i) const {
+    const TargetPayoffs& p = payoffs_[i];
+    return x_i * p.attacker_penalty + (1.0 - x_i) * p.attacker_reward;
+  }
+
+  /// Vector of Ud_i(x_i) for a full coverage vector.
+  std::vector<double> defender_utilities(std::span<const double> x) const;
+
+  /// Smallest defender penalty over targets: min_i Pd_i.  Lower end of the
+  /// binary-search range in CUBIS.
+  double min_defender_penalty() const;
+
+  /// Largest defender reward over targets: max_i Rd_i.  Upper end of the
+  /// binary-search range in CUBIS.
+  double max_defender_reward() const;
+
+  /// True when x is a feasible defender strategy: sizes match, bounds hold
+  /// and sum x_i == R (within tol).
+  bool is_feasible_strategy(std::span<const double> x,
+                            double tol = 1e-7) const;
+
+ private:
+  std::vector<TargetPayoffs> payoffs_;
+  double resources_;
+};
+
+/// Interval uncertainty on the defender's OWN payoffs (the direction of
+/// the paper's reference [6], Kiekintveld et al. AAMAS'13: deployed payoff
+/// elicitation is itself noisy).
+struct DefenderPayoffIntervals {
+  Interval reward;   ///< Rd_i range
+  Interval penalty;  ///< Pd_i range
+};
+
+/// The pessimistic transform: a game whose defender payoffs sit at the
+/// interval lower endpoints.  Since Ud_i(x) = x*Rd + (1-x)*Pd has
+/// non-negative coefficients, this is the exact pointwise lower envelope —
+/// so the behavioral worst case of the transformed game equals the worst
+/// case over BOTH uncertainties (the adversarial nature picks payoffs and
+/// attractiveness independently).  Requires reward.lo() > penalty.lo() at
+/// every target (the SSG payoff-order invariant must survive).
+SecurityGame pessimistic_defender_game(
+    const SecurityGame& game,
+    std::span<const DefenderPayoffIntervals> intervals);
+
+}  // namespace cubisg::games

@@ -1,0 +1,25 @@
+// Operations on the defender's strategy space X = {0 <= x <= 1, sum = R}.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cubisg::games {
+
+/// The uniform strategy x_i = R / T.
+std::vector<double> uniform_strategy(std::size_t num_targets,
+                                     double resources);
+
+/// Euclidean projection of `v` onto X = {0 <= x_i <= 1, sum x_i = R}.
+/// Computed by bisection on the Lagrange multiplier of the sum constraint
+/// (the projection is clamp(v - tau) with a monotone sum in tau).
+std::vector<double> project_to_simplex_box(std::span<const double> v,
+                                           double resources);
+
+/// Greedy coverage: sorts targets by defender penalty (most damaging first)
+/// and assigns coverage 1 until resources run out.  A cheap heuristic used
+/// as a multi-start seed.
+std::vector<double> greedy_by_penalty(std::span<const double> penalties,
+                                      double resources);
+
+}  // namespace cubisg::games

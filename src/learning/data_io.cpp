@@ -1,0 +1,72 @@
+#include "learning/data_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace cubisg::learning {
+
+namespace {
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+}  // namespace
+
+void write_attack_data(std::ostream& os,
+                       const std::vector<AttackObservation>& data) {
+  os << "cubisg-attacks 1\n";
+  const std::size_t t = data.empty() ? 0 : data.front().coverage.size();
+  os << "records " << data.size() << " targets " << t << '\n';
+  for (const AttackObservation& obs : data) {
+    for (double xi : obs.coverage) os << fmt(xi) << ' ';
+    os << obs.target << '\n';
+  }
+}
+
+std::vector<AttackObservation> read_attack_data(std::istream& is) {
+  auto fail = [](const std::string& why) -> std::vector<AttackObservation> {
+    throw InvalidModelError("read_attack_data: " + why);
+  };
+  std::string tag;
+  int version = 0;
+  if (!(is >> tag >> version) || tag != "cubisg-attacks" || version != 1) {
+    return fail("bad header");
+  }
+  std::string key;
+  std::size_t records = 0, targets = 0;
+  if (!(is >> key >> records) || key != "records") return fail("records");
+  if (!(is >> key >> targets) || key != "targets") return fail("targets");
+  std::vector<AttackObservation> data(records);
+  for (std::size_t r = 0; r < records; ++r) {
+    data[r].coverage.resize(targets);
+    for (std::size_t i = 0; i < targets; ++i) {
+      std::string v;
+      if (!(is >> v)) return fail("truncated record " + std::to_string(r));
+      data[r].coverage[i] = std::strtod(v.c_str(), nullptr);
+    }
+    if (!(is >> data[r].target) || data[r].target >= targets) {
+      return fail("bad target in record " + std::to_string(r));
+    }
+  }
+  return data;
+}
+
+bool save_attack_data(const std::string& path,
+                      const std::vector<AttackObservation>& data) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_attack_data(f, data);
+  return static_cast<bool>(f);
+}
+
+std::vector<AttackObservation> load_attack_data(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw InvalidModelError("load_attack_data: cannot open " + path);
+  return read_attack_data(f);
+}
+
+}  // namespace cubisg::learning

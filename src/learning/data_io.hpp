@@ -1,0 +1,30 @@
+// Attack-record persistence: a line-oriented text format for observation
+// datasets so field data can flow into fit_suqr / bootstrap intervals
+// (and synthetic seasons can be saved for reproducible experiments).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "learning/suqr_mle.hpp"
+
+namespace cubisg::learning {
+
+/// Writes observations:
+///   cubisg-attacks 1
+///   records N targets T
+///   x_1 ... x_T target        (one line per record, hex floats)
+void write_attack_data(std::ostream& os,
+                       const std::vector<AttackObservation>& data);
+
+/// Reads a dataset written by write_attack_data.  Throws
+/// InvalidModelError on malformed input.
+std::vector<AttackObservation> read_attack_data(std::istream& is);
+
+/// File convenience wrappers.
+bool save_attack_data(const std::string& path,
+                      const std::vector<AttackObservation>& data);
+std::vector<AttackObservation> load_attack_data(const std::string& path);
+
+}  // namespace cubisg::learning

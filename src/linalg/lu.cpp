@@ -1,0 +1,148 @@
+#include "linalg/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/errors.hpp"
+
+namespace cubisg {
+
+namespace {
+// Near-machine-zero relative threshold.  Genuinely ill-conditioned but
+// invertible bases (chains of small pivots) must factor; the refinement
+// step in solve() recovers the accuracy.
+constexpr double kPivotTol = 1e-14;
+}  // namespace
+
+LuFactorization::LuFactorization(const Matrix& a)
+    : n_(a.rows()), a_(a), lu_(a), perm_(a.rows()) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("LuFactorization requires a square matrix");
+  }
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  const double scale_tol = kPivotTol * (1.0 + a.max_abs());
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivot: largest |entry| in column k at/below the diagonal.
+    std::size_t piv = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < scale_tol) {
+      singular_ = true;
+      return;
+    }
+    if (piv != k) {
+      for (std::size_t c = 0; c < n_; ++c) {
+        std::swap(lu_(piv, c), lu_(k, c));
+      }
+      std::swap(perm_[piv], perm_[k]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double m = lu_(r, k) / pivot;
+      lu_(r, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n_; ++c) {
+        lu_(r, c) -= m * lu_(k, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve_once(
+    std::span<const double> b) const {
+  std::vector<double> x(n_);
+  // Forward: L y = P b (L has unit diagonal).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Backward: U x = y.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> LuFactorization::solve(std::span<const double> b) const {
+  if (singular_) throw NumericalError("LuFactorization::solve on singular");
+  if (b.size() != n_) throw std::invalid_argument("LU solve: size mismatch");
+  std::vector<double> x = solve_once(b);
+  // One step of iterative refinement: r = b - A x, x += A^{-1} r.
+  std::vector<double> ax = a_.multiply(x);
+  std::vector<double> r(n_);
+  for (std::size_t i = 0; i < n_; ++i) r[i] = b[i] - ax[i];
+  std::vector<double> dx = solve_once(r);
+  for (std::size_t i = 0; i < n_; ++i) x[i] += dx[i];
+  return x;
+}
+
+std::vector<double> LuFactorization::solve_transposed_once(
+    std::span<const double> b) const {
+  // A^T x = b  with PA = LU  =>  A^T = U^T L^T P, solve U^T y = b,
+  // L^T z = y, then x = P^T z.
+  std::vector<double> y(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * y[j];
+    y[i] = acc / lu_(i, i);
+  }
+  std::vector<double> z(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(j, ii) * z[j];
+    z[ii] = acc;
+  }
+  std::vector<double> x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[perm_[i]] = z[i];
+  return x;
+}
+
+std::vector<double> LuFactorization::solve_transposed(
+    std::span<const double> b) const {
+  if (singular_) {
+    throw NumericalError("LuFactorization::solve_transposed on singular");
+  }
+  if (b.size() != n_) throw std::invalid_argument("LU solveT: size mismatch");
+  std::vector<double> x = solve_transposed_once(b);
+  std::vector<double> atx = a_.multiply_transposed(x);
+  std::vector<double> r(n_);
+  for (std::size_t i = 0; i < n_; ++i) r[i] = b[i] - atx[i];
+  std::vector<double> dx = solve_transposed_once(r);
+  for (std::size_t i = 0; i < n_; ++i) x[i] += dx[i];
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  if (singular_) return 0.0;
+  double det = static_cast<double>(perm_sign_);
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+double LuFactorization::rcond_estimate() const {
+  if (singular_ || n_ == 0) return 0.0;
+  double dmin = std::numeric_limits<double>::infinity();
+  double dmax = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double d = std::abs(lu_(i, i));
+    dmin = std::min(dmin, d);
+    dmax = std::max(dmax, d);
+  }
+  return dmax == 0.0 ? 0.0 : dmin / dmax;
+}
+
+}  // namespace cubisg

@@ -1,0 +1,55 @@
+// LU factorization with partial pivoting.
+//
+// Used by the simplex solver for basis solves (B y = b and B^T y = c).  The
+// basis matrices in this library are small and dense, so a full refactor per
+// simplex iteration-batch is cheap and numerically safer than product-form
+// updates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cubisg {
+
+/// PA = LU factorization of a square matrix with row partial pivoting.
+class LuFactorization {
+ public:
+  /// Factors `a`; does not throw on singularity — check is_singular().
+  /// The original matrix is retained so that solve()/solve_transposed()
+  /// can apply one step of iterative refinement, which keeps solutions
+  /// accurate even for ill-conditioned bases (the simplex produces chains
+  /// of small pivots on ordered-segment models).
+  explicit LuFactorization(const Matrix& a);
+
+  bool is_singular() const { return singular_; }
+  std::size_t dim() const { return n_; }
+
+  /// Solves A x = b.  Requires !is_singular().
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solves A^T x = b.  Requires !is_singular().
+  std::vector<double> solve_transposed(std::span<const double> b) const;
+
+  /// Determinant sign-magnitude estimate (product of U diagonal, with
+  /// permutation sign); used only for diagnostics.
+  double determinant() const;
+
+  /// Reciprocal condition estimate from diag(U); cheap singularity gauge.
+  double rcond_estimate() const;
+
+ private:
+  std::vector<double> solve_once(std::span<const double> b) const;
+  std::vector<double> solve_transposed_once(std::span<const double> b) const;
+
+  std::size_t n_ = 0;
+  Matrix a_;                   // original matrix (for refinement residuals)
+  Matrix lu_;                  // packed L (unit diag, below) and U (above)
+  std::vector<std::size_t> perm_;  // row permutation
+  int perm_sign_ = 1;
+  bool singular_ = false;
+};
+
+}  // namespace cubisg

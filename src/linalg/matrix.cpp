@@ -1,0 +1,97 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cubisg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("Matrix::multiply size");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::multiply_transposed(
+    std::span<const double> x) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument("Matrix::multiply_transposed size");
+  }
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = data_.data() + r * cols_;
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row_ptr[c] * xr;
+  }
+  return y;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double norm2(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double norm_inf(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::vector<double> subtract(std::span<const double> a,
+                             std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("subtract: size");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+}  // namespace cubisg

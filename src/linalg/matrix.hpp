@@ -1,0 +1,82 @@
+// Dense row-major matrix and basic vector kernels.
+//
+// Sized for the LPs this library produces (hundreds of rows/columns); the
+// simplex solver re-factorizes a dense basis, so an LU with partial
+// pivoting (lu.hpp) is the only factorization needed.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cubisg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construction from nested initializer lists (row major); all rows must
+  /// have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access (throws std::out_of_range).
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<const double> data() const { return data_; }
+
+  /// y = A * x  (x.size() == cols()).
+  std::vector<double> multiply(std::span<const double> x) const;
+
+  /// y = A^T * x  (x.size() == rows()).
+  std::vector<double> multiply_transposed(std::span<const double> x) const;
+
+  Matrix transposed() const;
+
+  /// Max-abs entry; 0 for empty matrices.
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm.
+double norm2(std::span<const double> v);
+
+/// Infinity norm.
+double norm_inf(std::span<const double> v);
+
+/// a - b elementwise (sizes must match).
+std::vector<double> subtract(std::span<const double> a,
+                             std::span<const double> b);
+
+}  // namespace cubisg

@@ -1,0 +1,115 @@
+#include "lp/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace cubisg::lp {
+
+namespace {
+
+std::string fmt_double(double v) {
+  if (v == kInf) return "inf";
+  if (v == -kInf) return "-inf";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%a", v);  // hex float: lossless
+  return buf;
+}
+
+double parse_double(const std::string& s) {
+  if (s == "inf") return kInf;
+  if (s == "-inf") return -kInf;
+  return std::strtod(s.c_str(), nullptr);
+}
+
+}  // namespace
+
+void write_model(std::ostream& os, const Model& model) {
+  os << "cubisg-model 1\n";
+  os << "sense "
+     << (model.objective_sense() == Objective::kMaximize ? "max" : "min")
+     << '\n';
+  os << "cols " << model.num_cols() << '\n';
+  for (int j = 0; j < model.num_cols(); ++j) {
+    os << model.col_name(j) << ' ' << fmt_double(model.col_lower(j)) << ' '
+       << fmt_double(model.col_upper(j)) << ' '
+       << fmt_double(model.col_objective(j)) << ' '
+       << (model.col_is_integer(j) ? 1 : 0) << '\n';
+  }
+  os << "rows " << model.num_rows() << '\n';
+  for (int r = 0; r < model.num_rows(); ++r) {
+    const char* sense = model.row_sense(r) == Sense::kLe   ? "<="
+                        : model.row_sense(r) == Sense::kGe ? ">="
+                                                           : "=";
+    os << model.row_name(r) << ' ' << sense << ' '
+       << fmt_double(model.row_rhs(r)) << ' '
+       << model.row_entries(r).size();
+    for (const RowEntry& e : model.row_entries(r)) {
+      os << ' ' << e.col << ':' << fmt_double(e.value);
+    }
+    os << '\n';
+  }
+}
+
+bool save_model(const std::string& path, const Model& model) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_model(f, model);
+  return static_cast<bool>(f);
+}
+
+Model read_model(std::istream& is) {
+  auto fail = [](const std::string& why) -> Model {
+    throw InvalidModelError("read_model: " + why);
+  };
+  std::string tag;
+  int version = 0;
+  if (!(is >> tag >> version) || tag != "cubisg-model" || version != 1) {
+    return fail("bad header");
+  }
+  Model m;
+  std::string key, val;
+  if (!(is >> key >> val) || key != "sense") return fail("missing sense");
+  m.set_objective_sense(val == "max" ? Objective::kMaximize
+                                     : Objective::kMinimize);
+  int ncols = 0;
+  if (!(is >> key >> ncols) || key != "cols") return fail("missing cols");
+  for (int j = 0; j < ncols; ++j) {
+    std::string name, lo, hi, obj;
+    int integer = 0;
+    if (!(is >> name >> lo >> hi >> obj >> integer)) return fail("bad col");
+    const int col =
+        m.add_col(name, parse_double(lo), parse_double(hi), parse_double(obj));
+    if (integer) m.set_integer(col);
+  }
+  int nrows = 0;
+  if (!(is >> key >> nrows) || key != "rows") return fail("missing rows");
+  for (int r = 0; r < nrows; ++r) {
+    std::string name, sense, rhs;
+    std::size_t entries = 0;
+    if (!(is >> name >> sense >> rhs >> entries)) return fail("bad row");
+    const Sense s = sense == "<=" ? Sense::kLe
+                    : sense == ">=" ? Sense::kGe
+                                    : Sense::kEq;
+    const int row = m.add_row(name, s, parse_double(rhs));
+    for (std::size_t e = 0; e < entries; ++e) {
+      std::string entry;
+      if (!(is >> entry)) return fail("bad entry");
+      const std::size_t colon = entry.find(':');
+      if (colon == std::string::npos) return fail("bad entry format");
+      m.set_coeff(row, std::stoi(entry.substr(0, colon)),
+                  parse_double(entry.substr(colon + 1)));
+    }
+  }
+  return m;
+}
+
+Model load_model(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw InvalidModelError("load_model: cannot open " + path);
+  return read_model(f);
+}
+
+}  // namespace cubisg::lp

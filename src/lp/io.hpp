@@ -1,0 +1,28 @@
+// Plain-text save/load of lp::Model.
+//
+// A simple line-oriented format with full double precision (hex floats), so
+// a model can be captured from a failing solve and replayed bit-exactly in
+// a standalone reproducer or test.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lp/model.hpp"
+
+namespace cubisg::lp {
+
+/// Writes `model` to `os` in the cubisg model format.
+void write_model(std::ostream& os, const Model& model);
+
+/// Convenience: write to a file; returns false on I/O failure.
+bool save_model(const std::string& path, const Model& model);
+
+/// Reads a model previously written by write_model.  Throws
+/// InvalidModelError on malformed input.
+Model read_model(std::istream& is);
+
+/// Convenience: read from a file.  Throws on I/O or parse failure.
+Model load_model(const std::string& path);
+
+}  // namespace cubisg::lp

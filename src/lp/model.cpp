@@ -1,0 +1,164 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/errors.hpp"
+
+namespace cubisg::lp {
+
+int Model::add_col(std::string name, double lo, double hi, double obj) {
+  if (std::isnan(lo) || std::isnan(hi) || !std::isfinite(obj)) {
+    throw InvalidModelError("add_col: non-finite objective or NaN bound");
+  }
+  if (lo > hi) {
+    throw InvalidModelError("add_col: lower bound exceeds upper bound for '" +
+                            name + "'");
+  }
+  cols_.push_back(Col{std::move(name), lo, hi, obj});
+  return static_cast<int>(cols_.size()) - 1;
+}
+
+int Model::add_row(std::string name, Sense sense, double rhs) {
+  if (!std::isfinite(rhs)) {
+    throw InvalidModelError("add_row: non-finite rhs for '" + name + "'");
+  }
+  rows_.push_back(Row{std::move(name), sense, rhs, {}});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+void Model::set_coeff(int row, int col, double value) {
+  if (row < 0 || row >= num_rows() || col < 0 || col >= num_cols()) {
+    throw std::out_of_range("set_coeff: index out of range");
+  }
+  if (!std::isfinite(value)) {
+    throw InvalidModelError("set_coeff: non-finite coefficient");
+  }
+  auto& entries = rows_[row].entries;
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [col](const RowEntry& e) { return e.col == col; });
+  if (it != entries.end()) {
+    it->value = value;
+  } else {
+    entries.push_back(RowEntry{col, value});
+  }
+}
+
+void Model::set_integer(int col, bool is_integer) {
+  if (col < 0 || col >= num_cols()) {
+    throw std::out_of_range("set_integer: column out of range");
+  }
+  cols_[col].integer = is_integer;
+}
+
+void Model::set_col_bounds(int col, double lo, double hi) {
+  if (col < 0 || col >= num_cols()) {
+    throw std::out_of_range("set_col_bounds: column out of range");
+  }
+  if (std::isnan(lo) || std::isnan(hi) || lo > hi) {
+    throw InvalidModelError("set_col_bounds: invalid bounds");
+  }
+  cols_[col].lo = lo;
+  cols_[col].hi = hi;
+}
+
+bool Model::has_integers() const {
+  return std::any_of(cols_.begin(), cols_.end(),
+                     [](const Col& c) { return c.integer; });
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  double v = 0.0;
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    v += cols_[j].obj * x[j];
+  }
+  return v;
+}
+
+double Model::row_activity(int row, const std::vector<double>& x) const {
+  double v = 0.0;
+  for (const RowEntry& e : rows_[row].entries) {
+    v += e.value * x[e.col];
+  }
+  return v;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  double worst = 0.0;
+  for (int j = 0; j < num_cols(); ++j) {
+    worst = std::max(worst, cols_[j].lo - x[j]);
+    worst = std::max(worst, x[j] - cols_[j].hi);
+  }
+  for (int r = 0; r < num_rows(); ++r) {
+    const double a = row_activity(r, x);
+    switch (rows_[r].sense) {
+      case Sense::kLe: worst = std::max(worst, a - rows_[r].rhs); break;
+      case Sense::kGe: worst = std::max(worst, rows_[r].rhs - a); break;
+      case Sense::kEq: worst = std::max(worst, std::abs(a - rows_[r].rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+std::string Model::to_lp_format() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << (obj_sense_ == Objective::kMaximize ? "Maximize" : "Minimize")
+     << "\n obj:";
+  for (int j = 0; j < num_cols(); ++j) {
+    if (cols_[j].obj != 0.0) {
+      os << (cols_[j].obj >= 0 ? " + " : " - ") << std::abs(cols_[j].obj)
+         << ' ' << cols_[j].name;
+    }
+  }
+  os << "\nSubject To\n";
+  for (int r = 0; r < num_rows(); ++r) {
+    os << ' ' << rows_[r].name << ':';
+    for (const RowEntry& e : rows_[r].entries) {
+      os << (e.value >= 0 ? " + " : " - ") << std::abs(e.value) << ' '
+         << cols_[e.col].name;
+    }
+    switch (rows_[r].sense) {
+      case Sense::kLe: os << " <= "; break;
+      case Sense::kGe: os << " >= "; break;
+      case Sense::kEq: os << " = "; break;
+    }
+    os << rows_[r].rhs << '\n';
+  }
+  os << "Bounds\n";
+  for (const Col& c : cols_) {
+    os << ' ' << c.lo << " <= " << c.name << " <= " << c.hi << '\n';
+  }
+  bool any_int = false;
+  for (const Col& c : cols_) any_int = any_int || c.integer;
+  if (any_int) {
+    os << "General\n";
+    for (const Col& c : cols_) {
+      if (c.integer) os << ' ' << c.name;
+    }
+    os << '\n';
+  }
+  os << "End\n";
+  return os.str();
+}
+
+void Model::validate() const {
+  for (const Col& c : cols_) {
+    if (c.lo > c.hi) {
+      throw InvalidModelError("validate: inverted bounds on '" + c.name + "'");
+    }
+  }
+  for (const Row& r : rows_) {
+    for (const RowEntry& e : r.entries) {
+      if (e.col < 0 || e.col >= num_cols()) {
+        throw InvalidModelError("validate: bad column index in '" + r.name +
+                                "'");
+      }
+    }
+  }
+}
+
+}  // namespace cubisg::lp

@@ -1,0 +1,109 @@
+// Linear / mixed-integer model builder.
+//
+// One builder serves both the LP solver (which ignores integrality marks)
+// and the MILP branch-and-bound (which reads them).  Columns carry bounds
+// and an objective coefficient; rows carry a sense and a right-hand side;
+// the constraint matrix is stored sparsely per row and mirrored per column
+// on demand.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cubisg::lp {
+
+/// Row sense for a linear constraint.
+enum class Sense { kLe, kGe, kEq };
+
+/// Optimization direction.
+enum class Objective { kMinimize, kMaximize };
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A sparse (column, coefficient) entry of a row.
+struct RowEntry {
+  int col;
+  double value;
+};
+
+/// Linear (or mixed-integer) optimization model.
+class Model {
+ public:
+  /// Adds a column with bounds [lo, hi] and objective coefficient `obj`.
+  /// Returns its index.  `lo` may be -inf and `hi` +inf.
+  int add_col(std::string name, double lo, double hi, double obj);
+
+  /// Adds an empty row `sense rhs`; fill coefficients with set_coeff.
+  int add_row(std::string name, Sense sense, double rhs);
+
+  /// Sets (or overwrites) the coefficient of `col` in `row`.
+  void set_coeff(int row, int col, double value);
+
+  /// Marks a column integral (binary when its bounds are [0,1]).
+  void set_integer(int col, bool is_integer = true);
+
+  void set_objective_sense(Objective sense) { obj_sense_ = sense; }
+  Objective objective_sense() const { return obj_sense_; }
+
+  /// Overwrites a column's bounds (used by branch-and-bound).
+  void set_col_bounds(int col, double lo, double hi);
+
+  int num_cols() const { return static_cast<int>(cols_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  const std::string& col_name(int col) const { return cols_[col].name; }
+  const std::string& row_name(int row) const { return rows_[row].name; }
+  double col_lower(int col) const { return cols_[col].lo; }
+  double col_upper(int col) const { return cols_[col].hi; }
+  double col_objective(int col) const { return cols_[col].obj; }
+  bool col_is_integer(int col) const { return cols_[col].integer; }
+  Sense row_sense(int row) const { return rows_[row].sense; }
+  double row_rhs(int row) const { return rows_[row].rhs; }
+  const std::vector<RowEntry>& row_entries(int row) const {
+    return rows_[row].entries;
+  }
+
+  /// True when any column is marked integral.
+  bool has_integers() const;
+
+  /// Evaluates the objective (in the model's own sense) at `x`.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Evaluates row activity a_r^T x.
+  double row_activity(int row, const std::vector<double>& x) const;
+
+  /// Max violation of rows and bounds at `x` (0 when feasible).
+  double max_violation(const std::vector<double>& x) const;
+
+  /// Throws InvalidModelError when bounds are inverted, coefficients are
+  /// non-finite, or an index is out of range.
+  void validate() const;
+
+  /// Serializes the model in CPLEX LP format (for debugging and for
+  /// interoperability with external solvers).
+  std::string to_lp_format() const;
+
+ private:
+  struct Col {
+    std::string name;
+    double lo;
+    double hi;
+    double obj;
+    bool integer = false;
+  };
+  struct Row {
+    std::string name;
+    Sense sense;
+    double rhs;
+    std::vector<RowEntry> entries;
+  };
+
+  std::vector<Col> cols_;
+  std::vector<Row> rows_;
+  Objective obj_sense_ = Objective::kMinimize;
+};
+
+}  // namespace cubisg::lp

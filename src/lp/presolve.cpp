@@ -1,0 +1,281 @@
+#include "lp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cubisg::lp {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Working copy of the model with elimination marks.
+struct Work {
+  // Column state.
+  std::vector<double> lo, hi, obj;
+  std::vector<bool> col_alive;
+  std::vector<double> fixed_value;
+  std::vector<bool> integer;
+  // Row state: sense/rhs mutable (rhs shifts as columns are substituted).
+  std::vector<Sense> sense;
+  std::vector<double> rhs;
+  std::vector<bool> row_alive;
+  // Entries per row (alive columns only are meaningful).
+  std::vector<std::vector<RowEntry>> rows;
+
+  bool infeasible = false;
+  bool unbounded = false;
+};
+
+/// Substitutes a fixed column into every row.
+void fix_column(Work& w, int j, double value) {
+  w.col_alive[j] = false;
+  w.fixed_value[j] = value;
+  if (value == 0.0) return;
+  for (std::size_t r = 0; r < w.rows.size(); ++r) {
+    if (!w.row_alive[r]) continue;
+    for (const RowEntry& e : w.rows[r]) {
+      if (e.col == j) w.rhs[r] -= e.value * value;
+    }
+  }
+}
+
+/// One sweep of reductions; returns true if anything changed.
+bool sweep(Work& w) {
+  bool changed = false;
+  const int ncols = static_cast<int>(w.lo.size());
+  const int nrows = static_cast<int>(w.rows.size());
+
+  // Column reductions.
+  for (int j = 0; j < ncols && !w.infeasible; ++j) {
+    if (!w.col_alive[j]) continue;
+    if (w.lo[j] > w.hi[j] + kTol) {
+      w.infeasible = true;
+      return true;
+    }
+    if (std::abs(w.hi[j] - w.lo[j]) <= kTol && std::isfinite(w.lo[j])) {
+      fix_column(w, j, 0.5 * (w.lo[j] + w.hi[j]));
+      changed = true;
+    }
+    // (Empty columns are handled once in the finalize step: they need the
+    // objective sense and cannot trigger further row reductions.)
+  }
+
+  // Row reductions.
+  for (int r = 0; r < nrows && !w.infeasible; ++r) {
+    if (!w.row_alive[r]) continue;
+    int live_entries = 0;
+    const RowEntry* single = nullptr;
+    for (const RowEntry& e : w.rows[r]) {
+      if (e.value != 0.0 && w.col_alive[e.col]) {
+        ++live_entries;
+        single = &e;
+      }
+    }
+    if (live_entries == 0) {
+      // 0 (sense) rhs must hold.
+      const double v = w.rhs[r];
+      const bool ok = w.sense[r] == Sense::kLe   ? 0.0 <= v + kTol
+                      : w.sense[r] == Sense::kGe ? 0.0 >= v - kTol
+                                                 : std::abs(v) <= kTol;
+      if (!ok) {
+        w.infeasible = true;
+        return true;
+      }
+      w.row_alive[r] = false;
+      changed = true;
+      continue;
+    }
+    if (live_entries == 1) {
+      // a * x (sense) rhs  ->  bound on x.
+      const int j = single->col;
+      const double a = single->value;
+      const double v = w.rhs[r] / a;
+      switch (w.sense[r]) {
+        case Sense::kLe:
+          if (a > 0.0) {
+            w.hi[j] = std::min(w.hi[j], v);
+          } else {
+            w.lo[j] = std::max(w.lo[j], v);
+          }
+          break;
+        case Sense::kGe:
+          if (a > 0.0) {
+            w.lo[j] = std::max(w.lo[j], v);
+          } else {
+            w.hi[j] = std::min(w.hi[j], v);
+          }
+          break;
+        case Sense::kEq:
+          w.lo[j] = std::max(w.lo[j], v);
+          w.hi[j] = std::min(w.hi[j], v);
+          break;
+      }
+      if (w.lo[j] > w.hi[j] + kTol) {
+        w.infeasible = true;
+        return true;
+      }
+      w.row_alive[r] = false;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+PresolveResult presolve(const Model& model) {
+  model.validate();
+  const int ncols = model.num_cols();
+  const int nrows = model.num_rows();
+
+  Work w;
+  w.lo.resize(ncols);
+  w.hi.resize(ncols);
+  w.obj.resize(ncols);
+  w.col_alive.assign(ncols, true);
+  w.fixed_value.assign(ncols, 0.0);
+  w.integer.resize(ncols);
+  for (int j = 0; j < ncols; ++j) {
+    w.lo[j] = model.col_lower(j);
+    w.hi[j] = model.col_upper(j);
+    w.obj[j] = model.col_objective(j);
+    w.integer[j] = model.col_is_integer(j);
+  }
+  w.sense.resize(nrows);
+  w.rhs.resize(nrows);
+  w.row_alive.assign(nrows, true);
+  w.rows.resize(nrows);
+  for (int r = 0; r < nrows; ++r) {
+    w.sense[r] = model.row_sense(r);
+    w.rhs[r] = model.row_rhs(r);
+    w.rows[r] = model.row_entries(r);
+  }
+
+  while (sweep(w) && !w.infeasible) {
+  }
+
+  PresolveResult out;
+  out.col_map.assign(ncols, -1);
+  out.fixed_value = w.fixed_value;
+  if (w.infeasible) {
+    out.infeasible = true;
+    out.removed_cols = ncols;
+    out.removed_rows = nrows;
+    return out;
+  }
+
+  const bool maximize = model.objective_sense() == Objective::kMaximize;
+  // Handle surviving empty columns now that the sense is at hand.
+  for (int j = 0; j < ncols; ++j) {
+    if (!w.col_alive[j]) continue;
+    bool appears = false;
+    for (int r = 0; r < nrows && !appears; ++r) {
+      if (!w.row_alive[r]) continue;
+      for (const RowEntry& e : w.rows[r]) {
+        if (e.col == j && e.value != 0.0 && w.col_alive[e.col]) {
+          appears = true;
+          break;
+        }
+      }
+    }
+    if (appears) continue;
+    const bool wants_high = maximize ? w.obj[j] > 0.0 : w.obj[j] < 0.0;
+    double v;
+    if (w.obj[j] == 0.0) {
+      v = std::isfinite(w.lo[j]) ? w.lo[j]
+          : std::isfinite(w.hi[j]) ? w.hi[j]
+                                   : 0.0;
+    } else if (wants_high) {
+      if (!std::isfinite(w.hi[j])) {
+        out.unbounded = true;
+        return out;
+      }
+      v = w.hi[j];
+    } else {
+      if (!std::isfinite(w.lo[j])) {
+        out.unbounded = true;
+        return out;
+      }
+      v = w.lo[j];
+    }
+    w.col_alive[j] = false;
+    w.fixed_value[j] = v;
+    out.fixed_value[j] = v;
+  }
+
+  // Build the reduced model.
+  out.reduced.set_objective_sense(model.objective_sense());
+  for (int j = 0; j < ncols; ++j) {
+    if (!w.col_alive[j]) {
+      ++out.removed_cols;
+      continue;
+    }
+    out.col_map[j] =
+        out.reduced.add_col(model.col_name(j), w.lo[j], w.hi[j], w.obj[j]);
+    if (w.integer[j]) out.reduced.set_integer(out.col_map[j]);
+  }
+  for (int r = 0; r < nrows; ++r) {
+    if (!w.row_alive[r]) {
+      ++out.removed_rows;
+      continue;
+    }
+    const int rr = out.reduced.add_row(model.row_name(r), w.sense[r],
+                                       w.rhs[r]);
+    for (const RowEntry& e : w.rows[r]) {
+      if (e.value != 0.0 && w.col_alive[e.col]) {
+        out.reduced.set_coeff(rr, out.col_map[e.col], e.value);
+      }
+    }
+  }
+  out.fixed_value = w.fixed_value;
+  return out;
+}
+
+std::vector<double> postsolve(const PresolveResult& pre,
+                              const std::vector<double>& reduced_x) {
+  std::vector<double> x(pre.col_map.size());
+  for (std::size_t j = 0; j < pre.col_map.size(); ++j) {
+    x[j] = pre.col_map[j] >= 0 ? reduced_x[pre.col_map[j]]
+                               : pre.fixed_value[j];
+  }
+  return x;
+}
+
+LpSolution solve_lp_presolved(const Model& model,
+                              const SimplexOptions& options) {
+  PresolveResult pre = presolve(model);
+  LpSolution out;
+  if (pre.infeasible) {
+    out.status = SolverStatus::kInfeasible;
+    return out;
+  }
+  if (pre.unbounded) {
+    out.status = SolverStatus::kUnbounded;
+    return out;
+  }
+  if (pre.reduced.num_cols() == 0) {
+    // Everything was eliminated: the solution is fully determined.
+    out.status = SolverStatus::kOptimal;
+    out.x = postsolve(pre, {});
+    out.objective = model.objective_value(out.x);
+    // Feasibility of the eliminated system was verified during presolve.
+    return out;
+  }
+  SimplexOptions reduced_opts = options;
+  reduced_opts.warm_positions = nullptr;  // spaces differ after reduction
+  LpSolution sol = solve_lp(pre.reduced, reduced_opts);
+  out.status = sol.status;
+  out.iterations = sol.iterations;
+  if (sol.status == SolverStatus::kOptimal ||
+      sol.status == SolverStatus::kIterLimit) {
+    out.x = postsolve(pre, sol.x);
+    out.objective = model.objective_value(out.x);
+  }
+  return out;
+}
+
+}  // namespace cubisg::lp

@@ -1,0 +1,51 @@
+// LP presolve: shrink a model before the simplex sees it.
+//
+// Reductions applied to a fixpoint:
+//  * fixed columns (lo == hi) are substituted into their rows;
+//  * empty columns are fixed at their objective-preferred bound;
+//  * singleton rows become bounds on their single column;
+//  * empty rows are checked and dropped;
+//  * inverted/incompatible bounds are detected as infeasibility.
+//
+// Branch-and-bound is the main customer: every branching decision fixes a
+// binary, so deep nodes shrink substantially.  The transform records how
+// to map a reduced solution back to the original column space (primal
+// postsolve; dual postsolve is intentionally out of scope — node LPs only
+// need objective + primal values).
+#pragma once
+
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace cubisg::lp {
+
+/// Outcome of a presolve pass.
+struct PresolveResult {
+  /// The reduced model (meaningful unless `infeasible` or `unbounded`).
+  Model reduced;
+  /// For each original column: index in `reduced`, or -1 if eliminated.
+  std::vector<int> col_map;
+  /// Value of each eliminated column (valid where col_map[j] == -1).
+  std::vector<double> fixed_value;
+  bool infeasible = false;
+  bool unbounded = false;
+  int removed_cols = 0;
+  int removed_rows = 0;
+};
+
+/// Runs the reductions on `model`.
+PresolveResult presolve(const Model& model);
+
+/// Expands a reduced-model solution back to original column order.
+std::vector<double> postsolve(const PresolveResult& pre,
+                              const std::vector<double>& reduced_x);
+
+/// Convenience: presolve, solve, postsolve.  Returns primal values and
+/// objective in the original space; `duals`/`reduced_costs`/`positions`
+/// refer to the REDUCED model and are cleared to avoid misuse.
+LpSolution solve_lp_presolved(const Model& model,
+                              const SimplexOptions& options = {});
+
+}  // namespace cubisg::lp

@@ -1,0 +1,726 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <limits>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/log.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cubisg::lp {
+
+namespace {
+
+constexpr double kInfD = std::numeric_limits<double>::infinity();
+
+enum class VarStatus : std::uint8_t {
+  kBasic,
+  kAtLower,
+  kAtUpper,
+  kFreeNonbasic,  // free variable parked at 0
+};
+
+/// Internal minimization problem: min c^T x, A x = b, lo <= x <= hi.
+/// Columns 0..n_user-1 are the model's, then one slack per row, then one
+/// artificial per row (appended by the solver).
+class SimplexSolver {
+ public:
+  SimplexSolver(const Model& model, const SimplexOptions& options)
+      : model_(model), opt_(options) {
+    obj_sign_ = model.objective_sense() == Objective::kMaximize ? -1.0 : 1.0;
+    build_standard_form();
+    if (opt_.max_iters < 0) {
+      opt_.max_iters = 2000 + 200 * static_cast<std::int64_t>(m_ + n_);
+    }
+  }
+
+  LpSolution run() {
+    LpSolution out;
+    out.x.assign(n_user_, 0.0);
+    out.duals.assign(m_, 0.0);
+    out.reduced_costs.assign(n_user_, 0.0);
+
+    init_nonbasic_positions();
+
+    // Warm start: adopt a hinted basis from a related solve when it is
+    // square, factorizable and primal feasible — phase 1 is skipped.
+    bool warm = opt_.warm_positions != nullptr && try_warm_start();
+
+    // Degenerate pivot chains can, very rarely, walk the factorization
+    // into an (effectively) singular basis.  Recovery is a soft restart:
+    // keep every variable's current nonbasic position (the progress made
+    // so far), park basic variables at their nearest bound, rebuild the
+    // artificial basis and redo phase 1 from there.
+    constexpr int kMaxRestarts = 3;
+    SolverStatus p2 = SolverStatus::kNumericalIssue;
+    for (int attempt = 0; attempt < kMaxRestarts; ++attempt) {
+      if (!warm) {
+        if (attempt > 0) {
+          CUBISG_LOG(LogLevel::kInfo)
+              << "simplex: soft restart " << attempt
+              << " after numeric issue";
+          park_all_at_bounds();
+        }
+        reset_artificial_basis();
+
+        // Phase 1: minimize the sum of artificials.
+        std::vector<double> phase1_cost(n_, 0.0);
+        for (int j = art_begin_; j < n_; ++j) phase1_cost[j] = 1.0;
+        SolverStatus p1 = run_phase(phase1_cost);
+        if (p1 == SolverStatus::kIterLimit) {
+          out.status = p1;
+          out.iterations = iterations_;
+          return out;
+        }
+        if (p1 != SolverStatus::kOptimal) {
+          // kUnbounded cannot legitimately happen in phase 1 (objective is
+          // bounded below by zero): treat as numeric trouble and restart.
+          continue;
+        }
+        double art_sum = 0.0;
+        for (int j = art_begin_; j < n_; ++j) art_sum += x_[j];
+        if (art_sum > opt_.feas_tol * (1.0 + bnorm_) * 10.0) {
+          out.status = SolverStatus::kInfeasible;
+          out.iterations = iterations_;
+          return out;
+        }
+        // Pin artificials to zero for phase 2.
+        for (int j = art_begin_; j < n_; ++j) {
+          lo_[j] = 0.0;
+          hi_[j] = 0.0;
+          x_[j] = 0.0;
+          if (status_[j] != VarStatus::kBasic) {
+            status_[j] = VarStatus::kAtLower;
+          }
+        }
+      }
+      warm = false;  // any retry after this point cold-starts
+
+      // Phase 2: the real objective.
+      p2 = run_phase(c_);
+      out.iterations = iterations_;
+      if (p2 == SolverStatus::kNumericalIssue) continue;
+
+      // Extract primal values in the user's column order.
+      for (int j = 0; j < n_user_; ++j) out.x[j] = x_[j];
+      const double violation = model_.max_violation(out.x);
+      if (p2 == SolverStatus::kOptimal && violation > 1e-6) {
+        CUBISG_LOG(LogLevel::kWarn)
+            << "simplex: optimal basis violates model by " << violation;
+        p2 = SolverStatus::kNumericalIssue;
+        continue;
+      }
+      out.objective = model_.objective_value(out.x);
+      // Undo the row scaling: the scaled problem is (SA) x = Sb, so the
+      // original dual is y = S y'.
+      for (int r = 0; r < m_; ++r) {
+        out.duals[r] = obj_sign_ * y_[r] * row_scale_[r];
+      }
+      for (int j = 0; j < n_user_; ++j) {
+        out.reduced_costs[j] = obj_sign_ * d_[j];
+      }
+      out.positions.resize(n_user_ + m_);
+      for (int j = 0; j < n_user_ + m_; ++j) {
+        switch (status_[j]) {
+          case VarStatus::kBasic:
+            out.positions[j] = VarPosition::kBasic;
+            break;
+          case VarStatus::kAtLower:
+            out.positions[j] = VarPosition::kAtLower;
+            break;
+          case VarStatus::kAtUpper:
+            out.positions[j] = VarPosition::kAtUpper;
+            break;
+          case VarStatus::kFreeNonbasic:
+            out.positions[j] = VarPosition::kFree;
+            break;
+        }
+      }
+      out.status = p2;
+      return out;
+    }
+    out.status = SolverStatus::kNumericalIssue;
+    out.iterations = iterations_;
+    return out;
+  }
+
+ private:
+  // ---- standard-form construction -------------------------------------
+
+  void build_standard_form() {
+    model_.validate();
+    n_user_ = model_.num_cols();
+    m_ = model_.num_rows();
+    const int n_slack = m_;
+    n_ = n_user_ + n_slack;  // artificials appended later
+    art_begin_ = n_;
+
+    cols_.assign(n_, {});
+    c_.assign(n_, 0.0);
+    lo_.assign(n_, 0.0);
+    hi_.assign(n_, 0.0);
+    b_.assign(m_, 0.0);
+
+    for (int j = 0; j < n_user_; ++j) {
+      c_[j] = obj_sign_ * model_.col_objective(j);
+      lo_[j] = model_.col_lower(j);
+      hi_[j] = model_.col_upper(j);
+    }
+    // Row equilibration: scale each row to unit max magnitude (powers of
+    // two, so the scaling itself is exact).  The CUBIS MILPs mix big-M
+    // coefficients (~1e2) with attractiveness slopes (~1e-4) in one matrix;
+    // without scaling, degenerate pivots on such rows can produce
+    // numerically singular bases.
+    row_scale_.assign(m_, 1.0);
+    for (int r = 0; r < m_; ++r) {
+      double maxabs = 0.0;
+      for (const RowEntry& e : model_.row_entries(r)) {
+        maxabs = std::max(maxabs, std::abs(e.value));
+      }
+      if (maxabs > 0.0) {
+        row_scale_[r] = std::exp2(-std::round(std::log2(maxabs)));
+      }
+    }
+    for (int r = 0; r < m_; ++r) {
+      const double s_r = row_scale_[r];
+      b_[r] = s_r * model_.row_rhs(r);
+      for (const RowEntry& e : model_.row_entries(r)) {
+        if (e.value != 0.0) cols_[e.col].push_back({r, s_r * e.value});
+      }
+      const int s = n_user_ + r;
+      cols_[s].push_back({r, s_r});
+      switch (model_.row_sense(r)) {
+        case Sense::kLe:
+          lo_[s] = 0.0;
+          hi_[s] = kInfD;
+          break;
+        case Sense::kGe:
+          lo_[s] = -kInfD;
+          hi_[s] = 0.0;
+          break;
+        case Sense::kEq:
+          lo_[s] = 0.0;
+          hi_[s] = 0.0;
+          break;
+      }
+    }
+    bnorm_ = 0.0;
+    for (double v : b_) bnorm_ = std::max(bnorm_, std::abs(v));
+  }
+
+  void init_nonbasic_positions() {
+    status_.assign(n_, VarStatus::kAtLower);
+    x_.assign(n_, 0.0);
+    for (int j = 0; j < n_; ++j) {
+      if (std::isfinite(lo_[j])) {
+        status_[j] = VarStatus::kAtLower;
+        x_[j] = lo_[j];
+      } else if (std::isfinite(hi_[j])) {
+        status_[j] = VarStatus::kAtUpper;
+        x_[j] = hi_[j];
+      } else {
+        status_[j] = VarStatus::kFreeNonbasic;
+        x_[j] = 0.0;
+      }
+    }
+  }
+
+  /// Attempts to adopt the hinted basis: positions for user columns and
+  /// slacks, with exactly m_ basic entries forming a nonsingular, primal
+  /// feasible basis under the CURRENT bounds.  Returns false (leaving the
+  /// solver in its cold-start state) on any mismatch.
+  bool try_warm_start() {
+    const std::vector<VarPosition>& hint = *opt_.warm_positions;
+    if (static_cast<int>(hint.size()) != n_user_ + m_) return false;
+    // Any failure below must leave the solver in a clean cold-start state.
+    auto bail = [this]() {
+      init_nonbasic_positions();
+      return false;
+    };
+
+    std::vector<int> hinted_basic;
+    hinted_basic.reserve(m_);
+    for (int j = 0; j < n_user_ + m_; ++j) {
+      switch (hint[j]) {
+        case VarPosition::kBasic:
+          hinted_basic.push_back(j);
+          break;
+        case VarPosition::kAtLower:
+          if (!std::isfinite(lo_[j])) return bail();
+          status_[j] = VarStatus::kAtLower;
+          x_[j] = lo_[j];
+          break;
+        case VarPosition::kAtUpper:
+          if (!std::isfinite(hi_[j])) return bail();
+          status_[j] = VarStatus::kAtUpper;
+          x_[j] = hi_[j];
+          break;
+        case VarPosition::kFree:
+          status_[j] = VarStatus::kFreeNonbasic;
+          x_[j] = 0.0;
+          break;
+      }
+    }
+    if (static_cast<int>(hinted_basic.size()) != m_) return bail();
+
+    // Factor the hinted basis and check primal feasibility.
+    basic_ = hinted_basic;
+    for (int j : basic_) status_[j] = VarStatus::kBasic;
+    Matrix bmat(m_, m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      for (const auto& [r, v] : cols_[basic_[i]]) bmat(r, i) = v;
+    }
+    LuFactorization lu(bmat);
+    if (lu.is_singular()) return bail();
+    std::vector<double> rhs = b_;
+    for (int j = 0; j < n_; ++j) {
+      if (status_[j] == VarStatus::kBasic || x_[j] == 0.0) continue;
+      for (const auto& [r, v] : cols_[j]) rhs[r] -= v * x_[j];
+    }
+    const std::vector<double> xb = lu.solve(rhs);
+    const double tol = 1e-7 * (1.0 + bnorm_);
+    for (int i = 0; i < m_; ++i) {
+      const int bj = basic_[i];
+      if (xb[i] < lo_[bj] - tol || xb[i] > hi_[bj] + tol) return bail();
+    }
+    for (int i = 0; i < m_; ++i) x_[basic_[i]] = xb[i];
+    return true;
+  }
+
+  /// Parks every non-artificial variable at its nearest finite bound (free
+  /// variables at 0) so a fresh artificial basis can be formed.  Used by
+  /// the soft-restart path; most variables keep the bound they already sit
+  /// at, preserving the progress of earlier iterations.
+  void park_all_at_bounds() {
+    for (int j = 0; j < art_begin_; ++j) {
+      const bool has_lo = std::isfinite(lo_[j]);
+      const bool has_hi = std::isfinite(hi_[j]);
+      if (has_lo && has_hi) {
+        const bool nearer_hi = std::abs(x_[j] - hi_[j]) <
+                               std::abs(x_[j] - lo_[j]);
+        status_[j] = nearer_hi ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        x_[j] = nearer_hi ? hi_[j] : lo_[j];
+      } else if (has_lo) {
+        status_[j] = VarStatus::kAtLower;
+        x_[j] = lo_[j];
+      } else if (has_hi) {
+        status_[j] = VarStatus::kAtUpper;
+        x_[j] = hi_[j];
+      } else {
+        status_[j] = VarStatus::kFreeNonbasic;
+        x_[j] = 0.0;
+      }
+    }
+  }
+
+  /// (Re)creates one signed artificial per row so the basis is the
+  /// (diagonal, nonsingular) artificial identity for the current nonbasic
+  /// positions.  Idempotent: columns are allocated once and reset after.
+  void reset_artificial_basis() {
+    if (n_ == art_begin_) {
+      for (int r = 0; r < m_; ++r) {
+        cols_.push_back({{r, 1.0}});
+        c_.push_back(0.0);
+        lo_.push_back(0.0);
+        hi_.push_back(kInfD);
+        status_.push_back(VarStatus::kBasic);
+        x_.push_back(0.0);
+        ++n_;
+      }
+    }
+    // Residual with every original column at its nonbasic position.
+    std::vector<double> resid = b_;
+    for (int j = 0; j < art_begin_; ++j) {
+      if (x_[j] == 0.0) continue;
+      for (const auto& [r, v] : cols_[j]) resid[r] -= v * x_[j];
+    }
+    basic_.assign(m_, -1);
+    for (int r = 0; r < m_; ++r) {
+      const int a = art_begin_ + r;
+      cols_[a] = {{r, resid[r] >= 0.0 ? 1.0 : -1.0}};
+      lo_[a] = 0.0;
+      hi_[a] = kInfD;
+      status_[a] = VarStatus::kBasic;
+      x_[a] = std::abs(resid[r]);
+      basic_[r] = a;
+    }
+  }
+
+  // ---- simplex machinery ----------------------------------------------
+
+  /// Runs one phase to optimality with cost vector `cost`.
+  /// Returns kOptimal, kUnbounded, kIterLimit or kNumericalIssue.
+  SolverStatus run_phase(const std::vector<double>& cost) {
+    std::int64_t degen_streak = 0;
+    bool bland = opt_.force_bland;
+    // Product-form-of-inverse: the basis is factorized only every
+    // kRefactorInterval pivots; in between, solves go through the LU of
+    // the reference basis plus one eta transform per pivot, and the basic
+    // values x_B are updated incrementally (O(m) per pivot instead of the
+    // O(m^3) refactorization).
+    bool need_factor = true;
+    for (;;) {
+      if (iterations_ >= opt_.max_iters) return SolverStatus::kIterLimit;
+      ++iterations_;
+
+      if (need_factor || etas_.size() >= opt_.refactor_interval) {
+        if (!refactorize()) return SolverStatus::kNumericalIssue;
+        need_factor = false;
+      }
+
+      // Duals y = B^{-T} c_B and reduced costs for the CURRENT basis.
+      {
+        std::vector<double> cb(m_);
+        for (int i = 0; i < m_; ++i) cb[i] = cost[basic_[i]];
+        y_ = btran(std::move(cb));
+        d_.assign(n_, 0.0);
+        for (int j = 0; j < n_; ++j) {
+          if (status_[j] == VarStatus::kBasic) continue;
+          double dj = cost[j];
+          for (const auto& [r, v] : cols_[j]) dj -= y_[r] * v;
+          d_[j] = dj;
+        }
+      }
+
+      // Entering variable.
+      int enter = -1;
+      double enter_dir = 0.0;
+      double best_score = opt_.opt_tol;
+      for (int j = 0; j < n_; ++j) {
+        if (status_[j] == VarStatus::kBasic) continue;
+        if (hi_[j] - lo_[j] <= 0.0) continue;  // fixed: cannot move
+        const double dj = d_[j];
+        double dir = 0.0;
+        if (status_[j] == VarStatus::kAtLower && dj < -opt_.opt_tol) {
+          dir = 1.0;
+        } else if (status_[j] == VarStatus::kAtUpper && dj > opt_.opt_tol) {
+          dir = -1.0;
+        } else if (status_[j] == VarStatus::kFreeNonbasic &&
+                   std::abs(dj) > opt_.opt_tol) {
+          dir = dj < 0.0 ? 1.0 : -1.0;
+        } else {
+          continue;
+        }
+        if (bland) {
+          enter = j;
+          enter_dir = dir;
+          break;  // smallest index
+        }
+        if (std::abs(dj) > best_score) {
+          best_score = std::abs(dj);
+          enter = j;
+          enter_dir = dir;
+        }
+      }
+      if (enter < 0) return SolverStatus::kOptimal;
+
+      // Direction through the basis: B w = A_enter (FTRAN).
+      std::vector<double> a_col(m_, 0.0);
+      for (const auto& [r, v] : cols_[enter]) a_col[r] = v;
+      std::vector<double> w = ftran(a_col);
+      {
+        // Validate the direction: an ill-conditioned basis can return a w
+        // whose pivot entries are pure noise, and pivoting on noise is how
+        // a basis turns singular.  ||B w - A_enter|| flags that upfront.
+        std::vector<double> bw(m_, 0.0);
+        for (int i = 0; i < m_; ++i) {
+          if (w[i] == 0.0) continue;
+          for (const auto& [r, v] : cols_[basic_[i]]) bw[r] += v * w[i];
+        }
+        double resid = 0.0, a_norm = 0.0;
+        for (int r = 0; r < m_; ++r) {
+          resid = std::max(resid, std::abs(bw[r] - a_col[r]));
+          a_norm = std::max(a_norm, std::abs(a_col[r]));
+        }
+        if (resid > 1e-7 * (1.0 + a_norm)) {
+          CUBISG_LOG(LogLevel::kWarn)
+              << "simplex: direction residual " << resid;
+          return SolverStatus::kNumericalIssue;
+        }
+      }
+
+      // Ratio test (two passes, Harris-style).  Moving x_enter by t*step
+      // changes x_B by -t*step*w.  Pass 1 finds the tightest limit; pass 2
+      // picks, among rows whose limit ties within a tolerance, the one with
+      // the largest |pivot| — this keeps the next basis well conditioned.
+      // Pivot eligibility is relative to |w|: entries below the noise
+      // floor of the direction solve must not become pivots, or the next
+      // basis is (numerically) singular.
+      double w_inf = 0.0;
+      for (double wi : w) w_inf = std::max(w_inf, std::abs(wi));
+      const double kPivotEligible = 1e-9 * (1.0 + w_inf);
+      const double span = hi_[enter] - lo_[enter];
+      double min_limit = std::isfinite(span) ? span : kInfD;  // bound flip
+      for (int i = 0; i < m_; ++i) {
+        const int bj = basic_[i];
+        const double delta = -enter_dir * w[i];  // d x_B[i] / d step
+        double limit = kInfD;
+        if (delta < -kPivotEligible) {
+          if (std::isfinite(lo_[bj])) limit = (x_[bj] - lo_[bj]) / (-delta);
+        } else if (delta > kPivotEligible) {
+          if (std::isfinite(hi_[bj])) limit = (hi_[bj] - x_[bj]) / delta;
+        } else {
+          continue;
+        }
+        if (limit < min_limit) min_limit = std::max(0.0, limit);
+      }
+
+      double step = min_limit;
+      int leave_row = -1;
+      bool leave_to_upper = false;
+      double best_pivot = 0.0;
+      const double tie_tol = 1e-9 * (1.0 + std::abs(min_limit));
+      for (int i = 0; i < m_; ++i) {
+        const int bj = basic_[i];
+        const double delta = -enter_dir * w[i];
+        double limit = kInfD;
+        bool to_upper = false;
+        if (delta < -kPivotEligible) {
+          if (std::isfinite(lo_[bj])) limit = (x_[bj] - lo_[bj]) / (-delta);
+        } else if (delta > kPivotEligible) {
+          if (std::isfinite(hi_[bj])) {
+            limit = (hi_[bj] - x_[bj]) / delta;
+            to_upper = true;
+          }
+        } else {
+          continue;
+        }
+        if (limit > min_limit + tie_tol) continue;
+        const bool better =
+            bland ? (leave_row < 0 || bj < basic_[leave_row])
+                  : (std::abs(delta) > best_pivot);
+        if (better) {
+          best_pivot = std::abs(delta);
+          leave_row = i;
+          leave_to_upper = to_upper;
+          step = std::max(0.0, std::min(step, limit));
+        }
+      }
+
+      if (!std::isfinite(step)) {
+        // No blocking bound anywhere: the phase objective is unbounded.
+        return SolverStatus::kUnbounded;
+      }
+
+      if (step < 1e-11) {
+        ++degen_streak;
+        if (degen_streak > 4 * static_cast<std::int64_t>(m_) + 64) {
+          bland = true;  // anti-cycling from now on
+        }
+      } else {
+        degen_streak = 0;
+      }
+
+      if (leave_row < 0) {
+        // Bound flip of the entering variable: no basis change, but the
+        // basic values shift by -t*step*w.
+        for (int i = 0; i < m_; ++i) {
+          x_[basic_[i]] -= enter_dir * step * w[i];
+        }
+        x_[enter] = enter_dir > 0.0 ? hi_[enter] : lo_[enter];
+        status_[enter] =
+            enter_dir > 0.0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        continue;
+      }
+
+      // Pivot: `enter` becomes basic, the blocking basic leaves to a bound.
+      const int leave = basic_[leave_row];
+      dbg_enter_ = enter;
+      dbg_leave_ = leave;
+      dbg_step_ = step;
+      if (std::getenv("CUBISG_DEBUG_SINGULAR")) {
+        dbg_trace_.push_back("it=" + std::to_string(iterations_) +
+                             " enter=" + std::to_string(enter) +
+                             " leave=" + std::to_string(leave) +
+                             " row=" + std::to_string(leave_row) +
+                             " step=" + std::to_string(step) +
+                             " pivot=" + std::to_string(w[leave_row]) +
+                             " winf=" + std::to_string(w_inf) +
+                             " elig=" + std::to_string(kPivotEligible));
+        if (dbg_trace_.size() > 8) dbg_trace_.erase(dbg_trace_.begin());
+      }
+      for (int i = 0; i < m_; ++i) {
+        if (i == leave_row) continue;
+        x_[basic_[i]] -= enter_dir * step * w[i];
+      }
+      x_[enter] += enter_dir * step;
+      x_[leave] = leave_to_upper ? hi_[leave] : lo_[leave];
+      status_[leave] =
+          leave_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      status_[enter] = VarStatus::kBasic;
+      basic_[leave_row] = enter;
+      etas_.push_back({leave_row, w});
+      if (leave >= art_begin_) {
+        // An artificial that leaves the basis is never allowed back.
+        lo_[leave] = 0.0;
+        hi_[leave] = 0.0;
+        x_[leave] = 0.0;
+        status_[leave] = VarStatus::kAtLower;
+      }
+    }
+  }
+
+  /// Rebuilds the basis factorization from scratch, recomputes the basic
+  /// primal values exactly, and clears the eta file.
+  bool refactorize() {
+    Matrix bmat(m_, m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      for (const auto& [r, v] : cols_[basic_[i]]) {
+        bmat(r, i) = v;
+      }
+    }
+    lu_.emplace(bmat);
+    if (lu_->is_singular()) {
+      CUBISG_LOG(LogLevel::kWarn) << "simplex: singular basis";
+      if (const char* path = std::getenv("CUBISG_DUMP_BASIS")) {
+        if (FILE* f = std::fopen(path, "w")) {
+          std::fprintf(f, "%d\n", m_);
+          for (int i = 0; i < m_; ++i) std::fprintf(f, "%d ", basic_[i]);
+          std::fprintf(f, "\n");
+          for (int r = 0; r < m_; ++r) {
+            for (int cc = 0; cc < m_; ++cc) {
+              std::fprintf(f, "%.17g ", bmat(r, cc));
+            }
+            std::fprintf(f, "\n");
+          }
+          std::fclose(f);
+        }
+      }
+      if (std::getenv("CUBISG_DEBUG_SINGULAR")) {
+        std::string cols_desc;
+        std::vector<int> sorted = basic_;
+        std::sort(sorted.begin(), sorted.end());
+        for (int i = 0; i + 1 < m_; ++i) {
+          if (sorted[i] == sorted[i + 1]) {
+            cols_desc += " DUP:" + std::to_string(sorted[i]);
+          }
+        }
+        CUBISG_LOG(LogLevel::kWarn)
+            << "simplex: iter=" << iterations_ << " m=" << m_
+            << " dup_check=[" << cols_desc << "] last_enter=" << dbg_enter_
+            << " last_leave=" << dbg_leave_ << " last_step=" << dbg_step_;
+        for (const std::string& t : dbg_trace_) {
+          CUBISG_LOG(LogLevel::kWarn) << "  trace " << t;
+        }
+      }
+      return false;
+    }
+
+    // x_B = B^{-1} (b - N x_N)
+    std::vector<double> rhs = b_;
+    for (int j = 0; j < n_; ++j) {
+      if (status_[j] == VarStatus::kBasic || x_[j] == 0.0) continue;
+      for (const auto& [r, v] : cols_[j]) rhs[r] -= v * x_[j];
+    }
+    std::vector<double> xb = lu_->solve(rhs);
+    // Guard against an ill-conditioned basis producing an unusable solve:
+    // the refined residual must be tiny relative to the right-hand side.
+    {
+      double rhs_norm = 0.0;
+      for (double v : rhs) rhs_norm = std::max(rhs_norm, std::abs(v));
+      std::vector<double> check(m_, 0.0);
+      for (int i = 0; i < m_; ++i) {
+        for (const auto& [r, v] : cols_[basic_[i]]) check[r] += v * xb[i];
+      }
+      double resid = 0.0;
+      for (int r = 0; r < m_; ++r) {
+        resid = std::max(resid, std::abs(check[r] - rhs[r]));
+      }
+      if (resid > 1e-6 * (1.0 + rhs_norm)) {
+        CUBISG_LOG(LogLevel::kWarn)
+            << "simplex: basis solve residual " << resid;
+        return false;
+      }
+    }
+    for (int i = 0; i < m_; ++i) x_[basic_[i]] = xb[i];
+    etas_.clear();
+    return true;
+  }
+
+  /// FTRAN: solves B v = rhs through the reference LU plus the eta file.
+  std::vector<double> ftran(std::vector<double> v) const {
+    v = lu_->solve(v);
+    for (const Eta& e : etas_) {
+      const double pivot_val = v[e.row] / e.w[e.row];
+      for (int i = 0; i < m_; ++i) {
+        if (i != e.row) v[i] -= e.w[i] * pivot_val;
+      }
+      v[e.row] = pivot_val;
+    }
+    return v;
+  }
+
+  /// BTRAN: solves B^T v = rhs (eta transposes in reverse, then LU^T).
+  std::vector<double> btran(std::vector<double> v) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      double dot_excl = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        if (i != it->row) dot_excl += it->w[i] * v[i];
+      }
+      v[it->row] = (v[it->row] - dot_excl) / it->w[it->row];
+    }
+    return lu_->solve_transposed(v);
+  }
+
+  const Model& model_;
+  SimplexOptions opt_;
+  double obj_sign_ = 1.0;
+
+  int n_user_ = 0;  ///< model columns
+  int m_ = 0;       ///< rows
+  int n_ = 0;       ///< all internal columns (user + slack + artificial)
+  int art_begin_ = 0;
+  double bnorm_ = 0.0;
+
+  std::vector<std::vector<std::pair<int, double>>> cols_;
+  std::vector<double> c_;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  std::vector<double> b_;
+  std::vector<double> row_scale_;  ///< power-of-two row equilibration
+
+  std::vector<VarStatus> status_;
+  std::vector<int> basic_;
+  std::vector<double> x_;
+  std::vector<double> y_;  ///< duals of the last refactorization
+  std::vector<double> d_;  ///< reduced costs of the last refactorization
+  std::optional<LuFactorization> lu_;
+  struct Eta {
+    int row;
+    std::vector<double> w;  ///< pivot-time direction (column of E)
+  };
+  std::vector<Eta> etas_;  ///< updates since the last refactorization
+  std::int64_t iterations_ = 0;
+  int dbg_enter_ = -1;
+  int dbg_leave_ = -1;
+  double dbg_step_ = 0.0;
+  std::vector<std::string> dbg_trace_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const Model& model, const SimplexOptions& options) {
+  SimplexSolver solver(model, options);
+  LpSolution sol = solver.run();
+  if (sol.status == SolverStatus::kNumericalIssue && !options.force_bland) {
+    // Rare escape hatch: a degenerate pivot sequence produced a (near-)
+    // singular basis.  Bland's rule takes a different, maximally cautious
+    // path through the same problem.
+    SimplexOptions retry = options;
+    retry.force_bland = true;
+    SimplexSolver cautious(model, retry);
+    LpSolution again = cautious.run();
+    again.iterations += sol.iterations;
+    return again;
+  }
+  return sol;
+}
+
+}  // namespace cubisg::lp

@@ -1,0 +1,75 @@
+// Two-phase bounded-variable primal simplex.
+//
+// Standard form used internally: minimize c^T x subject to A x = b with
+// per-variable bounds l <= x <= u (either side may be infinite).  User rows
+// are converted by appending one slack per row; phase 1 appends signed
+// artificial columns and minimizes their sum.  The basis is refactorized
+// (dense LU) every iteration — basis matrices in this library are small
+// (tens of rows), so simplicity and numerical robustness win over update
+// formulas.  Dantzig pricing with an automatic switch to Bland's rule under
+// degeneracy guarantees termination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/tolerances.hpp"
+#include "lp/model.hpp"
+
+namespace cubisg::lp {
+
+/// Where a column sits in a (final or hinted) basis configuration.
+/// Covers the model's own columns followed by one slack per row.
+enum class VarPosition : std::uint8_t {
+  kAtLower,
+  kAtUpper,
+  kBasic,
+  kFree,  ///< free nonbasic, parked at 0
+};
+
+/// Options controlling a simplex solve.
+struct SimplexOptions {
+  double feas_tol = Tol::kFeas;   ///< bound/row feasibility tolerance
+  double opt_tol = 1e-9;          ///< reduced-cost optimality tolerance
+  std::int64_t max_iters = -1;    ///< -1 = automatic (scales with size)
+  /// Use Bland's rule from the first iteration (slow but maximally
+  /// cycle/degeneracy robust).  solve_lp retries with this automatically
+  /// when the default pricing runs into numerical trouble.
+  bool force_bland = false;
+  /// Pivots between basis refactorizations (the eta-file length).  Smaller
+  /// = more numerically conservative; larger = faster on well-behaved
+  /// models.  1 reproduces the refactorize-every-iteration behavior.
+  std::size_t refactor_interval = 64;
+  /// Optional warm start: the positions (num_cols + num_rows entries —
+  /// columns then slacks) from a previous solve of a nearby model, e.g.
+  /// the parent node in branch and bound.  If the hinted basis is square,
+  /// factorizable and primal feasible under the current bounds, phase 1 is
+  /// skipped entirely; otherwise the solver silently cold-starts.
+  const std::vector<VarPosition>* warm_positions = nullptr;
+};
+
+/// Result of an LP solve.
+struct LpSolution {
+  SolverStatus status = SolverStatus::kNumericalIssue;
+  /// Objective value in the model's own sense (only when kOptimal or a
+  /// limit status with a feasible iterate).
+  double objective = 0.0;
+  /// Primal values for the model's columns.
+  std::vector<double> x;
+  /// Shadow prices per row: d objective / d rhs, in the model's own sense.
+  std::vector<double> duals;
+  /// Reduced costs per column (internal minimization sense converted back).
+  std::vector<double> reduced_costs;
+  /// Final basis configuration (num_cols + num_rows entries — columns then
+  /// slacks); feed to SimplexOptions::warm_positions of a related solve.
+  std::vector<VarPosition> positions;
+  std::int64_t iterations = 0;
+
+  bool optimal() const { return status == SolverStatus::kOptimal; }
+};
+
+/// Solves `model` as a pure LP (integrality marks are ignored).
+LpSolution solve_lp(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace cubisg::lp

@@ -1,0 +1,73 @@
+// Data-parallel helpers layered on ThreadPool.
+//
+// `parallel_for` partitions an index range into contiguous blocks, one task
+// per block; `parallel_map` collects per-index results into a vector.  Both
+// rethrow the first task exception on the calling thread.  With a single
+// hardware thread these degrade gracefully to near-sequential execution.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace cubisg {
+
+/// Invokes body(i) for i in [begin, end) using `pool`.
+/// `grain` is the minimum block size per task (>= 1).
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const Body& body, std::size_t grain = 1) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.num_threads();
+  std::size_t block = (n + workers - 1) / workers;
+  if (block < grain) block = grain;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve((n + block - 1) / block);
+  for (std::size_t lo = begin; lo < end; lo += block) {
+    const std::size_t hi = std::min(end, lo + block);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Convenience overload using the global pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body,
+                  std::size_t grain = 1) {
+  parallel_for(ThreadPool::global(), begin, end, body, grain);
+}
+
+/// Maps fn over [0, n) and returns the results in index order.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, const Fn& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Convenience overload using the global pool.
+template <typename Fn>
+auto parallel_map(std::size_t n, const Fn& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  return parallel_map(ThreadPool::global(), n, fn);
+}
+
+}  // namespace cubisg

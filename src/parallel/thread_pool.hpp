@@ -1,0 +1,75 @@
+// Fixed-size task-based thread pool.
+//
+// Design follows the C++ Core Guidelines concurrency rules: callers think in
+// tasks, not threads (CP.4); worker threads are created once and reused
+// (CP.41); waiting is always on a condition with a predicate (CP.42); joins
+// are RAII via std::jthread (CP.25/CP.23); tasks receive their inputs by
+// value (CP.31) and return results through futures, so there is no shared
+// mutable state beyond the queue itself (CP.2/CP.3).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cubisg {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Submits a callable; returns a future for its result.  The callable is
+  /// moved into the pool; capture inputs by value.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f),
+         ... as = std::forward<Args>(args)]() mutable {
+          return std::invoke(std::move(fn), std::move(as)...);
+        });
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit after shutdown");
+      }
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// A process-wide default pool, lazily constructed with one worker per
+  /// hardware thread.  Solvers use this unless handed an explicit pool.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mutex_
+  bool stopping_ = false;                    // guarded by mutex_
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace cubisg

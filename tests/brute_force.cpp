@@ -1,0 +1,40 @@
+#include "brute_force.hpp"
+
+#include <functional>
+
+namespace cubisg::testing {
+
+std::optional<double> brute_force_milp(const lp::Model& model) {
+  std::vector<int> int_cols;
+  for (int j = 0; j < model.num_cols(); ++j) {
+    if (model.col_is_integer(j)) int_cols.push_back(j);
+  }
+  lp::Model work = model;
+  const bool maximize =
+      model.objective_sense() == lp::Objective::kMaximize;
+  std::optional<double> best;
+
+  std::function<void(std::size_t)> rec = [&](std::size_t idx) {
+    if (idx == int_cols.size()) {
+      if (auto v = brute_force_lp(work)) {
+        if (!best || (maximize ? *v > *best : *v < *best)) best = *v;
+      }
+      return;
+    }
+    const int col = int_cols[idx];
+    const double lo = model.col_lower(col);
+    const double hi = model.col_upper(col);
+    const long vlo = static_cast<long>(std::ceil(lo - 1e-9));
+    const long vhi = static_cast<long>(std::floor(hi + 1e-9));
+    for (long v = vlo; v <= vhi; ++v) {
+      work.set_col_bounds(col, static_cast<double>(v),
+                          static_cast<double>(v));
+      rec(idx + 1);
+    }
+    work.set_col_bounds(col, lo, hi);
+  };
+  rec(0);
+  return best;
+}
+
+}  // namespace cubisg::testing

@@ -1,0 +1,91 @@
+// Brute-force reference solvers used to validate the simplex and
+// branch-and-bound implementations on small random instances.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "lp/model.hpp"
+
+namespace cubisg::testing {
+
+/// Exhaustively enumerates basic solutions of a small LP: every choice of
+/// `n` tight constraints among {rows-as-equalities, lower bounds, upper
+/// bounds} defines a candidate vertex; feasible candidates are scored.
+/// Returns the best objective (in the model's sense), or nullopt when no
+/// feasible vertex exists.  Only valid for models whose optimum is attained
+/// at a vertex (bounded feasible region), which the random generators in
+/// the tests guarantee by bounding every variable.
+inline std::optional<double> brute_force_lp(const lp::Model& model) {
+  const int n = model.num_cols();
+  const int m = model.num_rows();
+
+  // Candidate tight constraints: (kind, index) with kind 0=row, 1=lo, 2=hi.
+  struct Tight {
+    int kind;
+    int index;
+  };
+  std::vector<Tight> cands;
+  for (int r = 0; r < m; ++r) cands.push_back({0, r});
+  for (int j = 0; j < n; ++j) {
+    if (std::isfinite(model.col_lower(j))) cands.push_back({1, j});
+    if (std::isfinite(model.col_upper(j))) cands.push_back({2, j});
+  }
+  const int k = static_cast<int>(cands.size());
+
+  const bool maximize = model.objective_sense() == lp::Objective::kMaximize;
+  std::optional<double> best;
+  std::vector<int> pick(n);
+
+  // Enumerate all (k choose n) subsets via a simple recursive lambda.
+  std::vector<double> x(n);
+  auto consider = [&]() {
+    Matrix a(n, n, 0.0);
+    std::vector<double> rhs(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      const Tight& t = cands[pick[i]];
+      if (t.kind == 0) {
+        for (const lp::RowEntry& e : model.row_entries(t.index)) {
+          a(i, e.col) = e.value;
+        }
+        rhs[i] = model.row_rhs(t.index);
+      } else {
+        a(i, t.index) = 1.0;
+        rhs[i] = t.kind == 1 ? model.col_lower(t.index)
+                             : model.col_upper(t.index);
+      }
+    }
+    LuFactorization lu(a);
+    if (lu.is_singular()) return;
+    std::vector<double> sol = lu.solve(rhs);
+    for (int j = 0; j < n; ++j) x[j] = sol[j];
+    std::vector<double> xv(x.begin(), x.end());
+    if (model.max_violation(xv) > 1e-7) return;
+    const double obj = model.objective_value(xv);
+    if (!best || (maximize ? obj > *best : obj < *best)) best = obj;
+  };
+
+  auto rec = [&](auto&& self, int start, int depth) -> void {
+    if (depth == n) {
+      consider();
+      return;
+    }
+    for (int i = start; i <= k - (n - depth); ++i) {
+      pick[depth] = i;
+      self(self, i + 1, depth + 1);
+    }
+  };
+  if (n <= k) rec(rec, 0, 0);
+  return best;
+}
+
+/// Exhaustive MILP reference: enumerates every assignment of the integer
+/// columns over their (finite, small) bound ranges, fixes them, solves the
+/// continuous remainder by brute_force_lp, and returns the best objective.
+std::optional<double> brute_force_milp(const lp::Model& model);
+
+}  // namespace cubisg::testing

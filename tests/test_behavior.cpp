@@ -1,0 +1,327 @@
+// Tests for behavioral models (QR/SUQR) and uncertainty bounds.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "behavior/attacker_sim.hpp"
+#include "behavior/bounds.hpp"
+#include "behavior/suqr.hpp"
+#include "common/rng.hpp"
+#include "games/generators.hpp"
+
+namespace cubisg::behavior {
+namespace {
+
+games::SecurityGame table1() { return games::table1_game().game; }
+
+TEST(Suqr, AttractivenessMatchesFormula) {
+  SuqrModel m({-4.0, 0.75, 0.65}, {3.0, 7.0}, {-5.0, -7.0});
+  // F_i(x) = exp(w1 x + w2 Ra + w3 Pa)
+  EXPECT_NEAR(m.attractiveness(0, 0.5),
+              std::exp(-4.0 * 0.5 + 0.75 * 3.0 + 0.65 * -5.0), 1e-12);
+  EXPECT_NEAR(m.log_attractiveness(1, 0.0), 0.75 * 7.0 + 0.65 * -7.0, 1e-12);
+}
+
+TEST(Suqr, DecreasingInCoverage) {
+  SuqrModel m({-4.0, 0.75, 0.65}, {3.0}, {-5.0});
+  double prev = m.attractiveness(0, 0.0);
+  for (double x = 0.1; x <= 1.0; x += 0.1) {
+    const double cur = m.attractiveness(0, x);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Suqr, Validation) {
+  EXPECT_THROW(SuqrModel({1.0, 0.75, 0.65}, {3.0}, {-5.0}),
+               InvalidModelError);  // w1 must be negative
+  EXPECT_THROW(SuqrModel({-1.0, 0.75, 0.65}, {}, {}), InvalidModelError);
+  EXPECT_THROW(SuqrModel({-1.0, 0.75, 0.65}, {1.0, 2.0}, {-1.0}),
+               InvalidModelError);
+  EXPECT_THROW(SuqrModel({-1.0, 0.75, 0.65}, {std::nan("")}, {-1.0}),
+               InvalidModelError);
+}
+
+TEST(AttackProbabilities, FormDistribution) {
+  auto game = table1();
+  SuqrModel m({-4.0, 0.75, 0.65}, game);
+  auto q = attack_probabilities(m, std::vector<double>{0.3, 0.7});
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_NEAR(q[0] + q[1], 1.0, 1e-12);
+  EXPECT_GT(q[0], 0.0);
+  EXPECT_GT(q[1], 0.0);
+}
+
+TEST(AttackProbabilities, StableForExtremeExponents) {
+  // Rewards large enough to overflow exp() without log-space handling.
+  SuqrModel m({-4.0, 1.0, 0.5}, {800.0, 820.0}, {-1.0, -1.0});
+  auto q = attack_probabilities(m, std::vector<double>{0.5, 0.5});
+  EXPECT_NEAR(q[0] + q[1], 1.0, 1e-9);
+  EXPECT_GT(q[1], q[0]);  // higher reward attracts more
+}
+
+TEST(AttackProbabilities, MatchesEquation4) {
+  auto game = table1();
+  SuqrModel m({-4.0, 0.75, 0.65}, game);
+  std::vector<double> x{0.4, 0.6};
+  const double f0 = m.attractiveness(0, 0.4);
+  const double f1 = m.attractiveness(1, 0.6);
+  auto q = attack_probabilities(m, x);
+  EXPECT_NEAR(q[0], f0 / (f0 + f1), 1e-12);
+}
+
+TEST(DefenderExpectedUtility, WeightsUtilitiesByAttackProbability) {
+  auto game = table1();
+  SuqrModel m({-4.0, 0.75, 0.65}, game);
+  std::vector<double> x{0.5, 0.5};
+  auto q = attack_probabilities(m, x);
+  const double expected = q[0] * game.defender_utility(0, 0.5) +
+                          q[1] * game.defender_utility(1, 0.5);
+  EXPECT_NEAR(defender_expected_utility(game, m, x), expected, 1e-12);
+}
+
+TEST(QuantalResponse, HigherLambdaConcentratesOnBestTarget) {
+  auto game = table1();
+  QuantalResponseModel weak(0.1, game);
+  QuantalResponseModel strong(5.0, game);
+  std::vector<double> x{0.5, 0.5};
+  auto qw = attack_probabilities(weak, x);
+  auto qs = attack_probabilities(strong, x);
+  // Target 1 has higher attacker utility at x=(.5,.5); the more rational
+  // model must put more probability on it.
+  ASSERT_GT(game.attacker_utility(1, 0.5), game.attacker_utility(0, 0.5));
+  EXPECT_GT(qs[1], qw[1]);
+  EXPECT_THROW(QuantalResponseModel(0.0, game), InvalidModelError);
+}
+
+// ---- SuqrIntervalBounds -------------------------------------------------
+
+TEST(SuqrIntervalBounds, PaperCornersPinsSectionIIIValues) {
+  // The paper's worked example: w1 in [-6,-2], w2 in [.5,1], w3 in [.4,.9],
+  // target 1 payoffs Ra in [1,5], Pa in [-7,-3] ->
+  // L1(0.3) = e^{-6*0.3 + 0.5*1 + 0.4*(-7)} = e^{-4.1},
+  // U1(0.3) = e^{-2*0.3 + 1*5 + 0.9*(-3)} = e^{1.7}.
+  auto ug = games::table1_game();
+  SuqrIntervalBounds b(SuqrWeightIntervals{}, ug.attacker_intervals,
+                       IntervalMode::kPaperCorners);
+  EXPECT_NEAR(b.lower(0, 0.3), std::exp(-4.1), 1e-12);
+  EXPECT_NEAR(b.upper(0, 0.3), std::exp(1.7), 1e-12);
+  EXPECT_NEAR(b.log_lower(0, 0.3), -4.1, 1e-12);
+  EXPECT_NEAR(b.log_upper(0, 0.3), 1.7, 1e-12);
+}
+
+TEST(SuqrIntervalBounds, OrderAndPositivity) {
+  auto ug = games::table1_game();
+  for (IntervalMode mode :
+       {IntervalMode::kPaperCorners, IntervalMode::kExactBox}) {
+    SuqrIntervalBounds b(SuqrWeightIntervals{}, ug.attacker_intervals, mode);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (double x = 0.0; x <= 1.0; x += 0.1) {
+        EXPECT_GT(b.lower(i, x), 0.0);
+        EXPECT_LE(b.lower(i, x), b.upper(i, x));
+      }
+    }
+  }
+}
+
+TEST(SuqrIntervalBounds, BothEndpointsDecreaseInCoverage) {
+  auto ug = games::table1_game();
+  SuqrIntervalBounds b(SuqrWeightIntervals{}, ug.attacker_intervals);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double pl = b.lower(i, 0.0), pu = b.upper(i, 0.0);
+    for (double x = 0.1; x <= 1.0; x += 0.1) {
+      EXPECT_LT(b.lower(i, x), pl);
+      EXPECT_LT(b.upper(i, x), pu);
+      pl = b.lower(i, x);
+      pu = b.upper(i, x);
+    }
+  }
+}
+
+TEST(SuqrIntervalBounds, ExactBoxContainsEverySampledModel) {
+  // Property: for any parameters inside the box, the true SUQR
+  // attractiveness lies inside [L, U] computed by kExactBox.
+  auto ug = games::table1_game();
+  SuqrWeightIntervals w;
+  SuqrIntervalBounds b(w, ug.attacker_intervals, IntervalMode::kExactBox);
+  Rng rng(31);
+  SampledSuqrPopulation pop(w, ug.attacker_intervals, 64, rng);
+  for (std::size_t t = 0; t < pop.num_types(); ++t) {
+    for (double x : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      for (std::size_t i = 0; i < 2; ++i) {
+        const double f = pop.type(t).attractiveness(i, x);
+        EXPECT_GE(f, b.lower(i, x) * (1 - 1e-9));
+        EXPECT_LE(f, b.upper(i, x) * (1 + 1e-9));
+      }
+    }
+  }
+}
+
+TEST(SuqrIntervalBounds, ExactBoxIsTightestValidBox) {
+  // PaperCorners endpoints may lie inside the exact box (its min/max over
+  // the box is wider than the corner plug-in when signs interact).
+  auto ug = games::table1_game();
+  SuqrIntervalBounds pc(SuqrWeightIntervals{}, ug.attacker_intervals,
+                        IntervalMode::kPaperCorners);
+  SuqrIntervalBounds eb(SuqrWeightIntervals{}, ug.attacker_intervals,
+                        IntervalMode::kExactBox);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (double x : {0.0, 0.3, 0.7, 1.0}) {
+      EXPECT_LE(eb.lower(i, x), pc.lower(i, x) * (1 + 1e-12));
+      EXPECT_GE(eb.upper(i, x), pc.upper(i, x) * (1 - 1e-12));
+    }
+  }
+}
+
+TEST(SuqrIntervalBounds, Validation) {
+  auto ug = games::table1_game();
+  SuqrWeightIntervals bad;
+  bad.w1 = Interval(-2.0, 0.5);  // not strictly negative
+  EXPECT_THROW(SuqrIntervalBounds(bad, ug.attacker_intervals),
+               InvalidModelError);
+  SuqrWeightIntervals bad2;
+  bad2.w2 = Interval(-0.5, 1.0);
+  EXPECT_THROW(SuqrIntervalBounds(bad2, ug.attacker_intervals),
+               InvalidModelError);
+  std::vector<games::IntervalPayoffs> neg_reward = {
+      {Interval(-1.0, 5.0), Interval(-7.0, -3.0)}};
+  EXPECT_THROW(SuqrIntervalBounds(SuqrWeightIntervals{}, neg_reward),
+               InvalidModelError);
+  EXPECT_THROW(SuqrIntervalBounds(SuqrWeightIntervals{}, {}),
+               InvalidModelError);
+}
+
+TEST(SuqrIntervalBounds, MidpointModelUsesBoxMidpoints) {
+  auto ug = games::table1_game();
+  SuqrIntervalBounds b(SuqrWeightIntervals{}, ug.attacker_intervals);
+  SuqrModel mid = b.midpoint_model();
+  EXPECT_DOUBLE_EQ(mid.weights().w1, -4.0);
+  EXPECT_DOUBLE_EQ(mid.weights().w2, 0.75);
+  EXPECT_DOUBLE_EQ(mid.weights().w3, 0.65);
+  EXPECT_NEAR(mid.log_attractiveness(0, 0.0), 0.75 * 3.0 + 0.65 * -5.0,
+              1e-12);
+}
+
+TEST(PointBounds, CollapsesToModel) {
+  auto game = table1();
+  auto model = std::make_shared<SuqrModel>(SuqrWeights{-4.0, 0.75, 0.65},
+                                           game);
+  PointBounds pb(model);
+  for (double x : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(pb.lower(0, x), pb.upper(0, x));
+    EXPECT_DOUBLE_EQ(pb.lower(0, x), model->attractiveness(0, x));
+  }
+  EXPECT_THROW(PointBounds(nullptr), InvalidModelError);
+}
+
+TEST(ScaledBounds, InterpolatesWidth) {
+  auto ug = games::table1_game();
+  auto base = std::make_shared<SuqrIntervalBounds>(SuqrWeightIntervals{},
+                                                   ug.attacker_intervals);
+  ScaledBounds zero(base, 0.0);
+  ScaledBounds half(base, 0.5);
+  ScaledBounds full(base, 1.0);
+  for (double x : {0.0, 0.4, 1.0}) {
+    // factor 0: point at the geometric midpoint.
+    EXPECT_NEAR(zero.lower(0, x), zero.upper(0, x), 1e-9);
+    // factor 1: reproduces the base bounds.
+    EXPECT_NEAR(full.lower(0, x), base->lower(0, x), 1e-9);
+    EXPECT_NEAR(full.upper(0, x), base->upper(0, x), 1e-9);
+    // factor 0.5: nested strictly inside.
+    EXPECT_GT(half.lower(0, x), base->lower(0, x));
+    EXPECT_LT(half.upper(0, x), base->upper(0, x));
+  }
+  EXPECT_THROW(ScaledBounds(base, 1.5), InvalidModelError);
+  EXPECT_THROW(ScaledBounds(nullptr, 0.5), InvalidModelError);
+}
+
+TEST(EnsembleBounds, EnvelopesEveryMember) {
+  auto game = table1();
+  std::vector<std::shared_ptr<const AttractivenessModel>> models;
+  for (double w1 : {-6.0, -4.0, -2.5}) {
+    models.push_back(std::make_shared<SuqrModel>(
+        SuqrWeights{w1, 0.75, 0.65}, game));
+  }
+  EnsembleBounds b(models);
+  EXPECT_EQ(b.num_models(), 3u);
+  for (double x : {0.0, 0.3, 0.8}) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (const auto& m : models) {
+        EXPECT_GE(m->attractiveness(i, x), b.lower(i, x) - 1e-15);
+        EXPECT_LE(m->attractiveness(i, x), b.upper(i, x) + 1e-15);
+      }
+      // The envelope is tight: endpoints are attained by some member.
+      bool lo_hit = false, hi_hit = false;
+      for (const auto& m : models) {
+        lo_hit = lo_hit ||
+                 std::abs(m->attractiveness(i, x) - b.lower(i, x)) < 1e-12;
+        hi_hit = hi_hit ||
+                 std::abs(m->attractiveness(i, x) - b.upper(i, x)) < 1e-12;
+      }
+      EXPECT_TRUE(lo_hit);
+      EXPECT_TRUE(hi_hit);
+    }
+  }
+}
+
+TEST(EnsembleBounds, Validation) {
+  EXPECT_THROW(EnsembleBounds({}), InvalidModelError);
+  auto game = table1();
+  std::vector<std::shared_ptr<const AttractivenessModel>> with_null{
+      std::make_shared<SuqrModel>(SuqrWeights{}, game), nullptr};
+  EXPECT_THROW(EnsembleBounds{with_null}, InvalidModelError);
+  std::vector<std::shared_ptr<const AttractivenessModel>> mismatch{
+      std::make_shared<SuqrModel>(SuqrWeights{}, game),
+      std::make_shared<SuqrModel>(SuqrWeights{},
+                                  std::vector<double>{1.0},
+                                  std::vector<double>{-1.0})};
+  EXPECT_THROW(EnsembleBounds{mismatch}, InvalidModelError);
+}
+
+// ---- attacker simulation -------------------------------------------------
+
+TEST(SampledPopulation, DeterministicForSeed) {
+  auto ug = games::table1_game();
+  Rng r1(77), r2(77);
+  SampledSuqrPopulation p1(SuqrWeightIntervals{}, ug.attacker_intervals, 16,
+                           r1);
+  SampledSuqrPopulation p2(SuqrWeightIntervals{}, ug.attacker_intervals, 16,
+                           r2);
+  std::vector<double> x{0.46, 0.54};
+  EXPECT_DOUBLE_EQ(p1.mean_defender_utility(ug.game, x),
+                   p2.mean_defender_utility(ug.game, x));
+}
+
+TEST(SampledPopulation, MinIsBelowMean) {
+  auto ug = games::table1_game();
+  Rng rng(78);
+  SampledSuqrPopulation pop(SuqrWeightIntervals{}, ug.attacker_intervals, 32,
+                            rng);
+  std::vector<double> x{0.46, 0.54};
+  EXPECT_LE(pop.min_defender_utility(ug.game, x),
+            pop.mean_defender_utility(ug.game, x) + 1e-12);
+}
+
+TEST(SampledPopulation, MonteCarloConvergesToAnalyticMean) {
+  auto ug = games::table1_game();
+  Rng rng(79);
+  SampledSuqrPopulation pop(SuqrWeightIntervals{}, ug.attacker_intervals, 8,
+                            rng);
+  std::vector<double> x{0.46, 0.54};
+  const double analytic = pop.mean_defender_utility(ug.game, x);
+  Rng sim(80);
+  const double mc = pop.simulate_attacks(ug.game, x, 40000, sim);
+  EXPECT_NEAR(mc, analytic, 0.15);
+}
+
+TEST(SampledPopulation, RejectsEmpty) {
+  auto ug = games::table1_game();
+  Rng rng(81);
+  EXPECT_THROW(SampledSuqrPopulation(SuqrWeightIntervals{},
+                                     ug.attacker_intervals, 0, rng),
+               InvalidModelError);
+}
+
+}  // namespace
+}  // namespace cubisg::behavior

@@ -1,0 +1,261 @@
+// Unit tests for the common substrate: intervals, RNG, math utilities,
+// logging and timers.
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/interval.hpp"
+#include "common/log.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace cubisg {
+namespace {
+
+// ---- Interval -------------------------------------------------------------
+
+TEST(Interval, ConstructionAndAccessors) {
+  Interval iv(-2.0, 3.0);
+  EXPECT_DOUBLE_EQ(iv.lo(), -2.0);
+  EXPECT_DOUBLE_EQ(iv.hi(), 3.0);
+  EXPECT_DOUBLE_EQ(iv.width(), 5.0);
+  EXPECT_DOUBLE_EQ(iv.mid(), 0.5);
+  EXPECT_FALSE(iv.is_point());
+  EXPECT_TRUE(Interval(1.0).is_point());
+}
+
+TEST(Interval, RejectsInvalid) {
+  EXPECT_THROW(Interval(2.0, 1.0), InvalidModelError);
+  EXPECT_THROW(Interval(0.0, std::numeric_limits<double>::infinity()),
+               InvalidModelError);
+  EXPECT_THROW(Interval(std::nan(""), 1.0), InvalidModelError);
+}
+
+TEST(Interval, Contains) {
+  Interval iv(-1.0, 1.0);
+  EXPECT_TRUE(iv.contains(0.0));
+  EXPECT_TRUE(iv.contains(-1.0));
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_FALSE(iv.contains(1.0001));
+  EXPECT_TRUE(iv.contains(Interval(-0.5, 0.5)));
+  EXPECT_FALSE(iv.contains(Interval(0.5, 1.5)));
+}
+
+TEST(Interval, Arithmetic) {
+  Interval a(1.0, 2.0);
+  Interval b(-3.0, -1.0);
+  EXPECT_EQ(a + b, Interval(-2.0, 1.0));
+  EXPECT_EQ(a - b, Interval(2.0, 5.0));
+  // Product over the box: {1,2} x {-3,-1} -> [-6, -1].
+  EXPECT_EQ(a * b, Interval(-6.0, -1.0));
+  EXPECT_EQ(2.0 * a, Interval(2.0, 4.0));
+  EXPECT_EQ(-1.0 * a, Interval(-2.0, -1.0));
+}
+
+TEST(Interval, ProductCoversMixedSigns) {
+  Interval a(-2.0, 3.0);
+  Interval b(-1.0, 4.0);
+  // Extremes: -2*4=-8, 3*4=12.
+  EXPECT_EQ(a * b, Interval(-8.0, 12.0));
+}
+
+TEST(Interval, ExpMonotone) {
+  Interval a(-1.0, 2.0);
+  Interval e = exp(a);
+  EXPECT_DOUBLE_EQ(e.lo(), std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(e.hi(), std::exp(2.0));
+}
+
+TEST(Interval, WidenScale) {
+  Interval a(1.0, 3.0);
+  EXPECT_EQ(a.widened(0.5), Interval(0.5, 3.5));
+  EXPECT_EQ(a.scaled_about_mid(0.5), Interval(1.5, 2.5));
+  EXPECT_EQ(a.scaled_about_mid(0.0), Interval(2.0, 2.0));
+}
+
+TEST(Interval, StreamOutput) {
+  std::ostringstream os;
+  os << Interval(1.0, 2.0);
+  EXPECT_EQ(os.str(), "[1, 2]");
+}
+
+// ---- Rng --------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(2, 6);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // The child must not replay the parent's stream.
+  Rng parent2(23);
+  parent2.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// ---- math_util --------------------------------------------------------
+
+TEST(MathUtil, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 + 1.0, 0.0, 1e-9));
+}
+
+TEST(MathUtil, LogSumExpMatchesDirect) {
+  std::vector<double> v{0.1, -2.0, 3.5};
+  double direct = std::log(std::exp(0.1) + std::exp(-2.0) + std::exp(3.5));
+  EXPECT_NEAR(log_sum_exp(v), direct, 1e-12);
+}
+
+TEST(MathUtil, LogSumExpStableForLargeInputs) {
+  std::vector<double> v{1000.0, 1000.0};
+  EXPECT_NEAR(log_sum_exp(v), 1000.0 + std::log(2.0), 1e-9);
+  std::vector<double> w{-1000.0, -1000.0};
+  EXPECT_NEAR(log_sum_exp(w), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathUtil, LogSumExpEmpty) {
+  EXPECT_EQ(log_sum_exp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathUtil, Linspace) {
+  auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_DOUBLE_EQ(v[4], 1.0);
+  EXPECT_THROW(linspace(0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(MathUtil, StableSumCompensates) {
+  // 1 + 1e-16 repeated: naive summation loses the small terms entirely.
+  std::vector<double> v;
+  v.push_back(1.0);
+  for (int i = 0; i < 10000; ++i) v.push_back(1e-16);
+  EXPECT_NEAR(stable_sum(v), 1.0 + 1e-12, 1e-15);
+}
+
+TEST(MathUtil, StableDot) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(stable_dot(a, b), 4.0 - 10.0 + 18.0);
+  std::vector<double> c{1.0};
+  EXPECT_THROW(stable_dot(a, c), std::invalid_argument);
+}
+
+TEST(MathUtil, AllFinite) {
+  EXPECT_TRUE(all_finite(std::vector<double>{1.0, -2.0}));
+  EXPECT_FALSE(all_finite(std::vector<double>{1.0, std::nan("")}));
+  EXPECT_FALSE(all_finite(
+      std::vector<double>{std::numeric_limits<double>::infinity()}));
+}
+
+TEST(MathUtil, Clamp) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+// ---- Timer / Log ------------------------------------------------------
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), t.seconds());  // millis = 1000x seconds
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Log, LevelsFilterAndSinkReceives) {
+  std::vector<std::string> captured;
+  set_log_sink([&](LogLevel, const std::string& msg) {
+    captured.push_back(msg);
+  });
+  set_log_level(LogLevel::kInfo);
+  CUBISG_LOG(LogLevel::kDebug) << "hidden";
+  CUBISG_LOG(LogLevel::kInfo) << "shown " << 42;
+  CUBISG_LOG(LogLevel::kError) << "error";
+  set_log_sink(nullptr);
+  set_log_level(LogLevel::kWarn);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "shown 42");
+  EXPECT_EQ(captured[1], "error");
+}
+
+TEST(Errors, StatusNames) {
+  EXPECT_EQ(to_string(SolverStatus::kOptimal), "optimal");
+  EXPECT_EQ(to_string(SolverStatus::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(SolverStatus::kEarlyPositive), "early-positive");
+}
+
+}  // namespace
+}  // namespace cubisg

@@ -1,0 +1,146 @@
+// Tests for the solver-comparison harness and pseudo-cost branching.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/evaluation.hpp"
+#include "lp/model.hpp"
+#include "milp/branch_and_bound.hpp"
+
+namespace cubisg {
+namespace {
+
+TEST(Evaluation, ProducesOneRowPerSolver) {
+  core::EvaluationSpec spec;
+  core::SolverSpec cubis;
+  cubis.name = "cubis";
+  cubis.segments = 10;
+  core::SolverSpec midpoint;
+  midpoint.name = "midpoint";
+  midpoint.segments = 10;
+  core::SolverSpec uniform;
+  uniform.name = "uniform";
+  spec.solvers = {cubis, midpoint, uniform};
+  spec.games = 3;
+  spec.targets = 5;
+  spec.resources = 2.0;
+  auto rows = core::evaluate_solvers(spec);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].solver, "cubis");
+  EXPECT_EQ(rows[2].solver, "uniform");
+  // CUBIS dominates uniform on the certified worst case.
+  EXPECT_GT(rows[0].worst_mean, rows[2].worst_mean);
+}
+
+TEST(Evaluation, DeterministicForSpec) {
+  core::EvaluationSpec spec;
+  core::SolverSpec maximin;
+  maximin.name = "maximin";
+  spec.solvers = {maximin};
+  spec.games = 2;
+  spec.targets = 4;
+  spec.resources = 1.0;
+  auto a = core::evaluate_solvers(spec);
+  auto b = core::evaluate_solvers(spec);
+  EXPECT_DOUBLE_EQ(a[0].worst_mean, b[0].worst_mean);
+  EXPECT_DOUBLE_EQ(a[0].worst_std, b[0].worst_std);
+}
+
+TEST(Evaluation, SampledScoringWhenRequested) {
+  core::EvaluationSpec spec;
+  core::SolverSpec cubis;
+  cubis.name = "cubis";
+  cubis.segments = 10;
+  core::SolverSpec bayes;
+  bayes.name = "bayesian";
+  bayes.num_starts = 2;
+  spec.solvers = {cubis, bayes};
+  spec.games = 2;
+  spec.targets = 5;
+  spec.resources = 2.0;
+  spec.sample_types = 30;
+  auto rows = core::evaluate_solvers(spec);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& r : rows) {
+    EXPECT_LE(r.sampled_min_mean, r.sampled_mean_mean + 1e-9);
+    // The certified worst case never exceeds the sampled minimum.
+    EXPECT_LE(r.worst_mean, r.sampled_min_mean + 1e-6);
+  }
+}
+
+TEST(Evaluation, MarkdownRendering) {
+  core::EvaluationSpec spec;
+  core::SolverSpec uniform;
+  uniform.name = "uniform";
+  spec.solvers = {uniform};
+  spec.games = 1;
+  spec.targets = 3;
+  spec.resources = 1.0;
+  auto rows = core::evaluate_solvers(spec);
+  const std::string md = core::to_markdown(rows, /*with_samples=*/false);
+  EXPECT_NE(md.find("| solver |"), std::string::npos);
+  EXPECT_NE(md.find("| uniform |"), std::string::npos);
+}
+
+TEST(Evaluation, Validation) {
+  core::EvaluationSpec empty;
+  EXPECT_THROW(core::evaluate_solvers(empty), InvalidModelError);
+  core::EvaluationSpec zero_games;
+  core::SolverSpec uniform;
+  uniform.name = "uniform";
+  zero_games.solvers = {uniform};
+  zero_games.games = 0;
+  EXPECT_THROW(core::evaluate_solvers(zero_games), InvalidModelError);
+}
+
+// ---- pseudo-cost branching ------------------------------------------
+
+TEST(PseudoCost, MatchesMostFractionalOptimum) {
+  Rng rng(771);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(6, 14));
+    lp::Model m;
+    m.set_objective_sense(lp::Objective::kMaximize);
+    int row = m.add_row("cap", lp::Sense::kLe, n / 2.5);
+    for (int j = 0; j < n; ++j) {
+      int col = m.add_col("b" + std::to_string(j), 0.0, 1.0,
+                          rng.uniform(0.5, 3.0));
+      m.set_integer(col);
+      m.set_coeff(row, col, rng.uniform(0.2, 1.0));
+    }
+    milp::MilpSolution mf = milp::solve_milp(m);
+    milp::MilpOptions popt;
+    popt.branching = milp::BranchingRule::kPseudoCost;
+    milp::MilpSolution pc = milp::solve_milp(m, popt);
+    ASSERT_TRUE(mf.optimal());
+    ASSERT_TRUE(pc.optimal()) << to_string(pc.status);
+    EXPECT_NEAR(mf.objective, pc.objective, 1e-7) << "trial " << trial;
+  }
+}
+
+TEST(PseudoCost, SignQueriesStillSound) {
+  Rng rng(772);
+  lp::Model m;
+  m.set_objective_sense(lp::Objective::kMaximize);
+  int row = m.add_row("cap", lp::Sense::kLe, 4.0);
+  for (int j = 0; j < 12; ++j) {
+    int col = m.add_col("b" + std::to_string(j), 0.0, 1.0,
+                        rng.uniform(0.5, 2.0));
+    m.set_integer(col);
+    m.set_coeff(row, col, rng.uniform(0.3, 1.0));
+  }
+  milp::MilpSolution base = milp::solve_milp(m);
+  ASSERT_TRUE(base.optimal());
+  milp::MilpOptions opt;
+  opt.branching = milp::BranchingRule::kPseudoCost;
+  opt.sign_threshold = base.objective - 0.5;
+  EXPECT_EQ(milp::solve_milp(m, opt).status,
+            SolverStatus::kEarlyPositive);
+  opt.sign_threshold = base.objective + 0.5;
+  EXPECT_EQ(milp::solve_milp(m, opt).status,
+            SolverStatus::kEarlyNegative);
+}
+
+}  // namespace
+}  // namespace cubisg

@@ -1,0 +1,244 @@
+// Tests for the extension layer: scenario I/O, the adaptive CUBIS driver,
+// the population-based baselines and the solver registry.
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "behavior/attacker_sim.hpp"
+#include "behavior/scenario.hpp"
+#include "common/rng.hpp"
+#include "core/adaptive.hpp"
+#include "core/cubis.hpp"
+#include "core/population_solvers.hpp"
+#include "core/registry.hpp"
+#include "games/generators.hpp"
+
+namespace cubisg {
+namespace {
+
+using behavior::Scenario;
+using behavior::SuqrWeightIntervals;
+
+Scenario sample_scenario(std::uint64_t seed, std::size_t t = 6,
+                         double r = 2.0) {
+  Rng rng(seed);
+  return Scenario{games::random_uncertain_game(rng, t, r, 1.5),
+                  SuqrWeightIntervals{}, behavior::IntervalMode::kExactBox};
+}
+
+// ---- scenario I/O -----------------------------------------------------
+
+TEST(Scenario, RoundTripsLosslessly) {
+  Scenario s = sample_scenario(1);
+  s.mode = behavior::IntervalMode::kPaperCorners;
+  std::stringstream ss;
+  behavior::write_scenario(ss, s);
+  Scenario back = behavior::read_scenario(ss);
+
+  ASSERT_EQ(back.game.game.num_targets(), s.game.game.num_targets());
+  EXPECT_EQ(back.game.game.resources(), s.game.game.resources());
+  EXPECT_EQ(back.mode, behavior::IntervalMode::kPaperCorners);
+  EXPECT_EQ(back.weights.w1, s.weights.w1);
+  EXPECT_EQ(back.weights.w3, s.weights.w3);
+  for (std::size_t i = 0; i < s.game.game.num_targets(); ++i) {
+    EXPECT_EQ(back.game.game.target(i).attacker_reward,
+              s.game.game.target(i).attacker_reward);  // bit exact
+    EXPECT_EQ(back.game.game.target(i).defender_penalty,
+              s.game.game.target(i).defender_penalty);
+    EXPECT_EQ(back.game.attacker_intervals[i].attacker_reward,
+              s.game.attacker_intervals[i].attacker_reward);
+  }
+}
+
+TEST(Scenario, SolvesIdenticallyAfterRoundTrip) {
+  Scenario s = sample_scenario(2);
+  std::stringstream ss;
+  behavior::write_scenario(ss, s);
+  Scenario back = behavior::read_scenario(ss);
+
+  auto b1 = s.make_bounds();
+  auto b2 = back.make_bounds();
+  core::CubisOptions opt;
+  opt.segments = 10;
+  auto sol1 = core::CubisSolver(opt).solve({s.game.game, b1});
+  auto sol2 = core::CubisSolver(opt).solve({back.game.game, b2});
+  ASSERT_EQ(sol1.strategy.size(), sol2.strategy.size());
+  for (std::size_t i = 0; i < sol1.strategy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sol1.strategy[i], sol2.strategy[i]);
+  }
+}
+
+TEST(Scenario, RejectsGarbage) {
+  std::stringstream ss("bogus 1");
+  EXPECT_THROW(behavior::read_scenario(ss), InvalidModelError);
+  std::stringstream truncated("cubisg-scenario 1\ntargets 3 resources 1\n");
+  EXPECT_THROW(behavior::read_scenario(truncated), InvalidModelError);
+}
+
+TEST(Scenario, FileHelpers) {
+  Scenario s = sample_scenario(3, 3, 1.0);
+  const std::string path = ::testing::TempDir() + "/cubisg_scn_test.scn";
+  ASSERT_TRUE(behavior::save_scenario(path, s));
+  Scenario back = behavior::load_scenario(path);
+  EXPECT_EQ(back.game.game.num_targets(), 3u);
+  EXPECT_THROW(behavior::load_scenario("/nonexistent/nope.scn"),
+               InvalidModelError);
+}
+
+// ---- adaptive CUBIS ----------------------------------------------------
+
+TEST(AdaptiveCubis, AtLeastAsGoodAsFixedCoarseGrid) {
+  for (std::uint64_t seed : {11, 12, 13}) {
+    Scenario s = sample_scenario(seed);
+    auto bounds = s.make_bounds();
+    core::SolveContext ctx{s.game.game, bounds};
+
+    core::CubisOptions coarse;
+    coarse.segments = 4;
+    auto fixed = core::CubisSolver(coarse).solve(ctx);
+
+    core::AdaptiveCubisOptions aopt;
+    aopt.initial_segments = 4;
+    aopt.max_segments = 64;
+    auto adaptive = core::AdaptiveCubisSolver(aopt).solve(ctx);
+
+    ASSERT_TRUE(adaptive.ok());
+    EXPECT_GE(adaptive.worst_case_utility,
+              fixed.worst_case_utility - 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(AdaptiveCubis, FindsTable1ExactOptimum) {
+  auto ug = games::table1_game();
+  behavior::SuqrIntervalBounds b(SuqrWeightIntervals{},
+                                 ug.attacker_intervals,
+                                 behavior::IntervalMode::kPaperCorners);
+  core::AdaptiveCubisOptions opt;
+  auto sol = core::AdaptiveCubisSolver(opt).solve({ug.game, b});
+  ASSERT_TRUE(sol.ok());
+  // The exact optimum is the equalizer with W ~ 0.6364.
+  EXPECT_NEAR(sol.worst_case_utility, 0.6364, 0.01);
+}
+
+TEST(AdaptiveCubis, Validation) {
+  core::AdaptiveCubisOptions bad;
+  bad.initial_segments = 0;
+  EXPECT_THROW(core::AdaptiveCubisSolver{bad}, InvalidModelError);
+  core::AdaptiveCubisOptions bad2;
+  bad2.initial_segments = 256;
+  bad2.max_segments = 128;
+  EXPECT_THROW(core::AdaptiveCubisSolver{bad2}, InvalidModelError);
+}
+
+// ---- population baselines ----------------------------------------------
+
+struct PopFixture {
+  Scenario scenario;
+  std::shared_ptr<behavior::SuqrIntervalBounds> bounds;
+  std::shared_ptr<behavior::SampledSuqrPopulation> population;
+
+  explicit PopFixture(std::uint64_t seed)
+      : scenario(sample_scenario(seed)),
+        bounds(std::make_shared<behavior::SuqrIntervalBounds>(
+            scenario.weights, scenario.game.attacker_intervals)) {
+    Rng rng(seed ^ 0xF00D);
+    population = std::make_shared<behavior::SampledSuqrPopulation>(
+        scenario.weights, scenario.game.attacker_intervals, 40, rng);
+  }
+  core::SolveContext ctx() const { return {scenario.game.game, *bounds}; }
+};
+
+TEST(PopulationSolvers, RobustTypesMaximizesSampledMin) {
+  PopFixture f(21);
+  core::PopulationOptions opt;
+  opt.population = f.population;
+  opt.ascent.num_starts = 4;
+  core::RobustTypesSolver solver(opt);
+  auto sol = solver.solve(f.ctx());
+  ASSERT_TRUE(sol.ok());
+  // Its objective is the sampled min at its own strategy.
+  EXPECT_NEAR(sol.solver_objective,
+              f.population->min_defender_utility(f.scenario.game.game,
+                                                 sol.strategy),
+              1e-9);
+  // It must beat the uniform strategy on its own objective.
+  auto uni = core::UniformSolver().solve(f.ctx());
+  EXPECT_GE(sol.solver_objective,
+            f.population->min_defender_utility(f.scenario.game.game,
+                                               uni.strategy) -
+                1e-9);
+}
+
+TEST(PopulationSolvers, BayesianBeatsRobustOnMean) {
+  PopFixture f(22);
+  core::PopulationOptions opt;
+  opt.population = f.population;
+  opt.ascent.num_starts = 4;
+  auto robust = core::RobustTypesSolver(opt).solve(f.ctx());
+  auto bayes = core::BayesianSolver(opt).solve(f.ctx());
+  ASSERT_TRUE(robust.ok());
+  ASSERT_TRUE(bayes.ok());
+  const auto& game = f.scenario.game.game;
+  // Each solver wins on its own objective (local optima allow slack).
+  EXPECT_GE(f.population->mean_defender_utility(game, bayes.strategy),
+            f.population->mean_defender_utility(game, robust.strategy) -
+                0.05);
+  EXPECT_GE(f.population->min_defender_utility(game, robust.strategy),
+            f.population->min_defender_utility(game, bayes.strategy) - 0.05);
+}
+
+TEST(PopulationSolvers, IntervalWorstCaseLowerBoundsSampledMin) {
+  // CUBIS's interval worst case is over ALL behaviors in the box, hence a
+  // lower bound on any sampled population's min.
+  PopFixture f(23);
+  core::CubisOptions copt;
+  copt.segments = 20;
+  auto cubis = core::CubisSolver(copt).solve(f.ctx());
+  const double sampled_min = f.population->min_defender_utility(
+      f.scenario.game.game, cubis.strategy);
+  EXPECT_GE(sampled_min, cubis.worst_case_utility - 1e-6);
+}
+
+TEST(PopulationSolvers, RequirePopulation) {
+  core::PopulationOptions opt;  // population left null
+  EXPECT_THROW(core::RobustTypesSolver{opt}, InvalidModelError);
+  EXPECT_THROW(core::BayesianSolver{opt}, InvalidModelError);
+}
+
+// ---- registry -----------------------------------------------------------
+
+TEST(Registry, BuildsEverySolver) {
+  PopFixture f(24);
+  for (const std::string& name : core::solver_names()) {
+    core::SolverSpec spec;
+    spec.name = name;
+    spec.segments = 8;
+    spec.num_starts = 2;
+    spec.population = f.population;
+    auto solver = core::make_solver(spec);
+    ASSERT_NE(solver, nullptr) << name;
+    auto sol = solver->solve(f.ctx());
+    EXPECT_TRUE(sol.ok()) << name << ": "
+                          << std::string(to_string(sol.status));
+    EXPECT_EQ(sol.strategy.size(), f.scenario.game.game.num_targets())
+        << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  core::SolverSpec spec;
+  spec.name = "quantum-annealer";
+  EXPECT_THROW(core::make_solver(spec), InvalidModelError);
+}
+
+TEST(Registry, PopulationSolversRequirePopulation) {
+  core::SolverSpec spec;
+  spec.name = "robust-types";
+  EXPECT_THROW(core::make_solver(spec), InvalidModelError);
+}
+
+}  // namespace
+}  // namespace cubisg

@@ -1,0 +1,258 @@
+// Tests for the SSG model, generators and strategy-space operations.
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "games/generators.hpp"
+#include "games/security_game.hpp"
+#include "games/strategy_space.hpp"
+
+namespace cubisg::games {
+namespace {
+
+SecurityGame two_target_game() {
+  return SecurityGame({{3.0, -5.0, 5.0, -3.0}, {7.0, -7.0, 7.0, -7.0}}, 1.0);
+}
+
+TEST(SecurityGame, UtilitiesMatchEquations) {
+  SecurityGame g = two_target_game();
+  // Eq. 1: Ud = x Rd + (1-x) Pd;  Eq. 2: Ua = x Pa + (1-x) Ra.
+  EXPECT_DOUBLE_EQ(g.defender_utility(0, 0.0), -3.0);
+  EXPECT_DOUBLE_EQ(g.defender_utility(0, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(g.defender_utility(0, 0.25), 0.25 * 5.0 + 0.75 * -3.0);
+  EXPECT_DOUBLE_EQ(g.attacker_utility(0, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(g.attacker_utility(0, 1.0), -5.0);
+  EXPECT_DOUBLE_EQ(g.attacker_utility(1, 0.5), 0.5 * -7.0 + 0.5 * 7.0);
+}
+
+TEST(SecurityGame, VectorUtilitiesAndExtremes) {
+  SecurityGame g = two_target_game();
+  auto u = g.defender_utilities(std::vector<double>{0.5, 0.5});
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_DOUBLE_EQ(u[0], 1.0);
+  EXPECT_DOUBLE_EQ(u[1], 0.0);
+  EXPECT_DOUBLE_EQ(g.min_defender_penalty(), -7.0);
+  EXPECT_DOUBLE_EQ(g.max_defender_reward(), 7.0);
+}
+
+TEST(SecurityGame, ValidatesInput) {
+  EXPECT_THROW(SecurityGame({}, 1.0), InvalidModelError);
+  // Attacker reward must exceed penalty.
+  EXPECT_THROW(SecurityGame({{-1.0, 1.0, 2.0, -2.0}}, 0.5),
+               InvalidModelError);
+  // Defender reward must exceed penalty.
+  EXPECT_THROW(SecurityGame({{3.0, -3.0, -4.0, 4.0}}, 0.5),
+               InvalidModelError);
+  // Resources within [0, T].
+  EXPECT_THROW(SecurityGame({{3.0, -3.0, 3.0, -3.0}}, 2.0),
+               InvalidModelError);
+  EXPECT_THROW(SecurityGame({{3.0, -3.0, 3.0, -3.0}}, -1.0),
+               InvalidModelError);
+  // NaN payoffs rejected.
+  EXPECT_THROW(SecurityGame({{std::nan(""), -3.0, 3.0, -3.0}}, 0.5),
+               InvalidModelError);
+}
+
+TEST(SecurityGame, FeasibilityCheck) {
+  SecurityGame g = two_target_game();
+  EXPECT_TRUE(g.is_feasible_strategy(std::vector<double>{0.4, 0.6}));
+  EXPECT_FALSE(g.is_feasible_strategy(std::vector<double>{0.4, 0.4}));
+  EXPECT_FALSE(g.is_feasible_strategy(std::vector<double>{1.4, -0.4}));
+  EXPECT_FALSE(g.is_feasible_strategy(std::vector<double>{1.0}));
+}
+
+TEST(Generators, RandomGameRespectsRangesAndSeed) {
+  Rng rng1(5), rng2(5);
+  auto g1 = random_game(rng1, 10, 3.0);
+  auto g2 = random_game(rng2, 10, 3.0);
+  EXPECT_EQ(g1.num_targets(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(g1.target(i).attacker_reward,
+                     g2.target(i).attacker_reward);
+    EXPECT_GE(g1.target(i).attacker_reward, 1.0);
+    EXPECT_LE(g1.target(i).attacker_reward, 10.0);
+    EXPECT_LE(g1.target(i).attacker_penalty, -1.0);
+    // zero-sum default
+    EXPECT_DOUBLE_EQ(g1.target(i).defender_reward,
+                     -g1.target(i).attacker_penalty);
+  }
+}
+
+TEST(Generators, NonZeroSumDrawsDefenderIndependently) {
+  Rng rng(6);
+  GeneratorOptions opt;
+  opt.zero_sum = false;
+  auto g = random_game(rng, 50, 5.0, opt);
+  int mirrored = 0;
+  for (std::size_t i = 0; i < g.num_targets(); ++i) {
+    if (g.target(i).defender_reward == -g.target(i).attacker_penalty) {
+      ++mirrored;
+    }
+  }
+  EXPECT_LT(mirrored, 5);
+}
+
+TEST(Generators, UncertainGameIntervalsCoverMidpoints) {
+  Rng rng(7);
+  auto ug = random_uncertain_game(rng, 8, 2.0, 1.0);
+  ASSERT_EQ(ug.attacker_intervals.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto& iv = ug.attacker_intervals[i];
+    EXPECT_TRUE(iv.attacker_reward.contains(ug.game.target(i).attacker_reward));
+    EXPECT_TRUE(
+        iv.attacker_penalty.contains(ug.game.target(i).attacker_penalty));
+    EXPECT_GT(iv.attacker_reward.lo(), 0.0);
+    EXPECT_LT(iv.attacker_penalty.hi(), 0.0);
+  }
+}
+
+TEST(Generators, ZeroWidthCollapsesIntervals) {
+  Rng rng(8);
+  auto ug = random_uncertain_game(rng, 5, 2.0, 0.0);
+  for (const auto& iv : ug.attacker_intervals) {
+    EXPECT_TRUE(iv.attacker_reward.is_point());
+    EXPECT_TRUE(iv.attacker_penalty.is_point());
+  }
+}
+
+TEST(Generators, Table1MatchesPaper) {
+  auto ug = table1_game();
+  EXPECT_EQ(ug.game.num_targets(), 2u);
+  EXPECT_DOUBLE_EQ(ug.game.resources(), 1.0);
+  EXPECT_EQ(ug.attacker_intervals[0].attacker_reward, Interval(1.0, 5.0));
+  EXPECT_EQ(ug.attacker_intervals[0].attacker_penalty, Interval(-7.0, -3.0));
+  EXPECT_EQ(ug.attacker_intervals[1].attacker_reward, Interval(5.0, 9.0));
+  EXPECT_EQ(ug.attacker_intervals[1].attacker_penalty, Interval(-9.0, -5.0));
+  // Zero-sum mirror of interval midpoints.
+  EXPECT_DOUBLE_EQ(ug.game.target(0).attacker_reward, 3.0);
+  EXPECT_DOUBLE_EQ(ug.game.target(0).defender_reward, 5.0);
+  EXPECT_DOUBLE_EQ(ug.game.target(0).defender_penalty, -3.0);
+}
+
+TEST(Generators, WildlifeGridShapesPayoffsByDensity) {
+  Rng rng(9);
+  auto ug = wildlife_grid_game(rng, 4, 5, 3.0, 0.5);
+  EXPECT_EQ(ug.game.num_targets(), 20u);
+  double min_r = 1e9, max_r = -1e9;
+  for (std::size_t i = 0; i < 20; ++i) {
+    min_r = std::min(min_r, ug.game.target(i).attacker_reward);
+    max_r = std::max(max_r, ug.game.target(i).attacker_reward);
+  }
+  // Hotspots must create real contrast between cells.
+  EXPECT_GT(max_r - min_r, 1.0);
+}
+
+TEST(PessimisticDefender, LowersPayoffsExactly) {
+  SecurityGame g = two_target_game();
+  std::vector<DefenderPayoffIntervals> iv = {
+      {Interval(4.0, 6.0), Interval(-4.0, -2.0)},
+      {Interval(6.0, 8.0), Interval(-8.0, -6.0)},
+  };
+  SecurityGame p = pessimistic_defender_game(g, iv);
+  EXPECT_DOUBLE_EQ(p.target(0).defender_reward, 4.0);
+  EXPECT_DOUBLE_EQ(p.target(0).defender_penalty, -4.0);
+  EXPECT_DOUBLE_EQ(p.target(1).defender_reward, 6.0);
+  // Attacker payoffs untouched.
+  EXPECT_DOUBLE_EQ(p.target(0).attacker_reward, 3.0);
+  // Pointwise lower envelope: Ud is lower for every coverage level.
+  for (double x = 0.0; x <= 1.0; x += 0.25) {
+    EXPECT_LE(p.defender_utility(0, x), g.defender_utility(0, x) + 1e-12);
+  }
+}
+
+TEST(PessimisticDefender, PointIntervalsAreIdentity) {
+  SecurityGame g = two_target_game();
+  std::vector<DefenderPayoffIntervals> iv = {
+      {Interval(g.target(0).defender_reward),
+       Interval(g.target(0).defender_penalty)},
+      {Interval(g.target(1).defender_reward),
+       Interval(g.target(1).defender_penalty)},
+  };
+  SecurityGame p = pessimistic_defender_game(g, iv);
+  EXPECT_DOUBLE_EQ(p.target(1).defender_penalty,
+                   g.target(1).defender_penalty);
+}
+
+TEST(PessimisticDefender, Validation) {
+  SecurityGame g = two_target_game();
+  // Wrong count.
+  EXPECT_THROW(pessimistic_defender_game(
+                   g, std::vector<DefenderPayoffIntervals>{}),
+               InvalidModelError);
+  // Nominal payoff outside its interval.
+  std::vector<DefenderPayoffIntervals> off = {
+      {Interval(8.0, 9.0), Interval(-4.0, -2.0)},
+      {Interval(6.0, 8.0), Interval(-8.0, -6.0)},
+  };
+  EXPECT_THROW(pessimistic_defender_game(g, off), InvalidModelError);
+  // Interval lows violate reward > penalty.
+  std::vector<DefenderPayoffIntervals> crossed = {
+      {Interval(-5.0, 6.0), Interval(-4.0, -2.0)},
+      {Interval(6.0, 8.0), Interval(-8.0, -6.0)},
+  };
+  EXPECT_THROW(pessimistic_defender_game(g, crossed), InvalidModelError);
+}
+
+TEST(StrategySpace, UniformStrategy) {
+  auto x = uniform_strategy(4, 3.0);
+  ASSERT_EQ(x.size(), 4u);
+  for (double xi : x) EXPECT_DOUBLE_EQ(xi, 0.75);
+  EXPECT_THROW(uniform_strategy(0, 1.0), std::invalid_argument);
+}
+
+TEST(StrategySpace, ProjectionIsFeasible) {
+  Rng rng(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 9));
+    const double r = rng.uniform(0.0, static_cast<double>(n));
+    std::vector<double> v(n);
+    for (auto& vi : v) vi = rng.uniform(-2.0, 3.0);
+    auto x = project_to_simplex_box(v, r);
+    double sum = 0.0;
+    for (double xi : x) {
+      EXPECT_GE(xi, -1e-12);
+      EXPECT_LE(xi, 1.0 + 1e-12);
+      sum += xi;
+    }
+    EXPECT_NEAR(sum, r, 1e-9);
+  }
+}
+
+TEST(StrategySpace, ProjectionIsIdempotent) {
+  std::vector<double> v{0.2, 0.5, 0.3};
+  auto x = project_to_simplex_box(v, 1.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], v[i], 1e-9);
+}
+
+TEST(StrategySpace, ProjectionMinimizesDistance) {
+  // Reference check against a fine grid search on a 2d instance.
+  std::vector<double> v{1.4, -0.2};
+  auto x = project_to_simplex_box(v, 1.0);
+  double best = 1e18;
+  std::vector<double> best_x(2);
+  for (int i = 0; i <= 1000; ++i) {
+    const double a = i / 1000.0;
+    const double b = 1.0 - a;
+    if (b < 0.0 || b > 1.0) continue;
+    const double d = (a - v[0]) * (a - v[0]) + (b - v[1]) * (b - v[1]);
+    if (d < best) {
+      best = d;
+      best_x = {a, b};
+    }
+  }
+  EXPECT_NEAR(x[0], best_x[0], 1e-3);
+  EXPECT_NEAR(x[1], best_x[1], 1e-3);
+}
+
+TEST(StrategySpace, GreedyCoversWorstTargetsFirst) {
+  std::vector<double> penalties{-1.0, -9.0, -5.0};
+  auto x = greedy_by_penalty(penalties, 1.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);   // worst penalty gets full coverage
+  EXPECT_DOUBLE_EQ(x[2], 0.5);   // next worst gets the remainder
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+}
+
+}  // namespace
+}  // namespace cubisg::games

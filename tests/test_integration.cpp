@@ -1,0 +1,162 @@
+// Cross-module integration tests: the full Table I pipeline, the
+// solver-comparison invariants the benches rely on, and LP model I/O.
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "behavior/attacker_sim.hpp"
+#include "behavior/bounds.hpp"
+#include "common/rng.hpp"
+#include "core/cubis.hpp"
+#include "core/maximin.hpp"
+#include "core/pasaq.hpp"
+#include "core/worst_case.hpp"
+#include "games/generators.hpp"
+#include "lp/io.hpp"
+#include "lp/simplex.hpp"
+
+namespace cubisg {
+namespace {
+
+using behavior::IntervalMode;
+using behavior::SuqrIntervalBounds;
+using behavior::SuqrWeightIntervals;
+
+TEST(Integration, Table1EndToEnd) {
+  // The full Section III story: the robust strategy clearly beats the
+  // midpoint strategy in the worst case of behavioral uncertainty.
+  auto ug = games::table1_game();
+  SuqrIntervalBounds bounds(SuqrWeightIntervals{}, ug.attacker_intervals,
+                            IntervalMode::kPaperCorners);
+  core::SolveContext ctx{ug.game, bounds};
+
+  core::CubisOptions copt;
+  copt.segments = 50;
+  copt.epsilon = 1e-4;
+  core::DefenderSolution robust = core::CubisSolver(copt).solve(ctx);
+
+  core::PasaqOptions popt;
+  popt.segments = 50;
+  popt.epsilon = 1e-4;
+  popt.source = core::PasaqModelSource::kCustom;
+  popt.model =
+      std::make_shared<behavior::SuqrModel>(bounds.midpoint_model());
+  core::DefenderSolution midpoint = core::PasaqSolver(popt).solve(ctx);
+
+  ASSERT_TRUE(robust.ok());
+  ASSERT_TRUE(midpoint.ok());
+  // Strategies match the paper exactly.
+  EXPECT_NEAR(robust.strategy[0], 0.46, 1e-6);
+  EXPECT_NEAR(midpoint.strategy[0], 0.34, 1e-6);
+  // Robust strictly better in the worst case, by a wide margin.
+  EXPECT_GT(robust.worst_case_utility,
+            midpoint.worst_case_utility + 0.5);
+}
+
+TEST(Integration, RobustPriceIsBoundedAgainstSampledAttackers) {
+  // Robustness costs a little against the average sampled attacker but
+  // protects the worst case: check both directions on Table I.
+  auto ug = games::table1_game();
+  SuqrIntervalBounds bounds(SuqrWeightIntervals{}, ug.attacker_intervals,
+                            IntervalMode::kPaperCorners);
+  core::SolveContext ctx{ug.game, bounds};
+
+  core::CubisOptions copt;
+  copt.segments = 50;
+  core::DefenderSolution robust = core::CubisSolver(copt).solve(ctx);
+
+  Rng rng(321);
+  behavior::SampledSuqrPopulation pop(SuqrWeightIntervals{},
+                                      ug.attacker_intervals, 200, rng);
+  const double robust_mean =
+      pop.mean_defender_utility(ug.game, robust.strategy);
+  const double robust_min =
+      pop.min_defender_utility(ug.game, robust.strategy);
+  // The sampled minimum can never undercut the certified worst case.
+  EXPECT_GE(robust_min, robust.worst_case_utility - 1e-6);
+  EXPECT_GE(robust_mean, robust_min);
+}
+
+TEST(Integration, SolverOrderingOnRandomEnsemble) {
+  // On an ensemble of random games the mean worst-case utility must order
+  // as: CUBIS >= gradient-free baselines (midpoint, uniform).
+  double sum_cubis = 0.0, sum_mid = 0.0, sum_uni = 0.0, sum_mm = 0.0;
+  const int kGames = 5;
+  for (int g = 0; g < kGames; ++g) {
+    Rng rng(500 + g);
+    auto ug = games::random_uncertain_game(rng, 6, 2.0, 1.5);
+    SuqrIntervalBounds bounds(SuqrWeightIntervals{}, ug.attacker_intervals);
+    core::SolveContext ctx{ug.game, bounds};
+    core::CubisOptions copt;
+    copt.segments = 20;
+    sum_cubis += core::CubisSolver(copt).solve(ctx).worst_case_utility;
+    sum_mid += core::PasaqSolver().solve(ctx).worst_case_utility;
+    sum_uni += core::UniformSolver().solve(ctx).worst_case_utility;
+    sum_mm += core::MaximinSolver().solve(ctx).worst_case_utility;
+  }
+  EXPECT_GT(sum_cubis, sum_mid);
+  EXPECT_GT(sum_cubis, sum_uni);
+  // Maximin is strong when intervals are wide (it optimizes the floor),
+  // but CUBIS must stay within the approximation slack of it.
+  EXPECT_GT(sum_cubis, sum_mm - kGames * 1.0);
+}
+
+TEST(Integration, LpModelRoundTripsThroughIo) {
+  lp::Model m;
+  m.set_objective_sense(lp::Objective::kMaximize);
+  const int x = m.add_col("x", 0.0, 2.5, 1.25);
+  const int y = m.add_col("y", -lp::kInf, lp::kInf, -0.5);
+  m.set_integer(x);
+  const int r = m.add_row("r0", lp::Sense::kLe, 3.75);
+  m.set_coeff(r, x, 1.0);
+  m.set_coeff(r, y, 2.0e-17);
+
+  std::stringstream ss;
+  lp::write_model(ss, m);
+  lp::Model back = lp::read_model(ss);
+  EXPECT_EQ(back.num_cols(), 2);
+  EXPECT_EQ(back.num_rows(), 1);
+  EXPECT_EQ(back.objective_sense(), lp::Objective::kMaximize);
+  EXPECT_TRUE(back.col_is_integer(x));
+  EXPECT_FALSE(back.col_is_integer(y));
+  EXPECT_DOUBLE_EQ(back.col_upper(x), 2.5);
+  EXPECT_EQ(back.col_lower(y), -lp::kInf);
+  EXPECT_DOUBLE_EQ(back.row_entries(0)[1].value, 2.0e-17);  // bit exact
+  EXPECT_EQ(back.col_name(0), "x");
+}
+
+TEST(Integration, LpFormatExportContainsStructure) {
+  lp::Model m;
+  const int x = m.add_col("cov", 0.0, 1.0, 2.0);
+  const int r = m.add_row("cap", lp::Sense::kLe, 1.0);
+  m.set_coeff(r, x, 1.0);
+  const std::string text = m.to_lp_format();
+  EXPECT_NE(text.find("Minimize"), std::string::npos);
+  EXPECT_NE(text.find("cov"), std::string::npos);
+  EXPECT_NE(text.find("cap"), std::string::npos);
+  EXPECT_NE(text.find("Bounds"), std::string::npos);
+}
+
+TEST(Integration, ReadModelRejectsGarbage) {
+  std::stringstream ss("not-a-model 9");
+  EXPECT_THROW(lp::read_model(ss), InvalidModelError);
+}
+
+TEST(Integration, WildlifeScenarioSolvesEndToEnd) {
+  Rng rng(777);
+  auto ug = games::wildlife_grid_game(rng, 3, 4, 3.0, 1.0);
+  SuqrIntervalBounds bounds(SuqrWeightIntervals{}, ug.attacker_intervals);
+  core::SolveContext ctx{ug.game, bounds};
+  core::CubisOptions opt;
+  opt.segments = 10;
+  core::DefenderSolution sol = core::CubisSolver(opt).solve(ctx);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(ug.game.is_feasible_strategy(sol.strategy));
+  EXPECT_GT(sol.worst_case_utility,
+            core::UniformSolver().solve(ctx).worst_case_utility - 1e-9);
+}
+
+}  // namespace
+}  // namespace cubisg

@@ -1,0 +1,232 @@
+// Tests for the SUQR learning module: MLE fit, bootstrap intervals, and
+// the data -> intervals -> robust-solve pipeline.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "behavior/bounds.hpp"
+#include "common/rng.hpp"
+#include "core/cubis.hpp"
+#include "core/worst_case.hpp"
+#include "games/generators.hpp"
+#include "learning/data_io.hpp"
+#include "learning/suqr_mle.hpp"
+
+namespace cubisg::learning {
+namespace {
+
+games::SecurityGame test_game(std::uint64_t seed = 5) {
+  Rng rng(seed);
+  return games::random_game(rng, 8, 3.0);
+}
+
+const behavior::SuqrWeights kTruth{-4.0, 0.75, 0.65};
+
+TEST(SuqrMle, RecoversTruthFromLargeSample) {
+  auto game = test_game();
+  Rng rng(99);
+  auto data = simulate_attack_data(game, kTruth, 5000, rng);
+  SuqrMleResult fit = fit_suqr(game, data);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.weights.w1, kTruth.w1, 0.4);
+  EXPECT_NEAR(fit.weights.w2, kTruth.w2, 0.1);
+  EXPECT_NEAR(fit.weights.w3, kTruth.w3, 0.1);
+  EXPECT_LT(fit.iterations, 30);  // Newton, not gradient crawl
+}
+
+TEST(SuqrMle, LikelihoodAtFitBeatsNearbyPoints) {
+  // Local optimality: perturbing the fitted weights lowers the likelihood.
+  auto game = test_game();
+  Rng rng(100);
+  auto data = simulate_attack_data(game, kTruth, 800, rng);
+  SuqrMleResult fit = fit_suqr(game, data);
+
+  auto ll_of = [&](behavior::SuqrWeights w) {
+    SuqrMleOptions opt;
+    opt.max_iterations = 0;  // evaluate only
+    opt.init = w;
+    return fit_suqr(game, data, opt).log_likelihood;
+  };
+  const double at_fit = ll_of(fit.weights);
+  for (double d : {0.25, -0.25}) {
+    behavior::SuqrWeights w1p = fit.weights;
+    w1p.w1 += d;
+    EXPECT_LT(ll_of(w1p), at_fit + 1e-9);
+    behavior::SuqrWeights w2p = fit.weights;
+    w2p.w2 += d;
+    EXPECT_LT(ll_of(w2p), at_fit + 1e-9);
+  }
+}
+
+TEST(SuqrMle, DeterministicForSameData) {
+  auto game = test_game();
+  Rng rng(101);
+  auto data = simulate_attack_data(game, kTruth, 300, rng);
+  SuqrMleResult a = fit_suqr(game, data);
+  SuqrMleResult b = fit_suqr(game, data);
+  EXPECT_DOUBLE_EQ(a.weights.w1, b.weights.w1);
+  EXPECT_DOUBLE_EQ(a.log_likelihood, b.log_likelihood);
+}
+
+TEST(SuqrMle, Validation) {
+  auto game = test_game();
+  EXPECT_THROW(fit_suqr(game, {}), InvalidModelError);
+  std::vector<AttackObservation> bad_shape{{std::vector<double>{0.5}, 0}};
+  EXPECT_THROW(fit_suqr(game, bad_shape), InvalidModelError);
+  std::vector<AttackObservation> bad_target{
+      {std::vector<double>(8, 0.375), 99}};
+  EXPECT_THROW(fit_suqr(game, bad_target), InvalidModelError);
+}
+
+TEST(Bootstrap, IntervalsContainTruthWithEnoughData) {
+  auto game = test_game();
+  Rng rng(102);
+  auto data = simulate_attack_data(game, kTruth, 2000, rng);
+  BootstrapOptions bo;
+  bo.resamples = 50;
+  bo.confidence = 0.95;
+  auto iv = bootstrap_weight_intervals(game, data, {}, bo);
+  EXPECT_TRUE(iv.w1.contains(kTruth.w1)) << iv.w1.lo() << "," << iv.w1.hi();
+  EXPECT_TRUE(iv.w2.contains(kTruth.w2)) << iv.w2.lo() << "," << iv.w2.hi();
+  EXPECT_TRUE(iv.w3.contains(kTruth.w3)) << iv.w3.lo() << "," << iv.w3.hi();
+}
+
+TEST(Bootstrap, WidthShrinksWithSampleSize) {
+  auto game = test_game();
+  BootstrapOptions bo;
+  bo.resamples = 40;
+  double prev_width = 1e18;
+  for (std::size_t n : {100u, 1000u, 8000u}) {
+    Rng rng(103);  // same stream start for nesting-ish samples
+    auto data = simulate_attack_data(game, kTruth, n, rng);
+    auto iv = bootstrap_weight_intervals(game, data, {}, bo);
+    const double width = iv.w1.width() + iv.w2.width() + iv.w3.width();
+    EXPECT_LT(width, prev_width);
+    prev_width = width;
+  }
+  EXPECT_LT(prev_width, 0.7);  // tight at n=8000
+}
+
+TEST(Bootstrap, ProducesValidSuqrIntervals) {
+  // The output must construct a SuqrIntervalBounds without throwing, even
+  // for tiny samples where the raw percentiles straddle the sign limits.
+  auto game = test_game();
+  Rng rng(104);
+  auto data = simulate_attack_data(game, kTruth, 25, rng);
+  BootstrapOptions bo;
+  bo.resamples = 30;
+  auto iv = bootstrap_weight_intervals(game, data, {}, bo);
+  EXPECT_LT(iv.w1.hi(), 0.0);
+  EXPECT_GE(iv.w2.lo(), 0.0);
+  EXPECT_GE(iv.w3.lo(), 0.0);
+  Rng grng(105);
+  auto ug = games::random_uncertain_game(grng, 8, 3.0, 0.5);
+  EXPECT_NO_THROW(behavior::SuqrIntervalBounds(iv, ug.attacker_intervals));
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  auto game = test_game();
+  Rng rng(106);
+  auto data = simulate_attack_data(game, kTruth, 200, rng);
+  BootstrapOptions bo;
+  bo.resamples = 20;
+  bo.seed = 77;
+  auto a = bootstrap_weight_intervals(game, data, {}, bo);
+  auto b = bootstrap_weight_intervals(game, data, {}, bo);
+  EXPECT_DOUBLE_EQ(a.w1.lo(), b.w1.lo());
+  EXPECT_DOUBLE_EQ(a.w3.hi(), b.w3.hi());
+}
+
+TEST(Bootstrap, Validation) {
+  auto game = test_game();
+  Rng rng(107);
+  auto data = simulate_attack_data(game, kTruth, 50, rng);
+  BootstrapOptions bad;
+  bad.resamples = 1;
+  EXPECT_THROW(bootstrap_weight_intervals(game, data, {}, bad),
+               InvalidModelError);
+  BootstrapOptions bad2;
+  bad2.confidence = 1.0;
+  EXPECT_THROW(bootstrap_weight_intervals(game, data, {}, bad2),
+               InvalidModelError);
+}
+
+TEST(Pipeline, LearnedIntervalsCertifyTrueAttacker) {
+  // End-to-end soundness: solve CUBIS with learned intervals; if the
+  // intervals contain the truth, the certified worst case lower-bounds the
+  // utility against the TRUE attacker.
+  Rng grng(108);
+  auto ug = games::random_uncertain_game(grng, 6, 2.0, 0.0);
+  Rng rng(109);
+  auto data = simulate_attack_data(ug.game, kTruth, 3000, rng);
+  BootstrapOptions bo;
+  bo.resamples = 40;
+  bo.confidence = 0.97;
+  auto iv = bootstrap_weight_intervals(ug.game, data, {}, bo);
+  if (!iv.w1.contains(kTruth.w1) || !iv.w2.contains(kTruth.w2) ||
+      !iv.w3.contains(kTruth.w3)) {
+    GTEST_SKIP() << "bootstrap box missed the truth on this draw";
+  }
+  behavior::SuqrIntervalBounds bounds(iv, ug.attacker_intervals);
+  core::CubisOptions copt;
+  copt.segments = 20;
+  auto sol = core::CubisSolver(copt).solve({ug.game, bounds});
+  ASSERT_TRUE(sol.ok());
+  behavior::SuqrModel true_model(kTruth, ug.game);
+  const double true_eu = behavior::defender_expected_utility(
+      ug.game, true_model, sol.strategy);
+  EXPECT_GE(true_eu, sol.worst_case_utility - 1e-7);
+}
+
+TEST(DataIo, RoundTripsLosslessly) {
+  auto game = test_game();
+  Rng rng(111);
+  auto data = simulate_attack_data(game, kTruth, 50, rng);
+  std::stringstream ss;
+  write_attack_data(ss, data);
+  auto back = read_attack_data(ss);
+  ASSERT_EQ(back.size(), data.size());
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    EXPECT_EQ(back[r].target, data[r].target);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(back[r].coverage[i], data[r].coverage[i]);  // bit exact
+    }
+  }
+  // Identical fit on the round-tripped data.
+  EXPECT_DOUBLE_EQ(fit_suqr(game, data).weights.w1,
+                   fit_suqr(game, back).weights.w1);
+}
+
+TEST(DataIo, RejectsMalformedInput) {
+  std::stringstream bad("not-attacks 1");
+  EXPECT_THROW(read_attack_data(bad), InvalidModelError);
+  std::stringstream trunc("cubisg-attacks 1\nrecords 2 targets 3\n0.1 0.2 "
+                          "0.3 1\n");
+  EXPECT_THROW(read_attack_data(trunc), InvalidModelError);
+  std::stringstream bad_target(
+      "cubisg-attacks 1\nrecords 1 targets 2\n0.5 0.5 7\n");
+  EXPECT_THROW(read_attack_data(bad_target), InvalidModelError);
+  EXPECT_THROW(load_attack_data("/nonexistent/data.txt"),
+               InvalidModelError);
+}
+
+TEST(SimulateData, CoverageFeasibleAndTargetsPlausible) {
+  auto game = test_game();
+  Rng rng(110);
+  auto data = simulate_attack_data(game, kTruth, 100, rng);
+  ASSERT_EQ(data.size(), 100u);
+  for (const auto& obs : data) {
+    EXPECT_LT(obs.target, 8u);
+    double sum = 0.0;
+    for (double xi : obs.coverage) {
+      EXPECT_GE(xi, -1e-12);
+      EXPECT_LE(xi, 1.0 + 1e-12);
+      sum += xi;
+    }
+    EXPECT_NEAR(sum, 3.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cubisg::learning

@@ -1,0 +1,394 @@
+// Unit and property tests for the LP model builder and simplex solver.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "brute_force.hpp"
+
+namespace cubisg::lp {
+namespace {
+
+using cubisg::testing::brute_force_lp;
+
+TEST(LpModel, BuildAndQuery) {
+  Model m;
+  const int x = m.add_col("x", 0.0, 10.0, 1.0);
+  const int y = m.add_col("y", -kInf, kInf, -2.0);
+  const int r = m.add_row("r0", Sense::kLe, 5.0);
+  m.set_coeff(r, x, 1.0);
+  m.set_coeff(r, y, 3.0);
+  EXPECT_EQ(m.num_cols(), 2);
+  EXPECT_EQ(m.num_rows(), 1);
+  EXPECT_EQ(m.col_name(x), "x");
+  EXPECT_DOUBLE_EQ(m.row_rhs(r), 5.0);
+  EXPECT_DOUBLE_EQ(m.objective_value({2.0, 3.0}), 2.0 - 6.0);
+  EXPECT_DOUBLE_EQ(m.row_activity(r, {2.0, 3.0}), 11.0);
+}
+
+TEST(LpModel, RejectsBadInput) {
+  Model m;
+  EXPECT_THROW(m.add_col("bad", 1.0, 0.0, 0.0), InvalidModelError);
+  EXPECT_THROW(m.add_col("nan", std::nan(""), 1.0, 0.0), InvalidModelError);
+  const int x = m.add_col("x", 0.0, 1.0, 1.0);
+  EXPECT_THROW(m.add_row("r", Sense::kEq, kInf), InvalidModelError);
+  const int r = m.add_row("r", Sense::kEq, 1.0);
+  EXPECT_THROW(m.set_coeff(r, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(m.set_coeff(r, x, std::nan("")), InvalidModelError);
+}
+
+TEST(LpModel, SetCoeffOverwrites) {
+  Model m;
+  const int x = m.add_col("x", 0.0, 1.0, 0.0);
+  const int r = m.add_row("r", Sense::kLe, 1.0);
+  m.set_coeff(r, x, 2.0);
+  m.set_coeff(r, x, 3.0);
+  ASSERT_EQ(m.row_entries(r).size(), 1u);
+  EXPECT_DOUBLE_EQ(m.row_entries(r)[0].value, 3.0);
+}
+
+TEST(Simplex, TextbookMaximize) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Optimum (2, 6) with value 36.
+  Model m;
+  m.set_objective_sense(Objective::kMaximize);
+  const int x = m.add_col("x", 0.0, kInf, 3.0);
+  const int y = m.add_col("y", 0.0, kInf, 5.0);
+  int r0 = m.add_row("r0", Sense::kLe, 4.0);
+  m.set_coeff(r0, x, 1.0);
+  int r1 = m.add_row("r1", Sense::kLe, 12.0);
+  m.set_coeff(r1, y, 2.0);
+  int r2 = m.add_row("r2", Sense::kLe, 18.0);
+  m.set_coeff(r2, x, 3.0);
+  m.set_coeff(r2, y, 2.0);
+
+  LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal()) << to_string(s.status);
+  EXPECT_NEAR(s.objective, 36.0, 1e-8);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[y], 6.0, 1e-8);
+  // Shadow prices: r1 -> 3/2, r2 -> 1, r0 slack -> 0.
+  EXPECT_NEAR(s.duals[r0], 0.0, 1e-8);
+  EXPECT_NEAR(s.duals[r1], 1.5, 1e-8);
+  EXPECT_NEAR(s.duals[r2], 1.0, 1e-8);
+}
+
+TEST(Simplex, EqualityAndGe) {
+  // min x + y st x + y = 2, x - y >= -1, 0 <= x,y <= 2.
+  Model m;
+  const int x = m.add_col("x", 0.0, 2.0, 1.0);
+  const int y = m.add_col("y", 0.0, 2.0, 1.0);
+  int r0 = m.add_row("eq", Sense::kEq, 2.0);
+  m.set_coeff(r0, x, 1.0);
+  m.set_coeff(r0, y, 1.0);
+  int r1 = m.add_row("ge", Sense::kGe, -1.0);
+  m.set_coeff(r1, x, 1.0);
+  m.set_coeff(r1, y, -1.0);
+
+  LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 2.0, 1e-8);
+  EXPECT_NEAR(s.x[x] + s.x[y], 2.0, 1e-8);
+  EXPECT_GE(s.x[x] - s.x[y], -1.0 - 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_col("x", 0.0, 1.0, 1.0);
+  int r0 = m.add_row("hi", Sense::kGe, 2.0);
+  m.set_coeff(r0, x, 1.0);  // x >= 2 but x <= 1
+  LpSolution s = solve_lp(m);
+  EXPECT_EQ(s.status, SolverStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleEqualities) {
+  Model m;
+  const int x = m.add_col("x", -kInf, kInf, 0.0);
+  int r0 = m.add_row("a", Sense::kEq, 1.0);
+  m.set_coeff(r0, x, 1.0);
+  int r1 = m.add_row("b", Sense::kEq, 2.0);
+  m.set_coeff(r1, x, 1.0);
+  LpSolution s = solve_lp(m);
+  EXPECT_EQ(s.status, SolverStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  m.set_objective_sense(Objective::kMaximize);
+  const int x = m.add_col("x", 0.0, kInf, 1.0);
+  const int y = m.add_col("y", 0.0, kInf, 0.0);
+  int r0 = m.add_row("r", Sense::kGe, 0.0);
+  m.set_coeff(r0, x, 1.0);
+  m.set_coeff(r0, y, 1.0);
+  LpSolution s = solve_lp(m);
+  EXPECT_EQ(s.status, SolverStatus::kUnbounded);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min y st y >= x - 3, y >= -x + 1, x free, y free.
+  // Optimum at x=2, y=-1.
+  Model m;
+  const int x = m.add_col("x", -kInf, kInf, 0.0);
+  const int y = m.add_col("y", -kInf, kInf, 1.0);
+  int r0 = m.add_row("a", Sense::kGe, -3.0);  // y - x >= -3
+  m.set_coeff(r0, y, 1.0);
+  m.set_coeff(r0, x, -1.0);
+  int r1 = m.add_row("b", Sense::kGe, 1.0);  // y + x >= 1
+  m.set_coeff(r1, y, 1.0);
+  m.set_coeff(r1, x, 1.0);
+  LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -1.0, 1e-8);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-8);
+}
+
+TEST(Simplex, BoundFlipOnly) {
+  // max x + 2y with 0<=x<=1, 0<=y<=1 and a vacuous row.
+  Model m;
+  m.set_objective_sense(Objective::kMaximize);
+  const int x = m.add_col("x", 0.0, 1.0, 1.0);
+  const int y = m.add_col("y", 0.0, 1.0, 2.0);
+  int r0 = m.add_row("cap", Sense::kLe, 10.0);
+  m.set_coeff(r0, x, 1.0);
+  m.set_coeff(r0, y, 1.0);
+  LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 3.0, 1e-8);
+  EXPECT_NEAR(s.x[x], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 1.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariables) {
+  Model m;
+  const int x = m.add_col("x", 2.0, 2.0, 1.0);  // fixed at 2
+  const int y = m.add_col("y", 0.0, 5.0, 1.0);
+  int r0 = m.add_row("r", Sense::kGe, 3.0);
+  m.set_coeff(r0, x, 1.0);
+  m.set_coeff(r0, y, 1.0);
+  LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 1.0, 1e-8);
+  EXPECT_NEAR(s.objective, 3.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateDoesNotCycle) {
+  // Classic degenerate instance (Beale-like); must terminate optimally.
+  Model m;
+  m.set_objective_sense(Objective::kMinimize);
+  const int x1 = m.add_col("x1", 0.0, kInf, -0.75);
+  const int x2 = m.add_col("x2", 0.0, kInf, 150.0);
+  const int x3 = m.add_col("x3", 0.0, kInf, -0.02);
+  const int x4 = m.add_col("x4", 0.0, kInf, 6.0);
+  int r0 = m.add_row("r0", Sense::kLe, 0.0);
+  m.set_coeff(r0, x1, 0.25);
+  m.set_coeff(r0, x2, -60.0);
+  m.set_coeff(r0, x3, -0.04);
+  m.set_coeff(r0, x4, 9.0);
+  int r1 = m.add_row("r1", Sense::kLe, 0.0);
+  m.set_coeff(r1, x1, 0.5);
+  m.set_coeff(r1, x2, -90.0);
+  m.set_coeff(r1, x3, -0.02);
+  m.set_coeff(r1, x4, 3.0);
+  int r2 = m.add_row("r2", Sense::kLe, 1.0);
+  m.set_coeff(r2, x3, 1.0);
+  LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal()) << to_string(s.status);
+  EXPECT_NEAR(s.objective, -0.05, 1e-8);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x + y with -5 <= x <= -1, -3 <= y <= 8, x + y >= -6.
+  Model m;
+  const int x = m.add_col("x", -5.0, -1.0, 1.0);
+  const int y = m.add_col("y", -3.0, 8.0, 1.0);
+  int r0 = m.add_row("r", Sense::kGe, -6.0);
+  m.set_coeff(r0, x, 1.0);
+  m.set_coeff(r0, y, 1.0);
+  LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -6.0, 1e-8);
+}
+
+TEST(Simplex, ReducedCostsSignConvention) {
+  // max 2x st x <= 1 (bound), no rows binding.
+  Model m;
+  m.set_objective_sense(Objective::kMaximize);
+  const int x = m.add_col("x", 0.0, 1.0, 2.0);
+  int r0 = m.add_row("loose", Sense::kLe, 100.0);
+  m.set_coeff(r0, x, 1.0);
+  LpSolution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+  // x at its upper bound in a max problem: reduced cost (user sense) > 0.
+  EXPECT_GT(s.reduced_costs[x], 1e-9);
+}
+
+TEST(Simplex, WarmStartReproducesOptimumWithFewerIterations) {
+  // Re-solving from the previous optimal basis must skip phase 1 entirely.
+  Rng rng(71);
+  Model m;
+  m.set_objective_sense(Objective::kMaximize);
+  const int n = 12;
+  for (int j = 0; j < n; ++j) {
+    m.add_col("x" + std::to_string(j), 0.0, 1.0, rng.uniform(0.0, 2.0));
+  }
+  for (int r = 0; r < 6; ++r) {
+    int row = m.add_row("r" + std::to_string(r), Sense::kLe,
+                        rng.uniform(1.0, 3.0));
+    for (int j = 0; j < n; ++j) m.set_coeff(row, j, rng.uniform(0.0, 1.0));
+  }
+  LpSolution cold = solve_lp(m);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_FALSE(cold.positions.empty());
+
+  SimplexOptions warm_opt;
+  warm_opt.warm_positions = &cold.positions;
+  LpSolution warm = solve_lp(m, warm_opt);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(Simplex, WarmStartSurvivesBoundTightening) {
+  // Branch-and-bound usage pattern: tighten one bound, warm-start from the
+  // parent basis; result must equal a cold solve of the child.
+  Rng rng(72);
+  Model m;
+  m.set_objective_sense(Objective::kMaximize);
+  for (int j = 0; j < 8; ++j) {
+    m.add_col("x" + std::to_string(j), 0.0, 1.0, rng.uniform(0.5, 2.0));
+  }
+  int row = m.add_row("cap", Sense::kLe, 3.0);
+  for (int j = 0; j < 8; ++j) m.set_coeff(row, j, rng.uniform(0.3, 1.0));
+  LpSolution parent = solve_lp(m);
+  ASSERT_TRUE(parent.optimal());
+
+  m.set_col_bounds(2, 0.0, 0.0);  // "branch down" on column 2
+  LpSolution cold = solve_lp(m);
+  SimplexOptions warm_opt;
+  warm_opt.warm_positions = &parent.positions;
+  LpSolution warm = solve_lp(m, warm_opt);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+}
+
+TEST(Simplex, RefactorIntervalDoesNotChangeResults) {
+  // Eta-file length is a performance knob only: interval 1 (refactorize
+  // every pivot, the numerically most conservative setting) must agree
+  // with the default on random instances.
+  Rng rng(73);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 10));
+    Model m;
+    m.set_objective_sense(rng.uniform() < 0.5 ? Objective::kMinimize
+                                              : Objective::kMaximize);
+    for (int j = 0; j < n; ++j) {
+      const double lo = rng.uniform(-2.0, 0.0);
+      m.add_col("x" + std::to_string(j), lo, lo + rng.uniform(0.5, 3.0),
+                rng.uniform(-2.0, 2.0));
+    }
+    for (int r = 0; r < n / 2 + 1; ++r) {
+      int row = m.add_row("r" + std::to_string(r), Sense::kLe,
+                          rng.uniform(0.0, 4.0));
+      for (int j = 0; j < n; ++j) {
+        m.set_coeff(row, j, rng.uniform(-1.0, 2.0));
+      }
+    }
+    SimplexOptions every_pivot;
+    every_pivot.refactor_interval = 1;
+    LpSolution a = solve_lp(m, every_pivot);
+    LpSolution b = solve_lp(m);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.optimal()) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-7) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Simplex, MalformedWarmHintFallsBackToColdStart) {
+  Model m;
+  m.set_objective_sense(Objective::kMaximize);
+  m.add_col("x", 0.0, 2.0, 1.0);
+  int r = m.add_row("cap", Sense::kLe, 1.5);
+  m.set_coeff(r, 0, 1.0);
+  std::vector<VarPosition> bogus{VarPosition::kBasic};  // wrong size
+  SimplexOptions opt;
+  opt.warm_positions = &bogus;
+  LpSolution s = solve_lp(m, opt);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 1.5, 1e-9);
+  // All-basic hint of the right size is inconsistent (too many basics).
+  std::vector<VarPosition> toomany{VarPosition::kBasic, VarPosition::kBasic};
+  opt.warm_positions = &toomany;
+  LpSolution s2 = solve_lp(m, opt);
+  ASSERT_TRUE(s2.optimal());
+  EXPECT_NEAR(s2.objective, 1.5, 1e-9);
+}
+
+// ---- randomized cross-check against brute-force vertex enumeration ------
+
+struct RandomLpCase {
+  std::uint64_t seed;
+};
+
+class SimplexRandomTest : public ::testing::TestWithParam<RandomLpCase> {};
+
+TEST_P(SimplexRandomTest, MatchesBruteForce) {
+  Rng rng(GetParam().seed);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 4));
+    const int rows = static_cast<int>(rng.uniform_int(0, 4));
+    Model m;
+    m.set_objective_sense(rng.uniform() < 0.5 ? Objective::kMinimize
+                                              : Objective::kMaximize);
+    for (int j = 0; j < n; ++j) {
+      const double lo = rng.uniform(-4.0, 0.0);
+      const double hi = lo + rng.uniform(0.0, 6.0);
+      m.add_col("x" + std::to_string(j), lo, hi, rng.uniform(-3.0, 3.0));
+    }
+    for (int r = 0; r < rows; ++r) {
+      const double pick = rng.uniform();
+      const Sense sense = pick < 0.4   ? Sense::kLe
+                          : pick < 0.8 ? Sense::kGe
+                                       : Sense::kEq;
+      const int row = m.add_row("r" + std::to_string(r), sense,
+                                rng.uniform(-5.0, 5.0));
+      for (int j = 0; j < n; ++j) {
+        if (rng.uniform() < 0.75) {
+          m.set_coeff(row, j, rng.uniform(-2.0, 2.0));
+        }
+      }
+    }
+
+    LpSolution s = solve_lp(m);
+    std::optional<double> ref = cubisg::testing::brute_force_lp(m);
+    if (!ref) {
+      EXPECT_EQ(s.status, SolverStatus::kInfeasible)
+          << "trial " << trial << ": brute force found no feasible vertex "
+          << "but simplex returned " << to_string(s.status);
+      continue;
+    }
+    ASSERT_TRUE(s.optimal())
+        << "trial " << trial << ": " << to_string(s.status)
+        << " (brute force optimum " << *ref << ")";
+    EXPECT_NEAR(s.objective, *ref, 1e-6) << "trial " << trial;
+    EXPECT_LE(m.max_violation(s.x), 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SimplexRandomTest,
+    ::testing::Values(RandomLpCase{1}, RandomLpCase{2}, RandomLpCase{3},
+                      RandomLpCase{4}, RandomLpCase{5}, RandomLpCase{6},
+                      RandomLpCase{7}, RandomLpCase{8}),
+    [](const ::testing::TestParamInfo<RandomLpCase>& pinfo) {
+      return "seed" + std::to_string(pinfo.param.seed);
+    });
+
+}  // namespace
+}  // namespace cubisg::lp

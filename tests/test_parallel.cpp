@@ -1,0 +1,108 @@
+// Tests for the thread pool and data-parallel helpers.
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace cubisg {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([](int a, int b) { return a + b; }, 40, 2);
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolIsReusable) {
+  auto& a = ThreadPool::global();
+  auto& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ParallelFor, CoversFullRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, RethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::logic_error("at 37");
+                   }),
+      std::logic_error);
+}
+
+TEST(ParallelFor, RespectsGrain) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  parallel_for(pool, 0, 10, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  }, /*grain=*/100);  // grain > range: single task
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ParallelMap, PreservesOrder) {
+  ThreadPool pool(4);
+  auto out = parallel_map(pool, 100, [](std::size_t i) {
+    return static_cast<int>(i * i);
+  });
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, WorksWithNonTrivialTypes) {
+  ThreadPool pool(2);
+  auto out = parallel_map(pool, 10, [](std::size_t i) {
+    return std::vector<int>(i, static_cast<int>(i));
+  });
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[i].size(), i);
+  }
+}
+
+}  // namespace
+}  // namespace cubisg

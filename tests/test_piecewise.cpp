@@ -1,0 +1,212 @@
+// Tests for the piecewise-linear approximation machinery (Section IV.C)
+// and the separable step solver.
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/piecewise.hpp"
+#include "core/step_solver.hpp"
+
+namespace cubisg::core {
+namespace {
+
+TEST(Piecewise, ExactAtBreakpoints) {
+  auto f = [](double x) { return std::exp(-2.0 * x); };
+  PiecewiseLinear pl(f, 4);
+  for (std::size_t k = 0; k <= 4; ++k) {
+    const double x = k / 4.0;
+    EXPECT_DOUBLE_EQ(pl.value_at_breakpoint(k), f(x));
+    EXPECT_NEAR(pl.evaluate(x), f(x), 1e-12);
+  }
+}
+
+TEST(Piecewise, SlopesMatchPaperFormula) {
+  auto f = [](double x) { return x * x; };
+  const std::size_t k_count = 5;
+  PiecewiseLinear pl(f, k_count);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    const double lo = static_cast<double>(k) / k_count;
+    const double hi = static_cast<double>(k + 1) / k_count;
+    // s_k = K * (f(k+1/K) - f(k/K))
+    EXPECT_NEAR(pl.slope(k), k_count * (f(hi) - f(lo)), 1e-12);
+  }
+  EXPECT_THROW(pl.slope(5), std::out_of_range);
+}
+
+TEST(Piecewise, LinearFunctionIsReproducedExactly) {
+  auto f = [](double x) { return 3.0 * x - 1.0; };
+  PiecewiseLinear pl(f, 3);
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    EXPECT_NEAR(pl.evaluate(x), f(x), 1e-12);
+  }
+}
+
+TEST(Piecewise, ClampsOutOfRange) {
+  auto f = [](double x) { return x; };
+  PiecewiseLinear pl(f, 2);
+  EXPECT_NEAR(pl.evaluate(-0.5), 0.0, 1e-12);
+  EXPECT_NEAR(pl.evaluate(1.5), 1.0, 1e-12);
+}
+
+TEST(Piecewise, RejectsZeroSegments) {
+  EXPECT_THROW(PiecewiseLinear([](double x) { return x; }, 0),
+               std::invalid_argument);
+}
+
+TEST(Piecewise, Example1FromPaper) {
+  // K=5, x=0.3: x_1 = 1/5, x_2 = 0.1, x_3 = x_4 = x_5 = 0.
+  auto portions = segment_portions(0.3, 5);
+  ASSERT_EQ(portions.size(), 5u);
+  EXPECT_NEAR(portions[0], 0.2, 1e-12);
+  EXPECT_NEAR(portions[1], 0.1, 1e-12);
+  EXPECT_NEAR(portions[2], 0.0, 1e-12);
+  EXPECT_NEAR(portions[3], 0.0, 1e-12);
+  EXPECT_NEAR(portions[4], 0.0, 1e-12);
+  EXPECT_NEAR(from_segment_portions(portions), 0.3, 1e-12);
+}
+
+TEST(Piecewise, SegmentPortionsRoundTrip) {
+  Rng rng(55);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform_int(0, 19));
+    const double x = rng.uniform(0.0, 1.0);
+    auto portions = segment_portions(x, k);
+    EXPECT_NEAR(from_segment_portions(portions), x, 1e-12);
+    // Ordered filling: once a portion is partial, the rest must be zero.
+    bool partial_seen = false;
+    for (double p : portions) {
+      if (partial_seen) {
+        EXPECT_DOUBLE_EQ(p, 0.0);
+      }
+      if (p < 1.0 / static_cast<double>(k) - 1e-12) partial_seen = true;
+    }
+  }
+}
+
+TEST(Piecewise, ApproximationErrorDecaysAsOneOverK) {
+  // Lemma 1: error O(1/K) for differentiable functions.  For exp(-2x) the
+  // chord error ~ max|f''|/(8K^2); we verify at least 1/K decay.
+  auto f = [](double x) { return std::exp(-2.0 * x) * (3.0 * x - 1.0); };
+  double prev_err = 1e9;
+  for (std::size_t k : {2u, 4u, 8u, 16u, 32u}) {
+    PiecewiseLinear pl(f, k);
+    const double err = max_approximation_error(f, pl);
+    EXPECT_LT(err, prev_err * 0.6);  // at least geometric decay
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-2);
+}
+
+// ---- step solver ----------------------------------------------------------
+
+TEST(StepSolver, SingleTargetPicksBestBreakpoint) {
+  // phi has an interior maximum at a breakpoint.
+  auto phi = [](double x) { return -(x - 0.4) * (x - 0.4); };
+  std::vector<PiecewiseLinear> fs{PiecewiseLinear(phi, 5)};
+  StepResult r = solve_step_dp(fs, 1.0);
+  EXPECT_EQ(r.status, SolverStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 0.4, 1e-12);
+  EXPECT_NEAR(r.objective, 0.0, 1e-12);
+}
+
+TEST(StepSolver, RespectsBudget) {
+  // Both targets want full coverage but the budget only allows one unit.
+  auto up = [](double x) { return x; };
+  std::vector<PiecewiseLinear> fs{PiecewiseLinear(up, 4),
+                                  PiecewiseLinear(up, 4)};
+  StepResult r = solve_step_dp(fs, 1.0);
+  EXPECT_NEAR(r.x[0] + r.x[1], 1.0, 1e-12);
+  EXPECT_NEAR(r.objective, 1.0, 1e-12);
+}
+
+TEST(StepSolver, PrefersSteeperTarget) {
+  auto steep = [](double x) { return 5.0 * x; };
+  auto flat = [](double x) { return 1.0 * x; };
+  std::vector<PiecewiseLinear> fs{PiecewiseLinear(flat, 4),
+                                  PiecewiseLinear(steep, 4)};
+  StepResult r = solve_step_dp(fs, 1.0);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-12);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-12);
+}
+
+TEST(StepSolver, LeavesBudgetUnusedWhenHarmful) {
+  // Coverage strictly hurts: optimum is x = 0 despite budget 2.
+  auto down = [](double x) { return -x; };
+  std::vector<PiecewiseLinear> fs{PiecewiseLinear(down, 4),
+                                  PiecewiseLinear(down, 4),
+                                  PiecewiseLinear(down, 4)};
+  StepResult r = solve_step_dp(fs, 2.0);
+  EXPECT_NEAR(r.objective, 0.0, 1e-12);
+  for (double xi : r.x) EXPECT_NEAR(xi, 0.0, 1e-12);
+}
+
+TEST(StepSolver, MatchesExhaustiveGridSearch) {
+  Rng rng(66);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t t_count = 2 + static_cast<std::size_t>(
+        rng.uniform_int(0, 1));
+    const std::size_t k_count = 3 + static_cast<std::size_t>(
+        rng.uniform_int(0, 2));
+    const double resources = 1.0;
+    // Random piecewise values (non-concave in general).
+    std::vector<std::vector<double>> vals(t_count);
+    for (auto& v : vals) {
+      v.resize(k_count + 1);
+      for (auto& x : v) x = rng.uniform(-3.0, 3.0);
+    }
+    std::vector<PiecewiseLinear> fs;
+    for (std::size_t i = 0; i < t_count; ++i) {
+      fs.emplace_back(
+          [&, i](double x) {
+            return vals[i][static_cast<std::size_t>(
+                std::llround(x * static_cast<double>(k_count)))];
+          },
+          k_count);
+    }
+    StepResult r = solve_step_dp(fs, resources);
+
+    // Exhaustive: every grid assignment with total units <= R*K.
+    const std::size_t units = static_cast<std::size_t>(
+        std::llround(resources * static_cast<double>(k_count)));
+    double best = -1e18;
+    std::vector<std::size_t> take(t_count, 0);
+    std::function<void(std::size_t, std::size_t, double)> rec =
+        [&](std::size_t idx, std::size_t used, double acc) {
+          if (idx == t_count) {
+            best = std::max(best, acc);
+            return;
+          }
+          for (std::size_t u = 0; u <= k_count && used + u <= units; ++u) {
+            rec(idx + 1, used + u, acc + vals[idx][u]);
+          }
+        };
+    rec(0, 0, 0.0);
+    EXPECT_NEAR(r.objective, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(StepSolver, FractionalBudgetFlooredConservatively) {
+  // 0.5 * 3 = 1.5 units -> floored to 1 unit: the result stays feasible
+  // (sum x <= 0.5) and under-approximates the true optimum by <= one
+  // segment's worth.
+  std::vector<PiecewiseLinear> fs{
+      PiecewiseLinear([](double x) { return x; }, 3)};
+  StepResult r = solve_step_dp(fs, 0.5);
+  EXPECT_EQ(r.status, SolverStatus::kOptimal);
+  EXPECT_LE(r.x[0], 0.5 + 1e-12);
+  EXPECT_NEAR(r.x[0], 1.0 / 3.0, 1e-12);  // one grid unit
+  EXPECT_LE(r.objective, 0.5);            // conservative vs true max 0.5
+}
+
+TEST(StepSolver, RejectsMismatchedSegments) {
+  std::vector<PiecewiseLinear> fs{
+      PiecewiseLinear([](double x) { return x; }, 3),
+      PiecewiseLinear([](double x) { return x; }, 4)};
+  EXPECT_THROW(solve_step_dp(fs, 1.0), InvalidModelError);
+  EXPECT_THROW(solve_step_dp({}, 1.0), InvalidModelError);
+}
+
+}  // namespace
+}  // namespace cubisg::core

@@ -1,0 +1,213 @@
+// Tests for the LP presolve reductions and the presolved solve wrapper.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "lp/model.hpp"
+#include "lp/presolve.hpp"
+#include "lp/simplex.hpp"
+#include "brute_force.hpp"
+
+namespace cubisg::lp {
+namespace {
+
+TEST(Presolve, SubstitutesFixedColumns) {
+  Model m;
+  m.set_objective_sense(Objective::kMaximize);
+  const int x = m.add_col("x", 0.0, 5.0, 1.0);
+  const int y = m.add_col("y", 2.0, 2.0, 3.0);  // fixed at 2
+  int r = m.add_row("r", Sense::kLe, 10.0);
+  m.set_coeff(r, x, 1.0);
+  m.set_coeff(r, y, 2.0);
+
+  PresolveResult pre = presolve(m);
+  EXPECT_FALSE(pre.infeasible);
+  // The reductions cascade: y fixed -> the row becomes the singleton
+  // x <= 6 -> a bound (x's own 5 is tighter) -> x is an empty column and
+  // is fixed at its objective-preferred bound.  Nothing survives.
+  EXPECT_EQ(pre.reduced.num_cols(), 0);
+  EXPECT_EQ(pre.col_map[x], -1);
+  EXPECT_EQ(pre.col_map[y], -1);
+  EXPECT_DOUBLE_EQ(pre.fixed_value[y], 2.0);
+  EXPECT_DOUBLE_EQ(pre.fixed_value[x], 5.0);
+
+  LpSolution s = solve_lp_presolved(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[x], 5.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 2.0, 1e-12);
+  EXPECT_NEAR(s.objective, 5.0 + 6.0, 1e-9);
+}
+
+TEST(Presolve, SingletonRowBecomesBound) {
+  // Two-column row keeps the model alive; the singleton row only tightens
+  // x's bound.
+  Model m;
+  m.set_objective_sense(Objective::kMaximize);
+  const int x = m.add_col("x", 0.0, 10.0, 1.0);
+  const int y = m.add_col("y", 0.0, 10.0, 1.0);
+  int r = m.add_row("cap", Sense::kLe, 3.0);  // x <= 3
+  m.set_coeff(r, x, 1.0);
+  int r2 = m.add_row("joint", Sense::kLe, 8.0);
+  m.set_coeff(r2, x, 1.0);
+  m.set_coeff(r2, y, 1.0);
+  PresolveResult pre = presolve(m);
+  EXPECT_EQ(pre.reduced.num_rows(), 1);
+  ASSERT_EQ(pre.reduced.num_cols(), 2);
+  EXPECT_DOUBLE_EQ(pre.reduced.col_upper(pre.col_map[x]), 3.0);
+  LpSolution s = solve_lp_presolved(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 8.0, 1e-9);  // x=3, y=5
+}
+
+TEST(Presolve, SingletonRowWithNegativeCoefficient) {
+  // -2x <= 4 -> x >= -2; the then-empty column is fixed at that new lower
+  // bound (minimization, positive objective).
+  Model m;
+  const int x = m.add_col("x", -10.0, 10.0, 1.0);
+  int r = m.add_row("r", Sense::kLe, 4.0);
+  m.set_coeff(r, x, -2.0);
+  PresolveResult pre = presolve(m);
+  EXPECT_EQ(pre.reduced.num_rows(), 0);
+  EXPECT_EQ(pre.reduced.num_cols(), 0);
+  EXPECT_EQ(pre.col_map[x], -1);
+  EXPECT_DOUBLE_EQ(pre.fixed_value[x], -2.0);
+  LpSolution s = solve_lp_presolved(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -2.0, 1e-12);
+}
+
+TEST(Presolve, EqualitySingletonFixesColumn) {
+  Model m;
+  const int x = m.add_col("x", 0.0, 10.0, 1.0);
+  const int y = m.add_col("y", 0.0, 10.0, -1.0);
+  int r = m.add_row("fix", Sense::kEq, 4.0);  // 2x = 4 -> x = 2
+  m.set_coeff(r, x, 2.0);
+  int r2 = m.add_row("link", Sense::kLe, 8.0);
+  m.set_coeff(r2, x, 1.0);
+  m.set_coeff(r2, y, 1.0);
+  PresolveResult pre = presolve(m);
+  // Chain: singleton eq fixes x=2; substitution leaves y <= 6 as a
+  // singleton row -> bound; y is then empty and fixed at its preferred
+  // bound (minimize, obj -1 -> upper bound 6).  Fully eliminated.
+  EXPECT_EQ(pre.col_map[x], -1);
+  EXPECT_DOUBLE_EQ(pre.fixed_value[x], 2.0);
+  EXPECT_EQ(pre.reduced.num_rows(), 0);
+  EXPECT_EQ(pre.reduced.num_cols(), 0);
+  EXPECT_EQ(pre.col_map[y], -1);
+  EXPECT_DOUBLE_EQ(pre.fixed_value[y], 6.0);
+}
+
+TEST(Presolve, DetectsInfeasibleBoundsAndRows) {
+  {
+    Model m;
+    const int x = m.add_col("x", 0.0, 1.0, 0.0);
+    int r = m.add_row("r", Sense::kGe, 5.0);  // x >= 5 vs x <= 1
+    m.set_coeff(r, x, 1.0);
+    EXPECT_TRUE(presolve(m).infeasible);
+  }
+  {
+    Model m;
+    const int x = m.add_col("x", 2.0, 2.0, 0.0);
+    int r = m.add_row("r", Sense::kEq, 5.0);  // 2 = 5 after substitution
+    m.set_coeff(r, x, 1.0);
+    EXPECT_TRUE(presolve(m).infeasible);
+  }
+}
+
+TEST(Presolve, EmptyColumnFixedAtPreferredBound) {
+  Model m;
+  m.set_objective_sense(Objective::kMaximize);
+  m.add_col("free_profit", 0.0, 7.0, 2.0);  // no rows: take the max
+  m.add_col("free_cost", -3.0, 7.0, -1.0);  // take the min
+  PresolveResult pre = presolve(m);
+  EXPECT_EQ(pre.reduced.num_cols(), 0);
+  LpSolution s = solve_lp_presolved(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 7.0, 1e-12);
+  EXPECT_NEAR(s.x[1], -3.0, 1e-12);
+  EXPECT_NEAR(s.objective, 14.0 + 3.0, 1e-12);
+}
+
+TEST(Presolve, DetectsUnboundedEmptyColumn) {
+  Model m;
+  m.set_objective_sense(Objective::kMaximize);
+  m.add_col("runaway", 0.0, kInf, 1.0);
+  PresolveResult pre = presolve(m);
+  EXPECT_TRUE(pre.unbounded);
+  EXPECT_EQ(solve_lp_presolved(m).status, SolverStatus::kUnbounded);
+}
+
+TEST(Presolve, FullyEliminatedModelSolvesDirectly) {
+  Model m;
+  const int x = m.add_col("x", 3.0, 3.0, 2.0);
+  int r = m.add_row("check", Sense::kLe, 10.0);
+  m.set_coeff(r, x, 1.0);
+  LpSolution s = solve_lp_presolved(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[x], 3.0, 1e-12);
+  EXPECT_NEAR(s.objective, 6.0, 1e-12);
+}
+
+TEST(Presolve, RandomModelsMatchPlainSolve) {
+  Rng rng(555);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 5));
+    const int rows = static_cast<int>(rng.uniform_int(0, 4));
+    Model m;
+    m.set_objective_sense(rng.uniform() < 0.5 ? Objective::kMinimize
+                                              : Objective::kMaximize);
+    for (int j = 0; j < n; ++j) {
+      double lo = rng.uniform(-3.0, 0.0);
+      double hi = lo + rng.uniform(0.0, 4.0);
+      if (rng.uniform() < 0.25) hi = lo;  // some fixed columns
+      m.add_col("x" + std::to_string(j), lo, hi, rng.uniform(-2.0, 2.0));
+    }
+    for (int r = 0; r < rows; ++r) {
+      const double pick = rng.uniform();
+      const Sense sense = pick < 0.4   ? Sense::kLe
+                          : pick < 0.8 ? Sense::kGe
+                                       : Sense::kEq;
+      int row = m.add_row("r" + std::to_string(r), sense,
+                          rng.uniform(-4.0, 4.0));
+      // Sparse rows so singletons appear often.
+      for (int j = 0; j < n; ++j) {
+        if (rng.uniform() < 0.5) m.set_coeff(row, j, rng.uniform(-2.0, 2.0));
+      }
+    }
+
+    LpSolution plain = solve_lp(m);
+    LpSolution pres = solve_lp_presolved(m);
+    if (plain.status == SolverStatus::kInfeasible) {
+      EXPECT_EQ(pres.status, SolverStatus::kInfeasible) << "trial " << trial;
+      continue;
+    }
+    ASSERT_TRUE(plain.optimal()) << "trial " << trial;
+    ASSERT_TRUE(pres.optimal())
+        << "trial " << trial << " " << to_string(pres.status);
+    EXPECT_NEAR(plain.objective, pres.objective, 1e-6) << "trial " << trial;
+    EXPECT_LE(m.max_violation(pres.x), 1e-7) << "trial " << trial;
+  }
+}
+
+TEST(Presolve, PostsolveMapsEliminatedColumns) {
+  // a fixed; b and c survive in a genuine two-column row.
+  Model m;
+  const int a = m.add_col("a", 1.0, 1.0, 0.0);
+  const int b = m.add_col("b", 0.0, 2.0, 1.0);
+  const int c = m.add_col("c", 0.0, 2.0, 1.0);
+  int r = m.add_row("r", Sense::kLe, 3.0);
+  m.set_coeff(r, a, 1.0);
+  m.set_coeff(r, b, 1.0);
+  m.set_coeff(r, c, 1.0);
+  PresolveResult pre = presolve(m);
+  ASSERT_EQ(pre.reduced.num_cols(), 2);
+  EXPECT_DOUBLE_EQ(pre.reduced.row_rhs(0), 2.0);  // rhs shifted by a=1
+  auto x = postsolve(pre, {1.5, 0.5});
+  EXPECT_DOUBLE_EQ(x[a], 1.0);
+  EXPECT_DOUBLE_EQ(x[b], 1.5);
+  EXPECT_DOUBLE_EQ(x[c], 0.5);
+}
+
+}  // namespace
+}  // namespace cubisg::lp
