@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubisg_cli.dir/cubisg_cli.cpp.o"
+  "CMakeFiles/cubisg_cli.dir/cubisg_cli.cpp.o.d"
+  "cubisg"
+  "cubisg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubisg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/apps
+# Build directory: /root/repo/build/apps
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_table1 "/root/repo/build/apps/cubisg" "table1" "--out" "/root/repo/build/apps/cli_smoke.scn")
+set_tests_properties(cli_table1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;10;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_solve "/root/repo/build/apps/cubisg" "solve" "/root/repo/build/apps/cli_smoke.scn" "--solver" "cubis" "--segments" "20")
+set_tests_properties(cli_solve PROPERTIES  DEPENDS "cli_table1" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;12;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_compare "/root/repo/build/apps/cubisg" "compare" "/root/repo/build/apps/cli_smoke.scn" "--types" "20")
+set_tests_properties(cli_compare PROPERTIES  DEPENDS "cli_table1" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;14;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_eval "/root/repo/build/apps/cubisg" "eval" "/root/repo/build/apps/cli_smoke.scn" "--coverage" "0.46,0.54")
+set_tests_properties(cli_eval PROPERTIES  DEPENDS "cli_table1" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;16;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_patrol "/root/repo/build/apps/cubisg" "patrol" "/root/repo/build/apps/cli_smoke.scn" "--days" "3")
+set_tests_properties(cli_patrol PROPERTIES  DEPENDS "cli_table1" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;18;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_generate "/root/repo/build/apps/cubisg" "generate" "--targets" "6" "--seed" "4" "--out" "/root/repo/build/apps/cli_gen.scn")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;20;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_simulate_data "/root/repo/build/apps/cubisg" "simulate-data" "/root/repo/build/apps/cli_gen.scn" "--records" "120" "--out" "/root/repo/build/apps/cli_data.txt")
+set_tests_properties(cli_simulate_data PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;23;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_learn "/root/repo/build/apps/cubisg" "learn" "/root/repo/build/apps/cli_gen.scn" "--data" "/root/repo/build/apps/cli_data.txt" "--resamples" "20")
+set_tests_properties(cli_learn PROPERTIES  DEPENDS "cli_simulate_data" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;26;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(cli_report "/root/repo/build/apps/cubisg" "report" "/root/repo/build/apps/cli_gen.scn" "--out" "/root/repo/build/apps/cli_report.md" "--segments" "10")
+set_tests_properties(cli_report PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;31;add_test;/root/repo/apps/CMakeLists.txt;0;")

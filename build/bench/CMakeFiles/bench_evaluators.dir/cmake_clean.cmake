@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_evaluators.dir/bench_evaluators.cpp.o"
+  "CMakeFiles/bench_evaluators.dir/bench_evaluators.cpp.o.d"
+  "bench_evaluators"
+  "bench_evaluators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evaluators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_patrol.dir/bench_patrol.cpp.o"
+  "CMakeFiles/bench_patrol.dir/bench_patrol.cpp.o.d"
+  "bench_patrol"
+  "bench_patrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_patrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

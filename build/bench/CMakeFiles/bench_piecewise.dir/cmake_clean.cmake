@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_piecewise.dir/bench_piecewise.cpp.o"
+  "CMakeFiles/bench_piecewise.dir/bench_piecewise.cpp.o.d"
+  "bench_piecewise"
+  "bench_piecewise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_piecewise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airport_checkpoints.dir/airport_checkpoints.cpp.o"
+  "CMakeFiles/airport_checkpoints.dir/airport_checkpoints.cpp.o.d"
+  "airport_checkpoints"
+  "airport_checkpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airport_checkpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_pipeline.dir/learning_pipeline.cpp.o"
+  "CMakeFiles/learning_pipeline.dir/learning_pipeline.cpp.o.d"
+  "learning_pipeline"
+  "learning_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

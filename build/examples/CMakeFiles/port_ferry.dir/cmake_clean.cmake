@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_ferry.dir/port_ferry.cpp.o"
+  "CMakeFiles/port_ferry.dir/port_ferry.cpp.o.d"
+  "port_ferry"
+  "port_ferry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_ferry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

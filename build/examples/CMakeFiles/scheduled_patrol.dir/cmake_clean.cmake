@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduled_patrol.dir/scheduled_patrol.cpp.o"
+  "CMakeFiles/scheduled_patrol.dir/scheduled_patrol.cpp.o.d"
+  "scheduled_patrol"
+  "scheduled_patrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduled_patrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

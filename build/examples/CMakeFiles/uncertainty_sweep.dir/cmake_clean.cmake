@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertainty_sweep.dir/uncertainty_sweep.cpp.o"
+  "CMakeFiles/uncertainty_sweep.dir/uncertainty_sweep.cpp.o.d"
+  "uncertainty_sweep"
+  "uncertainty_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertainty_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wildlife_patrol.dir/wildlife_patrol.cpp.o"
+  "CMakeFiles/wildlife_patrol.dir/wildlife_patrol.cpp.o.d"
+  "wildlife_patrol"
+  "wildlife_patrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wildlife_patrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

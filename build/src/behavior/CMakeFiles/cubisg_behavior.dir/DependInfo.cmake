@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/behavior/attacker_sim.cpp" "src/behavior/CMakeFiles/cubisg_behavior.dir/attacker_sim.cpp.o" "gcc" "src/behavior/CMakeFiles/cubisg_behavior.dir/attacker_sim.cpp.o.d"
+  "/root/repo/src/behavior/bounds.cpp" "src/behavior/CMakeFiles/cubisg_behavior.dir/bounds.cpp.o" "gcc" "src/behavior/CMakeFiles/cubisg_behavior.dir/bounds.cpp.o.d"
+  "/root/repo/src/behavior/scenario.cpp" "src/behavior/CMakeFiles/cubisg_behavior.dir/scenario.cpp.o" "gcc" "src/behavior/CMakeFiles/cubisg_behavior.dir/scenario.cpp.o.d"
+  "/root/repo/src/behavior/suqr.cpp" "src/behavior/CMakeFiles/cubisg_behavior.dir/suqr.cpp.o" "gcc" "src/behavior/CMakeFiles/cubisg_behavior.dir/suqr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cubisg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/games/CMakeFiles/cubisg_games.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cubisg_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cubisg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

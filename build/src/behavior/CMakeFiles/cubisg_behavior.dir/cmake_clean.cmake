@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubisg_behavior.dir/attacker_sim.cpp.o"
+  "CMakeFiles/cubisg_behavior.dir/attacker_sim.cpp.o.d"
+  "CMakeFiles/cubisg_behavior.dir/bounds.cpp.o"
+  "CMakeFiles/cubisg_behavior.dir/bounds.cpp.o.d"
+  "CMakeFiles/cubisg_behavior.dir/scenario.cpp.o"
+  "CMakeFiles/cubisg_behavior.dir/scenario.cpp.o.d"
+  "CMakeFiles/cubisg_behavior.dir/suqr.cpp.o"
+  "CMakeFiles/cubisg_behavior.dir/suqr.cpp.o.d"
+  "libcubisg_behavior.a"
+  "libcubisg_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubisg_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubisg_common.dir/interval.cpp.o"
+  "CMakeFiles/cubisg_common.dir/interval.cpp.o.d"
+  "CMakeFiles/cubisg_common.dir/log.cpp.o"
+  "CMakeFiles/cubisg_common.dir/log.cpp.o.d"
+  "CMakeFiles/cubisg_common.dir/math_util.cpp.o"
+  "CMakeFiles/cubisg_common.dir/math_util.cpp.o.d"
+  "libcubisg_common.a"
+  "libcubisg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubisg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/cubisg_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/cubis.cpp" "src/core/CMakeFiles/cubisg_core.dir/cubis.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/cubis.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/cubisg_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/gradient.cpp" "src/core/CMakeFiles/cubisg_core.dir/gradient.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/gradient.cpp.o.d"
+  "/root/repo/src/core/hfunction.cpp" "src/core/CMakeFiles/cubisg_core.dir/hfunction.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/hfunction.cpp.o.d"
+  "/root/repo/src/core/maximin.cpp" "src/core/CMakeFiles/cubisg_core.dir/maximin.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/maximin.cpp.o.d"
+  "/root/repo/src/core/origami.cpp" "src/core/CMakeFiles/cubisg_core.dir/origami.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/origami.cpp.o.d"
+  "/root/repo/src/core/pasaq.cpp" "src/core/CMakeFiles/cubisg_core.dir/pasaq.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/pasaq.cpp.o.d"
+  "/root/repo/src/core/piecewise.cpp" "src/core/CMakeFiles/cubisg_core.dir/piecewise.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/piecewise.cpp.o.d"
+  "/root/repo/src/core/population_solvers.cpp" "src/core/CMakeFiles/cubisg_core.dir/population_solvers.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/population_solvers.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/cubisg_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/solvers.cpp" "src/core/CMakeFiles/cubisg_core.dir/solvers.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/solvers.cpp.o.d"
+  "/root/repo/src/core/sse.cpp" "src/core/CMakeFiles/cubisg_core.dir/sse.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/sse.cpp.o.d"
+  "/root/repo/src/core/step_solver.cpp" "src/core/CMakeFiles/cubisg_core.dir/step_solver.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/step_solver.cpp.o.d"
+  "/root/repo/src/core/worst_case.cpp" "src/core/CMakeFiles/cubisg_core.dir/worst_case.cpp.o" "gcc" "src/core/CMakeFiles/cubisg_core.dir/worst_case.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cubisg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/games/CMakeFiles/cubisg_games.dir/DependInfo.cmake"
+  "/root/repo/build/src/behavior/CMakeFiles/cubisg_behavior.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cubisg_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/cubisg_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/cubisg_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cubisg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubisg_core.dir/adaptive.cpp.o"
+  "CMakeFiles/cubisg_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/cubis.cpp.o"
+  "CMakeFiles/cubisg_core.dir/cubis.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/evaluation.cpp.o"
+  "CMakeFiles/cubisg_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/gradient.cpp.o"
+  "CMakeFiles/cubisg_core.dir/gradient.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/hfunction.cpp.o"
+  "CMakeFiles/cubisg_core.dir/hfunction.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/maximin.cpp.o"
+  "CMakeFiles/cubisg_core.dir/maximin.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/origami.cpp.o"
+  "CMakeFiles/cubisg_core.dir/origami.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/pasaq.cpp.o"
+  "CMakeFiles/cubisg_core.dir/pasaq.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/piecewise.cpp.o"
+  "CMakeFiles/cubisg_core.dir/piecewise.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/population_solvers.cpp.o"
+  "CMakeFiles/cubisg_core.dir/population_solvers.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/registry.cpp.o"
+  "CMakeFiles/cubisg_core.dir/registry.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/solvers.cpp.o"
+  "CMakeFiles/cubisg_core.dir/solvers.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/sse.cpp.o"
+  "CMakeFiles/cubisg_core.dir/sse.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/step_solver.cpp.o"
+  "CMakeFiles/cubisg_core.dir/step_solver.cpp.o.d"
+  "CMakeFiles/cubisg_core.dir/worst_case.cpp.o"
+  "CMakeFiles/cubisg_core.dir/worst_case.cpp.o.d"
+  "libcubisg_core.a"
+  "libcubisg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubisg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/games/comb_sampling.cpp" "src/games/CMakeFiles/cubisg_games.dir/comb_sampling.cpp.o" "gcc" "src/games/CMakeFiles/cubisg_games.dir/comb_sampling.cpp.o.d"
+  "/root/repo/src/games/generators.cpp" "src/games/CMakeFiles/cubisg_games.dir/generators.cpp.o" "gcc" "src/games/CMakeFiles/cubisg_games.dir/generators.cpp.o.d"
+  "/root/repo/src/games/routes.cpp" "src/games/CMakeFiles/cubisg_games.dir/routes.cpp.o" "gcc" "src/games/CMakeFiles/cubisg_games.dir/routes.cpp.o.d"
+  "/root/repo/src/games/schedule.cpp" "src/games/CMakeFiles/cubisg_games.dir/schedule.cpp.o" "gcc" "src/games/CMakeFiles/cubisg_games.dir/schedule.cpp.o.d"
+  "/root/repo/src/games/security_game.cpp" "src/games/CMakeFiles/cubisg_games.dir/security_game.cpp.o" "gcc" "src/games/CMakeFiles/cubisg_games.dir/security_game.cpp.o.d"
+  "/root/repo/src/games/strategy_space.cpp" "src/games/CMakeFiles/cubisg_games.dir/strategy_space.cpp.o" "gcc" "src/games/CMakeFiles/cubisg_games.dir/strategy_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cubisg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cubisg_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cubisg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubisg_games.dir/comb_sampling.cpp.o"
+  "CMakeFiles/cubisg_games.dir/comb_sampling.cpp.o.d"
+  "CMakeFiles/cubisg_games.dir/generators.cpp.o"
+  "CMakeFiles/cubisg_games.dir/generators.cpp.o.d"
+  "CMakeFiles/cubisg_games.dir/routes.cpp.o"
+  "CMakeFiles/cubisg_games.dir/routes.cpp.o.d"
+  "CMakeFiles/cubisg_games.dir/schedule.cpp.o"
+  "CMakeFiles/cubisg_games.dir/schedule.cpp.o.d"
+  "CMakeFiles/cubisg_games.dir/security_game.cpp.o"
+  "CMakeFiles/cubisg_games.dir/security_game.cpp.o.d"
+  "CMakeFiles/cubisg_games.dir/strategy_space.cpp.o"
+  "CMakeFiles/cubisg_games.dir/strategy_space.cpp.o.d"
+  "libcubisg_games.a"
+  "libcubisg_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubisg_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcubisg_games.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubisg_learning.dir/data_io.cpp.o"
+  "CMakeFiles/cubisg_learning.dir/data_io.cpp.o.d"
+  "CMakeFiles/cubisg_learning.dir/suqr_mle.cpp.o"
+  "CMakeFiles/cubisg_learning.dir/suqr_mle.cpp.o.d"
+  "libcubisg_learning.a"
+  "libcubisg_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubisg_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubisg_linalg.dir/lu.cpp.o"
+  "CMakeFiles/cubisg_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/cubisg_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/cubisg_linalg.dir/matrix.cpp.o.d"
+  "libcubisg_linalg.a"
+  "libcubisg_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubisg_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

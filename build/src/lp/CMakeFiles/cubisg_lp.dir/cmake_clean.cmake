@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubisg_lp.dir/io.cpp.o"
+  "CMakeFiles/cubisg_lp.dir/io.cpp.o.d"
+  "CMakeFiles/cubisg_lp.dir/model.cpp.o"
+  "CMakeFiles/cubisg_lp.dir/model.cpp.o.d"
+  "CMakeFiles/cubisg_lp.dir/presolve.cpp.o"
+  "CMakeFiles/cubisg_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/cubisg_lp.dir/simplex.cpp.o"
+  "CMakeFiles/cubisg_lp.dir/simplex.cpp.o.d"
+  "libcubisg_lp.a"
+  "libcubisg_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubisg_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubisg_milp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/cubisg_milp.dir/branch_and_bound.cpp.o.d"
+  "libcubisg_milp.a"
+  "libcubisg_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubisg_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubisg_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/cubisg_parallel.dir/thread_pool.cpp.o.d"
+  "libcubisg_parallel.a"
+  "libcubisg_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubisg_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comb_sampling.dir/test_comb_sampling.cpp.o"
+  "CMakeFiles/test_comb_sampling.dir/test_comb_sampling.cpp.o.d"
+  "test_comb_sampling"
+  "test_comb_sampling.pdb"
+  "test_comb_sampling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comb_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cubis.dir/test_cubis.cpp.o"
+  "CMakeFiles/test_cubis.dir/test_cubis.cpp.o.d"
+  "test_cubis"
+  "test_cubis.pdb"
+  "test_cubis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cubis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

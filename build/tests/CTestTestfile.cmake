@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_lp[1]_include.cmake")
+include("/root/repo/build/tests/test_milp[1]_include.cmake")
+include("/root/repo/build/tests/test_games[1]_include.cmake")
+include("/root/repo/build/tests/test_behavior[1]_include.cmake")
+include("/root/repo/build/tests/test_worst_case[1]_include.cmake")
+include("/root/repo/build/tests/test_piecewise[1]_include.cmake")
+include("/root/repo/build/tests/test_cubis[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_comb_sampling[1]_include.cmake")
+include("/root/repo/build/tests/test_sse[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_presolve[1]_include.cmake")
+include("/root/repo/build/tests/test_learning[1]_include.cmake")
+include("/root/repo/build/tests/test_routes[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_evaluation[1]_include.cmake")
