@@ -27,6 +27,8 @@
 #include "games/generators.hpp"
 #include "learning/data_io.hpp"
 #include "learning/suqr_mle.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -41,6 +43,7 @@ using namespace cubisg;
                "  cubisg table1 --out FILE\n"
                "  cubisg solve FILE [--solver NAME] [--segments K]\n"
                "                [--epsilon E] [--polish N] [--types N]\n"
+               "                [--sections S]\n"
                "  cubisg compare FILE [--types N]\n"
                "  cubisg eval FILE --coverage x1,x2,...\n"
                "  cubisg patrol FILE [--solver NAME] [--days N] [--seed S]\n"
@@ -49,6 +52,10 @@ using namespace cubisg;
                "  cubisg learn FILE --data DATA [--resamples N]\n"
                "                [--confidence C] [--solve 0|1]\n"
                "  cubisg report FILE [--out REPORT.md]\n"
+               "\nglobal flags (any command):\n"
+               "  --metrics-out FILE   write the metrics registry as JSON\n"
+               "  --trace-out FILE     record phase spans; write Chrome\n"
+               "                       trace JSON (chrome://tracing)\n"
                "\nsolvers:");
   for (const std::string& n : core::solver_names()) {
     std::fprintf(stderr, " %s", n.c_str());
@@ -105,6 +112,7 @@ core::SolverSpec spec_from(const Args& args,
   spec.segments = static_cast<std::size_t>(args.get_i("segments", 20));
   spec.epsilon = args.get_d("epsilon", 1e-3);
   spec.polish_iterations = static_cast<int>(args.get_i("polish", 0));
+  spec.parallel_sections = static_cast<int>(args.get_i("sections", 1));
   spec.seed = static_cast<std::uint64_t>(args.get_i("seed", 0x5EED));
   if (spec.name == "robust-types" || spec.name == "bayesian") {
     Rng rng(spec.seed);
@@ -431,25 +439,65 @@ int cmd_learn(const Args& args) {
   return 0;
 }
 
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "table1") return cmd_table1(args);
+  if (cmd == "solve") return cmd_solve(args);
+  if (cmd == "compare") return cmd_compare(args);
+  if (cmd == "eval") return cmd_eval(args);
+  if (cmd == "patrol") return cmd_patrol(args);
+  if (cmd == "simulate-data") return cmd_simulate_data(args);
+  if (cmd == "learn") return cmd_learn(args);
+  if (cmd == "report") return cmd_report(args);
+  usage(("unknown command " + cmd).c_str());
+}
+
+/// Writes the telemetry outputs requested via --metrics-out/--trace-out.
+/// Returns 1 on I/O failure so a broken path fails the run visibly.
+int write_observability_outputs(const Args& args) {
+  int rc = 0;
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
+      rc = 1;
+    } else {
+      const std::string json = obs::Registry::global().snapshot().to_json();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+    }
+  }
+  const std::string trace_path = args.get("trace-out", "");
+  if (!trace_path.empty()) {
+    if (!obs::write_trace_json(trace_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   Args args = parse_args(argc, argv, 2);
+  if (!args.get("trace-out", "").empty()) {
+    obs::set_trace_enabled(true);
+  }
+  int rc;
   try {
-    if (cmd == "generate") return cmd_generate(args);
-    if (cmd == "table1") return cmd_table1(args);
-    if (cmd == "solve") return cmd_solve(args);
-    if (cmd == "compare") return cmd_compare(args);
-    if (cmd == "eval") return cmd_eval(args);
-    if (cmd == "patrol") return cmd_patrol(args);
-    if (cmd == "simulate-data") return cmd_simulate_data(args);
-    if (cmd == "learn") return cmd_learn(args);
-    if (cmd == "report") return cmd_report(args);
+    rc = dispatch(cmd, args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  usage(("unknown command " + cmd).c_str());
+  const int obs_rc = write_observability_outputs(args);
+  return rc != 0 ? rc : obs_rc;
 }

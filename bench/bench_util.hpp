@@ -1,12 +1,15 @@
 // Shared helpers for the experiment benches: seeded ensembles, small
-// statistics, and uniform table printing.
+// statistics, uniform table printing, and machine-readable result files.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace cubisg::bench {
 
@@ -15,6 +18,14 @@ inline double mean(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   return std::accumulate(v.begin(), v.end(), 0.0) /
          static_cast<double>(v.size());
+}
+
+/// Median of a sample (by copy; bench samples are tiny).
+inline double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
 /// Sample standard deviation.
@@ -37,6 +48,30 @@ inline std::string cell(const std::vector<double>& v) {
 inline void rule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// Writes BENCH_<name>.json next to the binary: the bench's own results
+/// (a pre-serialized JSON fragment) plus the full metrics-registry
+/// snapshot, so perf counters ride along with every recorded run.
+inline bool write_bench_json(const std::string& name,
+                             const std::string& results_json) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string out = "{\"bench\":\"";
+  out += name;
+  out += "\",\"results\":";
+  out += results_json.empty() ? "{}" : results_json;
+  out += ",\"telemetry\":";
+  out += obs::Registry::global().snapshot().to_json();
+  out += "}\n";
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace cubisg::bench

@@ -4,6 +4,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 namespace cubisg {
 
 namespace {
@@ -21,6 +23,24 @@ const char* level_name(LogLevel level) {
     case LogLevel::kOff: return "OFF";
   }
   return "?";
+}
+
+obs::Counter& lines_counter(LogLevel level) {
+  // One counter per level, cached after the first emit at that level.
+  static obs::Counter& debug =
+      obs::Registry::global().counter("log.lines_total.debug");
+  static obs::Counter& info =
+      obs::Registry::global().counter("log.lines_total.info");
+  static obs::Counter& warn =
+      obs::Registry::global().counter("log.lines_total.warn");
+  static obs::Counter& error =
+      obs::Registry::global().counter("log.lines_total.error");
+  switch (level) {
+    case LogLevel::kDebug: return debug;
+    case LogLevel::kInfo: return info;
+    case LogLevel::kWarn: return warn;
+    default: return error;
+  }
 }
 
 }  // namespace
@@ -46,12 +66,27 @@ bool enabled(LogLevel level) {
 }
 
 void emit(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
-  if (g_sink) {
-    g_sink(level, message);
+  lines_counter(level).add(1);
+  // Copy the sink under the mutex, invoke the copy outside it: a
+  // set_log_sink from another thread (e.g. a thread-pool worker swapping
+  // sinks mid-solve) can then neither race the invocation nor destroy the
+  // std::function while it runs.  Log volume is low; the copy is cheap.
+  std::function<void(LogLevel, const std::string&)> sink;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, message);
     return;
   }
-  std::cerr << "[cubisg:" << level_name(level) << "] " << message << '\n';
+  // Single formatted write so concurrent default-sink emits stay whole.
+  std::string line = "[cubisg:";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::cerr << line;
 }
 
 }  // namespace log_detail

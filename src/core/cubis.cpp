@@ -9,11 +9,32 @@
 #include "common/timer.hpp"
 #include "core/gradient.hpp"
 #include "games/strategy_space.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace cubisg::core {
 
 namespace {
+
+/// Registry handles for the binary-search driver, resolved once.
+struct CubisMetrics {
+  obs::Counter& solves = obs::Registry::global().counter(
+      "cubis.solves_total");
+  obs::Counter& binary_search_iters = obs::Registry::global().counter(
+      "cubis.binary_search_iters");
+  obs::Counter& feasibility_checks = obs::Registry::global().counter(
+      "cubis.feasibility_checks_total");
+  obs::Counter& polish_runs = obs::Registry::global().counter(
+      "cubis.polish_runs");
+  obs::Counter& bigm_linearizations = obs::Registry::global().counter(
+      "milp.bigm_linearizations");
+
+  static CubisMetrics& get() {
+    static CubisMetrics m;
+    return m;
+  }
+};
 
 /// Piecewise approximations of f1_i and f2_i (Section IV.C) at value c.
 struct TargetPls {
@@ -258,6 +279,9 @@ StepResult solve_step_milp(const SolveContext& ctx,
   }
   MilpLayout layout;
   lp::Model model = build_step_milp(ctx, pls, big_m, opt, layout);
+  // One (34)-(36) big-M block per target.
+  CubisMetrics::get().bigm_linearizations.add(
+      static_cast<std::int64_t>(layout.t_count));
 
   milp::MilpOptions mopt = opt.milp;
   mopt.sign_threshold = -opt.feasibility_slack;
@@ -332,6 +356,8 @@ StepResult cubis_step(const SolveContext& ctx, double c,
   if (tables != nullptr && tables->segments != options.segments) {
     throw InvalidModelError("cubis_step: table segment-count mismatch");
   }
+  obs::TraceSpan span("cubis.P1");
+  CubisMetrics::get().feasibility_checks.add(1);
   const std::vector<TargetPls> pls =
       build_f_pls(ctx, c, options.segments, tables);
   if (options.backend == StepBackend::kDp) {
@@ -359,6 +385,9 @@ std::string CubisSolver::name() const {
 
 DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
   Timer timer;
+  const obs::SolveScope scope;
+  obs::TraceSpan span("cubis.solve");
+  CubisMetrics::get().solves.add(1);
   const std::size_t n = ctx.game.num_targets();
   if (!opt_.group_budgets.empty()) {
     if (opt_.target_groups.size() != n) {
@@ -403,8 +432,12 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
   const int sections = std::max(1, opt_.parallel_sections);
   // The bounds/utility breakpoint values do not depend on c: sample them
   // once and let every step reuse them.
-  const StepTables tables = build_step_tables(ctx, opt_.segments);
+  const StepTables tables = [&] {
+    obs::TraceSpan tspan("cubis.build_tables");
+    return build_step_tables(ctx, opt_.segments);
+  }();
   while (hi - lo > opt_.epsilon) {
+    obs::TraceSpan round_span("cubis.binary_search_round");
     // Multisection round: `sections` candidate values split [lo, hi] into
     // sections+1 equal parts; by Proposition 1 feasibility is monotone, so
     // the results bracket the threshold after one concurrent round.
@@ -423,6 +456,7 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
       });
     }
     steps += sections;
+    CubisMetrics::get().binary_search_iters.add(sections);
     bool failed = false;
     // Highest feasible candidate raises lo; lowest infeasible lowers hi.
     int highest_feasible = -1;
@@ -465,6 +499,7 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
     // Eq. 37 allows sum x < R; saturating the budget usually helps, but is
     // not provably monotone, so keep whichever evaluates better.  With
     // budget groups, slack is redistributed within each group only.
+    obs::TraceSpan top_up_span("cubis.top_up");
     std::vector<double> topped = best_x;
     const std::size_t num_groups =
         opt_.group_budgets.empty() ? 1 : opt_.group_budgets.size();
@@ -509,6 +544,8 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
   if (opt_.polish_iterations > 0 && opt_.group_budgets.empty()) {
     // (Polish projects onto the single-budget polytope; with budget
     // groups it would leave the feasible set, so it is skipped there.)
+    obs::TraceSpan polish_span("cubis.polish");
+    CubisMetrics::get().polish_runs.add(1);
     GradientOptions gopt;
     gopt.max_iterations = opt_.polish_iterations;
     auto [polished, w_polished] = local_ascent(ctx, best_x, gopt);
@@ -526,6 +563,7 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
   if (sol.status == SolverStatus::kNumericalIssue) {
     sol.status = SolverStatus::kOptimal;  // no step failed
   }
+  sol.telemetry = scope.finish();
   finalize_solution(ctx, sol, timer.seconds());
   return sol;
 }

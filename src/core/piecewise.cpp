@@ -5,14 +5,33 @@
 #include <stdexcept>
 
 #include "common/math_util.hpp"
+#include "obs/metrics.hpp"
 
 namespace cubisg::core {
+
+namespace {
+
+obs::Counter& segments_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("piecewise.segments_generated");
+  return c;
+}
+
+obs::Counter& functions_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("piecewise.functions_built");
+  return c;
+}
+
+}  // namespace
 
 PiecewiseLinear::PiecewiseLinear(const std::function<double(double)>& f,
                                  std::size_t segments) {
   if (segments == 0) {
     throw std::invalid_argument("PiecewiseLinear: segments must be >= 1");
   }
+  functions_counter().add(1);
+  segments_counter().add(static_cast<std::int64_t>(segments));
   values_.resize(segments + 1);
   const double k_inv = 1.0 / static_cast<double>(segments);
   for (std::size_t k = 0; k <= segments; ++k) {

@@ -23,12 +23,14 @@ std::unique_ptr<DefenderSolver> make_solver(const SolverSpec& spec) {
     opt.segments = spec.segments;
     opt.epsilon = spec.epsilon;
     opt.polish_iterations = spec.polish_iterations;
+    opt.parallel_sections = std::max(1, spec.parallel_sections);
     if (spec.name == "cubis-milp") opt.backend = StepBackend::kMilp;
     return std::make_unique<CubisSolver>(opt);
   }
   if (spec.name == "cubis-adaptive") {
     AdaptiveCubisOptions opt;
     opt.cubis.epsilon = spec.epsilon;
+    opt.cubis.parallel_sections = std::max(1, spec.parallel_sections);
     opt.max_segments = std::max(spec.segments, opt.initial_segments);
     // Polish is the point of the adaptive driver; only let the spec raise
     // it above the solver's own default.

@@ -19,6 +19,7 @@ struct SolverSpec {
   std::size_t segments = 20;       ///< K for binary-search solvers
   double epsilon = 1e-3;           ///< binary-search threshold
   int polish_iterations = 0;       ///< gradient polish (cubis variants)
+  int parallel_sections = 1;       ///< multisection width (cubis variants)
   int num_starts = 8;              ///< restarts (gradient-based solvers)
   std::uint64_t seed = 0x5EED;     ///< seed for stochastic components
   /// Sampled attacker types; required by "robust-types" and "bayesian".

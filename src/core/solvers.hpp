@@ -14,6 +14,7 @@
 #include "behavior/bounds.hpp"
 #include "common/errors.hpp"
 #include "games/security_game.hpp"
+#include "obs/metrics.hpp"
 
 namespace cubisg::core {
 
@@ -43,6 +44,9 @@ struct DefenderSolution {
   int binary_steps = 0;
   std::int64_t milp_nodes = 0;
   double wall_seconds = 0.0;
+  /// Registry delta covering this solve (empty when the solver predates
+  /// instrumentation or observability is compiled out).
+  obs::SolveTelemetry telemetry;
 
   bool ok() const { return status == SolverStatus::kOptimal; }
 };

@@ -13,12 +13,40 @@
 #include "common/log.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cubisg::lp {
 
 namespace {
 
 constexpr double kInfD = std::numeric_limits<double>::infinity();
+
+/// Registry handles, resolved once.  The pivot loop only touches solver-
+/// local plain integers; totals are flushed here once per solve.
+struct SimplexMetrics {
+  obs::Counter& solves = obs::Registry::global().counter(
+      "simplex.solves_total");
+  obs::Counter& pivots = obs::Registry::global().counter(
+      "simplex.pivots_total");
+  obs::Counter& phase1_iters = obs::Registry::global().counter(
+      "simplex.phase1_iters");
+  obs::Counter& phase2_iters = obs::Registry::global().counter(
+      "simplex.phase2_iters");
+  obs::Counter& degenerate = obs::Registry::global().counter(
+      "simplex.degenerate_steps");
+  obs::Counter& bound_flips = obs::Registry::global().counter(
+      "simplex.bound_flips");
+  obs::Counter& refactorizations = obs::Registry::global().counter(
+      "simplex.refactorizations");
+  obs::Counter& soft_restarts = obs::Registry::global().counter(
+      "simplex.soft_restarts");
+
+  static SimplexMetrics& get() {
+    static SimplexMetrics m;
+    return m;
+  }
+};
 
 enum class VarStatus : std::uint8_t {
   kBasic,
@@ -42,6 +70,13 @@ class SimplexSolver {
   }
 
   LpSolution run() {
+    // Flush the locally-accumulated perf counters exactly once, on every
+    // exit path out of the solve.
+    struct CounterFlush {
+      SimplexSolver& s;
+      ~CounterFlush() { s.flush_counters(); }
+    } flush{*this};
+
     LpSolution out;
     out.x.assign(n_user_, 0.0);
     out.duals.assign(m_, 0.0);
@@ -66,6 +101,7 @@ class SimplexSolver {
           CUBISG_LOG(LogLevel::kInfo)
               << "simplex: soft restart " << attempt
               << " after numeric issue";
+          ++restarts_;
           park_all_at_bounds();
         }
         reset_artificial_basis();
@@ -73,7 +109,7 @@ class SimplexSolver {
         // Phase 1: minimize the sum of artificials.
         std::vector<double> phase1_cost(n_, 0.0);
         for (int j = art_begin_; j < n_; ++j) phase1_cost[j] = 1.0;
-        SolverStatus p1 = run_phase(phase1_cost);
+        SolverStatus p1 = run_phase(phase1_cost, /*phase1=*/true);
         if (p1 == SolverStatus::kIterLimit) {
           out.status = p1;
           out.iterations = iterations_;
@@ -104,7 +140,7 @@ class SimplexSolver {
       warm = false;  // any retry after this point cold-starts
 
       // Phase 2: the real objective.
-      p2 = run_phase(c_);
+      p2 = run_phase(c_, /*phase1=*/false);
       out.iterations = iterations_;
       if (p2 == SolverStatus::kNumericalIssue) continue;
 
@@ -355,9 +391,17 @@ class SimplexSolver {
 
   // ---- simplex machinery ----------------------------------------------
 
-  /// Runs one phase to optimality with cost vector `cost`.
+  /// Runs one phase to optimality with cost vector `cost`, attributing
+  /// its iterations to the phase-1 or phase-2 perf counter.
+  SolverStatus run_phase(const std::vector<double>& cost, bool phase1) {
+    const std::int64_t before = iterations_;
+    const SolverStatus st = run_phase_impl(cost);
+    (phase1 ? p1_iters_ : p2_iters_) += iterations_ - before;
+    return st;
+  }
+
   /// Returns kOptimal, kUnbounded, kIterLimit or kNumericalIssue.
-  SolverStatus run_phase(const std::vector<double>& cost) {
+  SolverStatus run_phase_impl(const std::vector<double>& cost) {
     std::int64_t degen_streak = 0;
     bool bland = opt_.force_bland;
     // Product-form-of-inverse: the basis is factorized only every
@@ -510,6 +554,7 @@ class SimplexSolver {
       }
 
       if (step < 1e-11) {
+        ++degenerate_;
         ++degen_streak;
         if (degen_streak > 4 * static_cast<std::int64_t>(m_) + 64) {
           bland = true;  // anti-cycling from now on
@@ -521,6 +566,7 @@ class SimplexSolver {
       if (leave_row < 0) {
         // Bound flip of the entering variable: no basis change, but the
         // basic values shift by -t*step*w.
+        ++bound_flips_;
         for (int i = 0; i < m_; ++i) {
           x_[basic_[i]] -= enter_dir * step * w[i];
         }
@@ -556,6 +602,7 @@ class SimplexSolver {
           leave_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
       status_[enter] = VarStatus::kBasic;
       basic_[leave_row] = enter;
+      ++pivots_;
       etas_.push_back({leave_row, w});
       if (leave >= art_begin_) {
         // An artificial that leaves the basis is never allowed back.
@@ -570,6 +617,7 @@ class SimplexSolver {
   /// Rebuilds the basis factorization from scratch, recomputes the basic
   /// primal values exactly, and clears the eta file.
   bool refactorize() {
+    ++refactorizations_;
     Matrix bmat(m_, m_, 0.0);
     for (int i = 0; i < m_; ++i) {
       for (const auto& [r, v] : cols_[basic_[i]]) {
@@ -698,6 +746,34 @@ class SimplexSolver {
   };
   std::vector<Eta> etas_;  ///< updates since the last refactorization
   std::int64_t iterations_ = 0;
+
+  // Perf-counter accumulators (plain ints in the hot loop; flushed to the
+  // sharded registry counters once per solve by CounterFlush).
+  std::int64_t pivots_ = 0;
+  std::int64_t degenerate_ = 0;
+  std::int64_t bound_flips_ = 0;
+  std::int64_t p1_iters_ = 0;
+  std::int64_t p2_iters_ = 0;
+  std::int64_t refactorizations_ = 0;
+  std::int64_t restarts_ = 0;
+
+ public:
+  void flush_counters() {
+    SimplexMetrics& m = SimplexMetrics::get();
+    if (pivots_ != 0) m.pivots.add(pivots_);
+    if (degenerate_ != 0) m.degenerate.add(degenerate_);
+    if (bound_flips_ != 0) m.bound_flips.add(bound_flips_);
+    if (p1_iters_ != 0) m.phase1_iters.add(p1_iters_);
+    if (p2_iters_ != 0) m.phase2_iters.add(p2_iters_);
+    if (refactorizations_ != 0) {
+      m.refactorizations.add(refactorizations_);
+    }
+    if (restarts_ != 0) m.soft_restarts.add(restarts_);
+    pivots_ = degenerate_ = bound_flips_ = 0;
+    p1_iters_ = p2_iters_ = refactorizations_ = restarts_ = 0;
+  }
+
+ private:
   int dbg_enter_ = -1;
   int dbg_leave_ = -1;
   double dbg_step_ = 0.0;
@@ -707,6 +783,8 @@ class SimplexSolver {
 }  // namespace
 
 LpSolution solve_lp(const Model& model, const SimplexOptions& options) {
+  obs::TraceSpan span("simplex.solve");
+  SimplexMetrics::get().solves.add(1);
   SimplexSolver solver(model, options);
   LpSolution sol = solver.run();
   if (sol.status == SolverStatus::kNumericalIssue && !options.force_bland) {

@@ -18,12 +18,34 @@
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cubisg::milp {
 
 namespace {
 
 constexpr double kInfD = std::numeric_limits<double>::infinity();
+
+/// Registry handles, resolved once; node loops count locally and flush
+/// totals when a search finishes.
+struct MilpMetrics {
+  obs::Counter& solves = obs::Registry::global().counter(
+      "milp.solves_total");
+  obs::Counter& nodes = obs::Registry::global().counter(
+      "milp.nodes_explored");
+  obs::Counter& lp_relaxations = obs::Registry::global().counter(
+      "milp.lp_relaxations");
+  obs::Counter& incumbents = obs::Registry::global().counter(
+      "milp.incumbent_updates");
+  obs::Counter& early_exits = obs::Registry::global().counter(
+      "milp.sign_query_early_exits");
+
+  static MilpMetrics& get() {
+    static MilpMetrics m;
+    return m;
+  }
+};
 
 /// One bound tightening, chained back to the root (persistent structure so
 /// sibling nodes share their common prefix).
@@ -132,6 +154,7 @@ class BranchAndBound {
         lp_opt.warm_positions = node.warm ? node.warm.get() : nullptr;
         rel = lp::solve_lp(base_, lp_opt);
       }
+      ++lp_solves_;
       lp_iterations_ += rel.iterations;
       if (rel.status == SolverStatus::kNumericalIssue) {
         if (const char* dump = std::getenv("CUBISG_DUMP_FAILED_LP")) {
@@ -229,6 +252,8 @@ class BranchAndBound {
     out.status = rel.status;
     out.lp_iterations = rel.iterations;
     out.nodes = 1;
+    MilpMetrics::get().nodes.add(1);
+    MilpMetrics::get().lp_relaxations.add(1);
     if (rel.optimal()) {
       out.objective = rel.objective;
       out.best_bound = rel.objective;
@@ -279,6 +304,15 @@ class BranchAndBound {
       out.objective = sign_ * incumbent_score_;
     }
     out.best_bound = sign_ * bound_score;
+
+    MilpMetrics& m = MilpMetrics::get();
+    if (nodes_ != 0) m.nodes.add(nodes_);
+    if (lp_solves_ != 0) m.lp_relaxations.add(lp_solves_);
+    if (inc_updates_ != 0) m.incumbents.add(inc_updates_);
+    if (out.status == SolverStatus::kEarlyPositive ||
+        out.status == SolverStatus::kEarlyNegative) {
+      m.early_exits.add(1);
+    }
   }
 
   /// Applies the node's bound chain to base_; returns false when some
@@ -376,6 +410,7 @@ class BranchAndBound {
       incumbent_ = x;
       incumbent_score_ = score;
       has_incumbent_ = true;
+      ++inc_updates_;
     }
   }
 
@@ -400,6 +435,7 @@ class BranchAndBound {
     }
     if (ok) {
       lp::LpSolution fix = lp::solve_lp(base_, opt_.lp);
+      ++lp_solves_;
       lp_iterations_ += fix.iterations;
       if (fix.optimal()) {
         update_incumbent(fix.x, fix.objective);
@@ -431,6 +467,8 @@ class BranchAndBound {
 
   std::int64_t nodes_ = 0;
   std::int64_t lp_iterations_ = 0;
+  std::int64_t lp_solves_ = 0;
+  std::int64_t inc_updates_ = 0;
 };
 
 /// Shared-frontier parallel branch and bound.  Each worker owns a private
@@ -498,6 +536,15 @@ class ParallelBranchAndBound {
       out.objective = sign_ * incumbent_score_;
     }
     out.best_bound = sign_ * global_bound_score_locked();
+
+    MilpMetrics& m = MilpMetrics::get();
+    if (nodes_ != 0) m.nodes.add(nodes_);
+    if (lp_solves_ != 0) m.lp_relaxations.add(lp_solves_);
+    if (inc_updates_ != 0) m.incumbents.add(inc_updates_);
+    if (out.status == SolverStatus::kEarlyPositive ||
+        out.status == SolverStatus::kEarlyNegative) {
+      m.early_exits.add(1);
+    }
     return out;
   }
 
@@ -547,6 +594,7 @@ class ParallelBranchAndBound {
 
       lock.lock();
       lp_iterations_ += res.lp_iterations;
+      lp_solves_ += res.lp_solves;
       inflight_.erase(inflight_.find(node_parent_score));
       --active_;
       if (res.incumbent_candidate) {
@@ -555,6 +603,7 @@ class ParallelBranchAndBound {
           incumbent_ = std::move(res.incumbent_x);
           incumbent_score_ = score;
           has_incumbent_ = true;
+          ++inc_updates_;
         }
       }
       for (auto& child : res.children) {
@@ -575,6 +624,7 @@ class ParallelBranchAndBound {
     double incumbent_objective = 0.0;
     std::vector<double> incumbent_x;
     std::int64_t lp_iterations = 0;
+    std::int64_t lp_solves = 0;
   };
 
   ProcessResult process_node(lp::Model& local, const Node& node) {
@@ -599,6 +649,7 @@ class ParallelBranchAndBound {
                                ? lp::solve_lp_presolved(local, opt_.lp)
                                : lp::solve_lp(local, opt_.lp);
       res.lp_iterations = rel.iterations;
+      res.lp_solves = 1;
       if (rel.status == SolverStatus::kOptimal) {
         int frac = -1;
         double best_frac = opt_.int_tol;
@@ -691,12 +742,16 @@ class ParallelBranchAndBound {
   SolverStatus limit_hit_ = SolverStatus::kNumericalIssue;  // limits
   std::int64_t nodes_ = 0;
   std::int64_t lp_iterations_ = 0;
+  std::int64_t lp_solves_ = 0;
+  std::int64_t inc_updates_ = 0;
   Timer timer_;
 };
 
 }  // namespace
 
 MilpSolution solve_milp(const lp::Model& model, const MilpOptions& options) {
+  obs::TraceSpan span("milp.solve");
+  MilpMetrics::get().solves.add(1);
   if (options.num_workers > 1 && model.has_integers()) {
     ParallelBranchAndBound bb(model, options);
     return bb.run();

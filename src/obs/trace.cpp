@@ -1,0 +1,122 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace cubisg::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+/// Events completed by one thread.  The owning thread appends under the
+/// buffer's mutex (uncontended unless an export is in flight); exporters
+/// lock each buffer briefly while copying.  shared_ptr keeps buffers of
+/// exited threads alive until the trace is read.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  int tid = 0;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 0;
+};
+
+TraceState& state() {
+  // Immortal for the same reason as the metrics registry: spans can close
+  // during static destruction (worker threads exiting at process exit).
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+std::int64_t epoch_ns() {
+  static const std::int64_t epoch =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return epoch;
+}
+
+std::int64_t now_rel_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() -
+         epoch_ns();
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    b->tid = s.next_tid++;
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+thread_local int t_depth = 0;
+
+}  // namespace
+
+bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  if (on) epoch_ns();  // pin the epoch before the first span
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void begin_span(const char* /*name*/, std::int64_t& start_ns, int& depth) {
+  depth = t_depth++;
+  start_ns = now_rel_ns();
+}
+
+void end_span(const char* name, std::int64_t start_ns, int depth) {
+  const std::int64_t end_ns = now_rel_ns();
+  --t_depth;
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(
+      {name, start_ns, end_ns - start_ns, buf.tid, depth});
+}
+
+}  // namespace detail
+
+std::vector<TraceEvent> collect_trace_events() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    buffers = s.buffers;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  return out;
+}
+
+void clear_trace() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    buffers = s.buffers;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+}  // namespace cubisg::obs

@@ -1,0 +1,92 @@
+// Phase tracing: RAII spans recording nested solver-phase timings.
+//
+// A TraceSpan marks one phase (binary-search round, P1 feasibility check,
+// MILP solve, simplex solve, ...).  Spans nest lexically; each completed
+// span appends one event to a per-thread buffer (the only synchronization
+// is that buffer's own, uncontended, mutex), so tracing costs ~one clock
+// read per span boundary when on and one relaxed load when off.
+//
+// Collection is OFF by default — hot paths construct spans unconditionally
+// and the disabled constructor is a no-op — because long solves with
+// per-node spans would otherwise grow the buffers without bound.  Enable
+// with set_trace_enabled(true) (the CLI does this for --trace-out), then
+// export via trace_to_chrome_json() / write_trace_json() and load the file
+// in chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"  // CUBISG_OBS_ENABLED
+
+namespace cubisg::obs {
+
+/// Runtime switch for span collection (default off).
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+/// One completed span.  Timestamps are steady-clock nanoseconds relative
+/// to the trace epoch (first use in the process).
+struct TraceEvent {
+  std::string name;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  int tid = 0;    ///< dense per-thread id assigned at first span
+  int depth = 0;  ///< nesting depth within the thread (0 = top level)
+};
+
+namespace detail {
+void begin_span(const char* name, std::int64_t& start_ns, int& depth);
+void end_span(const char* name, std::int64_t start_ns, int depth);
+}  // namespace detail
+
+/// RAII scope: records [construction, destruction) as one trace event.
+/// `name` must outlive the span (string literals in practice).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+#if CUBISG_OBS_ENABLED
+    if (trace_enabled()) {
+      name_ = name;
+      detail::begin_span(name_, start_ns_, depth_);
+    }
+#else
+    (void)name;
+#endif
+  }
+
+  ~TraceSpan() {
+#if CUBISG_OBS_ENABLED
+    if (name_ != nullptr) detail::end_span(name_, start_ns_, depth_);
+#endif
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+#if CUBISG_OBS_ENABLED
+  const char* name_ = nullptr;  ///< null = inactive (tracing was off)
+  std::int64_t start_ns_ = 0;
+  int depth_ = 0;
+#endif
+};
+
+/// All completed events so far, across every thread (started-but-open
+/// spans are not included).
+std::vector<TraceEvent> collect_trace_events();
+
+/// Drops every completed event (open spans still record on destruction).
+void clear_trace();
+
+// ---- export (trace_export.cpp) ----------------------------------------
+
+/// Chrome trace-event JSON ("X" complete events); load via chrome://tracing
+/// or https://ui.perfetto.dev.
+std::string trace_to_chrome_json();
+
+/// Writes trace_to_chrome_json() to `path`; false on I/O failure.
+bool write_trace_json(const std::string& path);
+
+}  // namespace cubisg::obs

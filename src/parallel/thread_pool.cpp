@@ -2,7 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace cubisg {
+
+namespace {
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("threadpool.queue_depth");
+  return g;
+}
+
+obs::Histogram& task_latency_histogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "threadpool.task_latency",
+      obs::Histogram::latency_bounds_seconds());
+  return h;
+}
+
+obs::Counter& tasks_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("threadpool.tasks_total");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -23,9 +48,22 @@ ThreadPool::~ThreadPool() {
   // std::jthread joins on destruction; workers drain the queue first.
 }
 
+void ThreadPool::note_queue_depth_locked() const {
+  queue_depth_gauge().set(static_cast<double>(queue_.size()));
+}
+
+void ThreadPool::note_task_done(
+    std::chrono::steady_clock::time_point enqueued) {
+  tasks_counter().add(1);
+  task_latency_histogram().record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    enqueued)
+          .count());
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -35,8 +73,10 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      note_queue_depth_locked();
     }
-    task();  // packaged_task captures exceptions into its future
+    task.fn();  // packaged_task captures exceptions into its future
+    note_task_done(task.enqueued);
   }
 }
 

@@ -6,8 +6,13 @@
 // are RAII via std::jthread (CP.25/CP.23); tasks receive their inputs by
 // value (CP.31) and return results through futures, so there is no shared
 // mutable state beyond the queue itself (CP.2/CP.3).
+//
+// Telemetry: the pool exports a `threadpool.queue_depth` gauge (tasks
+// waiting) and a `threadpool.task_latency` histogram (submit-to-completion
+// seconds) through the obs metrics registry.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -50,7 +55,9 @@ class ThreadPool {
       if (stopping_) {
         throw std::runtime_error("ThreadPool::submit after shutdown");
       }
-      queue_.emplace_back([task]() { (*task)(); });
+      queue_.push_back({[task]() { (*task)(); },
+                        std::chrono::steady_clock::now()});
+      note_queue_depth_locked();
     }
     cv_.notify_one();
     return result;
@@ -63,12 +70,22 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// A queued task plus its submit time (for the latency histogram).
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
+  /// Publishes queue_.size() to the queue-depth gauge; caller holds mutex_.
+  void note_queue_depth_locked() const;
+  /// Records submit-to-completion latency for one finished task.
+  static void note_task_done(std::chrono::steady_clock::time_point enqueued);
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;  // guarded by mutex_
-  bool stopping_ = false;                    // guarded by mutex_
+  std::deque<Task> queue_;  // guarded by mutex_
+  bool stopping_ = false;   // guarded by mutex_
   std::vector<std::jthread> workers_;
 };
 
