@@ -8,14 +8,19 @@
 //   cubisg compare FILE [--types N]
 //   cubisg eval FILE --coverage x1,x2,...
 //   cubisg patrol FILE [--solver NAME] [--days N] [--seed S]
+//   cubisg serve FILE [--listen PORT] [--solves N] [--interval-ms M]
 //
 // Scenario files use the cubisg text format (behavior/scenario.hpp).
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "behavior/attacker_sim.hpp"
@@ -27,7 +32,9 @@
 #include "games/generators.hpp"
 #include "learning/data_io.hpp"
 #include "learning/suqr_mle.hpp"
+#include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/solve_report.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -52,10 +59,17 @@ using namespace cubisg;
                "  cubisg learn FILE --data DATA [--resamples N]\n"
                "                [--confidence C] [--solve 0|1]\n"
                "  cubisg report FILE [--out REPORT.md]\n"
+               "  cubisg serve FILE [--solver NAME] [--solves N]\n"
+               "                [--interval-ms M]  (solve loop; keeps the\n"
+               "                process alive for /metrics scraping)\n"
                "\nglobal flags (any command):\n"
                "  --metrics-out FILE   write the metrics registry as JSON\n"
                "  --trace-out FILE     record phase spans; write Chrome\n"
                "                       trace JSON (chrome://tracing)\n"
+               "  --listen PORT        serve GET /metrics (Prometheus),\n"
+               "                       /healthz and /solvez while the\n"
+               "                       command runs (0 = ephemeral port)\n"
+               "  --listen-host ADDR   bind address (default 127.0.0.1)\n"
                "\nsolvers:");
   for (const std::string& n : core::solver_names()) {
     std::fprintf(stderr, " %s", n.c_str());
@@ -439,6 +453,48 @@ int cmd_learn(const Args& args) {
   return 0;
 }
 
+std::atomic<bool> g_interrupted{false};
+
+void on_termination_signal(int) { g_interrupted.store(true); }
+
+/// Solve loop that keeps the process alive for live scraping: solves the
+/// scenario repeatedly (forever with --solves 0) until SIGINT/SIGTERM,
+/// printing one convergence line per solve.  Pair with --listen so a
+/// Prometheus scraper sees the metrics and /solvez reports evolve.
+int cmd_serve(const Args& args) {
+  behavior::Scenario scenario = load_or_die(args.file);
+  auto bounds = scenario.make_bounds();
+  core::SolveContext ctx{scenario.game.game, bounds};
+  core::SolverSpec spec = spec_from(args, scenario);
+  auto solver = core::make_solver(spec);
+  const long max_solves = args.get_i("solves", 0);  // 0 = until signal
+  const long interval_ms = args.get_i("interval-ms", 0);
+  std::signal(SIGINT, on_termination_signal);
+  std::signal(SIGTERM, on_termination_signal);
+  std::printf("serving %s with solver %s (%s)\n", args.file.c_str(),
+              solver->name().c_str(),
+              max_solves > 0 ? (std::to_string(max_solves) + " solves").c_str()
+                             : "until SIGINT");
+  long done = 0;
+  long failures = 0;
+  while (!g_interrupted.load() && (max_solves == 0 || done < max_solves)) {
+    core::DefenderSolution sol = solver->solve(ctx);
+    ++done;
+    if (!sol.ok()) ++failures;
+    std::printf("solve %ld: status=%s worst-case=%+.4f gap=%.2e "
+                "wall=%.1fms\n",
+                done, std::string(to_string(sol.status)).c_str(),
+                sol.worst_case_utility, sol.ub - sol.lb,
+                sol.wall_seconds * 1e3);
+    std::fflush(stdout);
+    if (interval_ms > 0 && !g_interrupted.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  std::printf("served %ld solves (%ld failed)\n", done, failures);
+  return failures == 0 ? 0 : 1;
+}
+
 int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "generate") return cmd_generate(args);
   if (cmd == "table1") return cmd_table1(args);
@@ -449,37 +505,80 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "simulate-data") return cmd_simulate_data(args);
   if (cmd == "learn") return cmd_learn(args);
   if (cmd == "report") return cmd_report(args);
+  if (cmd == "serve") return cmd_serve(args);
   usage(("unknown command " + cmd).c_str());
 }
 
-/// Writes the telemetry outputs requested via --metrics-out/--trace-out.
-/// Returns 1 on I/O failure so a broken path fails the run visibly.
-int write_observability_outputs(const Args& args) {
-  int rc = 0;
-  const std::string metrics_path = args.get("metrics-out", "");
-  if (!metrics_path.empty()) {
-    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
-      rc = 1;
-    } else {
-      const std::string json = obs::Registry::global().snapshot().to_json();
-      std::fwrite(json.data(), 1, json.size(), f);
-      std::fputc('\n', f);
-      std::fclose(f);
-      std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+/// RAII flush of the --metrics-out/--trace-out files.  Static storage
+/// duration, so the destructor also runs on the std::exit paths (usage()
+/// after a missing flag, for example) and after a solver exception —
+/// telemetry of a failed run is exactly the telemetry worth keeping.
+/// The registries it reads are intentionally immortal (never destroyed),
+/// so flushing during static destruction is safe.  flush() is
+/// idempotent; main() calls it explicitly to capture the exit code.
+struct TelemetryOutputs {
+  std::string metrics_path;
+  std::string trace_path;
+  bool flushed = false;
+
+  /// Returns 1 on I/O failure so a broken path fails the run visibly.
+  int flush() {
+    if (flushed) return 0;
+    flushed = true;
+    int rc = 0;
+    if (!metrics_path.empty()) {
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     metrics_path.c_str());
+        rc = 1;
+      } else {
+        const std::string json =
+            obs::Registry::global().snapshot().to_json();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+      }
     }
-  }
-  const std::string trace_path = args.get("trace-out", "");
-  if (!trace_path.empty()) {
-    if (!obs::write_trace_json(trace_path)) {
-      std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
-      rc = 1;
-    } else {
-      std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+    if (!trace_path.empty()) {
+      if (!obs::write_trace_json(trace_path)) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+        rc = 1;
+      } else {
+        std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+      }
     }
+    return rc;
   }
-  return rc;
+
+  ~TelemetryOutputs() { flush(); }
+};
+
+TelemetryOutputs g_telemetry;
+
+/// Starts the live exporter when --listen was given.  Exits the process
+/// on a real bind failure; a build with the exporter compiled out
+/// (CUBISG_OBS=OFF) warns and continues so scripted runs still work.
+void maybe_start_exporter(obs::HttpExporter& exporter, const Args& args) {
+  if (args.flags.find("listen") == args.flags.end()) return;
+  if (!obs::http_exporter_available()) {
+    std::fprintf(stderr,
+                 "warning: --listen ignored (%s)\n",
+                 "telemetry service compiled out with CUBISG_OBS=OFF");
+    return;
+  }
+  obs::HttpExporterOptions opt;
+  opt.port = static_cast<int>(args.get_i("listen", 0));
+  opt.bind_address = args.get("listen-host", "127.0.0.1");
+  if (!exporter.start(opt)) {
+    std::fprintf(stderr, "error: --listen: %s\n",
+                 exporter.last_error().c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr,
+               "telemetry: http://%s:%d/  (/metrics /healthz /solvez)\n",
+               opt.bind_address.c_str(), exporter.port());
 }
 
 }  // namespace
@@ -488,9 +587,13 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   Args args = parse_args(argc, argv, 2);
-  if (!args.get("trace-out", "").empty()) {
+  g_telemetry.metrics_path = args.get("metrics-out", "");
+  g_telemetry.trace_path = args.get("trace-out", "");
+  if (!g_telemetry.trace_path.empty()) {
     obs::set_trace_enabled(true);
   }
+  obs::HttpExporter exporter;
+  maybe_start_exporter(exporter, args);
   int rc;
   try {
     rc = dispatch(cmd, args);
@@ -498,6 +601,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;
   }
-  const int obs_rc = write_observability_outputs(args);
+  const int obs_rc = g_telemetry.flush();
   return rc != 0 ? rc : obs_rc;
 }

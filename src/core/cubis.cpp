@@ -10,6 +10,7 @@
 #include "core/gradient.hpp"
 #include "games/strategy_space.hpp"
 #include "obs/metrics.hpp"
+#include "obs/solve_report.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 
@@ -429,6 +430,9 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
 
   int steps = 0;
   std::int64_t nodes = 0;
+  obs::SolveReport report;
+  report.solver = name();
+  report.targets = n;
   const int sections = std::max(1, opt_.parallel_sections);
   // The bounds/utility breakpoint values do not depend on c: sample them
   // once and let every step reuse them.
@@ -461,6 +465,7 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
     // Highest feasible candidate raises lo; lowest infeasible lowers hi.
     int highest_feasible = -1;
     int lowest_infeasible = sections;
+    int feasible_count = 0;
     for (int s = 0; s < sections; ++s) {
       nodes += results[s].milp_nodes;
       if (results[s].status != SolverStatus::kOptimal) {
@@ -478,6 +483,7 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
           << (feasible ? " feasible" : " infeasible");
       if (feasible) {
         highest_feasible = s;
+        ++feasible_count;
       } else {
         lowest_infeasible = std::min(lowest_infeasible, s);
       }
@@ -490,6 +496,8 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
     if (lowest_infeasible < sections) {
       hi = cs[lowest_infeasible];
     }
+    report.trajectory.push_back(
+        {lo, hi, feasible_count, sections - feasible_count});
     if (highest_feasible < 0 && lowest_infeasible == sections) {
       break;  // cannot happen (every candidate classified); safety net
     }
@@ -565,6 +573,26 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
   }
   sol.telemetry = scope.finish();
   finalize_solution(ctx, sol, timer.seconds());
+#if CUBISG_OBS_ENABLED
+  // Publish the convergence report (served live at GET /solvez).  The
+  // B&B/simplex totals come from the SolveScope delta, so concurrent
+  // solves attribute overlapping activity to each other, same caveat as
+  // DefenderSolution::telemetry.
+  report.status = std::string(to_string(sol.status));
+  report.wall_seconds = sol.wall_seconds;
+  report.lb = sol.lb;
+  report.ub = sol.ub;
+  report.worst_case_utility = sol.worst_case_utility;
+  report.binary_steps = steps;
+  report.milp_nodes = nodes;
+  report.feasibility_checks =
+      sol.telemetry.counter("cubis.feasibility_checks_total");
+  report.incumbent_updates =
+      sol.telemetry.counter("milp.incumbent_updates");
+  report.simplex_iters = sol.telemetry.counter("simplex.phase1_iters") +
+                         sol.telemetry.counter("simplex.phase2_iters");
+  obs::SolveReportBuffer::global().add(std::move(report));
+#endif
   return sol;
 }
 

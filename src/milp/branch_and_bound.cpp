@@ -40,6 +40,13 @@ struct MilpMetrics {
       "milp.incumbent_updates");
   obs::Counter& early_exits = obs::Registry::global().counter(
       "milp.sign_query_early_exits");
+  // Live-search gauges for the /metrics endpoint: last-write-wins, so
+  // with concurrent searches they show "some active search" rather than a
+  // per-solve value — good enough to watch a long solve converge.
+  obs::Gauge& frontier_open = obs::Registry::global().gauge(
+      "milp.frontier_open_nodes");
+  obs::Gauge& incumbent_objective = obs::Registry::global().gauge(
+      "milp.incumbent_objective");
 
   static MilpMetrics& get() {
     static MilpMetrics m;
@@ -104,6 +111,8 @@ class BranchAndBound {
 
     bool any_limit_hit = false;
     while (!frontier.empty()) {
+      MilpMetrics::get().frontier_open.set(
+          static_cast<double>(frontier.size()));
       // Global bound: best score still reachable from the frontier.
       const double frontier_score = frontier.top().first;
       const double global_bound_score =
@@ -306,6 +315,7 @@ class BranchAndBound {
     out.best_bound = sign_ * bound_score;
 
     MilpMetrics& m = MilpMetrics::get();
+    m.frontier_open.set(0.0);
     if (nodes_ != 0) m.nodes.add(nodes_);
     if (lp_solves_ != 0) m.lp_relaxations.add(lp_solves_);
     if (inc_updates_ != 0) m.incumbents.add(inc_updates_);
@@ -411,6 +421,7 @@ class BranchAndBound {
       incumbent_score_ = score;
       has_incumbent_ = true;
       ++inc_updates_;
+      MilpMetrics::get().incumbent_objective.set(objective);
     }
   }
 
@@ -538,6 +549,7 @@ class ParallelBranchAndBound {
     out.best_bound = sign_ * global_bound_score_locked();
 
     MilpMetrics& m = MilpMetrics::get();
+    m.frontier_open.set(0.0);
     if (nodes_ != 0) m.nodes.add(nodes_);
     if (lp_solves_ != 0) m.lp_relaxations.add(lp_solves_);
     if (inc_updates_ != 0) m.incumbents.add(inc_updates_);
@@ -604,11 +616,15 @@ class ParallelBranchAndBound {
           incumbent_score_ = score;
           has_incumbent_ = true;
           ++inc_updates_;
+          MilpMetrics::get().incumbent_objective.set(
+              res.incumbent_objective);
         }
       }
       for (auto& child : res.children) {
         frontier_.push(std::move(child));
       }
+      MilpMetrics::get().frontier_open.set(
+          static_cast<double>(frontier_.size()));
       check_early_exit_locked();
       if (has_incumbent_ &&
           global_bound_score_locked() - incumbent_score_ <= opt_.gap_abs) {

@@ -1,0 +1,166 @@
+#include "obs/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace cubisg::obs {
+
+namespace {
+
+bool valid_name_char(char ch) {
+  return (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+         (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Sample-value formatting: integral values print without a fraction so
+/// counters and bucket counts stay exact and goldens stay stable; the
+/// rest use %.9g (matching the JSON exporter's precision).
+void append_value(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+void append_value(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+}
+
+/// Emits the `# TYPE` header; returns false (and a comment) when the
+/// exposed name was already used by an earlier family.
+bool open_family(std::string& out, std::set<std::string>& seen,
+                 const std::string& name, const char* type,
+                 const std::string& raw) {
+  if (!seen.insert(name).second) {
+    out += "# cubisg: skipped \"";
+    out += raw;
+    out += "\" (duplicate family ";
+    out += name;
+    out += ")\n";
+    return false;
+  }
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+  return true;
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(const std::string& raw, bool is_counter) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  // Digits survive the mapping unchanged, so the leading-digit guard can
+  // look at the raw name and prepend before the copy.
+  if (!raw.empty() && raw[0] >= '0' && raw[0] <= '9') out += '_';
+  for (char ch : raw) {
+    out += valid_name_char(ch) ? ch : '_';
+  }
+  if (out.empty()) out = "_";
+  if (is_counter && !ends_with(out, "_total")) out += "_total";
+  return out;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char ch : value) {
+    switch (ch) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  std::set<std::string> seen;
+
+  for (const CounterSnapshot& c : snapshot.counters) {
+    const std::string name = prometheus_metric_name(c.name, true);
+    if (!open_family(out, seen, name, "counter", c.name)) continue;
+    out += name;
+    out += ' ';
+    append_value(out, c.value);
+    out += '\n';
+  }
+
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    const std::string name = prometheus_metric_name(g.name);
+    if (!open_family(out, seen, name, "gauge", g.name)) continue;
+    out += name;
+    out += ' ';
+    append_value(out, g.value);
+    out += '\n';
+  }
+
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string name = prometheus_metric_name(h.name);
+    if (!open_family(out, seen, name, "histogram", h.name)) continue;
+    // Cumulative buckets from the per-bucket counts; `_count` and the
+    // +Inf bucket both use the same running total, so they agree even
+    // when h.count was read mid-record (torn vs the bucket array).
+    std::int64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += b < h.counts.size() ? h.counts[b] : 0;
+      out += name;
+      out += "_bucket{le=\"";
+      append_value(out, h.bounds[b]);
+      out += "\"} ";
+      append_value(out, cumulative);
+      out += '\n';
+    }
+    if (h.counts.size() > h.bounds.size()) {
+      cumulative += h.counts[h.bounds.size()];  // overflow bucket
+    }
+    out += name;
+    out += "_bucket{le=\"+Inf\"} ";
+    append_value(out, cumulative);
+    out += '\n';
+    out += name;
+    out += "_sum ";
+    append_value(out, h.sum);
+    out += '\n';
+    out += name;
+    out += "_count ";
+    append_value(out, cumulative);
+    out += '\n';
+  }
+
+  return out;
+}
+
+}  // namespace cubisg::obs

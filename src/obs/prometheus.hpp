@@ -1,0 +1,42 @@
+// Prometheus text exposition (format version 0.0.4) for MetricsSnapshot.
+//
+// The registry's dotted metric names (`cubis.solves_total`) are mapped to
+// the Prometheus name charset ([a-zA-Z_:][a-zA-Z0-9_:]*); counters gain a
+// `_total` suffix when they lack one, histograms render as cumulative
+// `_bucket{le="..."}` series plus `_sum`/`_count`, and the `+Inf` bucket
+// always equals `_count` (computed from the same per-bucket loads, so a
+// scrape racing writers is still internally consistent).
+//
+// Serialization is pure — it reads a MetricsSnapshot taken under the
+// registry lock — so concurrent scrapes never observe torn state beyond
+// the usual relaxed-counter skew documented in metrics.hpp.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace cubisg::obs {
+
+/// Content-Type an HTTP exporter must send with to_prometheus_text output.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Maps a registry metric name onto the Prometheus name charset: invalid
+/// characters (the registry uses dots) become '_', a leading digit gains a
+/// '_' prefix, and counters get a `_total` suffix unless already present.
+std::string prometheus_metric_name(const std::string& raw,
+                                   bool is_counter = false);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline are backslash-escaped.
+std::string prometheus_escape_label(const std::string& value);
+
+/// Renders a full snapshot as text exposition: one `# TYPE` line per
+/// family followed by its samples, families in snapshot (name-sorted)
+/// order.  When two registry names collapse onto the same exposed name,
+/// the first family wins and later ones are skipped with a comment line
+/// (duplicate families are invalid exposition).
+std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+}  // namespace cubisg::obs

@@ -1,0 +1,154 @@
+#include "obs/solve_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cubisg::obs {
+
+namespace {
+
+/// Same finite-only JSON number policy as MetricsSnapshot::to_json.
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (ch == '\n') {
+      out += "\\n";
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string SolveReport::to_json() const {
+  std::string out = "{\"id\":";
+  out += std::to_string(id);
+  out += ",\"solver\":";
+  append_escaped(out, solver);
+  out += ",\"status\":";
+  append_escaped(out, status);
+  out += ",\"targets\":";
+  out += std::to_string(targets);
+  out += ",\"wall_seconds\":";
+  append_double(out, wall_seconds);
+  out += ",\"lb\":";
+  append_double(out, lb);
+  out += ",\"ub\":";
+  append_double(out, ub);
+  out += ",\"gap\":";
+  append_double(out, gap());
+  out += ",\"worst_case_utility\":";
+  append_double(out, worst_case_utility);
+  out += ",\"binary_steps\":";
+  out += std::to_string(binary_steps);
+  out += ",\"feasibility_checks\":";
+  out += std::to_string(feasibility_checks);
+  out += ",\"milp_nodes\":";
+  out += std::to_string(milp_nodes);
+  out += ",\"incumbent_updates\":";
+  out += std::to_string(incumbent_updates);
+  out += ",\"simplex_iters\":";
+  out += std::to_string(simplex_iters);
+  out += ",\"trajectory\":[";
+  for (std::size_t r = 0; r < trajectory.size(); ++r) {
+    if (r) out += ',';
+    out += "{\"lo\":";
+    append_double(out, trajectory[r].lo);
+    out += ",\"hi\":";
+    append_double(out, trajectory[r].hi);
+    out += ",\"gap\":";
+    append_double(out, trajectory[r].gap());
+    out += ",\"feasible\":";
+    out += std::to_string(trajectory[r].feasible);
+    out += ",\"infeasible\":";
+    out += std::to_string(trajectory[r].infeasible);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+SolveReportBuffer::SolveReportBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+SolveReportBuffer& SolveReportBuffer::global() {
+  // Immortal for the same reason as the metrics registry: solves can
+  // finish while statics are being destroyed at process exit.
+  static SolveReportBuffer* buffer = new SolveReportBuffer();
+  return *buffer;
+}
+
+std::int64_t SolveReportBuffer::add(SolveReport report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  report.id = ++total_;
+  const std::int64_t id = report.id;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(report));
+  } else {
+    ring_[next_] = std::move(report);
+    next_ = (next_ + 1) % capacity_;
+  }
+  return id;
+}
+
+std::vector<SolveReport> SolveReportBuffer::recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SolveReport> out;
+  out.reserve(ring_.size());
+  // `next_` points at the oldest entry once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t SolveReportBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::int64_t SolveReportBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void SolveReportBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+}
+
+std::string SolveReportBuffer::to_json() const {
+  const std::vector<SolveReport> reports = recent();
+  std::string out = "{\"total\":";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out += std::to_string(total_);
+  }
+  out += ",\"capacity\":";
+  out += std::to_string(capacity_);
+  out += ",\"reports\":[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i) out += ',';
+    out += reports[i].to_json();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cubisg::obs

@@ -9,6 +9,8 @@
 #include "behavior/bounds.hpp"
 #include "common/rng.hpp"
 #include "core/cubis.hpp"
+#include "obs/solve_report.hpp"
+#include "obs/metrics.hpp"
 #include "core/gradient.hpp"
 #include "core/maximin.hpp"
 #include "core/pasaq.hpp"
@@ -346,6 +348,46 @@ TEST(Cubis, MultisectionMatchesBisection) {
     EXPECT_LE(b.ub - b.lb, seq.epsilon + 1e-12);
     EXPECT_NEAR(a.worst_case_utility, b.worst_case_utility, 0.7);
   }
+}
+
+TEST(Cubis, SolvePublishesConvergenceReport) {
+#if !CUBISG_OBS_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (CUBISG_OBS=OFF)";
+#endif
+  obs::SolveReportBuffer& buffer = obs::SolveReportBuffer::global();
+  const std::int64_t before = buffer.total_recorded();
+  Fixture f(81, 6, 2.0, 1.0);
+  CubisOptions opt;
+  opt.segments = 10;
+  opt.epsilon = 1e-3;
+  CubisSolver solver(opt);
+  DefenderSolution sol = solver.solve(f.ctx());
+  ASSERT_TRUE(sol.ok());
+
+  EXPECT_EQ(buffer.total_recorded(), before + 1);
+  const std::vector<obs::SolveReport> recent = buffer.recent();
+  ASSERT_FALSE(recent.empty());
+  const obs::SolveReport& report = recent.back();
+  EXPECT_EQ(report.solver, solver.name());
+  EXPECT_EQ(report.status, "optimal");
+  EXPECT_EQ(report.targets, 6u);
+  EXPECT_DOUBLE_EQ(report.lb, sol.lb);
+  EXPECT_DOUBLE_EQ(report.ub, sol.ub);
+  EXPECT_DOUBLE_EQ(report.worst_case_utility, sol.worst_case_utility);
+  EXPECT_EQ(report.binary_steps, sol.binary_steps);
+  EXPECT_GE(report.wall_seconds, 0.0);
+  EXPECT_GT(report.feasibility_checks, 0);
+  // The trajectory shrinks the bracket monotonically down to the final
+  // lb/ub, and every round classifies at least one candidate threshold.
+  ASSERT_FALSE(report.trajectory.empty());
+  double last_gap = report.trajectory.front().gap();
+  for (const obs::BinarySearchRound& round : report.trajectory) {
+    EXPECT_GE(round.feasible + round.infeasible, 1);
+    EXPECT_LE(round.gap(), last_gap + 1e-12);
+    last_gap = round.gap();
+  }
+  EXPECT_DOUBLE_EQ(report.trajectory.back().lo, sol.lb);
+  EXPECT_DOUBLE_EQ(report.trajectory.back().hi, sol.ub);
 }
 
 TEST(Cubis, NamesReflectBackend) {

@@ -14,6 +14,7 @@
 
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/solve_report.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -267,6 +268,95 @@ TEST(Log, SinkSwapWhileWorkersEmitIsSafe) {
   EXPECT_EQ(delivered.load(), 8 * 200);
   set_log_level(saved);
   set_log_sink(nullptr);
+}
+
+TEST(SolveReportBuffer, RingEvictsOldestAndKeepsIds) {
+  obs::SolveReportBuffer buffer(4);
+  for (int i = 1; i <= 10; ++i) {
+    obs::SolveReport r;
+    r.solver = "ring-test";
+    r.targets = static_cast<std::size_t>(i);
+    const std::int64_t id = buffer.add(std::move(r));
+    EXPECT_EQ(id, i);  // ids count every add, not just retained ones
+  }
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.capacity(), 4u);
+  EXPECT_EQ(buffer.total_recorded(), 10);
+  const std::vector<obs::SolveReport> recent = buffer.recent();
+  ASSERT_EQ(recent.size(), 4u);
+  // Oldest first: adds 7..10 survive, 1..6 were evicted.
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].id, static_cast<std::int64_t>(7 + i));
+    EXPECT_EQ(recent[i].targets, static_cast<std::size_t>(7 + i));
+  }
+  buffer.clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.total_recorded(), 10);  // history counter survives
+}
+
+TEST(SolveReportBuffer, JsonCarriesTrajectoryAndTotals) {
+  obs::SolveReportBuffer buffer(8);
+  obs::SolveReport r;
+  r.solver = "cubis-test";
+  r.status = "optimal";
+  r.targets = 5;
+  r.lb = 0.5;
+  r.ub = 0.625;
+  r.worst_case_utility = 0.6;
+  r.binary_steps = 2;
+  r.trajectory.push_back({0.0, 1.0, 2, 1});
+  r.trajectory.push_back({0.5, 0.625, 1, 3});
+  buffer.add(std::move(r));
+  const std::string json = buffer.to_json();
+  EXPECT_NE(json.find("\"total\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"solver\":\"cubis-test\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"optimal\""), std::string::npos);
+  EXPECT_NE(json.find("\"trajectory\""), std::string::npos);
+  EXPECT_NE(json.find("\"feasible\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"infeasible\":3"), std::string::npos);
+  // Gap of the second round: 0.625 - 0.5.
+  EXPECT_NE(json.find("0.125"), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  std::int64_t braces = 0;
+  std::int64_t brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (ch == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += ch == '{' ? 1 : (ch == '}' ? -1 : 0);
+    brackets += ch == '[' ? 1 : (ch == ']' ? -1 : 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(SolveReportBuffer, ConcurrentAddsKeepRingConsistent) {
+  obs::SolveReportBuffer buffer(16);
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&buffer, t] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        obs::SolveReport r;
+        r.solver = "writer-" + std::to_string(t);
+        r.trajectory.push_back({0.0, 1.0, 1, 0});
+        buffer.add(std::move(r));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(buffer.size(), 16u);
+  EXPECT_EQ(buffer.total_recorded(),
+            std::int64_t{kThreads} * kAddsPerThread);
+  // All ids unique and within the issued range.
+  const std::vector<obs::SolveReport> recent = buffer.recent();
+  for (std::size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_LT(recent[i - 1].id, recent[i].id);  // oldest-first ordering
+  }
 }
 
 }  // namespace
