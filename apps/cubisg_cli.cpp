@@ -25,6 +25,8 @@
 
 #include "behavior/attacker_sim.hpp"
 #include "behavior/scenario.hpp"
+#include "common/budget.hpp"
+#include "common/fault_inject.hpp"
 #include "common/rng.hpp"
 #include "core/registry.hpp"
 #include "core/worst_case.hpp"
@@ -50,7 +52,8 @@ using namespace cubisg;
                "  cubisg table1 --out FILE\n"
                "  cubisg solve FILE [--solver NAME] [--segments K]\n"
                "                [--epsilon E] [--polish N] [--types N]\n"
-               "                [--sections S]\n"
+               "                [--sections S] [--deadline-ms MS]\n"
+               "                [--max-nodes N]\n"
                "  cubisg compare FILE [--types N]\n"
                "  cubisg eval FILE --coverage x1,x2,...\n"
                "  cubisg patrol FILE [--solver NAME] [--days N] [--seed S]\n"
@@ -70,6 +73,17 @@ using namespace cubisg;
                "                       /healthz and /solvez while the\n"
                "                       command runs (0 = ephemeral port)\n"
                "  --listen-host ADDR   bind address (default 127.0.0.1)\n"
+               "\nsolve budget (solve/patrol/serve; in serve mode the\n"
+               "budget re-arms per request, acting as a watchdog):\n"
+               "  --deadline-ms MS     wall-clock budget; on expiry the best\n"
+               "                       incumbent + certified bracket return\n"
+               "  --max-nodes N        cap total branch-and-bound nodes\n"
+               "\nsolve exit codes:\n"
+               "  0  optimal           solved to the requested epsilon\n"
+               "  2  budget stop       deadline/cancel/cap hit; incumbent\n"
+               "                       coverage and [lb, ub] still printed\n"
+               "  3  infeasible        the model admits no strategy\n"
+               "  4  numeric failure   retries exhausted; check the logs\n"
                "\nsolvers:");
   for (const std::string& n : core::solver_names()) {
     std::fprintf(stderr, " %s", n.c_str());
@@ -197,15 +211,67 @@ int cmd_table1(const Args& args) {
   return 0;
 }
 
+std::atomic<bool> g_interrupted{false};
+/// The budget of the currently-running solve, for the signal handler.
+/// Cancellation through it is async-signal-safe (two relaxed atomic ops).
+std::atomic<SolveBudget*> g_active_budget{nullptr};
+
+void on_termination_signal(int) {
+  g_interrupted.store(true);
+  if (SolveBudget* b = g_active_budget.load()) b->request_cancel();
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, on_termination_signal);
+  std::signal(SIGTERM, on_termination_signal);
+}
+
+/// Maps a final solver status to the documented process exit code.
+int exit_code_for(SolverStatus status) {
+  switch (status) {
+    case SolverStatus::kOptimal:
+      return 0;
+    case SolverStatus::kDeadlineExceeded:
+    case SolverStatus::kCancelled:
+    case SolverStatus::kIterLimit:
+    case SolverStatus::kTimeLimit:
+      return 2;  // budget stop: incumbent + bracket were still reported
+    case SolverStatus::kInfeasible:
+      return 3;
+    default:
+      return 4;  // numeric failure / unbounded / unexpected
+  }
+}
+
+/// Arms `budget` from --deadline-ms / --max-nodes (no flags = unlimited).
+void arm_budget_from_flags(const Args& args, SolveBudget& budget) {
+  const double deadline_ms = args.get_d("deadline-ms", 0.0);
+  if (deadline_ms > 0.0) budget.set_deadline_after(deadline_ms * 1e-3);
+  const long max_nodes = args.get_i("max-nodes", 0);
+  if (max_nodes > 0) budget.set_node_limit(max_nodes);
+}
+
 int cmd_solve(const Args& args) {
   behavior::Scenario scenario = load_or_die(args.file);
   auto bounds = scenario.make_bounds();
   core::SolverSpec spec = spec_from(args, scenario);
   auto solver = core::make_solver(spec);
+  // Every solve runs under a budget so Ctrl-C degrades to "best incumbent
+  // + certified bracket" instead of killing the process mid-solve.
+  SolveBudget budget;
+  arm_budget_from_flags(args, budget);
+  install_signal_handlers();
+  g_active_budget.store(&budget);
   core::DefenderSolution sol =
-      solver->solve({scenario.game.game, bounds});
+      solver->solve({scenario.game.game, bounds, &budget});
+  g_active_budget.store(nullptr);
   print_solution(scenario, sol, solver->name().c_str());
-  return sol.ok() ? 0 : 1;
+  if (is_budget_stop(sol.status)) {
+    std::printf("note: stopped early (%s); coverage above is the best "
+                "incumbent, certified within [%.4f, %.4f]\n",
+                std::string(to_string(sol.status)).c_str(), sol.lb, sol.ub);
+  }
+  return exit_code_for(sol.status);
 }
 
 int cmd_compare(const Args& args) {
@@ -263,12 +329,17 @@ int cmd_patrol(const Args& args) {
   auto bounds = scenario.make_bounds();
   core::SolverSpec spec = spec_from(args, scenario);
   auto solver = core::make_solver(spec);
+  SolveBudget budget;
+  arm_budget_from_flags(args, budget);
+  install_signal_handlers();
+  g_active_budget.store(&budget);
   core::DefenderSolution sol =
-      solver->solve({scenario.game.game, bounds});
+      solver->solve({scenario.game.game, bounds, &budget});
+  g_active_budget.store(nullptr);
   if (!sol.ok()) {
     std::fprintf(stderr, "solve failed: %s\n",
                  std::string(to_string(sol.status)).c_str());
-    return 1;
+    return exit_code_for(sol.status);
   }
   std::printf("marginal coverage: ");
   for (double xi : sol.strategy) std::printf(" %.4f", xi);
@@ -453,39 +524,57 @@ int cmd_learn(const Args& args) {
   return 0;
 }
 
-std::atomic<bool> g_interrupted{false};
-
-void on_termination_signal(int) { g_interrupted.store(true); }
-
 /// Solve loop that keeps the process alive for live scraping: solves the
 /// scenario repeatedly (forever with --solves 0) until SIGINT/SIGTERM,
 /// printing one convergence line per solve.  Pair with --listen so a
 /// Prometheus scraper sees the metrics and /solvez reports evolve.
+///
+/// Resilience: one failed solve never takes the service down.  Failures
+/// (non-optimal statuses and escaped exceptions alike) are logged,
+/// counted in `solve.errors_total`, and the loop moves on to the next
+/// request.  Each iteration re-arms one shared SolveBudget, so
+/// --deadline-ms doubles as a per-request watchdog and SIGINT cancels
+/// the in-flight solve at a safe point before the loop exits.
 int cmd_serve(const Args& args) {
   behavior::Scenario scenario = load_or_die(args.file);
   auto bounds = scenario.make_bounds();
-  core::SolveContext ctx{scenario.game.game, bounds};
   core::SolverSpec spec = spec_from(args, scenario);
   auto solver = core::make_solver(spec);
   const long max_solves = args.get_i("solves", 0);  // 0 = until signal
   const long interval_ms = args.get_i("interval-ms", 0);
-  std::signal(SIGINT, on_termination_signal);
-  std::signal(SIGTERM, on_termination_signal);
+  install_signal_handlers();
   std::printf("serving %s with solver %s (%s)\n", args.file.c_str(),
               solver->name().c_str(),
               max_solves > 0 ? (std::to_string(max_solves) + " solves").c_str()
                              : "until SIGINT");
+  obs::Counter& errors =
+      obs::Registry::global().counter("solve.errors_total");
+  SolveBudget budget;
+  core::SolveContext ctx{scenario.game.game, bounds, &budget};
   long done = 0;
   long failures = 0;
   while (!g_interrupted.load() && (max_solves == 0 || done < max_solves)) {
-    core::DefenderSolution sol = solver->solve(ctx);
+    budget.reset();  // fresh per-request budget; clears a SIGINT race too
+    arm_budget_from_flags(args, budget);
+    g_active_budget.store(&budget);
     ++done;
-    if (!sol.ok()) ++failures;
-    std::printf("solve %ld: status=%s worst-case=%+.4f gap=%.2e "
-                "wall=%.1fms\n",
-                done, std::string(to_string(sol.status)).c_str(),
-                sol.worst_case_utility, sol.ub - sol.lb,
-                sol.wall_seconds * 1e3);
+    try {
+      core::DefenderSolution sol = solver->solve(ctx);
+      if (!sol.ok()) {
+        ++failures;
+        errors.add(1);
+      }
+      std::printf("solve %ld: status=%s worst-case=%+.4f gap=%.2e "
+                  "wall=%.1fms\n",
+                  done, std::string(to_string(sol.status)).c_str(),
+                  sol.worst_case_utility, sol.ub - sol.lb,
+                  sol.wall_seconds * 1e3);
+    } catch (const std::exception& e) {
+      ++failures;
+      errors.add(1);
+      std::printf("solve %ld: ERROR %s (continuing)\n", done, e.what());
+    }
+    g_active_budget.store(nullptr);
     std::fflush(stdout);
     if (interval_ms > 0 && !g_interrupted.load()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
@@ -585,6 +674,9 @@ void maybe_start_exporter(obs::HttpExporter& exporter, const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
+  // Test hook: CUBISG_FAULT_INJECT="site[:count[:skip]],..." arms the
+  // deterministic fault-injection sites (no-op in production builds).
+  faultinject::arm_from_env();
   const std::string cmd = argv[1];
   Args args = parse_args(argc, argv, 2);
   g_telemetry.metrics_path = args.get("metrics-out", "");

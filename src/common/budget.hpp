@@ -1,0 +1,167 @@
+// Shared solve budget / cooperative cancellation token.
+//
+// A SolveBudget bounds one logical solve (or one serve-loop request): a
+// wall-clock deadline, a branch-and-bound node cap, a simplex iteration
+// cap, and an external cancel flag (SIGINT handler, serve-mode watchdog).
+// One instance is threaded cooperatively through every layer of the
+// pipeline — CubisSolver's binary search, milp::BranchAndBound's node
+// loop and lp::Simplex's pivot loop — each of which polls exceeded() at
+// its own safe points and unwinds with partial results instead of
+// throwing or running on.
+//
+// The trip is sticky: the first layer that observes an exceeded budget
+// latches the reason, and every later poll (in any thread) reports that
+// same status, so a multisection round's workers all unwind with one
+// consistent verdict.  All members are atomics; polling is wait-free and
+// request_cancel() is safe to call from a signal handler or any thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "common/errors.hpp"
+
+namespace cubisg {
+
+class SolveBudget {
+ public:
+  SolveBudget() = default;
+
+  SolveBudget(const SolveBudget&) = delete;
+  SolveBudget& operator=(const SolveBudget&) = delete;
+
+  /// Arms a wall-clock deadline `seconds` from now (<= 0 trips at once).
+  void set_deadline_after(double seconds) {
+    const std::int64_t ns = static_cast<std::int64_t>(seconds * 1e9);
+    deadline_total_ns_.store(ns, std::memory_order_relaxed);
+    deadline_ns_.store(now_ns() + ns, std::memory_order_relaxed);
+  }
+
+  /// The armed wall-clock budget in seconds (0 when no deadline is set);
+  /// for reporting, not enforcement.
+  double deadline_seconds() const {
+    return static_cast<double>(
+               deadline_total_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+  /// Caps the total branch-and-bound nodes charged against this budget.
+  void set_node_limit(std::int64_t max_nodes) {
+    node_limit_.store(max_nodes, std::memory_order_relaxed);
+  }
+
+  /// Caps the total simplex iterations charged against this budget.
+  void set_iteration_limit(std::int64_t max_iters) {
+    iter_limit_.store(max_iters, std::memory_order_relaxed);
+  }
+
+  /// External cancellation; async-signal-safe (one relaxed atomic store).
+  void request_cancel() {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // Charging is const: solvers hold `const SolveBudget*` (they may spend
+  // the budget, never reconfigure it), and the spend counters — like the
+  // trip latch — are mutable bookkeeping.
+  void charge_nodes(std::int64_t n) const {
+    nodes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void charge_iterations(std::int64_t n) const {
+    iters_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::int64_t nodes_charged() const {
+    return nodes_.load(std::memory_order_relaxed);
+  }
+  std::int64_t iterations_charged() const {
+    return iters_.load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoLimit;
+  }
+
+  /// Seconds until the deadline (negative once past; +inf when unarmed).
+  double remaining_seconds() const {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == kNoLimit) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(d - now_ns()) * 1e-9;
+  }
+
+  /// The budget checkpoint: nullopt while within budget, otherwise the
+  /// sticky stop status.  Cancellation wins over the deadline, which wins
+  /// over the node/iteration caps (checked in that order on first trip).
+  std::optional<SolverStatus> exceeded() const {
+    const int latched = tripped_.load(std::memory_order_relaxed);
+    if (latched != 0) return static_cast<SolverStatus>(latched - 1);
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return trip(SolverStatus::kCancelled);
+    }
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != kNoLimit && now_ns() >= d) {
+      return trip(SolverStatus::kDeadlineExceeded);
+    }
+    const std::int64_t nl = node_limit_.load(std::memory_order_relaxed);
+    if (nl != kNoLimit && nodes_.load(std::memory_order_relaxed) >= nl) {
+      return trip(SolverStatus::kIterLimit);
+    }
+    const std::int64_t il = iter_limit_.load(std::memory_order_relaxed);
+    if (il != kNoLimit && iters_.load(std::memory_order_relaxed) >= il) {
+      return trip(SolverStatus::kIterLimit);
+    }
+    return std::nullopt;
+  }
+
+  bool ok() const { return !exceeded().has_value(); }
+
+  /// Re-arms a tripped/cancelled budget for reuse (serve loop: one budget
+  /// object, one reset per request).  Not safe concurrently with a solve.
+  void reset() {
+    tripped_.store(0, std::memory_order_relaxed);
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(kNoLimit, std::memory_order_relaxed);
+    deadline_total_ns_.store(0, std::memory_order_relaxed);
+    node_limit_.store(kNoLimit, std::memory_order_relaxed);
+    iter_limit_.store(kNoLimit, std::memory_order_relaxed);
+    nodes_.store(0, std::memory_order_relaxed);
+    iters_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::int64_t kNoLimit =
+      std::numeric_limits<std::int64_t>::max();
+
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  SolverStatus trip(SolverStatus why) const {
+    int expected = 0;
+    tripped_.compare_exchange_strong(expected, static_cast<int>(why) + 1,
+                                     std::memory_order_relaxed);
+    // Lost the race: another thread latched first; report its reason.
+    const int latched = tripped_.load(std::memory_order_relaxed);
+    return static_cast<SolverStatus>(latched - 1);
+  }
+
+  std::atomic<std::int64_t> deadline_ns_{kNoLimit};
+  std::atomic<std::int64_t> deadline_total_ns_{0};
+  std::atomic<std::int64_t> node_limit_{kNoLimit};
+  std::atomic<std::int64_t> iter_limit_{kNoLimit};
+  mutable std::atomic<std::int64_t> nodes_{0};
+  mutable std::atomic<std::int64_t> iters_{0};
+  std::atomic<bool> cancelled_{false};
+  /// 0 = not tripped; otherwise static_cast<int>(status) + 1.
+  mutable std::atomic<int> tripped_{0};
+};
+
+}  // namespace cubisg

@@ -41,6 +41,10 @@ enum class SolverStatus {
   kEarlyNegative,   ///< MILP sign-query: proven that no solution reaches the
                     ///< target objective, search stopped early
   kNumericalIssue,  ///< solve aborted due to numeric trouble
+  kDeadlineExceeded,  ///< a shared SolveBudget deadline expired; best
+                      ///< incumbent and certified bracket returned
+  kCancelled,         ///< external cancellation (SIGINT, watchdog) honored
+                      ///< at a safe point; best incumbent returned
 };
 
 /// Human-readable name for a SolverStatus (stable, for logs and tests).
@@ -54,8 +58,20 @@ constexpr std::string_view to_string(SolverStatus s) {
     case SolverStatus::kEarlyPositive: return "early-positive";
     case SolverStatus::kEarlyNegative: return "early-negative";
     case SolverStatus::kNumericalIssue: return "numerical-issue";
+    case SolverStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case SolverStatus::kCancelled: return "cancelled";
   }
   return "unknown";
+}
+
+/// True for the statuses produced by a tripped SolveBudget or an internal
+/// resource limit: the solve stopped early at a safe point and the result
+/// carries the best incumbent found so far (when any exists) rather than a
+/// proven answer.
+constexpr bool is_budget_stop(SolverStatus s) {
+  return s == SolverStatus::kDeadlineExceeded ||
+         s == SolverStatus::kCancelled || s == SolverStatus::kIterLimit ||
+         s == SolverStatus::kTimeLimit;
 }
 
 }  // namespace cubisg

@@ -1,0 +1,144 @@
+#include "common/fault_inject.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace cubisg::faultinject {
+
+namespace {
+
+constexpr int kSiteCount = static_cast<int>(Site::kCount);
+
+const char* const kSiteNames[kSiteCount] = {
+    "lu-factorize",     "simplex-deadline", "milp-deadline",
+    "cubis-deadline",   "step-infeasible",  "step-alloc",
+    "model-io",         "pool-submit",
+};
+
+struct SiteState {
+  bool armed = false;
+  int skip = 0;
+  int remaining = 0;  // -1 = unlimited
+  std::int64_t fired = 0;
+};
+
+/// Bit i set <=> site i armed.  The idle fast path is one relaxed load.
+std::atomic<std::uint32_t> g_armed_mask{0};
+
+std::mutex g_mutex;
+SiteState g_sites[kSiteCount];
+
+}  // namespace
+
+const char* site_name(Site site) {
+  const int i = static_cast<int>(site);
+  return (i >= 0 && i < kSiteCount) ? kSiteNames[i] : "unknown";
+}
+
+void arm(Site site, int fire_count, int skip) {
+#if CUBISG_FAULT_INJECTION_ENABLED
+  const int i = static_cast<int>(site);
+  if (i < 0 || i >= kSiteCount || fire_count == 0) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sites[i] = SiteState{true, skip < 0 ? 0 : skip,
+                         fire_count < 0 ? -1 : fire_count, 0};
+  g_armed_mask.fetch_or(1u << i, std::memory_order_relaxed);
+#else
+  (void)site;
+  (void)fire_count;
+  (void)skip;
+#endif
+}
+
+void disarm(Site site) {
+  const int i = static_cast<int>(site);
+  if (i < 0 || i >= kSiteCount) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sites[i].armed = false;
+  g_armed_mask.fetch_and(~(1u << i), std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (SiteState& s : g_sites) s.armed = false;
+  g_armed_mask.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t fire_count(Site site) {
+  const int i = static_cast<int>(site);
+  if (i < 0 || i >= kSiteCount) return 0;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_sites[i].fired;
+}
+
+bool should_fail(Site site) {
+#if CUBISG_FAULT_INJECTION_ENABLED
+  const int i = static_cast<int>(site);
+  if (i < 0 || i >= kSiteCount) return false;
+  if ((g_armed_mask.load(std::memory_order_relaxed) & (1u << i)) == 0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  SiteState& s = g_sites[i];
+  if (!s.armed) return false;  // disarmed between the mask load and here
+  if (s.skip > 0) {
+    --s.skip;
+    return false;
+  }
+  if (s.remaining == 0) return false;
+  if (s.remaining > 0) --s.remaining;
+  ++s.fired;
+  return true;
+#else
+  (void)site;
+  return false;
+#endif
+}
+
+void arm_from_env() {
+#if CUBISG_FAULT_INJECTION_ENABLED
+  const char* spec = std::getenv("CUBISG_FAULT_INJECT");
+  if (spec == nullptr || *spec == '\0') return;
+  // Comma-split `name[:fire_count[:skip]]` entries.
+  std::string entry;
+  for (const char* p = spec;; ++p) {
+    if (*p != ',' && *p != '\0') {
+      entry.push_back(*p);
+      continue;
+    }
+    if (!entry.empty()) {
+      std::string name = entry;
+      int count = 1;
+      int skip = 0;
+      if (const std::size_t c1 = entry.find(':'); c1 != std::string::npos) {
+        name = entry.substr(0, c1);
+        count = std::atoi(entry.c_str() + c1 + 1);
+        if (const std::size_t c2 = entry.find(':', c1 + 1);
+            c2 != std::string::npos) {
+          skip = std::atoi(entry.c_str() + c2 + 1);
+        }
+      }
+      bool matched = false;
+      for (int i = 0; i < kSiteCount; ++i) {
+        if (name == kSiteNames[i]) {
+          arm(static_cast<Site>(i), count, skip);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        std::fprintf(stderr,
+                     "warning: CUBISG_FAULT_INJECT: unknown site '%s'\n",
+                     name.c_str());
+      }
+      entry.clear();
+    }
+    if (*p == '\0') break;
+  }
+#endif
+}
+
+}  // namespace cubisg::faultinject

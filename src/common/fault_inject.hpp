@@ -1,0 +1,71 @@
+// Deterministic fault injection for the solver resilience layer.
+//
+// Tests (and operators reproducing incidents) can force the failure modes
+// the resilience layer exists to absorb — a singular LU factorization, a
+// deadline expiring inside a chosen phase, an allocation or I/O failure —
+// at exact, reproducible points.  Each instrumented call site polls
+// should_fail(site); arming a site makes that poll return true for a
+// bounded number of triggers (optionally after skipping the first few),
+// so a test can fail "the third factorization" and assert the retry
+// ladder recovered.
+//
+// Cost when idle: one relaxed atomic load of a global armed mask (zero in
+// the common case), so the hooks stay compiled into release builds by
+// default; configure with CUBISG_FAULT_INJECTION=OFF to hard compile the
+// entire mechanism out (should_fail becomes a constant false).
+//
+// The armed path takes a mutex — fault injection is a test harness, not a
+// hot path, and the mutex keeps skip/count bookkeeping exact under
+// concurrent solves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#ifndef CUBISG_FAULT_INJECTION_ENABLED
+#define CUBISG_FAULT_INJECTION_ENABLED 1
+#endif
+
+namespace cubisg::faultinject {
+
+/// Instrumented failure points, one per degradation path.
+enum class Site : int {
+  kLuFactorize = 0,      ///< LU factorization reports a singular basis
+  kSimplexDeadline,      ///< simplex pivot checkpoint reports deadline
+  kMilpDeadline,         ///< B&B node checkpoint reports deadline
+  kCubisDeadline,        ///< binary-search round checkpoint, ditto
+  kCubisStepInfeasible,  ///< P1 feasibility step reports kInfeasible
+  kStepAlloc,            ///< MILP assembly throws std::bad_alloc
+  kModelIo,              ///< model/scenario file open fails
+  kPoolSubmit,           ///< ThreadPool::submit throws PoolShutdownError
+  kCount,                ///< sentinel, keep last
+};
+
+/// Stable site name ("lu-factorize", ...) for logs and CUBISG_FAULT_INJECT.
+const char* site_name(Site site);
+
+/// True when the hooks are compiled in (CUBISG_FAULT_INJECTION=ON).
+constexpr bool compiled_in() { return CUBISG_FAULT_INJECTION_ENABLED != 0; }
+
+/// Arms `site` to fire `fire_count` times (-1 = until disarmed) after
+/// ignoring its first `skip` triggers.  Re-arming replaces the previous
+/// configuration.  No-op when compiled out.
+void arm(Site site, int fire_count = 1, int skip = 0);
+
+void disarm(Site site);
+void disarm_all();
+
+/// Times `site` has actually fired since it was last armed.
+std::int64_t fire_count(Site site);
+
+/// The per-call-site poll.  False when compiled out, nothing is armed,
+/// the site is not armed, or its skip/fire window is over.
+bool should_fail(Site site);
+
+/// Arms sites from the CUBISG_FAULT_INJECT environment variable —
+/// a comma list of `name[:fire_count[:skip]]`, e.g.
+/// "lu-factorize:2,cubis-deadline:1:3".  Unknown names are ignored with a
+/// warning on stderr (a typo must not silently disable a fault test).
+void arm_from_env();
+
+}  // namespace cubisg::faultinject

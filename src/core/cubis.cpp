@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 #include <numeric>
 #include <string>
 
+#include "common/fault_inject.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "core/gradient.hpp"
@@ -286,6 +288,7 @@ StepResult solve_step_milp(const SolveContext& ctx,
 
   milp::MilpOptions mopt = opt.milp;
   mopt.sign_threshold = -opt.feasibility_slack;
+  if (mopt.budget == nullptr) mopt.budget = ctx.budget;
   if (opt.warm_start_from_dp) {
     StepResult dp =
         opt.group_budgets.empty()
@@ -359,6 +362,14 @@ StepResult cubis_step(const SolveContext& ctx, double c,
   }
   obs::TraceSpan span("cubis.P1");
   CubisMetrics::get().feasibility_checks.add(1);
+  if (faultinject::should_fail(faultinject::Site::kStepAlloc)) {
+    throw std::bad_alloc();  // injected: exercises the round-level catch
+  }
+  if (faultinject::should_fail(faultinject::Site::kCubisStepInfeasible)) {
+    StepResult forced;
+    forced.status = SolverStatus::kInfeasible;
+    return forced;
+  }
   const std::vector<TargetPls> pls =
       build_f_pls(ctx, c, options.segments, tables);
   if (options.backend == StepBackend::kDp) {
@@ -440,8 +451,27 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
     obs::TraceSpan tspan("cubis.build_tables");
     return build_step_tables(ctx, opt_.segments);
   }();
+  // kOptimal until a round fails or the budget trips; becomes the final
+  // DefenderSolution status.  A non-optimal verdict never throws away the
+  // incumbent: best_x and the certified [lo, hi] bracket always survive.
+  SolverStatus final_status = SolverStatus::kOptimal;
   while (hi - lo > opt_.epsilon) {
     obs::TraceSpan round_span("cubis.binary_search_round");
+    // Cooperative stop point: the round boundary is the coarsest safe
+    // point — lo/hi and best_x are consistent here, so a budget trip
+    // degrades to the incumbent plus the bracket.  (The DP step backend
+    // is not internally interruptible, so with it a deadline is honored
+    // with up to one round of grace.)
+    if (ctx.budget != nullptr) {
+      if (const auto stop = ctx.budget->exceeded()) {
+        final_status = *stop;
+        break;
+      }
+    }
+    if (faultinject::should_fail(faultinject::Site::kCubisDeadline)) {
+      final_status = SolverStatus::kDeadlineExceeded;
+      break;
+    }
     // Multisection round: `sections` candidate values split [lo, hi] into
     // sections+1 equal parts; by Proposition 1 feasibility is monotone, so
     // the results bracket the threshold after one concurrent round.
@@ -451,18 +481,34 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
                        static_cast<double>(sections + 1);
     }
     std::vector<StepResult> results;
-    if (sections == 1) {
-      results.push_back(cubis_step(ctx, cs[0], opt_, &tables));
-    } else {
-      ThreadPool& pool = opt_.pool ? *opt_.pool : ThreadPool::global();
-      results = parallel_map(pool, cs.size(), [&](std::size_t s) {
-        return cubis_step(ctx, cs[s], opt_, &tables);
-      });
+    try {
+      if (sections == 1) {
+        results.push_back(cubis_step(ctx, cs[0], opt_, &tables));
+      } else {
+        ThreadPool& pool = opt_.pool ? *opt_.pool : ThreadPool::global();
+        results = parallel_map(pool, cs.size(), [&](std::size_t s) {
+          return cubis_step(ctx, cs[s], opt_, &tables);
+        });
+      }
+    } catch (const std::bad_alloc&) {
+      CUBISG_LOG(LogLevel::kError)
+          << "cubis: step allocation failure; returning incumbent";
+      final_status = SolverStatus::kNumericalIssue;
+      break;
+    } catch (const NumericalError& e) {
+      CUBISG_LOG(LogLevel::kError)
+          << "cubis: numeric failure in step: " << e.what();
+      final_status = SolverStatus::kNumericalIssue;
+      break;
     }
     steps += sections;
     CubisMetrics::get().binary_search_iters.add(sections);
-    bool failed = false;
-    // Highest feasible candidate raises lo; lowest infeasible lowers hi.
+    // Classify every section before reacting to failures: by Proposition 1
+    // the verdicts of the healthy steps stay valid even when a sibling
+    // step failed, so the bracket tightens with whatever the round did
+    // manage to prove.  Highest feasible candidate raises lo; lowest
+    // infeasible lowers hi.
+    SolverStatus round_failure = SolverStatus::kOptimal;
     int highest_feasible = -1;
     int lowest_infeasible = sections;
     int feasible_count = 0;
@@ -472,9 +518,10 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
         CUBISG_LOG(LogLevel::kWarn)
             << "cubis: step at c=" << cs[s] << " failed with "
             << to_string(results[s].status);
-        sol.status = results[s].status;
-        failed = true;
-        break;
+        if (round_failure == SolverStatus::kOptimal) {
+          round_failure = results[s].status;
+        }
+        continue;
       }
       const bool feasible = !results[s].x.empty() &&
                             results[s].objective >= -opt_.feasibility_slack;
@@ -488,7 +535,6 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
         lowest_infeasible = std::min(lowest_infeasible, s);
       }
     }
-    if (failed) break;
     if (highest_feasible >= 0) {
       lo = cs[highest_feasible];
       best_x = results[highest_feasible].x;
@@ -498,6 +544,10 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
     }
     report.trajectory.push_back(
         {lo, hi, feasible_count, sections - feasible_count});
+    if (round_failure != SolverStatus::kOptimal) {
+      final_status = round_failure;
+      break;
+    }
     if (highest_feasible < 0 && lowest_infeasible == sections) {
       break;  // cannot happen (every candidate classified); safety net
     }
@@ -549,9 +599,12 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
     }
   }
 
-  if (opt_.polish_iterations > 0 && opt_.group_budgets.empty()) {
+  if (final_status == SolverStatus::kOptimal && opt_.polish_iterations > 0 &&
+      opt_.group_budgets.empty()) {
     // (Polish projects onto the single-budget polytope; with budget
-    // groups it would leave the feasible set, so it is skipped there.)
+    // groups it would leave the feasible set, so it is skipped there.
+    // After a budget trip or failure it is skipped too: the caller asked
+    // to stop, and top-up already salvaged the cheap improvement.)
     obs::TraceSpan polish_span("cubis.polish");
     CubisMetrics::get().polish_runs.add(1);
     GradientOptions gopt;
@@ -568,9 +621,7 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
   sol.binary_steps = steps;
   sol.milp_nodes = nodes;
   sol.solver_objective = lo;
-  if (sol.status == SolverStatus::kNumericalIssue) {
-    sol.status = SolverStatus::kOptimal;  // no step failed
-  }
+  sol.status = final_status;
   sol.telemetry = scope.finish();
   finalize_solution(ctx, sol, timer.seconds());
 #if CUBISG_OBS_ENABLED
@@ -579,6 +630,10 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
   // solves attribute overlapping activity to each other, same caveat as
   // DefenderSolution::telemetry.
   report.status = std::string(to_string(sol.status));
+  report.budget_stop = is_budget_stop(sol.status);
+  if (ctx.budget != nullptr) {
+    report.deadline_seconds = ctx.budget->deadline_seconds();
+  }
   report.wall_seconds = sol.wall_seconds;
   report.lb = sol.lb;
   report.ub = sol.ub;

@@ -1,8 +1,11 @@
 #include "core/solvers.hpp"
 
+#include <string>
+
 #include "common/timer.hpp"
 #include "core/worst_case.hpp"
 #include "games/strategy_space.hpp"
+#include "obs/metrics.hpp"
 
 namespace cubisg::core {
 
@@ -12,6 +15,17 @@ void finalize_solution(const SolveContext& ctx, DefenderSolution& sol,
   if (!sol.strategy.empty()) {
     sol.worst_case_utility =
         worst_case_utility(ctx.game, ctx.bounds, sol.strategy);
+  }
+  // Per-terminal-status counters: one family keyed by status name plus
+  // dedicated totals for the two budget outcomes dashboards alert on.
+  obs::Registry::global()
+      .counter(std::string("solve.status.")
+                   .append(to_string(sol.status)))
+      .add(1);
+  if (sol.status == SolverStatus::kDeadlineExceeded) {
+    obs::Registry::global().counter("solve.deadline_exceeded_total").add(1);
+  } else if (sol.status == SolverStatus::kCancelled) {
+    obs::Registry::global().counter("solve.cancelled_total").add(1);
   }
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "behavior/bounds.hpp"
+#include "common/budget.hpp"
 #include "common/errors.hpp"
 #include "games/security_game.hpp"
 #include "obs/metrics.hpp"
@@ -23,6 +24,13 @@ namespace cubisg::core {
 struct SolveContext {
   const games::SecurityGame& game;
   const behavior::AttractivenessBounds& bounds;
+  /// Optional shared budget/cancellation token, threaded through every
+  /// layer of the solve (binary search -> branch and bound -> simplex
+  /// pivots).  When it trips, solvers unwind at a safe point and return
+  /// the best incumbent with a certified bracket and a budget status
+  /// (kDeadlineExceeded / kCancelled / kIterLimit) instead of throwing.
+  /// Must outlive the solve call; null = unbudgeted.
+  const SolveBudget* budget = nullptr;
 };
 
 /// Outcome of a defender solve.

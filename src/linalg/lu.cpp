@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/errors.hpp"
+#include "common/fault_inject.hpp"
 
 namespace cubisg {
 
@@ -22,6 +23,11 @@ LuFactorization::LuFactorization(const Matrix& a)
     throw std::invalid_argument("LuFactorization requires a square matrix");
   }
   for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  if (faultinject::should_fail(faultinject::Site::kLuFactorize)) {
+    singular_ = true;  // injected: exercises the simplex recovery ladder
+    return;
+  }
 
   const double scale_tol = kPivotTol * (1.0 + a.max_abs());
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/errors.hpp"
+#include "common/fault_inject.hpp"
 
 namespace cubisg::lp {
 
@@ -107,6 +108,11 @@ Model read_model(std::istream& is) {
 }
 
 Model load_model(const std::string& path) {
+  if (faultinject::should_fail(faultinject::Site::kModelIo)) {
+    // Injected IO failure: same typed error a vanished/unreadable file
+    // produces, so callers exercise their real recovery path.
+    throw InvalidModelError("load_model: injected IO failure for " + path);
+  }
   std::ifstream f(path);
   if (!f) throw InvalidModelError("load_model: cannot open " + path);
   return read_model(f);

@@ -10,6 +10,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/fault_inject.hpp"
 #include "common/log.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
@@ -41,6 +42,8 @@ struct SimplexMetrics {
       "simplex.refactorizations");
   obs::Counter& soft_restarts = obs::Registry::global().counter(
       "simplex.soft_restarts");
+  obs::Counter& numeric_retries = obs::Registry::global().counter(
+      "solve.numeric_retries_total");
 
   static SimplexMetrics& get() {
     static SimplexMetrics m;
@@ -110,7 +113,9 @@ class SimplexSolver {
         std::vector<double> phase1_cost(n_, 0.0);
         for (int j = art_begin_; j < n_; ++j) phase1_cost[j] = 1.0;
         SolverStatus p1 = run_phase(phase1_cost, /*phase1=*/true);
-        if (p1 == SolverStatus::kIterLimit) {
+        if (is_budget_stop(p1)) {
+          // Deadline/cancel/iteration cap mid-phase-1: there is no primal
+          // feasible iterate yet, so only the status is meaningful.
           out.status = p1;
           out.iterations = iterations_;
           return out;
@@ -400,7 +405,8 @@ class SimplexSolver {
     return st;
   }
 
-  /// Returns kOptimal, kUnbounded, kIterLimit or kNumericalIssue.
+  /// Returns kOptimal, kUnbounded, kIterLimit, kDeadlineExceeded,
+  /// kCancelled or kNumericalIssue.
   SolverStatus run_phase_impl(const std::vector<double>& cost) {
     std::int64_t degen_streak = 0;
     bool bland = opt_.force_bland;
@@ -411,8 +417,19 @@ class SimplexSolver {
     // O(m^3) refactorization).
     bool need_factor = true;
     for (;;) {
+      // Cooperative stop point: the pivot boundary is the finest-grained
+      // safe point in the solver — every invariant (basis, positions,
+      // iterate) is consistent here, so a budget trip unwinds cleanly
+      // with the current iterate.
+      if (opt_.budget != nullptr) {
+        if (const auto stop = opt_.budget->exceeded()) return *stop;
+      }
+      if (faultinject::should_fail(faultinject::Site::kSimplexDeadline)) {
+        return SolverStatus::kDeadlineExceeded;
+      }
       if (iterations_ >= opt_.max_iters) return SolverStatus::kIterLimit;
       ++iterations_;
+      if (opt_.budget != nullptr) opt_.budget->charge_iterations(1);
 
       if (need_factor || etas_.size() >= opt_.refactor_interval) {
         if (!refactorize()) return SolverStatus::kNumericalIssue;
@@ -780,25 +797,91 @@ class SimplexSolver {
   std::vector<std::string> dbg_trace_;
 };
 
+/// Copy of `model` with every finite, non-fixed column bound relaxed
+/// outward by a deterministic per-column jitter of magnitude ~`scale`.
+/// Breaks the degenerate ties that can drive pivoting into a singular
+/// basis; the caller clamps the result back into the original bounds and
+/// re-verifies it against the original model before trusting it.
+Model perturbed_copy(const Model& model, double scale) {
+  Model m = model;
+  for (int j = 0; j < m.num_cols(); ++j) {
+    double lo = m.col_lower(j);
+    double hi = m.col_upper(j);
+    if (lo >= hi) continue;  // fixed columns keep their exact value
+    // Knuth-hash jitter in [0.5, 1.5): column-dependent so no two bounds
+    // move by the same amount, deterministic so reruns reproduce.
+    const double jitter =
+        0.5 + static_cast<double>(
+                  (static_cast<std::uint32_t>(j) * 2654435761u) & 1023u) /
+                  1024.0;
+    const double d = scale * jitter;
+    if (std::isfinite(lo)) lo -= d * (1.0 + std::abs(lo));
+    if (std::isfinite(hi)) hi += d * (1.0 + std::abs(hi));
+    m.set_col_bounds(j, lo, hi);
+  }
+  return m;
+}
+
 }  // namespace
 
 LpSolution solve_lp(const Model& model, const SimplexOptions& options) {
   obs::TraceSpan span("simplex.solve");
   SimplexMetrics::get().solves.add(1);
-  SimplexSolver solver(model, options);
-  LpSolution sol = solver.run();
-  if (sol.status == SolverStatus::kNumericalIssue && !options.force_bland) {
-    // Rare escape hatch: a degenerate pivot sequence produced a (near-)
-    // singular basis.  Bland's rule takes a different, maximally cautious
-    // path through the same problem.
-    SimplexOptions retry = options;
-    retry.force_bland = true;
-    SimplexSolver cautious(model, retry);
-    LpSolution again = cautious.run();
-    again.iterations += sol.iterations;
+  LpSolution sol = SimplexSolver(model, options).run();
+  if (sol.status != SolverStatus::kNumericalIssue || options.force_bland) {
+    return sol;
+  }
+
+  // Numeric-failure recovery ladder.  Each rung is strictly more cautious
+  // (and slower) than the last; the first non-kNumericalIssue verdict
+  // wins.  Every rung counts toward solve.numeric_retries_total.
+  std::int64_t spent = sol.iterations;
+  SimplexOptions base = options;
+  base.force_bland = true;        // maximally cycle-robust pivoting
+  base.refactor_interval = 1;     // fresh LU every pivot
+  base.warm_positions = nullptr;  // the hinted basis may be the problem
+
+  // Rung 1: same model, Bland's rule + refactorize-every-pivot.
+  {
+    SimplexMetrics::get().numeric_retries.add(1);
+    LpSolution again = SimplexSolver(model, base).run();
+    spent += again.iterations;
+    if (again.status != SolverStatus::kNumericalIssue) {
+      again.iterations = spent;
+      return again;
+    }
+  }
+
+  // Rungs 2-3: relax the column bounds outward to break degenerate ties,
+  // solve conservatively, then clamp the iterate back into the original
+  // bounds.  Accepted only if the clamped point still satisfies the
+  // ORIGINAL model; infeasibility of the relaxation proves infeasibility
+  // of the original (the feasible set only grew).  Rung 3 widens the
+  // perturbation and tightens the pivot-eligibility tolerance.
+  for (int rung = 2; rung <= 3; ++rung) {
+    SimplexMetrics::get().numeric_retries.add(1);
+    SimplexOptions opts = base;
+    double scale = 1e-7;
+    if (rung == 3) {
+      scale = 1e-5;
+      opts.opt_tol = std::max(opts.opt_tol * 100.0, 1e-7);
+    }
+    LpSolution again = SimplexSolver(perturbed_copy(model, scale), opts).run();
+    spent += again.iterations;
+    if (again.status == SolverStatus::kNumericalIssue) continue;
+    if (again.status == SolverStatus::kOptimal) {
+      for (int j = 0; j < model.num_cols(); ++j) {
+        again.x[j] =
+            std::clamp(again.x[j], model.col_lower(j), model.col_upper(j));
+      }
+      if (model.max_violation(again.x) > 1e-6) continue;  // unusable rung
+      again.objective = model.objective_value(again.x);
+    }
+    again.iterations = spent;
     return again;
   }
-  return sol;
+  sol.iterations = spent;
+  return sol;  // ladder exhausted: kNumericalIssue stands
 }
 
 }  // namespace cubisg::lp

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/errors.hpp"
 #include "common/tolerances.hpp"
 #include "lp/model.hpp"
@@ -47,6 +48,10 @@ struct SimplexOptions {
   /// factorizable and primal feasible under the current bounds, phase 1 is
   /// skipped entirely; otherwise the solver silently cold-starts.
   const std::vector<VarPosition>* warm_positions = nullptr;
+  /// Optional shared budget/cancellation token.  The pivot loop polls it
+  /// and returns kDeadlineExceeded / kCancelled / kIterLimit with the
+  /// current iterate when it trips; null = unbounded (no per-pivot cost).
+  const SolveBudget* budget = nullptr;
 };
 
 /// Result of an LP solve.

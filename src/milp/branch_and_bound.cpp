@@ -16,6 +16,7 @@
 #include "lp/io.hpp"
 #include "lp/presolve.hpp"
 
+#include "common/fault_inject.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
@@ -82,6 +83,11 @@ class BranchAndBound {
   BranchAndBound(const lp::Model& model, const MilpOptions& options)
       : base_(model), opt_(options) {
     base_.validate();
+    // Callers only set MilpOptions::budget; thread it through to the node
+    // LPs so the simplex polls the same token at pivot granularity.
+    if (opt_.budget != nullptr && opt_.lp.budget == nullptr) {
+      opt_.lp.budget = opt_.budget;
+    }
     sign_ = base_.objective_sense() == lp::Objective::kMaximize ? 1.0 : -1.0;
     for (int j = 0; j < base_.num_cols(); ++j) {
       if (base_.col_is_integer(j)) int_cols_.push_back(j);
@@ -139,6 +145,21 @@ class BranchAndBound {
         out.status = SolverStatus::kTimeLimit;
         break;
       }
+      // Shared budget: the node boundary is a safe point — incumbent and
+      // proven bound are both consistent, so we unwind with partial
+      // results rather than discarding the search.
+      if (opt_.budget != nullptr) {
+        if (const auto stop = opt_.budget->exceeded()) {
+          any_limit_hit = true;
+          out.status = *stop;
+          break;
+        }
+      }
+      if (faultinject::should_fail(faultinject::Site::kMilpDeadline)) {
+        any_limit_hit = true;
+        out.status = SolverStatus::kDeadlineExceeded;
+        break;
+      }
 
       Node node = frontier.top().second;
       frontier.pop();
@@ -151,6 +172,7 @@ class BranchAndBound {
       }
 
       ++nodes_;
+      if (opt_.budget != nullptr) opt_.budget->charge_nodes(1);
       if (!apply_bounds(node.changes)) {
         restore_bounds();
         continue;  // empty variable domain: node infeasible
@@ -180,7 +202,26 @@ class BranchAndBound {
         finalize(out, kInfD);
         return out;
       }
+      if (rel.status == SolverStatus::kDeadlineExceeded ||
+          rel.status == SolverStatus::kCancelled) {
+        // The shared budget tripped inside the node LP; unwind now rather
+        // than spinning through the rest of the frontier.
+        any_limit_hit = true;
+        out.status = rel.status;
+        break;
+      }
       if (rel.status != SolverStatus::kOptimal) {
+        // A node LP that failed because the *shared budget* tripped (node
+        // or iteration cap) must unwind the whole search: every remaining
+        // node would fail the same way, and silently dropping them would
+        // end with a bogus "infeasible" verdict on an empty frontier.
+        if (opt_.budget != nullptr) {
+          if (const auto stop = opt_.budget->exceeded()) {
+            any_limit_hit = true;
+            out.status = *stop;
+            break;
+          }
+        }
         CUBISG_LOG(LogLevel::kWarn)
             << "milp: node LP returned " << to_string(rel.status);
         continue;  // treat as prunable rather than aborting the search
@@ -244,10 +285,17 @@ class BranchAndBound {
             : (frontier.empty() ? incumbent_score_
                                 : std::max(frontier.top().first,
                                            incumbent_score_));
-    // A sign query can also resolve exactly at exhaustion.
+    // A sign query can also resolve exactly at exhaustion.  After a limit
+    // stop only the incumbent certificate (kEarlyPositive) is trustworthy:
+    // the node being processed at the break was already popped, so the
+    // frontier bound no longer covers its subtree and cannot prove a
+    // negative.
     if (opt_.sign_threshold) {
       if (auto early = sign_query_decision(final_bound_score)) {
-        out = *early;
+        if (early->status == SolverStatus::kEarlyPositive ||
+            !any_limit_hit) {
+          out = *early;
+        }
       }
     }
     finalize(out, final_bound_score);
@@ -492,6 +540,9 @@ class ParallelBranchAndBound {
   ParallelBranchAndBound(const lp::Model& model, const MilpOptions& options)
       : base_(model), opt_(options) {
     base_.validate();
+    if (opt_.budget != nullptr && opt_.lp.budget == nullptr) {
+      opt_.lp.budget = opt_.budget;
+    }
     sign_ = base_.objective_sense() == lp::Objective::kMaximize ? 1.0 : -1.0;
     for (int j = 0; j < base_.num_cols(); ++j) {
       if (base_.col_is_integer(j)) int_cols_.push_back(j);
@@ -588,6 +639,22 @@ class ParallelBranchAndBound {
         cv_.notify_all();
         return;
       }
+      // Shared budget: the token's trip is sticky, so every worker that
+      // polls it sees the same verdict and the pool unwinds consistently.
+      if (opt_.budget != nullptr) {
+        if (const auto stop = opt_.budget->exceeded()) {
+          limit_hit_ = *stop;
+          stop_ = true;
+          cv_.notify_all();
+          return;
+        }
+      }
+      if (faultinject::should_fail(faultinject::Site::kMilpDeadline)) {
+        limit_hit_ = SolverStatus::kDeadlineExceeded;
+        stop_ = true;
+        cv_.notify_all();
+        return;
+      }
 
       Node node = frontier_.top().second;
       const double node_parent_score = frontier_.top().first;
@@ -599,6 +666,7 @@ class ParallelBranchAndBound {
       ++active_;
       inflight_.insert(node_parent_score);
       ++nodes_;
+      if (opt_.budget != nullptr) opt_.budget->charge_nodes(1);
       lock.unlock();
 
       // ---- out-of-lock node processing ----
@@ -625,6 +693,16 @@ class ParallelBranchAndBound {
       }
       MilpMetrics::get().frontier_open.set(
           static_cast<double>(frontier_.size()));
+      // A budget trip inside the node LP drops the node's children, so
+      // without this poll the frontier could drain and the search would
+      // exit reporting infeasible/optimal instead of the budget status.
+      if (opt_.budget != nullptr &&
+          limit_hit_ == SolverStatus::kNumericalIssue) {
+        if (const auto bstop = opt_.budget->exceeded()) {
+          limit_hit_ = *bstop;
+          stop_ = true;
+        }
+      }
       check_early_exit_locked();
       if (has_incumbent_ &&
           global_bound_score_locked() - incumbent_score_ <= opt_.gap_abs) {
@@ -725,8 +803,10 @@ class ParallelBranchAndBound {
     if (has_incumbent_ && incumbent_score_ >= thr_score) {
       decided_ = SolverStatus::kEarlyPositive;
       stop_ = true;
-    } else if (global_bound_score_locked() < thr_score && active_ == 0 &&
+    } else if (limit_hit_ == SolverStatus::kNumericalIssue &&
+               global_bound_score_locked() < thr_score && active_ == 0 &&
                nodes_ > 0) {
+      // The bound only proves a negative when no limit dropped a subtree.
       decided_ = SolverStatus::kEarlyNegative;
       stop_ = true;
     }

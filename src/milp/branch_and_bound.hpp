@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/errors.hpp"
 #include "common/tolerances.hpp"
 #include "lp/model.hpp"
@@ -44,6 +45,12 @@ struct MilpOptions {
   double gap_abs = 1e-9;          ///< stop when bound - incumbent <= gap
   std::int64_t max_nodes = 200000;
   double time_limit_sec = -1.0;   ///< <= 0: no limit
+  /// Optional shared budget/cancellation token, polled at every node
+  /// boundary (and, via `lp.budget`, at every simplex pivot).  On a trip
+  /// the search unwinds with the incumbent and the proven bound, status
+  /// kDeadlineExceeded / kCancelled / kIterLimit.  Nodes are charged to
+  /// the token's node cap.  Null = no shared budget.
+  const SolveBudget* budget = nullptr;
   lp::SimplexOptions lp;          ///< options for node LP solves
   /// Presolve node LPs below the root (branching fixes binaries, so deep
   /// nodes shrink substantially).  Mutually exclusive with parent-basis

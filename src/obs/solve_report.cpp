@@ -42,6 +42,10 @@ std::string SolveReport::to_json() const {
   append_escaped(out, solver);
   out += ",\"status\":";
   append_escaped(out, status);
+  out += ",\"budget_stop\":";
+  out += budget_stop ? "true" : "false";
+  out += ",\"deadline_seconds\":";
+  append_double(out, deadline_seconds);
   out += ",\"targets\":";
   out += std::to_string(targets);
   out += ",\"wall_seconds\":";

@@ -36,6 +36,12 @@ struct SolveReport {
   std::int64_t id = 0;  ///< monotonically increasing, assigned on add()
   std::string solver;
   std::string status;
+  /// True when the solve was cut short by its SolveBudget (deadline,
+  /// cancellation or node/iteration cap) and the coverage below is the
+  /// best incumbent rather than the converged optimum.
+  bool budget_stop = false;
+  /// Wall-clock budget the caller armed (0 = none).
+  double deadline_seconds = 0.0;
   std::size_t targets = 0;
   double wall_seconds = 0.0;
   double lb = 0.0;  ///< final bracket on c

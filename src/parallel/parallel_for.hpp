@@ -4,6 +4,11 @@
 // per block; `parallel_map` collects per-index results into a vector.  Both
 // rethrow the first task exception on the calling thread.  With a single
 // hardware thread these degrade gracefully to near-sequential execution.
+//
+// Robustness: when the pool is already draining (process shutdown racing a
+// final solve), submission falls back to executing the remaining blocks
+// inline on the calling thread instead of surfacing a PoolShutdownError —
+// the work still completes, just without parallelism.
 #pragma once
 
 #include <algorithm>
@@ -27,15 +32,36 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   std::size_t block = (n + workers - 1) / workers;
   if (block < grain) block = grain;
 
+  // Shutdown fallback: run everything inline.  The advisory draining()
+  // check catches the common case cheaply; the PoolShutdownError catch
+  // below closes the check-then-submit race.
+  if (pool.draining()) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
   std::vector<std::future<void>> futures;
   futures.reserve((n + block - 1) / block);
-  for (std::size_t lo = begin; lo < end; lo += block) {
+  std::size_t lo = begin;
+  for (; lo < end; lo += block) {
     const std::size_t hi = std::min(end, lo + block);
-    futures.push_back(pool.submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
+    try {
+      futures.push_back(pool.submit([lo, hi, &body] {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      }));
+    } catch (const PoolShutdownError&) {
+      break;  // pool began draining mid-loop; finish [lo, end) inline
+    }
   }
   std::exception_ptr first_error;
+  // Blocks that never made it into the pool run on the calling thread,
+  // before the waits: the already-submitted futures make progress in the
+  // workers meanwhile (shutdown drains the queue before joining).
+  try {
+    for (std::size_t i = lo; i < end; ++i) body(i);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
   for (auto& f : futures) {
     try {
       f.get();

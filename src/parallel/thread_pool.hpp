@@ -20,11 +20,22 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "common/fault_inject.hpp"
+
 namespace cubisg {
+
+/// Thrown by ThreadPool::submit when the pool is already draining.  A
+/// distinct type so callers (parallel_for) can fall back to inline
+/// execution instead of conflating it with task failures.
+class PoolShutdownError : public std::runtime_error {
+ public:
+  PoolShutdownError() : std::runtime_error("ThreadPool::submit after shutdown") {}
+};
 
 /// A fixed pool of worker threads executing submitted tasks FIFO.
 class ThreadPool {
@@ -52,8 +63,9 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) {
-        throw std::runtime_error("ThreadPool::submit after shutdown");
+      if (stopping_ ||
+          faultinject::should_fail(faultinject::Site::kPoolSubmit)) {
+        throw PoolShutdownError();
       }
       queue_.push_back({[task]() { (*task)(); },
                         std::chrono::steady_clock::now()});
@@ -64,6 +76,14 @@ class ThreadPool {
   }
 
   std::size_t num_threads() const { return workers_.size(); }
+
+  /// True once the destructor has begun draining: submit() would throw.
+  /// Advisory only — a racing shutdown can still begin after this returns
+  /// false, so callers must also handle PoolShutdownError from submit().
+  bool draining() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopping_;
+  }
 
   /// A process-wide default pool, lazily constructed with one worker per
   /// hardware thread.  Solvers use this unless handed an explicit pool.
