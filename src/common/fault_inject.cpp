@@ -15,7 +15,7 @@ constexpr int kSiteCount = static_cast<int>(Site::kCount);
 const char* const kSiteNames[kSiteCount] = {
     "lu-factorize",     "simplex-deadline", "milp-deadline",
     "cubis-deadline",   "step-infeasible",  "step-alloc",
-    "model-io",         "pool-submit",
+    "model-io",         "pool-submit",      "warm-start-reject",
 };
 
 struct SiteState {

@@ -38,6 +38,7 @@ enum class Site : int {
   kStepAlloc,            ///< MILP assembly throws std::bad_alloc
   kModelIo,              ///< model/scenario file open fails
   kPoolSubmit,           ///< ThreadPool::submit throws PoolShutdownError
+  kWarmStartReject,      ///< simplex treats a hinted basis as invalid
   kCount,                ///< sentinel, keep last
 };
 

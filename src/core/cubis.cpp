@@ -10,6 +10,7 @@
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "core/gradient.hpp"
+#include "core/round_cache.hpp"
 #include "games/strategy_space.hpp"
 #include "obs/metrics.hpp"
 #include "obs/solve_report.hpp"
@@ -37,12 +38,6 @@ struct CubisMetrics {
     static CubisMetrics m;
     return m;
   }
-};
-
-/// Piecewise approximations of f1_i and f2_i (Section IV.C) at value c.
-struct TargetPls {
-  PiecewiseLinear f1;
-  PiecewiseLinear f2;
 };
 
 std::vector<TargetPls> build_f_pls(const SolveContext& ctx, double c,
@@ -104,201 +99,11 @@ std::vector<PiecewiseLinear> phi_from(const std::vector<TargetPls>& pls) {
   return phi;
 }
 
-/// Column layout of the paper MILP (33)-(40).
-struct MilpLayout {
-  int one = 0;                      ///< fixed [1,1] column for constants
-  int x0 = 0;                       ///< x_{i,k} block start (T*K columns)
-  int v0 = 0;                       ///< v_i block start
-  int q0 = 0;                       ///< q_i block start
-  int h0 = 0;                       ///< h_{i,k} block start (T*(K-1))
-  std::size_t t_count = 0;
-  std::size_t k_count = 0;
-
-  int xcol(std::size_t i, std::size_t k) const {
-    return x0 + static_cast<int>(i * k_count + k);
-  }
-  int vcol(std::size_t i) const { return v0 + static_cast<int>(i); }
-  int qcol(std::size_t i) const { return q0 + static_cast<int>(i); }
-  int hcol(std::size_t i, std::size_t k) const {
-    return h0 + static_cast<int>(i * (k_count - 1) + k);
-  }
-};
-
-/// Assembles the MILP (33)-(40).  `big_m` must dominate |f1~ - f2~|.
-///
-/// One deviation from the paper's literal variable scaling: the segment
-/// variables are normalized to x~_{ik} = K * x_{ik} in [0, 1], so the
-/// ordering constraints (38)-(39) have +/-1 coefficients.  With the
-/// paper's 1/K scaling, every ordering pivot multiplies the basis
-/// determinant by 1/K and long degenerate pivot chains drive the basis
-/// numerically singular; the normalized model is mathematically identical
-/// (x_i = sum_k x~_{ik} / K) and keeps every pivot at unit magnitude.
-lp::Model build_step_milp(const SolveContext& ctx,
-                          const std::vector<TargetPls>& pls, double big_m,
-                          const CubisOptions& opt, MilpLayout& layout) {
-  const std::size_t t_count = pls.size();
-  const std::size_t k_count = pls.front().f1.segments();
-  const double k_inv = 1.0 / static_cast<double>(k_count);
-
-  lp::Model m;
-  m.set_objective_sense(lp::Objective::kMaximize);
-  layout.t_count = t_count;
-  layout.k_count = k_count;
-
-  double constant = 0.0;
-  for (const TargetPls& t : pls) constant += t.f1.value_at_zero();
-  layout.one = m.add_col("one", 1.0, 1.0, constant);
-
-  layout.x0 = m.num_cols();
-  for (std::size_t i = 0; i < t_count; ++i) {
-    for (std::size_t k = 0; k < k_count; ++k) {
-      m.add_col("x_" + std::to_string(i) + "_" + std::to_string(k), 0.0, 1.0,
-                pls[i].f1.slope(k) * k_inv);
-    }
-  }
-  layout.v0 = m.num_cols();
-  for (std::size_t i = 0; i < t_count; ++i) {
-    m.add_col("v_" + std::to_string(i), 0.0, big_m, -1.0);
-  }
-  layout.q0 = m.num_cols();
-  for (std::size_t i = 0; i < t_count; ++i) {
-    const int q = m.add_col("q_" + std::to_string(i), 0.0, 1.0, 0.0);
-    m.set_integer(q);
-  }
-  layout.h0 = m.num_cols();
-  for (std::size_t i = 0; i < t_count; ++i) {
-    for (std::size_t k = 0; k + 1 < k_count; ++k) {
-      const int h = m.add_col(
-          "h_" + std::to_string(i) + "_" + std::to_string(k), 0.0, 1.0, 0.0);
-      m.set_integer(h);
-    }
-  }
-
-  // (37) budget rows, in normalized units: sum x~_{ik} <= R_g * K per
-  // budget group (one game-wide group in the paper's setting).
-  const std::size_t num_groups =
-      opt.group_budgets.empty() ? 1 : opt.group_budgets.size();
-  for (std::size_t g = 0; g < num_groups; ++g) {
-    const double r_g = opt.group_budgets.empty() ? ctx.game.resources()
-                                                 : opt.group_budgets[g];
-    const int budget =
-        m.add_row("budget" + std::to_string(g), lp::Sense::kLe,
-                  r_g * static_cast<double>(k_count));
-    for (std::size_t i = 0; i < t_count; ++i) {
-      const std::size_t gi =
-          opt.target_groups.empty() ? 0 : opt.target_groups[i];
-      if (gi != g) continue;
-      for (std::size_t k = 0; k < k_count; ++k) {
-        m.set_coeff(budget, layout.xcol(i, k), 1.0);
-      }
-    }
-  }
-
-  for (std::size_t i = 0; i < t_count; ++i) {
-    const double d0 = pls[i].f1.value_at_zero() - pls[i].f2.value_at_zero();
-    // (35): sum_k (s1-s2) x_ik - v_i <= -d0
-    const int r35 = m.add_row("lb_v" + std::to_string(i), lp::Sense::kLe,
-                              -d0);
-    // (36): v_i - sum_k (s1-s2) x_ik + M q_i <= d0 + M
-    const int r36 = m.add_row("ub_v" + std::to_string(i), lp::Sense::kLe,
-                              d0 + big_m);
-    for (std::size_t k = 0; k < k_count; ++k) {
-      const double ds =
-          (pls[i].f1.slope(k) - pls[i].f2.slope(k)) * k_inv;
-      if (ds != 0.0) {
-        m.set_coeff(r35, layout.xcol(i, k), ds);
-        m.set_coeff(r36, layout.xcol(i, k), -ds);
-      }
-    }
-    m.set_coeff(r35, layout.vcol(i), -1.0);
-    m.set_coeff(r36, layout.vcol(i), 1.0);
-    m.set_coeff(r36, layout.qcol(i), big_m);
-    // (34): v_i - M q_i <= 0
-    const int r34 = m.add_row("link_vq" + std::to_string(i), lp::Sense::kLe,
-                              0.0);
-    m.set_coeff(r34, layout.vcol(i), 1.0);
-    m.set_coeff(r34, layout.qcol(i), -big_m);
-    // (38)-(39): ordered segment filling, unit coefficients in the
-    // normalized units (h_{ik} = 1 iff segment k is full).
-    for (std::size_t k = 0; k + 1 < k_count; ++k) {
-      const int r38 = m.add_row(
-          "fill_lo" + std::to_string(i) + "_" + std::to_string(k),
-          lp::Sense::kLe, 0.0);
-      m.set_coeff(r38, layout.hcol(i, k), 1.0);
-      m.set_coeff(r38, layout.xcol(i, k), -1.0);
-      const int r39 = m.add_row(
-          "fill_hi" + std::to_string(i) + "_" + std::to_string(k),
-          lp::Sense::kLe, 0.0);
-      m.set_coeff(r39, layout.xcol(i, k + 1), 1.0);
-      m.set_coeff(r39, layout.hcol(i, k), -1.0);
-    }
-  }
-  return m;
-}
-
-/// Maps a coverage vector x (on the segment grid or not) to a full MILP
-/// variable assignment satisfying (34)-(40).
-std::vector<double> milp_point_from_x(const MilpLayout& layout,
-                                      const std::vector<TargetPls>& pls,
-                                      const std::vector<double>& x,
-                                      int num_cols) {
-  std::vector<double> full(num_cols, 0.0);
-  full[layout.one] = 1.0;
-  const std::size_t k_count = layout.k_count;
-  const double seg = 1.0 / static_cast<double>(k_count);
-  for (std::size_t i = 0; i < layout.t_count; ++i) {
-    const std::vector<double> portions = segment_portions(x[i], k_count);
-    double fbar1 = pls[i].f1.value_at_zero();
-    double fbar2 = pls[i].f2.value_at_zero();
-    for (std::size_t k = 0; k < k_count; ++k) {
-      // Normalized segment variables: x~ = K * portion in [0, 1].
-      full[layout.xcol(i, k)] = portions[k] / seg;
-      fbar1 += pls[i].f1.slope(k) * portions[k];
-      fbar2 += pls[i].f2.slope(k) * portions[k];
-    }
-    const double diff = fbar1 - fbar2;
-    if (diff > 0.0) {
-      full[layout.vcol(i)] = diff;
-      full[layout.qcol(i)] = 1.0;
-    }
-    for (std::size_t k = 0; k + 1 < k_count; ++k) {
-      full[layout.hcol(i, k)] = portions[k] >= seg - 1e-12 ? 1.0 : 0.0;
-    }
-  }
-  return full;
-}
-
-StepResult solve_step_milp(const SolveContext& ctx,
-                           const std::vector<TargetPls>& pls,
-                           const CubisOptions& opt) {
-  // Big-M: dominates |f1~ - f2~| over the grid (the chords stay within the
-  // breakpoint range of each segment).
-  double big_m = 1.0;
-  for (const TargetPls& t : pls) {
-    for (std::size_t k = 0; k <= t.f1.segments(); ++k) {
-      big_m = std::max(big_m, std::abs(t.f1.value_at_breakpoint(k) -
-                                       t.f2.value_at_breakpoint(k)) + 1.0);
-    }
-  }
-  MilpLayout layout;
-  lp::Model model = build_step_milp(ctx, pls, big_m, opt, layout);
-  // One (34)-(36) big-M block per target.
-  CubisMetrics::get().bigm_linearizations.add(
-      static_cast<std::int64_t>(layout.t_count));
-
-  milp::MilpOptions mopt = opt.milp;
-  mopt.sign_threshold = -opt.feasibility_slack;
-  if (mopt.budget == nullptr) mopt.budget = ctx.budget;
-  if (opt.warm_start_from_dp) {
-    StepResult dp =
-        opt.group_budgets.empty()
-            ? solve_step_dp(phi_from(pls), ctx.game.resources())
-            : solve_step_dp_grouped(phi_from(pls), opt.target_groups,
-                                    opt.group_budgets);
-    mopt.warm_start = milp_point_from_x(layout, pls, dp.x, model.num_cols());
-  }
-  milp::MilpSolution sol = milp::solve_milp(model, mopt);
-
+/// Shared translation of a branch-and-bound verdict into a StepResult,
+/// used by both the fresh and the skeleton-patching MILP paths.
+StepResult extract_step_result(const milp::MilpSolution& sol,
+                               const MilpLayout& layout,
+                               const CubisOptions& opt) {
   StepResult out;
   out.milp_nodes = sol.nodes;
   if (sol.status == SolverStatus::kEarlyPositive ||
@@ -332,6 +137,67 @@ StepResult solve_step_milp(const SolveContext& ctx,
   return out;
 }
 
+StepResult solve_step_milp(const SolveContext& ctx,
+                           const std::vector<TargetPls>& pls,
+                           const CubisOptions& opt) {
+  MilpLayout layout;
+  lp::Model model = build_step_milp(ctx, pls, step_big_m(pls), opt, layout);
+  // One (34)-(36) big-M block per target.
+  CubisMetrics::get().bigm_linearizations.add(
+      static_cast<std::int64_t>(layout.t_count));
+
+  milp::MilpOptions mopt = opt.milp;
+  mopt.sign_threshold = -opt.feasibility_slack;
+  if (mopt.budget == nullptr) mopt.budget = ctx.budget;
+  if (opt.warm_start_from_dp) {
+    StepResult dp =
+        opt.group_budgets.empty()
+            ? solve_step_dp(phi_from(pls), ctx.game.resources())
+            : solve_step_dp_grouped(phi_from(pls), opt.target_groups,
+                                    opt.group_budgets);
+    mopt.warm_start = milp_point_from_x(layout, pls, dp.x, model.num_cols());
+  }
+  milp::MilpSolution sol = milp::solve_milp(model, mopt);
+  return extract_step_result(sol, layout, opt);
+}
+
+/// Skeleton-patching variant: builds the dense MILP once per solve (lane),
+/// then only rewrites the c-dependent coefficients each round and carries
+/// the previous round's optimal root basis into the next root relaxation.
+StepResult solve_step_milp_cached(const SolveContext& ctx,
+                                  const CubisOptions& opt,
+                                  RoundReuse& reuse) {
+  if (reuse.milp == nullptr) {
+    // First round: assembly doubles as the patch (the cache already holds
+    // this round's values).
+    reuse.milp = std::make_unique<MilpStepCache>(ctx, reuse.cache, opt);
+  } else {
+    reuse.milp->patch(reuse.cache);
+  }
+  MilpStepCache& cache = *reuse.milp;
+  const MilpLayout& layout = cache.layout();
+  CubisMetrics::get().bigm_linearizations.add(
+      static_cast<std::int64_t>(layout.t_count));
+
+  milp::MilpOptions mopt = opt.milp;
+  mopt.sign_threshold = -opt.feasibility_slack;
+  if (mopt.budget == nullptr) mopt.budget = ctx.budget;
+  if (opt.warm_start_from_dp) {
+    StepResult dp = solve_step_dp_flat(
+        reuse.cache.phi_flat().data(), reuse.cache.t_count(), layout.k_count,
+        ctx.game.resources(), reuse.dp_scratch);
+    mopt.warm_start = milp_point_from_x(layout, reuse.cache.pls(), dp.x,
+                                        cache.model().num_cols());
+  }
+  if (mopt.num_workers <= 1) {
+    // Cross-round root basis; the parallel search ignores the handle (its
+    // write-back order would race), so don't bother pointing it there.
+    mopt.root_warm = &cache.root_basis();
+  }
+  milp::MilpSolution sol = milp::solve_milp(cache.model(), mopt);
+  return extract_step_result(sol, layout, opt);
+}
+
 }  // namespace
 
 StepTables build_step_tables(const SolveContext& ctx,
@@ -356,7 +222,7 @@ StepTables build_step_tables(const SolveContext& ctx,
 
 StepResult cubis_step(const SolveContext& ctx, double c,
                       const CubisOptions& options,
-                      const StepTables* tables) {
+                      const StepTables* tables, RoundReuse* reuse) {
   if (tables != nullptr && tables->segments != options.segments) {
     throw InvalidModelError("cubis_step: table segment-count mismatch");
   }
@@ -369,6 +235,18 @@ StepResult cubis_step(const SolveContext& ctx, double c,
     StepResult forced;
     forced.status = SolverStatus::kInfeasible;
     return forced;
+  }
+  if (reuse != nullptr && options.group_budgets.empty()) {
+    if (reuse->cache.k_count() != options.segments) {
+      throw InvalidModelError("cubis_step: reuse segment-count mismatch");
+    }
+    reuse->cache.set_value(c);
+    if (options.backend == StepBackend::kDp) {
+      return solve_step_dp_flat(reuse->cache.phi_flat().data(),
+                                reuse->cache.t_count(), options.segments,
+                                ctx.game.resources(), reuse->dp_scratch);
+    }
+    return solve_step_milp_cached(ctx, options, *reuse);
   }
   const std::vector<TargetPls> pls =
       build_f_pls(ctx, c, options.segments, tables);
@@ -451,6 +329,17 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
     obs::TraceSpan tspan("cubis.build_tables");
     return build_step_tables(ctx, opt_.segments);
   }();
+  // One cross-round reuse slot per multisection lane (never shared across
+  // lanes: set_value and the DP scratch mutate in place).  Grouped budgets
+  // keep the fresh path — the grouped DP is not flattened.
+  std::vector<std::unique_ptr<RoundReuse>> reuse_slots;
+  if (opt_.reuse_rounds && opt_.group_budgets.empty()) {
+    reuse_slots.reserve(static_cast<std::size_t>(sections));
+    for (int s = 0; s < sections; ++s) {
+      reuse_slots.push_back(std::make_unique<RoundReuse>(
+          tables, opt_.backend == StepBackend::kMilp));
+    }
+  }
   // kOptimal until a round fails or the budget trips; becomes the final
   // DefenderSolution status.  A non-optimal verdict never throws away the
   // incumbent: best_x and the certified [lo, hi] bracket always survive.
@@ -483,11 +372,15 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
     std::vector<StepResult> results;
     try {
       if (sections == 1) {
-        results.push_back(cubis_step(ctx, cs[0], opt_, &tables));
+        results.push_back(cubis_step(
+            ctx, cs[0], opt_, &tables,
+            reuse_slots.empty() ? nullptr : reuse_slots[0].get()));
       } else {
         ThreadPool& pool = opt_.pool ? *opt_.pool : ThreadPool::global();
         results = parallel_map(pool, cs.size(), [&](std::size_t s) {
-          return cubis_step(ctx, cs[s], opt_, &tables);
+          return cubis_step(ctx, cs[s], opt_, &tables,
+                            reuse_slots.empty() ? nullptr
+                                                : reuse_slots[s].get());
         });
       }
     } catch (const std::bad_alloc&) {

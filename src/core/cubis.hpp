@@ -54,6 +54,14 @@ struct CubisOptions {
   /// solution.  0 disables (the paper-faithful default); ~30 removes most
   /// of the O(1/K) grid residual at negligible cost.
   int polish_iterations = 0;
+  /// Reuse round-invariant work across binary-search rounds: the affine
+  /// breakpoint cache (f1/f2/phi become one axpy per round), the step
+  /// MILP's constraint skeleton (patched, not rebuilt), and the previous
+  /// round's optimal root basis as a simplex warm start.  Produces the
+  /// same solution as the fresh path (the differential harness in
+  /// tests/test_warm_start.cpp pins this); ignored when group_budgets is
+  /// set.  Off = rebuild everything per round (the test oracle).
+  bool reuse_rounds = true;
   /// Beyond-the-paper extension: multisection search.  Each round
   /// evaluates this many candidate utility values concurrently (thread
   /// pool), shrinking the bracket by (parallel_sections + 1)x per round
@@ -101,12 +109,18 @@ struct StepTables {
 /// Samples the bounds and defender utilities at the K+1 breakpoints.
 StepTables build_step_tables(const SolveContext& ctx, std::size_t segments);
 
+struct RoundReuse;  // core/round_cache.hpp
+
 /// One binary-search step: maximizes the linearized G(x, beta(c), c) over
 /// X for the given utility value c.  Exposed for tests and the ablation
 /// bench (DP and MILP backends must agree).  `tables`, when provided, must
-/// have been built with the same segment count.
+/// have been built with the same segment count.  `reuse`, when provided,
+/// carries this search lane's cross-round state (see core/round_cache.hpp)
+/// and must have been built from the same tables; the step then takes the
+/// cached path instead of rebuilding its piecewise functions and MILP.
 StepResult cubis_step(const SolveContext& ctx, double c,
                       const CubisOptions& options,
-                      const StepTables* tables = nullptr);
+                      const StepTables* tables = nullptr,
+                      RoundReuse* reuse = nullptr);
 
 }  // namespace cubisg::core

@@ -46,7 +46,11 @@ double g_at(const PointData& p, double c) {
   return g;
 }
 
-double f1_of(double L, double u, double c) { return L * (u - c); }
-double f2_of(double U, double u, double c) { return U * (u - c); }
+// Distributed form (L*u - c*L rather than L*(u - c)): matches the
+// RoundCache axpy `table(L*Ud) - c*table(L)` operation-for-operation, so
+// the cached and fresh binary-search paths produce bitwise-identical
+// breakpoints (mathematically the two forms are the same function).
+double f1_of(double L, double u, double c) { return L * u - c * L; }
+double f2_of(double U, double u, double c) { return U * u - c * U; }
 
 }  // namespace cubisg::core

@@ -23,6 +23,12 @@ obs::Counter& functions_counter() {
   return c;
 }
 
+obs::Counter& cache_hits_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("piecewise.cache_hits_total");
+  return c;
+}
+
 }  // namespace
 
 PiecewiseLinear::PiecewiseLinear(const std::function<double(double)>& f,
@@ -37,6 +43,46 @@ PiecewiseLinear::PiecewiseLinear(const std::function<double(double)>& f,
   for (std::size_t k = 0; k <= segments; ++k) {
     values_[k] = f(std::min(1.0, static_cast<double>(k) * k_inv));
   }
+}
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> values)
+    : values_(std::move(values)) {
+  if (values_.size() < 2) {
+    throw std::invalid_argument("PiecewiseLinear: need >= 2 breakpoints");
+  }
+  functions_counter().add(1);
+  segments_counter().add(static_cast<std::int64_t>(values_.size() - 1));
+}
+
+void PiecewiseLinear::rebuild_from_values(std::span<const double> values) {
+  if (values.size() != values_.size()) {
+    throw std::invalid_argument("rebuild_from_values: size mismatch");
+  }
+  std::copy(values.begin(), values.end(), values_.begin());
+  cache_hits_counter().add(1);
+}
+
+void PiecewiseLinear::rebuild_axpy(std::span<const double> a,
+                                   std::span<const double> b, double c) {
+  if (a.size() != values_.size() || b.size() != values_.size()) {
+    throw std::invalid_argument("rebuild_axpy: size mismatch");
+  }
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    values_[k] = a[k] - c * b[k];
+  }
+  cache_hits_counter().add(1);
+}
+
+void PiecewiseLinear::rebuild_min_of(const PiecewiseLinear& a,
+                                     const PiecewiseLinear& b) {
+  if (a.values_.size() != values_.size() ||
+      b.values_.size() != values_.size()) {
+    throw std::invalid_argument("rebuild_min_of: size mismatch");
+  }
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    values_[k] = std::min(a.values_[k], b.values_[k]);
+  }
+  cache_hits_counter().add(1);
 }
 
 double PiecewiseLinear::slope(std::size_t k) const {
@@ -63,12 +109,23 @@ std::vector<double> segment_portions(double x, std::size_t segments) {
   }
   const double seg = 1.0 / static_cast<double>(segments);
   std::vector<double> portions(segments, 0.0);
-  double remaining = clamp(x, 0.0, 1.0);
-  for (std::size_t k = 0; k < segments && remaining > 0.0; ++k) {
-    const double take = std::min(seg, remaining);
-    portions[k] = take;
-    remaining -= take;
+  const double xc = clamp(x, 0.0, 1.0);
+  // Fill whole segments while the running sum stays within xc, then assign
+  // the EXACT residual to the next segment.  At the stop point either no
+  // segment was filled (acc = 0, the subtraction is trivially exact) or
+  // acc >= seg and acc + seg > xc, so xc <= 2*acc and xc - acc is exact by
+  // Sterbenz.  from_segment_portions replays the same fl(+seg) prefix sums,
+  // so the round trip returns xc bit-for-bit.  (The residual can exceed
+  // 1/K by an ulp when the guard rejects on a rounded-up sum; downstream
+  // feasibility tolerances absorb that.)
+  double acc = 0.0;
+  std::size_t k = 0;
+  while (k + 1 < segments && acc + seg <= xc) {
+    portions[k] = seg;
+    acc += seg;
+    ++k;
   }
+  portions[k] = xc - acc;
   return portions;
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 namespace cubisg::core {
@@ -19,6 +20,28 @@ class PiecewiseLinear {
   /// Samples `f` at the K+1 breakpoints.  Requires segments >= 1.
   PiecewiseLinear(const std::function<double(double)>& f,
                   std::size_t segments);
+
+  /// Adopts precomputed breakpoint values f(0/K)..f(K/K).  Requires
+  /// values.size() >= 2.  Counts toward piecewise.functions_built like the
+  /// sampling constructor.
+  explicit PiecewiseLinear(std::vector<double> values);
+
+  /// In-place rebuild for the solve-scoped RoundCache: overwrites the
+  /// breakpoint values without reallocating.  The size must match the
+  /// existing K+1.  Counts toward piecewise.cache_hits_total (a function
+  /// construction avoided), not functions_built.
+  void rebuild_from_values(std::span<const double> values);
+
+  /// In-place axpy rebuild: values[k] = a[k] - c * b[k].  This is the
+  /// affine-in-c form of the binary-search functions (f1 = L*Ud - c*L,
+  /// f2 = U*Ud - c*U), bitwise-identical to sampling f1_of / f2_of at the
+  /// breakpoints when `a` holds the precomputed products.
+  void rebuild_axpy(std::span<const double> a, std::span<const double> b,
+                    double c);
+
+  /// In-place pointwise-min rebuild: values[k] = min(a(k/K), b(k/K)).
+  /// This is phi for the DP step backend.
+  void rebuild_min_of(const PiecewiseLinear& a, const PiecewiseLinear& b);
 
   std::size_t segments() const { return values_.size() - 1; }
 
@@ -40,10 +63,12 @@ class PiecewiseLinear {
 };
 
 /// Splits x in [0,1] into ordered segment portions (Example 1):
-/// x_k = 1/K while x >= (k+1)/K, then the remainder, then zeros.
+/// x_k = 1/K while x >= (k+1)/K, then the remainder, then zeros.  The
+/// residual segment receives exactly clamp(x) minus the filled prefix, so
+/// from_segment_portions round-trips to clamp(x) bit-for-bit.
 std::vector<double> segment_portions(double x, std::size_t segments);
 
-/// Reassembles x = sum_k x_k (inverse of segment_portions for valid fills).
+/// Reassembles x = sum_k x_k (exact inverse of segment_portions).
 double from_segment_portions(const std::vector<double>& portions);
 
 /// Max |f(x) - f~(x)| sampled on a fine grid; used by the approximation

@@ -74,6 +74,96 @@ StepResult solve_step_dp(const std::vector<PiecewiseLinear>& phi,
   return out;
 }
 
+StepResult solve_step_dp_flat(const double* phi_flat, std::size_t t_count,
+                              std::size_t segments, double resources,
+                              DpScratch& scratch) {
+  if (t_count == 0) throw InvalidModelError("solve_step_dp_flat: no targets");
+  if (segments == 0) {
+    throw InvalidModelError("solve_step_dp_flat: segments must be >= 1");
+  }
+  const std::size_t k_count = segments;
+  // Same budget flooring as solve_step_dp (see the comment there).
+  const double units_exact = resources * static_cast<double>(k_count);
+  const auto units =
+      static_cast<std::size_t>(std::floor(units_exact + 1e-9));
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  const std::size_t stride = units + 1;
+  const std::size_t max_take = std::min(units, k_count);
+  // Row i = value table after the first i targets; row 0 is the seed.
+  // resize() keeps capacity across rounds, so rebuilds after the first
+  // round cost no allocation.
+  scratch.values.resize((t_count + 1) * stride);
+  double* rows = scratch.values.data();
+  std::fill(rows, rows + stride, kNegInf);
+  rows[0] = 0.0;
+
+  // reach = largest u with a finite value after the processed targets
+  // (every u <= reach is attainable, so the finite region is contiguous
+  // and the -inf guard of the reference DP becomes a loop bound).
+  std::size_t reach = 0;
+  for (std::size_t i = 0; i < t_count; ++i) {
+    const double* value = rows + i * stride;
+    double* next = rows + (i + 1) * stride;
+    const double* p = phi_flat + i * (k_count + 1);
+    const std::size_t next_reach = std::min(units, reach + max_take);
+    std::fill(next, next + next_reach + 1, kNegInf);
+    for (std::size_t t = 0; t <= max_take; ++t) {
+      const double pt = p[t];
+      const std::size_t hi_u = std::min(reach, units - t);
+      double* dst = next + t;
+      // Branchless max (ties keep dst) computes the same values as the
+      // reference DP's strict-improvement update and lets the compiler
+      // vectorize; the backtrack recomputes the argmax, so no choice needs
+      // recording here.
+      for (std::size_t u = 0; u <= hi_u; ++u) {
+        dst[u] = std::max(dst[u], value[u] + pt);
+      }
+    }
+    reach = next_reach;
+  }
+
+  // Smallest-u maximizer, matching the reference DP's strict-> scan.
+  const double* last = rows + t_count * stride;
+  std::size_t best_u = 0;
+  double best = kNegInf;
+  for (std::size_t u = 0; u <= reach; ++u) {
+    if (last[u] > best) {
+      best = last[u];
+      best_u = u;
+    }
+  }
+
+  StepResult out;
+  out.status = SolverStatus::kOptimal;
+  out.objective = best;
+  out.x.assign(t_count, 0.0);
+  // Backtrack: the reference DP's choice[w] keeps the FIRST strict
+  // improvement, visited in ascending predecessor order, i.e. descending
+  // take order — so its recorded take is the LARGEST maximizer.  Scanning
+  // t downward for the first exact candidate match reproduces it (the
+  // sums are recomputed from the same doubles, so equality is bitwise).
+  std::size_t u = best_u;
+  for (std::size_t ii = t_count; ii-- > 0;) {
+    const double* value = rows + ii * stride;
+    const double* p = phi_flat + ii * (k_count + 1);
+    const double target = rows[(ii + 1) * stride + u];
+    const std::size_t prev_reach = std::min(units, ii * max_take);
+    const std::size_t t_hi = std::min(max_take, u);
+    const std::size_t t_lo = u > prev_reach ? u - prev_reach : 0;
+    std::size_t take = t_lo;
+    for (std::size_t t = t_hi + 1; t-- > t_lo;) {
+      if (value[u - t] + p[t] == target) {
+        take = t;
+        break;
+      }
+    }
+    out.x[ii] = static_cast<double>(take) / static_cast<double>(k_count);
+    u -= take;
+  }
+  return out;
+}
+
 StepResult solve_step_dp_grouped(const std::vector<PiecewiseLinear>& phi,
                                  const std::vector<std::size_t>& groups,
                                  const std::vector<double>& budgets) {

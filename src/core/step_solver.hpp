@@ -42,6 +42,26 @@ struct StepResult {
 StepResult solve_step_dp(const std::vector<PiecewiseLinear>& phi,
                          double resources);
 
+/// Reusable buffers for solve_step_dp_flat.  The full per-target value
+/// tables replace solve_step_dp's choice matrix (the backtrack recomputes
+/// the argmax from them) and survive across binary-search rounds, so a
+/// warm solve performs no per-round DP allocation at all.
+struct DpScratch {
+  std::vector<double> values;  ///< (T+1) x (units+1) DP value tables
+};
+
+/// Cache-friendly variant of solve_step_dp over flattened phi breakpoints
+/// (phi_flat[i * (segments + 1) + k]), used by the reuse_rounds path.
+/// Produces a bit-identical objective and coverage vector to solve_step_dp
+/// on the same breakpoints: the max-plus recurrence evaluates exactly the
+/// same candidate sums (max is order-independent), and the backtrack
+/// replays the largest-take tie-break that the forward strict-improvement
+/// updates encode.  The inner loop is a pure contiguous add-and-max with
+/// no conditional stores, which is what makes the warm path fast.
+StepResult solve_step_dp_flat(const double* phi_flat, std::size_t t_count,
+                              std::size_t segments, double resources,
+                              DpScratch& scratch);
+
 /// Grouped variant: targets are partitioned into budget groups (e.g. time
 /// slots of a patrol schedule), each with its own knapsack constraint
 /// sum_{i in g} x_i <= budgets[g].  The groups decouple, so this runs one

@@ -64,6 +64,37 @@ void Model::set_col_bounds(int col, double lo, double hi) {
   cols_[col].hi = hi;
 }
 
+void Model::set_col_objective(int col, double obj) {
+  if (col < 0 || col >= num_cols()) {
+    throw std::out_of_range("set_col_objective: column out of range");
+  }
+  if (!std::isfinite(obj)) {
+    throw InvalidModelError("set_col_objective: non-finite coefficient");
+  }
+  cols_[col].obj = obj;
+}
+
+void Model::set_row_rhs(int row, double rhs) {
+  if (row < 0 || row >= num_rows()) {
+    throw std::out_of_range("set_row_rhs: row out of range");
+  }
+  if (!std::isfinite(rhs)) {
+    throw InvalidModelError("set_row_rhs: non-finite rhs");
+  }
+  rows_[row].rhs = rhs;
+}
+
+void Model::set_row_entry_value(int row, std::size_t entry, double value) {
+  if (row < 0 || row >= num_rows() ||
+      entry >= rows_[row].entries.size()) {
+    throw std::out_of_range("set_row_entry_value: index out of range");
+  }
+  if (!std::isfinite(value)) {
+    throw InvalidModelError("set_row_entry_value: non-finite coefficient");
+  }
+  rows_[row].entries[entry].value = value;
+}
+
 bool Model::has_integers() const {
   return std::any_of(cols_.begin(), cols_.end(),
                      [](const Col& c) { return c.integer; });

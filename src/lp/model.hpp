@@ -51,6 +51,19 @@ class Model {
   /// Overwrites a column's bounds (used by branch-and-bound).
   void set_col_bounds(int col, double lo, double hi);
 
+  /// Overwrites a column's objective coefficient (round-to-round model
+  /// patching of a cached constraint skeleton).
+  void set_col_objective(int col, double obj);
+
+  /// Overwrites a row's right-hand side (model patching).
+  void set_row_rhs(int row, double rhs);
+
+  /// Overwrites the value of the `entry`-th coefficient of `row` in
+  /// insertion order — O(1), unlike set_coeff's per-call column scan.
+  /// The entry's column is unchanged; callers patching a cached skeleton
+  /// rely on its deterministic assembly order.
+  void set_row_entry_value(int row, std::size_t entry, double value);
+
   int num_cols() const { return static_cast<int>(cols_.size()); }
   int num_rows() const { return static_cast<int>(rows_.size()); }
 

@@ -42,6 +42,10 @@ struct SimplexMetrics {
       "simplex.refactorizations");
   obs::Counter& soft_restarts = obs::Registry::global().counter(
       "simplex.soft_restarts");
+  obs::Counter& warm_starts = obs::Registry::global().counter(
+      "simplex.warm_starts_total");
+  obs::Counter& warm_fallbacks = obs::Registry::global().counter(
+      "simplex.warm_start_fallbacks_total");
   obs::Counter& numeric_retries = obs::Registry::global().counter(
       "solve.numeric_retries_total");
 
@@ -88,8 +92,21 @@ class SimplexSolver {
     init_nonbasic_positions();
 
     // Warm start: adopt a hinted basis from a related solve when it is
-    // square, factorizable and primal feasible — phase 1 is skipped.
-    bool warm = opt_.warm_positions != nullptr && try_warm_start();
+    // square, factorizable and primal feasible — phase 1 is skipped.  A
+    // rejected hint either cold-starts or (factorizable but infeasible)
+    // leaves the repaired near-feasible point for a short phase 1.
+    bool warm = false;
+    if (opt_.warm_positions != nullptr && !opt_.warm_positions->empty()) {
+      if (faultinject::should_fail(faultinject::Site::kWarmStartReject)) {
+        init_nonbasic_positions();  // injected: hint treated as invalid
+        ++warm_fallbacks_;
+      } else if (try_warm_start()) {
+        warm = true;
+        ++warm_starts_;
+      } else {
+        ++warm_fallbacks_;
+      }
+    }
 
     // Degenerate pivot chains can, very rarely, walk the factorization
     // into an (effectively) singular basis.  Recovery is a soft restart:
@@ -327,9 +344,26 @@ class SimplexSolver {
     }
     const std::vector<double> xb = lu.solve(rhs);
     const double tol = 1e-7 * (1.0 + bnorm_);
+    bool feasible = true;
     for (int i = 0; i < m_; ++i) {
       const int bj = basic_[i];
-      if (xb[i] < lo_[bj] - tol || xb[i] > hi_[bj] + tol) return bail();
+      if (xb[i] < lo_[bj] - tol || xb[i] > hi_[bj] + tol) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) {
+      // Repair instead of a full reset: the hint's nonbasic positions are
+      // kept and the hinted basics are parked at the bound nearest their
+      // solved values, so phase 1 restarts from the small residual of a
+      // near-feasible point (typically a handful of pivots) rather than
+      // from scratch.  Bound patches between rounds are the usual cause.
+      for (int i = 0; i < m_; ++i) {
+        const int bj = basic_[i];
+        x_[bj] = std::clamp(xb[i], lo_[bj], hi_[bj]);
+      }
+      park_all_at_bounds();
+      return false;
     }
     for (int i = 0; i < m_; ++i) x_[basic_[i]] = xb[i];
     return true;
@@ -773,6 +807,8 @@ class SimplexSolver {
   std::int64_t p2_iters_ = 0;
   std::int64_t refactorizations_ = 0;
   std::int64_t restarts_ = 0;
+  std::int64_t warm_starts_ = 0;
+  std::int64_t warm_fallbacks_ = 0;
 
  public:
   void flush_counters() {
@@ -786,8 +822,11 @@ class SimplexSolver {
       m.refactorizations.add(refactorizations_);
     }
     if (restarts_ != 0) m.soft_restarts.add(restarts_);
+    if (warm_starts_ != 0) m.warm_starts.add(warm_starts_);
+    if (warm_fallbacks_ != 0) m.warm_fallbacks.add(warm_fallbacks_);
     pivots_ = degenerate_ = bound_flips_ = 0;
     p1_iters_ = p2_iters_ = refactorizations_ = restarts_ = 0;
+    warm_starts_ = warm_fallbacks_ = 0;
   }
 
  private:

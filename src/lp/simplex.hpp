@@ -29,6 +29,16 @@ enum class VarPosition : std::uint8_t {
   kFree,  ///< free nonbasic, parked at 0
 };
 
+/// A reusable basis handle: holds the final `positions` of one solve so a
+/// later solve of a patched (same-shape) model can start from them via
+/// SimplexOptions::warm_positions.  Empty until first populated; owners
+/// (e.g. the CUBIS MilpStepCache) keep one handle alive across binary-
+/// search rounds.
+struct WarmStart {
+  std::vector<VarPosition> positions;
+  bool empty() const { return positions.empty(); }
+};
+
 /// Options controlling a simplex solve.
 struct SimplexOptions {
   double feas_tol = Tol::kFeas;   ///< bound/row feasibility tolerance

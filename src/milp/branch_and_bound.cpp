@@ -183,7 +183,16 @@ class BranchAndBound {
       } else {
         lp::SimplexOptions lp_opt = opt_.lp;
         lp_opt.warm_positions = node.warm ? node.warm.get() : nullptr;
+        if (node.depth == 0 && opt_.root_warm != nullptr &&
+            !opt_.root_warm->empty()) {
+          // Cross-round reuse: the previous round's optimal root basis of
+          // the patched model, threaded in by the caller.
+          lp_opt.warm_positions = &opt_.root_warm->positions;
+        }
         rel = lp::solve_lp(base_, lp_opt);
+        if (node.depth == 0 && opt_.root_warm != nullptr && rel.optimal()) {
+          opt_.root_warm->positions = rel.positions;
+        }
       }
       ++lp_solves_;
       lp_iterations_ += rel.iterations;

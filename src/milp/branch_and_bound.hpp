@@ -72,6 +72,14 @@ struct MilpOptions {
   /// Optional feasible starting point (full column vector) used to seed the
   /// incumbent.  Ignored when infeasible or not integral.
   std::optional<std::vector<double>> warm_start;
+
+  /// Optional cross-solve basis handle for the ROOT relaxation.  When set,
+  /// the root node LP warm-starts from handle->positions (e.g. the optimal
+  /// root basis of the previous binary-search round's patched model) and
+  /// the new optimal root basis is written back.  Child nodes keep the
+  /// parent-basis warm starts they already had.  Ignored by the parallel
+  /// search (num_workers > 1), whose write-back order would race.
+  lp::WarmStart* root_warm = nullptr;
 };
 
 /// Result of a branch-and-bound solve.
