@@ -9,18 +9,25 @@
 //   cubisg eval FILE --coverage x1,x2,...
 //   cubisg patrol FILE [--solver NAME] [--days N] [--seed S]
 //   cubisg serve FILE [--listen PORT] [--solves N] [--interval-ms M]
+//                [--workers N]
+//   cubisg batch DIR|MANIFEST [--workers N] [--solver NAME]
 //
 // Scenario files use the cubisg text format (behavior/scenario.hpp).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <filesystem>
+#include <future>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "behavior/attacker_sim.hpp"
@@ -28,8 +35,10 @@
 #include "common/budget.hpp"
 #include "common/fault_inject.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "core/registry.hpp"
 #include "core/worst_case.hpp"
+#include "engine/engine.hpp"
 #include "games/comb_sampling.hpp"
 #include "games/generators.hpp"
 #include "learning/data_io.hpp"
@@ -63,8 +72,13 @@ using namespace cubisg;
                "                [--confidence C] [--solve 0|1]\n"
                "  cubisg report FILE [--out REPORT.md]\n"
                "  cubisg serve FILE [--solver NAME] [--solves N]\n"
-               "                [--interval-ms M]  (solve loop; keeps the\n"
-               "                process alive for /metrics scraping)\n"
+               "                [--interval-ms M] [--workers N] [--queue N]\n"
+               "                (solve loop on the concurrent engine; keeps\n"
+               "                the process alive for /metrics scraping)\n"
+               "  cubisg batch DIR|MANIFEST [--solver NAME] [--workers N]\n"
+               "                [--queue N]  (shard scenario files — *.scn\n"
+               "                or *.txt in DIR, or one path per line in a\n"
+               "                manifest — across engine workers)\n"
                "\nglobal flags (any command):\n"
                "  --metrics-out FILE   write the metrics registry as JSON\n"
                "  --trace-out FILE     record phase spans; write Chrome\n"
@@ -133,8 +147,10 @@ behavior::Scenario load_or_die(const std::string& path) {
   return behavior::load_scenario(path);
 }
 
-core::SolverSpec spec_from(const Args& args,
-                           const behavior::Scenario& scenario) {
+/// Scenario-independent part of the solver spec (everything but the
+/// sampled population).  Used directly by `batch`, which shares one solver
+/// across many scenarios.
+core::SolverSpec base_spec_from(const Args& args) {
   core::SolverSpec spec;
   spec.name = args.get("solver", "cubis");
   spec.segments = static_cast<std::size_t>(args.get_i("segments", 20));
@@ -142,6 +158,12 @@ core::SolverSpec spec_from(const Args& args,
   spec.polish_iterations = static_cast<int>(args.get_i("polish", 0));
   spec.parallel_sections = static_cast<int>(args.get_i("sections", 1));
   spec.seed = static_cast<std::uint64_t>(args.get_i("seed", 0x5EED));
+  return spec;
+}
+
+core::SolverSpec spec_from(const Args& args,
+                           const behavior::Scenario& scenario) {
+  core::SolverSpec spec = base_spec_from(args);
   if (spec.name == "robust-types" || spec.name == "bayesian") {
     Rng rng(spec.seed);
     spec.population = std::make_shared<behavior::SampledSuqrPopulation>(
@@ -212,19 +234,55 @@ int cmd_table1(const Args& args) {
 }
 
 std::atomic<bool> g_interrupted{false};
-/// The budget of the currently-running solve, for the signal handler.
-/// Cancellation through it is async-signal-safe (two relaxed atomic ops).
-std::atomic<SolveBudget*> g_active_budget{nullptr};
+
+/// Budget table for the signal handler: one slot per concurrent solve
+/// (engine workers register one each; single-shot commands use one slot).
+/// A fixed array of atomics keeps the handler async-signal-safe — it only
+/// walks preallocated storage doing relaxed loads and stores, never
+/// allocating or locking.  Replaces the old single "active budget" slot,
+/// which could only cancel one in-flight solve.
+constexpr std::size_t kBudgetSlots = 64;
+std::atomic<SolveBudget*> g_budget_slots[kBudgetSlots]{};
+/// The running engine (if any), so SIGINT also marks queued jobs
+/// cancelled; SolveEngine::cancel_all is async-signal-safe by contract.
+std::atomic<engine::SolveEngine*> g_active_engine{nullptr};
 
 void on_termination_signal(int) {
   g_interrupted.store(true);
-  if (SolveBudget* b = g_active_budget.load()) b->request_cancel();
+  for (std::atomic<SolveBudget*>& slot : g_budget_slots) {
+    if (SolveBudget* b = slot.load()) b->request_cancel();
+  }
+  if (engine::SolveEngine* e = g_active_engine.load()) e->cancel_all();
 }
 
 void install_signal_handlers() {
   std::signal(SIGINT, on_termination_signal);
   std::signal(SIGTERM, on_termination_signal);
 }
+
+/// RAII registration of one budget in the signal table.
+class BudgetRegistration {
+ public:
+  explicit BudgetRegistration(SolveBudget& budget) {
+    for (std::size_t i = 0; i < kBudgetSlots; ++i) {
+      SolveBudget* expected = nullptr;
+      if (g_budget_slots[i].compare_exchange_strong(expected, &budget)) {
+        slot_ = i;
+        return;
+      }
+    }
+    // Table full (more concurrent budgets than slots): SIGINT still stops
+    // the loop via g_interrupted / the engine-level cancel.
+  }
+  ~BudgetRegistration() {
+    if (slot_ != kBudgetSlots) g_budget_slots[slot_].store(nullptr);
+  }
+  BudgetRegistration(const BudgetRegistration&) = delete;
+  BudgetRegistration& operator=(const BudgetRegistration&) = delete;
+
+ private:
+  std::size_t slot_ = kBudgetSlots;
+};
 
 /// Maps a final solver status to the documented process exit code.
 int exit_code_for(SolverStatus status) {
@@ -261,10 +319,11 @@ int cmd_solve(const Args& args) {
   SolveBudget budget;
   arm_budget_from_flags(args, budget);
   install_signal_handlers();
-  g_active_budget.store(&budget);
-  core::DefenderSolution sol =
-      solver->solve({scenario.game.game, bounds, &budget});
-  g_active_budget.store(nullptr);
+  core::DefenderSolution sol;
+  {
+    BudgetRegistration reg(budget);
+    sol = solver->solve({scenario.game.game, bounds, &budget});
+  }
   print_solution(scenario, sol, solver->name().c_str());
   if (is_budget_stop(sol.status)) {
     std::printf("note: stopped early (%s); coverage above is the best "
@@ -332,10 +391,11 @@ int cmd_patrol(const Args& args) {
   SolveBudget budget;
   arm_budget_from_flags(args, budget);
   install_signal_handlers();
-  g_active_budget.store(&budget);
-  core::DefenderSolution sol =
-      solver->solve({scenario.game.game, bounds, &budget});
-  g_active_budget.store(nullptr);
+  core::DefenderSolution sol;
+  {
+    BudgetRegistration reg(budget);
+    sol = solver->solve({scenario.game.game, bounds, &budget});
+  }
   if (!sol.ok()) {
     std::fprintf(stderr, "solve failed: %s\n",
                  std::string(to_string(sol.status)).c_str());
@@ -524,63 +584,289 @@ int cmd_learn(const Args& args) {
   return 0;
 }
 
+/// Sleeps `ms` milliseconds in <= 50 ms chunks, returning early once
+/// g_interrupted is set, so a SIGINT during --interval-ms no longer waits
+/// out the full interval before the loop can exit.
+void interruptible_sleep_ms(long ms) {
+  long remaining = ms;
+  while (remaining > 0 && !g_interrupted.load()) {
+    const long chunk = std::min<long>(50, remaining);
+    std::this_thread::sleep_for(std::chrono::milliseconds(chunk));
+    remaining -= chunk;
+  }
+}
+
+/// Engine sizing shared by serve and batch: --workers/--queue plus the
+/// budget flags as per-job defaults (the engine re-arms each worker's
+/// budget per job, so --deadline-ms stays a per-request watchdog).
+engine::EngineOptions engine_options_from(const Args& args) {
+  engine::EngineOptions eopt;
+  eopt.workers = static_cast<std::size_t>(
+      std::max<long>(1, args.get_i("workers", 1)));
+  eopt.queue_capacity = static_cast<std::size_t>(
+      std::max<long>(1, args.get_i("queue", 64)));
+  eopt.default_deadline_seconds = args.get_d("deadline-ms", 0.0) * 1e-3;
+  eopt.default_max_nodes = args.get_i("max-nodes", 0);
+  return eopt;
+}
+
+/// Registers every engine worker budget in the signal table (SIGINT then
+/// cancels ALL in-flight jobs, not just one) and publishes the engine for
+/// the handler's queue-drain cancel.
+class EngineSignalHookup {
+ public:
+  explicit EngineSignalHookup(engine::SolveEngine& eng) {
+    regs_.reserve(eng.num_workers());
+    for (std::size_t i = 0; i < eng.num_workers(); ++i) {
+      regs_.push_back(
+          std::make_unique<BudgetRegistration>(eng.worker_budget(i)));
+    }
+    g_active_engine.store(&eng);
+  }
+  ~EngineSignalHookup() { g_active_engine.store(nullptr); }
+
+ private:
+  std::vector<std::unique_ptr<BudgetRegistration>> regs_;
+};
+
+/// FIFO reaper shared by serve and batch: outcomes print in submission
+/// order (like the old sequential loop) while workers run ahead.
+struct OutcomeStats {
+  long done = 0;
+  long failures = 0;
+};
+
+void reap_outcome(long index, const std::string& label,
+                  std::future<engine::JobOutcome>& fut, OutcomeStats& stats,
+                  obs::Counter& errors) {
+  engine::JobOutcome out = fut.get();
+  ++stats.done;
+  if (out.status == engine::JobStatus::kCompleted) {
+    if (!out.solution.ok()) {
+      ++stats.failures;
+      errors.add(1);
+    }
+    std::printf("%s %ld: status=%s worst-case=%+.4f gap=%.2e "
+                "wall=%.1fms\n",
+                label.c_str(), index,
+                std::string(to_string(out.solution.status)).c_str(),
+                out.solution.worst_case_utility,
+                out.solution.ub - out.solution.lb,
+                out.solution.wall_seconds * 1e3);
+  } else if (out.status == engine::JobStatus::kFailed) {
+    ++stats.failures;
+    errors.add(1);
+    std::printf("%s %ld: ERROR %s (continuing)\n", label.c_str(), index,
+                out.error.c_str());
+  } else {
+    ++stats.failures;
+    errors.add(1);
+    std::printf("%s %ld: status=cancelled (drained before start)\n",
+                label.c_str(), index);
+  }
+  if (!out.tag.empty() && out.status != engine::JobStatus::kCompleted) {
+    std::printf("  ^ %s\n", out.tag.c_str());
+  }
+  std::fflush(stdout);
+}
+
 /// Solve loop that keeps the process alive for live scraping: solves the
 /// scenario repeatedly (forever with --solves 0) until SIGINT/SIGTERM,
 /// printing one convergence line per solve.  Pair with --listen so a
 /// Prometheus scraper sees the metrics and /solvez reports evolve.
 ///
-/// Resilience: one failed solve never takes the service down.  Failures
-/// (non-optimal statuses and escaped exceptions alike) are logged,
-/// counted in `solve.errors_total`, and the loop moves on to the next
-/// request.  Each iteration re-arms one shared SolveBudget, so
-/// --deadline-ms doubles as a per-request watchdog and SIGINT cancels
-/// the in-flight solve at a safe point before the loop exits.
+/// Requests run on the concurrent engine (--workers N; default 1 keeps
+/// the old sequential behavior, including output order — outcomes are
+/// reaped FIFO).  Resilience: one failed solve never takes the service
+/// down.  Failures (non-optimal statuses and escaped exceptions alike)
+/// are logged, counted in `solve.errors_total`, and the loop moves on.
+/// Each worker re-arms its budget per job, so --deadline-ms doubles as a
+/// per-request watchdog and SIGINT cancels every in-flight solve at a
+/// safe point before the loop exits.
 int cmd_serve(const Args& args) {
   behavior::Scenario scenario = load_or_die(args.file);
-  auto bounds = scenario.make_bounds();
   core::SolverSpec spec = spec_from(args, scenario);
-  auto solver = core::make_solver(spec);
+  std::shared_ptr<const core::DefenderSolver> solver = core::make_solver(spec);
   const long max_solves = args.get_i("solves", 0);  // 0 = until signal
   const long interval_ms = args.get_i("interval-ms", 0);
+  const engine::EngineOptions eopt = engine_options_from(args);
   install_signal_handlers();
-  std::printf("serving %s with solver %s (%s)\n", args.file.c_str(),
-              solver->name().c_str(),
+  std::printf("serving %s with solver %s (%s, %zu workers)\n",
+              args.file.c_str(), solver->name().c_str(),
               max_solves > 0 ? (std::to_string(max_solves) + " solves").c_str()
-                             : "until SIGINT");
+                             : "until SIGINT",
+              eopt.workers);
   obs::Counter& errors =
       obs::Registry::global().counter("solve.errors_total");
-  SolveBudget budget;
-  core::SolveContext ctx{scenario.game.game, bounds, &budget};
-  long done = 0;
-  long failures = 0;
-  while (!g_interrupted.load() && (max_solves == 0 || done < max_solves)) {
-    budget.reset();  // fresh per-request budget; clears a SIGINT race too
-    arm_budget_from_flags(args, budget);
-    g_active_budget.store(&budget);
-    ++done;
+
+  // The engine jobs reference the scenario through aliasing shared_ptrs,
+  // so the problem outlives every queued job no matter how the command
+  // exits.
+  auto scenario_sp =
+      std::make_shared<behavior::Scenario>(std::move(scenario));
+  auto bounds_sp = std::make_shared<behavior::SuqrIntervalBounds>(
+      scenario_sp->make_bounds());
+  std::shared_ptr<const games::SecurityGame> game_sp(
+      scenario_sp, &scenario_sp->game.game);
+
+  engine::SolveEngine eng(solver, eopt);
+  EngineSignalHookup hookup(eng);
+  // Keep at most 2 jobs per worker in flight so output (reaped FIFO)
+  // stays close to real time while the pipeline never starves.
+  const std::size_t window = eopt.workers * 2;
+  std::deque<std::pair<long, std::future<engine::JobOutcome>>> pending;
+  OutcomeStats stats;
+  long submitted = 0;
+  while (!g_interrupted.load() &&
+         (max_solves == 0 || submitted < max_solves)) {
+    engine::SolveJob job;
+    job.game = game_sp;
+    job.bounds = bounds_sp;
     try {
-      core::DefenderSolution sol = solver->solve(ctx);
-      if (!sol.ok()) {
-        ++failures;
-        errors.add(1);
-      }
-      std::printf("solve %ld: status=%s worst-case=%+.4f gap=%.2e "
-                  "wall=%.1fms\n",
-                  done, std::string(to_string(sol.status)).c_str(),
-                  sol.worst_case_utility, sol.ub - sol.lb,
-                  sol.wall_seconds * 1e3);
-    } catch (const std::exception& e) {
-      ++failures;
-      errors.add(1);
-      std::printf("solve %ld: ERROR %s (continuing)\n", done, e.what());
+      std::future<engine::JobOutcome> fut = eng.submit(std::move(job));
+      ++submitted;
+      pending.emplace_back(submitted, std::move(fut));
+    } catch (const std::exception&) {
+      break;  // engine cancelled/stopped while waiting for queue space
     }
-    g_active_budget.store(nullptr);
-    std::fflush(stdout);
+    while (pending.size() >= window) {
+      reap_outcome(pending.front().first, "solve", pending.front().second,
+                   stats, errors);
+      pending.pop_front();
+    }
     if (interval_ms > 0 && !g_interrupted.load()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      interruptible_sleep_ms(interval_ms);
     }
   }
-  std::printf("served %ld solves (%ld failed)\n", done, failures);
+  while (!pending.empty()) {
+    reap_outcome(pending.front().first, "solve", pending.front().second,
+                 stats, errors);
+    pending.pop_front();
+  }
+  eng.shutdown();
+  std::printf("served %ld solves (%ld failed)\n", stats.done,
+              stats.failures);
+  return stats.failures == 0 ? 0 : 1;
+}
+
+/// Shards a directory (every *.scn / *.txt file, sorted) or a manifest
+/// (one scenario path per line; '#' comments) across the engine workers.
+/// One solver instance is shared by every worker; each job's outcome
+/// prints in submission order with its file tag, followed by a throughput
+/// summary.  A file that fails to load or solve counts as failed without
+/// stopping the batch.
+int cmd_batch(const Args& args) {
+  if (args.file.empty()) usage("batch: directory or manifest required");
+  const std::string solver_name = args.get("solver", "cubis");
+  if (solver_name == "robust-types" || solver_name == "bayesian") {
+    usage("batch does not support population solvers (per-scenario "
+          "populations)");
+  }
+
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  if (fs::is_directory(args.file, ec)) {
+    for (const auto& entry : fs::directory_iterator(args.file, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".scn" || ext == ".txt") {
+        paths.push_back(entry.path().string());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+  } else {
+    std::FILE* f = std::fopen(args.file.c_str(), "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", args.file.c_str());
+      return 1;
+    }
+    char line[4096];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      std::string s(line);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r' ||
+                            s.back() == ' ' || s.back() == '\t')) {
+        s.pop_back();
+      }
+      std::size_t start = 0;
+      while (start < s.size() && (s[start] == ' ' || s[start] == '\t')) {
+        ++start;
+      }
+      s = s.substr(start);
+      if (s.empty() || s[0] == '#') continue;
+      paths.push_back(s);
+    }
+    std::fclose(f);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "error: no scenario files in %s\n",
+                 args.file.c_str());
+    return 1;
+  }
+
+  core::SolverSpec spec = base_spec_from(args);
+  std::shared_ptr<const core::DefenderSolver> solver = core::make_solver(spec);
+  const engine::EngineOptions eopt = engine_options_from(args);
+  install_signal_handlers();
+  std::printf("batch: %zu scenario files on %zu workers (solver %s)\n",
+              paths.size(), eopt.workers, solver->name().c_str());
+  obs::Counter& errors =
+      obs::Registry::global().counter("solve.errors_total");
+
+  engine::SolveEngine eng(solver, eopt);
+  EngineSignalHookup hookup(eng);
+  Timer wall;
+  const std::size_t window = eopt.workers * 2;
+  std::deque<std::pair<long, std::future<engine::JobOutcome>>> pending;
+  OutcomeStats stats;
+  long submitted = 0;
+  long load_failures = 0;
+  for (const std::string& path : paths) {
+    if (g_interrupted.load()) break;
+    engine::SolveJob job;
+    try {
+      auto scn = std::make_shared<behavior::Scenario>(
+          behavior::load_scenario(path));
+      job.bounds = std::make_shared<behavior::SuqrIntervalBounds>(
+          scn->make_bounds());
+      job.game = std::shared_ptr<const games::SecurityGame>(
+          scn, &scn->game.game);
+    } catch (const std::exception& e) {
+      ++load_failures;
+      std::printf("batch %s: LOAD ERROR %s (continuing)\n", path.c_str(),
+                  e.what());
+      continue;
+    }
+    job.tag = path;
+    try {
+      // Blocking admission: backpressure from a full queue paces the
+      // submitter instead of rejecting work we already decided to do.
+      std::future<engine::JobOutcome> fut = eng.submit(std::move(job));
+      ++submitted;
+      pending.emplace_back(submitted, std::move(fut));
+    } catch (const std::exception&) {
+      break;  // engine cancelled/stopped
+    }
+    while (pending.size() >= window) {
+      reap_outcome(pending.front().first, "batch", pending.front().second,
+                   stats, errors);
+      pending.pop_front();
+    }
+  }
+  while (!pending.empty()) {
+    reap_outcome(pending.front().first, "batch", pending.front().second,
+                 stats, errors);
+    pending.pop_front();
+  }
+  eng.shutdown();
+  const double seconds = wall.seconds();
+  const long failures = stats.failures + load_failures;
+  std::printf("batch done: %zu files, %ld solved ok, %ld failed, "
+              "%.2fs (%.2f solves/sec, %zu workers)\n",
+              paths.size(), stats.done - stats.failures, failures, seconds,
+              seconds > 0.0 ? static_cast<double>(stats.done) / seconds
+                            : 0.0,
+              eopt.workers);
   return failures == 0 ? 0 : 1;
 }
 
@@ -595,6 +881,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "learn") return cmd_learn(args);
   if (cmd == "report") return cmd_report(args);
   if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "batch") return cmd_batch(args);
   usage(("unknown command " + cmd).c_str());
 }
 

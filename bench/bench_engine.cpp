@@ -1,0 +1,120 @@
+// Experiment E5 — concurrent engine throughput.
+//
+// Pushes a fixed batch of identical T=200 CUBIS solves through the
+// SolveEngine at 1/2/4/8 workers (one shared solver instance, one pinned
+// workspace per worker) and reports solves/sec plus speedup over the
+// single-worker run.  Correctness is not re-checked here (test_engine owns
+// the bitwise-identity guarantee); this bench owns the scaling gate:
+//
+//   gate: >= 3x solves/sec at 4 workers vs 1 worker, enforced only when
+//   the machine actually has >= 4 hardware threads — on smaller hosts the
+//   numbers are recorded but informational.
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "behavior/bounds.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/cubis.hpp"
+#include "engine/engine.hpp"
+#include "games/generators.hpp"
+#include "bench_util.hpp"
+
+namespace {
+using namespace cubisg;
+}  // namespace
+
+int main() {
+  std::printf("=== E5: engine throughput scaling ===\n\n");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u\n", hw);
+
+  // The T=200 fixture recipe (same instance family as the golden
+  // t200_k10 fixture and the R3/R4 workload's smaller sibling).
+  Rng rng(1002);
+  auto ug = std::make_shared<games::UncertainGame>(
+      games::random_uncertain_game(rng, 200, 60.0, 1.5));
+  auto game_sp = std::shared_ptr<const games::SecurityGame>(ug, &ug->game);
+  auto bounds_sp = std::make_shared<behavior::SuqrIntervalBounds>(
+      behavior::SuqrWeightIntervals{}, ug->attacker_intervals);
+  core::CubisOptions opt;
+  opt.segments = 10;
+  opt.epsilon = 1e-3;
+  auto solver = std::make_shared<core::CubisSolver>(opt);
+
+  const int kJobs = 32;
+  const std::vector<std::size_t> kWorkerCounts = {1, 2, 4, 8};
+  std::vector<double> sps;
+  std::printf("\n%8s %14s %10s   (%d jobs, T=200, K=10)\n", "workers",
+              "solves/sec", "speedup", kJobs);
+  for (std::size_t w : kWorkerCounts) {
+    engine::EngineOptions eopt;
+    eopt.workers = w;
+    eopt.queue_capacity = static_cast<std::size_t>(kJobs);
+    engine::SolveEngine eng(solver, eopt);
+    // Warm every worker's pinned workspace (first solve per worker pays
+    // the allocations the remaining jobs reuse).
+    {
+      std::vector<std::future<engine::JobOutcome>> warm;
+      for (std::size_t j = 0; j < w; ++j) {
+        warm.push_back(eng.submit({game_sp, bounds_sp}));
+      }
+      for (auto& f : warm) f.get();
+    }
+    Timer t;
+    std::vector<std::future<engine::JobOutcome>> futures;
+    for (int j = 0; j < kJobs; ++j) {
+      futures.push_back(eng.submit({game_sp, bounds_sp}));
+    }
+    long failed = 0;
+    for (auto& f : futures) {
+      if (f.get().status != engine::JobStatus::kCompleted) ++failed;
+    }
+    const double solves_per_sec = kJobs / t.seconds();
+    sps.push_back(solves_per_sec);
+    std::printf("%8zu %14.2f %9.2fx", w, solves_per_sec,
+                solves_per_sec / sps.front());
+    if (failed > 0) std::printf("  (%ld FAILED)", failed);
+    std::printf("\n");
+  }
+
+  const double speedup4 = sps[2] / sps[0];
+  const bool gate_applies = hw >= 4;
+  bool ok = true;
+  if (gate_applies) {
+    ok = speedup4 >= 3.0;
+    std::printf("\n4-worker speedup: %.2fx  (gate: >= 3x)\n", speedup4);
+    if (!ok) {
+      std::fprintf(stderr,
+                   "E5 FAILED: 4-worker speedup %.2fx below the 3x gate\n",
+                   speedup4);
+    }
+  } else {
+    std::printf("\n4-worker speedup: %.2fx  (gate skipped: only %u "
+                "hardware threads)\n", speedup4, hw);
+  }
+
+  char results[512];
+  std::snprintf(results, sizeof results,
+                "{\"targets\":200,\"jobs\":%d,\"hardware_threads\":%u,"
+                "\"workers\":[1,2,4,8],"
+                "\"solves_per_sec\":[%.2f,%.2f,%.2f,%.2f],"
+                "\"speedup_vs_1\":[1.00,%.2f,%.2f,%.2f],"
+                "\"gate_4x_workers_min_3x\":{\"applies\":%s,"
+                "\"speedup\":%.2f,\"ok\":%s}}",
+                kJobs, hw, sps[0], sps[1], sps[2], sps[3], sps[1] / sps[0],
+                sps[2] / sps[0], sps[3] / sps[0],
+                gate_applies ? "true" : "false", speedup4,
+                ok ? "true" : "false");
+  bench::write_bench_json("engine", results);
+
+  std::printf(
+      "\nShape check: one immutable solver + per-worker workspaces should\n"
+      "scale near-linearly until workers exceed cores; the queue then\n"
+      "holds throughput flat instead of degrading it.\n");
+  return ok ? 0 : 1;
+}

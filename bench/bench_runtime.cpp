@@ -12,8 +12,14 @@
 //     vs off (obs::set_enabled).  The live HTTP exporter is started (but
 //     never scraped) for the collection-on side, so the budget also
 //     covers an idle acceptor thread sharing the process.
+// R5: engine throughput — solves/sec through the concurrent SolveEngine
+//     at 1/2/4 workers on the T=200 instance (informational here; the
+//     scaling gate lives in bench_engine).
 #include <cstdio>
+#include <future>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "behavior/bounds.hpp"
@@ -23,6 +29,7 @@
 #include "core/gradient.hpp"
 #include "core/maximin.hpp"
 #include "core/pasaq.hpp"
+#include "engine/engine.hpp"
 #include "games/generators.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
@@ -244,7 +251,47 @@ int main() {
                  "gate\n", reduction_pct);
   }
 
-  char results[640];
+  std::printf("\n-- R5: engine throughput on a T=200 solve --\n");
+  // Informational (no gate here; bench_engine owns the scaling gate):
+  // solves/sec pushing the same instance through the concurrent engine at
+  // 1/2/4 workers, one shared solver, per-worker pinned workspaces.
+  const int kEngineJobs = 24;
+  const std::vector<std::size_t> kWorkerCounts = {1, 2, 4};
+  std::vector<double> engine_sps;
+  {
+    Rng rng(1002);
+    auto ug = std::make_shared<games::UncertainGame>(
+        games::random_uncertain_game(rng, 200, 60.0, 1.5));
+    auto game_sp =
+        std::shared_ptr<const games::SecurityGame>(ug, &ug->game);
+    auto bounds_sp = std::make_shared<behavior::SuqrIntervalBounds>(
+        behavior::SuqrWeightIntervals{}, ug->attacker_intervals);
+    core::CubisOptions opt;
+    opt.segments = 10;
+    opt.epsilon = 1e-3;
+    auto solver = std::make_shared<core::CubisSolver>(opt);
+    std::printf("(%u hardware threads)\n",
+                std::thread::hardware_concurrency());
+    std::printf("%8s %14s %10s\n", "workers", "solves/sec", "speedup");
+    for (std::size_t w : kWorkerCounts) {
+      engine::EngineOptions eopt;
+      eopt.workers = w;
+      eopt.queue_capacity = static_cast<std::size_t>(kEngineJobs);
+      engine::SolveEngine eng(solver, eopt);
+      eng.submit({game_sp, bounds_sp}).get();  // warm the worker pool
+      Timer t;
+      std::vector<std::future<engine::JobOutcome>> futures;
+      for (int j = 0; j < kEngineJobs; ++j) {
+        futures.push_back(eng.submit({game_sp, bounds_sp}));
+      }
+      for (auto& f : futures) f.get();
+      const double sps = kEngineJobs / t.seconds();
+      engine_sps.push_back(sps);
+      std::printf("%8zu %14.2f %9.2fx\n", w, sps, sps / engine_sps.front());
+    }
+  }
+
+  char results[1024];
   std::snprintf(results, sizeof results,
                 "{\"r3_overhead\":{\"targets\":500,\"reps\":%d,"
                 "\"on_ms\":%.3f,\"off_ms\":%.3f,\"overhead_pct\":%.4f,"
@@ -252,13 +299,21 @@ int main() {
                 "\"r4_reuse\":{\"targets\":500,\"reps\":%d,"
                 "\"warm_ms\":%.3f,\"cold_ms\":%.3f,\"reduction_pct\":%.2f,"
                 "\"functions_built_warm\":%lld,"
-                "\"functions_built_cold\":%lld,\"ok\":%s}}",
+                "\"functions_built_cold\":%lld,\"ok\":%s},"
+                "\"r5_engine\":{\"targets\":200,\"jobs\":%d,"
+                "\"hardware_threads\":%u,\"workers\":[1,2,4],"
+                "\"solves_per_sec\":[%.2f,%.2f,%.2f],"
+                "\"speedup_vs_1\":[1.00,%.2f,%.2f]}}",
                 kOverheadReps, med_on, med_off, overhead_pct,
                 exporter_enabled ? "true" : "false",
                 overhead_ok ? "true" : "false", kReuseReps, med_warm,
                 med_cold, reduction_pct, static_cast<long long>(warm_built),
                 static_cast<long long>(cold_built),
-                r4_ok ? "true" : "false");
+                r4_ok ? "true" : "false", kEngineJobs,
+                std::thread::hardware_concurrency(), engine_sps[0],
+                engine_sps[1], engine_sps[2],
+                engine_sps[1] / engine_sps[0],
+                engine_sps[2] / engine_sps[0]);
   bench::write_bench_json("runtime", results);
 
   std::printf(

@@ -11,6 +11,7 @@
 #include "common/timer.hpp"
 #include "core/gradient.hpp"
 #include "core/round_cache.hpp"
+#include "core/workspace.hpp"
 #include "games/strategy_space.hpp"
 #include "obs/metrics.hpp"
 #include "obs/solve_report.hpp"
@@ -203,12 +204,21 @@ StepResult solve_step_milp_cached(const SolveContext& ctx,
 StepTables build_step_tables(const SolveContext& ctx,
                              std::size_t segments) {
   StepTables t;
+  build_step_tables_into(ctx, segments, t);
+  return t;
+}
+
+void build_step_tables_into(const SolveContext& ctx, std::size_t segments,
+                            StepTables& t) {
   t.segments = segments;
   const std::size_t n = ctx.game.num_targets();
-  t.lower.assign(n, std::vector<double>(segments + 1));
-  t.upper.assign(n, std::vector<double>(segments + 1));
-  t.utility.assign(n, std::vector<double>(segments + 1));
+  t.lower.resize(n);
+  t.upper.resize(n);
+  t.utility.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
+    t.lower[i].resize(segments + 1);
+    t.upper[i].resize(segments + 1);
+    t.utility[i].resize(segments + 1);
     for (std::size_t k = 0; k <= segments; ++k) {
       const double x = static_cast<double>(k) /
                        static_cast<double>(segments);
@@ -217,7 +227,6 @@ StepTables build_step_tables(const SolveContext& ctx,
       t.utility[i][k] = ctx.game.defender_utility(i, x);
     }
   }
-  return t;
 }
 
 StepResult cubis_step(const SolveContext& ctx, double c,
@@ -323,22 +332,26 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
   report.solver = name();
   report.targets = n;
   const int sections = std::max(1, opt_.parallel_sections);
+  // Per-call scratch: the caller's long-lived workspace when provided
+  // (reuse preserves allocation capacity only — every value a solve reads
+  // is rebuilt below, so results match a fresh workspace bitwise), else an
+  // ephemeral one on this stack.
+  SolveWorkspace local_ws;
+  SolveWorkspace& ws = ctx.workspace != nullptr ? *ctx.workspace : local_ws;
   // The bounds/utility breakpoint values do not depend on c: sample them
   // once and let every step reuse them.
-  const StepTables tables = [&] {
+  {
     obs::TraceSpan tspan("cubis.build_tables");
-    return build_step_tables(ctx, opt_.segments);
-  }();
+    build_step_tables_into(ctx, opt_.segments, ws.tables);
+  }
+  const StepTables& tables = ws.tables;
   // One cross-round reuse slot per multisection lane (never shared across
   // lanes: set_value and the DP scratch mutate in place).  Grouped budgets
   // keep the fresh path — the grouped DP is not flattened.
-  std::vector<std::unique_ptr<RoundReuse>> reuse_slots;
-  if (opt_.reuse_rounds && opt_.group_budgets.empty()) {
-    reuse_slots.reserve(static_cast<std::size_t>(sections));
-    for (int s = 0; s < sections; ++s) {
-      reuse_slots.push_back(std::make_unique<RoundReuse>(
-          tables, opt_.backend == StepBackend::kMilp));
-    }
+  const bool use_lanes = opt_.reuse_rounds && opt_.group_budgets.empty();
+  if (use_lanes) {
+    ws.ensure_cubis_lanes(static_cast<std::size_t>(sections), tables,
+                          opt_.backend == StepBackend::kMilp);
   }
   // kOptimal until a round fails or the budget trips; becomes the final
   // DefenderSolution status.  A non-optimal verdict never throws away the
@@ -374,13 +387,12 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
       if (sections == 1) {
         results.push_back(cubis_step(
             ctx, cs[0], opt_, &tables,
-            reuse_slots.empty() ? nullptr : reuse_slots[0].get()));
+            use_lanes ? ws.cubis_lanes[0].get() : nullptr));
       } else {
         ThreadPool& pool = opt_.pool ? *opt_.pool : ThreadPool::global();
         results = parallel_map(pool, cs.size(), [&](std::size_t s) {
           return cubis_step(ctx, cs[s], opt_, &tables,
-                            reuse_slots.empty() ? nullptr
-                                                : reuse_slots[s].get());
+                            use_lanes ? ws.cubis_lanes[s].get() : nullptr);
         });
       }
     } catch (const std::bad_alloc&) {

@@ -109,6 +109,11 @@ struct StepTables {
 /// Samples the bounds and defender utilities at the K+1 breakpoints.
 StepTables build_step_tables(const SolveContext& ctx, std::size_t segments);
 
+/// In-place variant for workspace reuse: overwrites `out` completely,
+/// keeping its allocations when the shape matches.
+void build_step_tables_into(const SolveContext& ctx, std::size_t segments,
+                            StepTables& out);
+
 struct RoundReuse;  // core/round_cache.hpp
 
 /// One binary-search step: maximizes the linearized G(x, beta(c), c) over

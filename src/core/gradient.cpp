@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "core/workspace.hpp"
 #include "core/worst_case.hpp"
 #include "games/strategy_space.hpp"
 #include "parallel/parallel_for.hpp"
@@ -89,8 +90,12 @@ DefenderSolution GradientSolver::solve(const SolveContext& ctx) const {
   const std::size_t n = ctx.game.num_targets();
   const double resources = ctx.game.resources();
 
-  // Start set: uniform, greedy-by-penalty, then random points.
-  std::vector<std::vector<double>> starts;
+  // Start set: uniform, greedy-by-penalty, then random points.  The
+  // buffer comes from the workspace (cleared, so only capacity is reused).
+  SolveWorkspace local_ws;
+  SolveWorkspace& ws = ctx.workspace != nullptr ? *ctx.workspace : local_ws;
+  std::vector<std::vector<double>>& starts = ws.gradient_starts;
+  starts.clear();
   starts.push_back(games::uniform_strategy(n, resources));
   {
     std::vector<double> penalties(n);

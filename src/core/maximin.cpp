@@ -3,40 +3,75 @@
 #include <string>
 
 #include "common/timer.hpp"
+#include "core/workspace.hpp"
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
 
 namespace cubisg::core {
 
+namespace {
+
+/// Builds the maximin LP skeleton from scratch for `n` targets.
+void build_maximin_skeleton(const SolveContext& ctx, std::size_t n,
+                            MaximinSkeleton& sk) {
+  sk.model = lp::Model();
+  sk.model.set_objective_sense(lp::Objective::kMaximize);
+  sk.xcol.resize(n);
+  sk.floor_rows.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sk.xcol[i] = sk.model.add_col("x" + std::to_string(i), 0.0, 1.0, 0.0);
+  }
+  sk.zcol = sk.model.add_col("z", -lp::kInf, lp::kInf, 1.0);
+  sk.budget_row = sk.model.add_row("budget", lp::Sense::kEq,
+                                   ctx.game.resources());
+  for (std::size_t i = 0; i < n; ++i) {
+    sk.model.set_coeff(sk.budget_row, sk.xcol[i], 1.0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // z - (Rd_i - Pd_i) x_i <= Pd_i
+    const auto& p = ctx.game.target(i);
+    sk.floor_rows[i] = sk.model.add_row("floor" + std::to_string(i),
+                                        lp::Sense::kLe, p.defender_penalty);
+    sk.model.set_coeff(sk.floor_rows[i], sk.zcol, 1.0);
+    sk.model.set_coeff(sk.floor_rows[i], sk.xcol[i],
+                       -(p.defender_reward - p.defender_penalty));
+  }
+  sk.targets = n;
+  sk.built = true;
+}
+
+}  // namespace
+
 DefenderSolution MaximinSolver::solve(const SolveContext& ctx) const {
   Timer timer;
   const std::size_t n = ctx.game.num_targets();
 
-  lp::Model m;
-  m.set_objective_sense(lp::Objective::kMaximize);
-  std::vector<int> xcol(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    xcol[i] = m.add_col("x" + std::to_string(i), 0.0, 1.0, 0.0);
-  }
-  const int z = m.add_col("z", -lp::kInf, lp::kInf, 1.0);
-  const int budget = m.add_row("budget", lp::Sense::kEq,
-                               ctx.game.resources());
-  for (std::size_t i = 0; i < n; ++i) m.set_coeff(budget, xcol[i], 1.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    // z - (Rd_i - Pd_i) x_i <= Pd_i
-    const auto& p = ctx.game.target(i);
-    const int r = m.add_row("floor" + std::to_string(i), lp::Sense::kLe,
-                            p.defender_penalty);
-    m.set_coeff(r, z, 1.0);
-    m.set_coeff(r, xcol[i], -(p.defender_reward - p.defender_penalty));
+  // The LP's entry layout depends only on the target count, so a workspace
+  // with a shape-matching skeleton just rewrites the game-dependent
+  // numbers in place; the patched model equals a freshly built one
+  // coefficient-for-coefficient (every entry is stored unconditionally).
+  SolveWorkspace local_ws;
+  SolveWorkspace& ws = ctx.workspace != nullptr ? *ctx.workspace : local_ws;
+  MaximinSkeleton& sk = ws.maximin;
+  if (!sk.built || sk.targets != n) {
+    build_maximin_skeleton(ctx, n, sk);
+  } else {
+    sk.model.set_row_rhs(sk.budget_row, ctx.game.resources());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& p = ctx.game.target(i);
+      sk.model.set_row_rhs(sk.floor_rows[i], p.defender_penalty);
+      // Floor-row entry order from assembly: [z, x_i].
+      sk.model.set_row_entry_value(
+          sk.floor_rows[i], 1, -(p.defender_reward - p.defender_penalty));
+    }
   }
 
-  lp::LpSolution s = lp::solve_lp(m);
+  lp::LpSolution s = lp::solve_lp(sk.model);
   DefenderSolution sol;
   sol.status = s.status;
   if (s.optimal()) {
     sol.strategy.resize(n);
-    for (std::size_t i = 0; i < n; ++i) sol.strategy[i] = s.x[xcol[i]];
+    for (std::size_t i = 0; i < n; ++i) sol.strategy[i] = s.x[sk.xcol[i]];
     sol.solver_objective = s.objective;
   }
   finalize_solution(ctx, sol, timer.seconds());

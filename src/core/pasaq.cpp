@@ -7,7 +7,9 @@
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "core/step_solver.hpp"
+#include "core/workspace.hpp"
 #include "games/strategy_space.hpp"
+#include "obs/metrics.hpp"
 
 namespace cubisg::core {
 
@@ -69,18 +71,37 @@ DefenderSolution PasaqSolver::solve(const SolveContext& ctx) const {
       games::uniform_strategy(n, ctx.game.resources());
   int steps = 0;
 
+  // Round-invariant breakpoint tables: F_i(k/K) and Ud_i(k/K) do not
+  // depend on the search value c, so sample them once and form each
+  // round's objective g_i(k/K) = F * (Ud - c) from the cached products —
+  // the same two doubles the fresh per-round functors would multiply, so
+  // the breakpoints (and the DP on them) are bitwise-unchanged.
+  SolveWorkspace local_ws;
+  SolveWorkspace& ws = ctx.workspace != nullptr ? *ctx.workspace : local_ws;
+  const std::size_t kp1 = opt_.segments + 1;
+  ws.pasaq_f.resize(n * kp1);
+  ws.pasaq_ud.resize(n * kp1);
+  ws.pasaq_phi.resize(n * kp1);
+  const double k_inv = 1.0 / static_cast<double>(opt_.segments);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < kp1; ++k) {
+      const double x = std::min(1.0, static_cast<double>(k) * k_inv);
+      ws.pasaq_f[i * kp1 + k] = f(i, x);
+      ws.pasaq_ud[i * kp1 + k] = ctx.game.defender_utility(i, x);
+    }
+  }
+  static obs::Counter& cache_hits =
+      obs::Registry::global().counter("piecewise.cache_hits_total");
+
   while (hi - lo > opt_.epsilon) {
     const double c = 0.5 * (lo + hi);
-    std::vector<PiecewiseLinear> g;
-    g.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      g.emplace_back(
-          [&, i](double x) {
-            return f(i, x) * (ctx.game.defender_utility(i, x) - c);
-          },
-          opt_.segments);
+    for (std::size_t j = 0; j < n * kp1; ++j) {
+      ws.pasaq_phi[j] = ws.pasaq_f[j] * (ws.pasaq_ud[j] - c);
     }
-    StepResult step = solve_step_dp(g, ctx.game.resources());
+    cache_hits.add(static_cast<std::int64_t>(n));
+    StepResult step = solve_step_dp_flat(ws.pasaq_phi.data(), n,
+                                         opt_.segments, ctx.game.resources(),
+                                         ws.pasaq_scratch);
     ++steps;
     const bool feasible = step.objective >= -opt_.feasibility_slack;
     CUBISG_LOG(LogLevel::kDebug)

@@ -184,9 +184,18 @@ double step_big_m(const std::vector<TargetPls>& pls) {
 }
 
 RoundCache::RoundCache(const StepTables& tables, bool build_pls) {
+  rebuild(tables, build_pls);
+}
+
+void RoundCache::rebuild(const StepTables& tables, bool build_pls) {
   if (tables.segments == 0 || tables.lower.empty()) {
     throw InvalidModelError("RoundCache: empty step tables");
   }
+  // Reuse the PiecewiseLinear views only when the shape is unchanged
+  // (their rebuild path requires a matching K+1).
+  const bool pls_reusable = build_pls && pls_.size() == tables.lower.size() &&
+                            !pls_.empty() &&
+                            pls_.front().f1.segments() == tables.segments;
   t_ = tables.lower.size();
   kp1_ = tables.segments + 1;
   const std::size_t n = t_ * kp1_;
@@ -211,21 +220,35 @@ RoundCache::RoundCache(const StepTables& tables, bool build_pls) {
       uud_[j] = up * ud;
     }
   }
-  if (build_pls) {
-    pls_.reserve(t_);
+  if (!build_pls) {
+    pls_.clear();
+    return;
+  }
+  if (pls_reusable) {
+    // Same c=0 seed values as a fresh construction; every round's
+    // set_value overwrites them before any read.
     for (std::size_t i = 0; i < t_; ++i) {
-      // Seeded with the c=0 values; every round overwrites them in place.
-      std::vector<double> v1(lud_.begin() + static_cast<std::ptrdiff_t>(
-                                                i * kp1_),
-                             lud_.begin() + static_cast<std::ptrdiff_t>(
-                                                (i + 1) * kp1_));
-      std::vector<double> v2(uud_.begin() + static_cast<std::ptrdiff_t>(
-                                                i * kp1_),
-                             uud_.begin() + static_cast<std::ptrdiff_t>(
-                                                (i + 1) * kp1_));
-      pls_.push_back(TargetPls{PiecewiseLinear(std::move(v1)),
-                               PiecewiseLinear(std::move(v2))});
+      const std::span<const double> s1(lud_.data() + i * kp1_, kp1_);
+      const std::span<const double> s2(uud_.data() + i * kp1_, kp1_);
+      pls_[i].f1.rebuild_from_values(s1);
+      pls_[i].f2.rebuild_from_values(s2);
     }
+    return;
+  }
+  pls_.clear();
+  pls_.reserve(t_);
+  for (std::size_t i = 0; i < t_; ++i) {
+    // Seeded with the c=0 values; every round overwrites them in place.
+    std::vector<double> v1(lud_.begin() + static_cast<std::ptrdiff_t>(
+                                              i * kp1_),
+                           lud_.begin() + static_cast<std::ptrdiff_t>(
+                                              (i + 1) * kp1_));
+    std::vector<double> v2(uud_.begin() + static_cast<std::ptrdiff_t>(
+                                              i * kp1_),
+                           uud_.begin() + static_cast<std::ptrdiff_t>(
+                                              (i + 1) * kp1_));
+    pls_.push_back(TargetPls{PiecewiseLinear(std::move(v1)),
+                             PiecewiseLinear(std::move(v2))});
   }
 }
 

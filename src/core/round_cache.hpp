@@ -100,6 +100,12 @@ class RoundCache {
   /// backend only needs the flat phi table.
   RoundCache(const StepTables& tables, bool build_pls);
 
+  /// Re-runs the constructor's flattening in place for a new solve,
+  /// reusing the existing buffers when the shape matches (the workspace
+  /// reuse contract: capacity survives, values never do).  Every table the
+  /// next set_value reads is overwritten.
+  void rebuild(const StepTables& tables, bool build_pls);
+
   std::size_t t_count() const { return t_; }
   std::size_t k_count() const { return kp1_ - 1; }
 
@@ -156,6 +162,18 @@ class MilpStepCache {
 struct RoundReuse {
   RoundReuse(const StepTables& tables, bool milp_backend)
       : cache(tables, milp_backend) {}
+
+  /// Re-arms the slot for a new solve: rebuilds the breakpoint cache from
+  /// `tables` and drops the MILP skeleton plus its root basis (the
+  /// skeleton's budget rows encode the game's resources and patch() never
+  /// rewrites them, and a stale basis could steer the next solve's
+  /// branch-and-bound differently — dropping both keeps a reused slot
+  /// bitwise-identical to a fresh one).  The DP scratch keeps its buffer:
+  /// solve_step_dp_flat overwrites every value it reads.
+  void reset(const StepTables& tables, bool milp_backend) {
+    cache.rebuild(tables, milp_backend);
+    milp.reset();
+  }
 
   RoundCache cache;
   DpScratch dp_scratch;

@@ -19,6 +19,8 @@
 
 namespace cubisg::core {
 
+struct SolveWorkspace;  // core/workspace.hpp
+
 /// The problem a defender solver works on.  Both references must outlive
 /// the solve call.
 struct SolveContext {
@@ -31,6 +33,13 @@ struct SolveContext {
   /// (kDeadlineExceeded / kCancelled / kIterLimit) instead of throwing.
   /// Must outlive the solve call; null = unbudgeted.
   const SolveBudget* budget = nullptr;
+  /// Optional caller-owned scratch arena for every per-solve allocation
+  /// (see core/workspace.hpp).  Null = the solver builds an ephemeral one.
+  /// Reuse across solves preserves capacity only, never values, so a
+  /// reused workspace yields bitwise-identical solutions to a fresh one.
+  /// One workspace per concurrent solve: the workspace is mutable
+  /// single-threaded state even though the solver itself is shareable.
+  SolveWorkspace* workspace = nullptr;
 };
 
 /// Outcome of a defender solve.
@@ -59,7 +68,10 @@ struct DefenderSolution {
   bool ok() const { return status == SolverStatus::kOptimal; }
 };
 
-/// Abstract defender solver.
+/// Abstract defender solver.  Implementations are immutable configuration:
+/// solve() is const and never mutates the solver, so one instance can be
+/// driven concurrently from many threads as long as each call gets its own
+/// SolveContext (workspace and budget are the per-call mutable state).
 class DefenderSolver {
  public:
   virtual ~DefenderSolver() = default;

@@ -1,0 +1,19 @@
+#include "core/workspace.hpp"
+
+namespace cubisg::core {
+
+void SolveWorkspace::ensure_cubis_lanes(std::size_t count,
+                                        const StepTables& step_tables,
+                                        bool milp_backend) {
+  if (cubis_lanes.size() < count) cubis_lanes.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    if (s < cubis_lanes.size()) {
+      cubis_lanes[s]->reset(step_tables, milp_backend);
+    } else {
+      cubis_lanes.push_back(
+          std::make_unique<RoundReuse>(step_tables, milp_backend));
+    }
+  }
+}
+
+}  // namespace cubisg::core

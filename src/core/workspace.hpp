@@ -1,0 +1,85 @@
+// Per-call solve state, split out of the solver objects.
+//
+// A DefenderSolver is immutable configuration: construct it once, share it
+// freely.  Everything a solve call allocates or mutates — breakpoint
+// tables, the affine round caches and MILP skeleton of the warm-started
+// binary search, DP scratch, gradient restart buffers, the maximin LP
+// skeleton — lives in a SolveWorkspace owned by the caller and passed
+// through SolveContext::workspace.  Two call patterns:
+//
+//   * workspace == nullptr (the default): the solver builds an ephemeral
+//     workspace on its own stack.  Behavior and allocations match the
+//     pre-split code exactly.
+//   * a caller-owned workspace, reused across solves: each solve rebuilds
+//     every value it reads, so reuse only preserves allocation CAPACITY
+//     (vectors keep their buffers, the MILP skeleton its arena), never
+//     values.  A reused workspace therefore produces bitwise-identical
+//     solutions to a fresh one — the engine's concurrency tests pin this.
+//
+// A workspace is single-threaded state: one workspace per concurrent solve
+// (the engine pins one to each worker thread).  Sharing a workspace across
+// simultaneous solves is a data race; sharing the *solver* is fine.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/round_cache.hpp"
+#include "core/step_solver.hpp"
+#include "lp/model.hpp"
+
+namespace cubisg::core {
+
+/// Patchable skeleton of the maximin LP (columns x_0..x_{T-1}, z; one
+/// budget row, one floor row per target).  The entry layout only depends
+/// on the target count, so a shape-matching reuse rewrites the
+/// game-dependent numbers (budget RHS, floor RHS, floor slope) in place.
+struct MaximinSkeleton {
+  lp::Model model;
+  std::vector<int> xcol;
+  int zcol = -1;
+  int budget_row = -1;
+  std::vector<int> floor_rows;
+  std::size_t targets = 0;
+  bool built = false;
+};
+
+/// Owns every per-solve allocation.  See the file comment for the reuse
+/// contract (capacity survives, values never do).
+struct SolveWorkspace {
+  SolveWorkspace() = default;
+  SolveWorkspace(const SolveWorkspace&) = delete;
+  SolveWorkspace& operator=(const SolveWorkspace&) = delete;
+
+  // ---- CUBIS ----
+  /// Breakpoint tables, rebuilt in place at the top of every CUBIS solve.
+  StepTables tables;
+  /// One cross-round reuse slot per multisection lane (never shared across
+  /// lanes: set_value and the DP scratch mutate in place).
+  std::vector<std::unique_ptr<RoundReuse>> cubis_lanes;
+
+  /// Rebuilds the first `count` lanes from `tables` (resetting each lane's
+  /// cache and dropping its MILP skeleton — the skeleton's budget rows
+  /// depend on the game, and MilpStepCache::patch never rewrites them),
+  /// growing the vector when a solve needs more lanes than the last one.
+  void ensure_cubis_lanes(std::size_t count, const StepTables& step_tables,
+                          bool milp_backend);
+
+  // ---- PASAQ ----
+  /// Flattened [T][K+1] tables of the point model F_i(k/K), the defender
+  /// utilities Ud_i(k/K), and the per-round objective F*(Ud - c).
+  std::vector<double> pasaq_f;
+  std::vector<double> pasaq_ud;
+  std::vector<double> pasaq_phi;
+  DpScratch pasaq_scratch;
+
+  // ---- gradient ----
+  /// Restart start-point buffer (cleared and refilled each solve).
+  std::vector<std::vector<double>> gradient_starts;
+
+  // ---- maximin ----
+  MaximinSkeleton maximin;
+};
+
+}  // namespace cubisg::core

@@ -1,0 +1,212 @@
+#include "engine/engine.hpp"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "common/errors.hpp"
+#include "common/log.hpp"
+#include "core/workspace.hpp"
+#include "obs/metrics.hpp"
+
+namespace cubisg::engine {
+
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Registry handles for the engine, resolved once.
+struct EngineMetrics {
+  obs::Gauge& queue_depth =
+      obs::Registry::global().gauge("engine.queue_depth");
+  obs::Counter& accepted =
+      obs::Registry::global().counter("engine.jobs_accepted_total");
+  obs::Counter& rejected =
+      obs::Registry::global().counter("engine.jobs_rejected_total");
+  obs::Counter& completed =
+      obs::Registry::global().counter("engine.jobs_completed_total");
+  obs::Counter& failed =
+      obs::Registry::global().counter("engine.jobs_failed_total");
+  obs::Counter& cancelled =
+      obs::Registry::global().counter("engine.jobs_cancelled_total");
+  obs::Histogram& solve_latency =
+      obs::Registry::global().histogram("engine.solve_latency");
+
+  static EngineMetrics& get() {
+    static EngineMetrics m;
+    return m;
+  }
+};
+
+/// Workers poll with a bounded wait instead of an unbounded one so a
+/// signal-handler cancel_all() (which cannot notify a condition variable)
+/// is observed within one poll period.
+constexpr auto kPollPeriod = 50ms;
+
+}  // namespace
+
+SolveEngine::SolveEngine(std::shared_ptr<const core::DefenderSolver> solver,
+                         EngineOptions options)
+    : solver_(std::move(solver)), opt_(options) {
+  if (solver_ == nullptr) {
+    throw InvalidModelError("SolveEngine: null solver");
+  }
+  if (opt_.workers == 0) opt_.workers = 1;
+  if (opt_.queue_capacity == 0) opt_.queue_capacity = 1;
+  EngineMetrics::get();  // resolve before any signal handler runs
+  workers_.reserve(opt_.workers);
+  for (std::size_t i = 0; i < opt_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // The worker array is complete (cancel_all may walk it) before any
+  // thread starts.
+  for (std::size_t i = 0; i < opt_.workers; ++i) {
+    workers_[i]->thread = std::thread([this, i] { run_worker(i); });
+  }
+}
+
+SolveEngine::~SolveEngine() { shutdown(); }
+
+std::future<JobOutcome> SolveEngine::enqueue_locked(SolveJob&& job) {
+  Item item;
+  item.job = std::move(job);
+  item.id = next_id_++;
+  std::future<JobOutcome> future = item.promise.get_future();
+  queue_.push_back(std::move(item));
+  EngineMetrics::get().accepted.add(1);
+  EngineMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
+  return future;
+}
+
+std::optional<std::future<JobOutcome>> SolveEngine::try_submit(SolveJob job) {
+  std::future<JobOutcome> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || cancelled() || queue_.size() >= opt_.queue_capacity) {
+      EngineMetrics::get().rejected.add(1);
+      return std::nullopt;
+    }
+    future = enqueue_locked(std::move(job));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+std::future<JobOutcome> SolveEngine::submit(SolveJob job) {
+  std::future<JobOutcome> future;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Bounded waits for the same reason as the workers: a signal-handler
+    // cancel cannot notify, and the submitter must still unblock.
+    while (!stop_ && !cancelled() && queue_.size() >= opt_.queue_capacity) {
+      space_cv_.wait_for(lock, kPollPeriod);
+    }
+    if (stop_ || cancelled()) {
+      EngineMetrics::get().rejected.add(1);
+      throw std::runtime_error(
+          "SolveEngine: submit after shutdown/cancel");
+    }
+    future = enqueue_locked(std::move(job));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+void SolveEngine::cancel_all() noexcept {
+  // Async-signal-safe: relaxed stores into pre-allocated storage only.
+  cancelled_.store(true, std::memory_order_relaxed);
+  for (const auto& w : workers_) w->budget.request_cancel();
+}
+
+void SolveEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+std::size_t SolveEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void SolveEngine::run_worker(std::size_t index) {
+  // One long-lived workspace per worker, reused across every job this
+  // worker runs (the capacity-only reuse contract keeps results identical
+  // to fresh solves).
+  core::SolveWorkspace workspace;
+  SolveBudget& budget = workers_[index]->budget;
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (queue_.empty() && !stop_) {
+        work_cv_.wait_for(lock, kPollPeriod);
+      }
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      EngineMetrics::get().queue_depth.set(
+          static_cast<double>(queue_.size()));
+    }
+    space_cv_.notify_one();
+    JobOutcome outcome = execute(item, index, workspace, budget);
+    item.promise.set_value(std::move(outcome));
+  }
+}
+
+JobOutcome SolveEngine::execute(Item& item, std::size_t index,
+                                core::SolveWorkspace& workspace,
+                                SolveBudget& budget) {
+  JobOutcome out;
+  out.id = item.id;
+  out.tag = std::move(item.job.tag);
+  out.worker = index;
+  out.queue_seconds = item.queued.seconds();
+  if (cancelled()) {
+    // Drain without starting: satisfy the promise, skip the solve.
+    out.status = JobStatus::kCancelled;
+    EngineMetrics::get().cancelled.add(1);
+    return out;
+  }
+
+  budget.reset();
+  const double deadline = item.job.deadline_seconds > 0.0
+                              ? item.job.deadline_seconds
+                              : opt_.default_deadline_seconds;
+  if (deadline > 0.0) budget.set_deadline_after(deadline);
+  const std::int64_t max_nodes =
+      item.job.max_nodes > 0 ? item.job.max_nodes : opt_.default_max_nodes;
+  if (max_nodes > 0) budget.set_node_limit(max_nodes);
+  // Close the reset race: a cancel_all between reset() and here must
+  // still trip this job's budget.
+  if (cancelled()) budget.request_cancel();
+
+  Timer solve_timer;
+  try {
+    core::SolveContext ctx{*item.job.game, *item.job.bounds, &budget,
+                           &workspace};
+    out.solution = solver_->solve(ctx);
+    out.status = JobStatus::kCompleted;
+    out.solve_seconds = solve_timer.seconds();
+    EngineMetrics::get().completed.add(1);
+    EngineMetrics::get().solve_latency.record(out.solve_seconds);
+  } catch (const std::exception& e) {
+    out.status = JobStatus::kFailed;
+    out.error = e.what();
+    out.solve_seconds = solve_timer.seconds();
+    EngineMetrics::get().failed.add(1);
+    CUBISG_LOG(LogLevel::kError)
+        << "engine: job " << out.id << " failed: " << out.error;
+  }
+  return out;
+}
+
+}  // namespace cubisg::engine

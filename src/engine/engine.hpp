@@ -1,0 +1,167 @@
+// Concurrent solve engine: a bounded MPMC job queue feeding a fixed pool
+// of worker threads, each pinning one long-lived SolveWorkspace that is
+// reused across jobs (allocation capacity survives between solves, values
+// never do — see core/workspace.hpp, so results are identical to fresh
+// one-shot solves).
+//
+// Lifecycle and semantics:
+//  * The solver is shared, immutable configuration: one DefenderSolver
+//    instance serves every worker concurrently (solve() is const).
+//  * Admission is non-blocking with backpressure: try_submit() rejects
+//    with std::nullopt when the queue is full, mirroring the HTTP
+//    exporter's 503 overload behavior; submit() blocks for space instead.
+//  * Every job gets a typed JobOutcome through a std::future: kCompleted
+//    carries the DefenderSolution (including budget-stop statuses — the
+//    solver returning is completion), kFailed carries the escaped
+//    exception's message, kCancelled marks jobs drained after cancel_all()
+//    without ever starting.
+//  * cancel_all() is async-signal-safe (relaxed atomic stores only): it
+//    latches the cancelled flag and trips every worker's per-job
+//    SolveBudget, so in-flight solves unwind at their next safe point and
+//    queued jobs drain as kCancelled.  Workers poll the queue with a
+//    bounded 50 ms wait, so no condition-variable notify is needed from a
+//    signal handler.
+//
+// Metrics (obs registry / Prometheus endpoint):
+//   engine.queue_depth                 gauge, jobs waiting for a worker
+//   engine.jobs_accepted_total         admitted by try_submit/submit
+//   engine.jobs_rejected_total         bounced on a full queue
+//   engine.jobs_completed_total        solver returned a solution
+//   engine.jobs_failed_total           solve escaped with an exception
+//   engine.jobs_cancelled_total        drained without starting
+//   engine.solve_latency               histogram of solve wall seconds
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "behavior/bounds.hpp"
+#include "common/budget.hpp"
+#include "common/timer.hpp"
+#include "core/solvers.hpp"
+#include "games/security_game.hpp"
+
+namespace cubisg::engine {
+
+/// Engine sizing.  Both knobs are fixed at construction.
+struct EngineOptions {
+  std::size_t workers = 1;         ///< worker threads (min 1)
+  std::size_t queue_capacity = 64; ///< jobs waiting beyond the workers
+  /// Applied to jobs that do not set their own (0 = unbudgeted).
+  double default_deadline_seconds = 0.0;
+  std::int64_t default_max_nodes = 0;
+};
+
+/// One solve request.  shared_ptr ownership keeps the problem alive for
+/// the duration of the job regardless of what the submitter does next
+/// (aliasing constructors let a single Scenario own both pointees).
+struct SolveJob {
+  std::shared_ptr<const games::SecurityGame> game;
+  std::shared_ptr<const behavior::AttractivenessBounds> bounds;
+  double deadline_seconds = 0.0;  ///< 0 = engine default
+  std::int64_t max_nodes = 0;     ///< 0 = engine default
+  std::string tag;                ///< caller label (e.g. scenario path)
+};
+
+enum class JobStatus {
+  kCompleted,  ///< the solver returned (solution.status may be a budget stop)
+  kFailed,     ///< the solve escaped with an exception
+  kCancelled,  ///< drained after cancel_all() without starting
+};
+
+/// Typed per-job result delivered through the submit future.
+struct JobOutcome {
+  std::uint64_t id = 0;
+  JobStatus status = JobStatus::kFailed;
+  core::DefenderSolution solution;  ///< valid when kCompleted
+  std::string error;                ///< exception text when kFailed
+  std::string tag;
+  double queue_seconds = 0.0;  ///< admission -> worker pickup
+  double solve_seconds = 0.0;  ///< worker pickup -> outcome
+  std::size_t worker = 0;      ///< index of the worker that ran the job
+};
+
+/// The engine.  Construction starts the workers; destruction (or
+/// shutdown()) drains the queue and joins them.
+class SolveEngine {
+ public:
+  SolveEngine(std::shared_ptr<const core::DefenderSolver> solver,
+              EngineOptions options = {});
+  ~SolveEngine();
+
+  SolveEngine(const SolveEngine&) = delete;
+  SolveEngine& operator=(const SolveEngine&) = delete;
+
+  /// Non-blocking admission: nullopt (and one engine.jobs_rejected_total)
+  /// when the queue is at capacity or the engine is shutting down.
+  std::optional<std::future<JobOutcome>> try_submit(SolveJob job);
+
+  /// Blocking admission: waits for queue space.  Throws std::runtime_error
+  /// if the engine shuts down while waiting.
+  std::future<JobOutcome> submit(SolveJob job);
+
+  /// Cancels every in-flight and queued job.  Async-signal-safe: relaxed
+  /// atomic stores only (the worker array is fixed at construction).
+  /// Queued jobs drain as kCancelled; running solves unwind with a
+  /// kCancelled solution status.  The engine accepts no new work after.
+  void cancel_all() noexcept;
+
+  /// Drains the queue, joins the workers.  Idempotent.
+  void shutdown();
+
+  std::size_t queue_depth() const;
+  std::size_t num_workers() const { return workers_.size(); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Stable per-worker budget storage (valid for the engine's lifetime).
+  /// Exposed so a signal handler can reach every in-flight job's budget
+  /// through a pre-registered table instead of a single active-solve slot.
+  SolveBudget& worker_budget(std::size_t i) { return workers_[i]->budget; }
+
+ private:
+  struct Item {
+    SolveJob job;
+    std::promise<JobOutcome> promise;
+    std::uint64_t id = 0;
+    Timer queued;  ///< started at admission
+  };
+
+  struct Worker {
+    SolveBudget budget;
+    std::thread thread;
+  };
+
+  void run_worker(std::size_t index);
+  JobOutcome execute(Item& item, std::size_t index,
+                     core::SolveWorkspace& workspace, SolveBudget& budget);
+  std::future<JobOutcome> enqueue_locked(SolveJob&& job);
+
+  std::shared_ptr<const core::DefenderSolver> solver_;
+  EngineOptions opt_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< queue became non-empty / stop
+  std::condition_variable space_cv_;  ///< queue gained capacity
+  std::deque<Item> queue_;
+  bool stop_ = false;
+  std::uint64_t next_id_ = 1;
+  std::atomic<bool> cancelled_{false};
+
+  /// Fixed at construction (never resized): cancel_all() walks it from a
+  /// signal handler.
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace cubisg::engine
