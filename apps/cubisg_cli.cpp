@@ -43,8 +43,11 @@
 #include "games/generators.hpp"
 #include "learning/data_io.hpp"
 #include "learning/suqr_mle.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process_metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/solve_report.hpp"
 #include "obs/trace.hpp"
 
@@ -84,9 +87,19 @@ using namespace cubisg;
                "  --trace-out FILE     record phase spans; write Chrome\n"
                "                       trace JSON (chrome://tracing)\n"
                "  --listen PORT        serve GET /metrics (Prometheus),\n"
-               "                       /healthz and /solvez while the\n"
+               "                       /healthz, /solvez, /slowz and\n"
+               "                       /profilez?seconds=N while the\n"
                "                       command runs (0 = ephemeral port)\n"
                "  --listen-host ADDR   bind address (default 127.0.0.1)\n"
+               "  --profile-out FILE   sample every solver thread's wall\n"
+               "                       clock (99 Hz default) and write\n"
+               "                       collapsed flamegraph stacks\n"
+               "  --profile-hz N       sampling frequency for --profile-out\n"
+               "  --slow-solve-ms MS   arm the flight recorder: any solve\n"
+               "                       taking >= MS deposits a forensic\n"
+               "                       record (served at GET /slowz)\n"
+               "  --slow-solve-out FILE  write the flight-recorder ring as\n"
+               "                       JSON when the command exits\n"
                "\nsolve budget (solve/patrol/serve; in serve mode the\n"
                "budget re-arms per request, acting as a watchdog):\n"
                "  --deadline-ms MS     wall-clock budget; on expiry the best\n"
@@ -320,10 +333,39 @@ int cmd_solve(const Args& args) {
   arm_budget_from_flags(args, budget);
   install_signal_handlers();
   core::DefenderSolution sol;
+#if CUBISG_OBS_ENABLED
+  obs::begin_phase_accounting();
+  const std::int64_t report_before =
+      obs::last_solve_report_on_this_thread().id;
+#endif
   {
     BudgetRegistration reg(budget);
     sol = solver->solve({scenario.game.game, bounds, &budget});
   }
+#if CUBISG_OBS_ENABLED
+  // One-shot solves feed the flight recorder too (job_id 0): the same
+  // --slow-solve-ms forensics work without the engine.
+  {
+    obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+    if (recorder.armed() && sol.wall_seconds >= recorder.slo_seconds()) {
+      obs::FlightEntry entry;
+      entry.tag = args.file;
+      entry.solve_seconds = sol.wall_seconds;
+      entry.slo_seconds = recorder.slo_seconds();
+      entry.budget_deadline_seconds = budget.deadline_seconds();
+      entry.budget_nodes = budget.nodes_charged();
+      entry.budget_iterations = budget.iterations_charged();
+      entry.budget_cancelled = budget.cancel_requested();
+      entry.phases = obs::collect_phase_accounting();
+      obs::SolveReport report = obs::last_solve_report_on_this_thread();
+      if (report.id != report_before) {
+        entry.has_report = true;
+        entry.report = std::move(report);
+      }
+      recorder.record(std::move(entry));
+    }
+  }
+#endif
   print_solution(scenario, sol, solver->name().c_str());
   if (is_budget_stop(sol.status)) {
     std::printf("note: stopped early (%s); coverage above is the best "
@@ -895,6 +937,8 @@ int dispatch(const std::string& cmd, const Args& args) {
 struct TelemetryOutputs {
   std::string metrics_path;
   std::string trace_path;
+  std::string profile_path;
+  std::string slow_path;
   bool flushed = false;
 
   /// Returns 1 on I/O failure so a broken path fails the run visibly.
@@ -909,6 +953,7 @@ struct TelemetryOutputs {
                      metrics_path.c_str());
         rc = 1;
       } else {
+        obs::update_process_metrics();  // final process_* gauge values
         const std::string json =
             obs::Registry::global().snapshot().to_json();
         std::fwrite(json.data(), 1, json.size(), f);
@@ -923,6 +968,34 @@ struct TelemetryOutputs {
         rc = 1;
       } else {
         std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+      }
+    }
+    if (!profile_path.empty()) {
+      obs::profiler_stop();
+      if (!obs::profiler_available()) {
+        // A build without the sampler still honors the flag shape:
+        // scripted runs keep working, with a visible note and no file.
+        std::fprintf(stderr, "warning: --profile-out skipped (%s)\n",
+                     obs::profiler_last_error().c_str());
+      } else if (!obs::write_profile_collapsed(profile_path)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     profile_path.c_str());
+        rc = 1;
+      } else {
+        std::fprintf(stderr,
+                     "wrote profile (%lld samples, %lld dropped) to %s\n",
+                     static_cast<long long>(obs::profiler_samples_total()),
+                     static_cast<long long>(obs::profiler_samples_dropped()),
+                     profile_path.c_str());
+      }
+    }
+    if (!slow_path.empty()) {
+      if (!obs::FlightRecorder::global().write_json(slow_path)) {
+        std::fprintf(stderr, "error: cannot write %s\n", slow_path.c_str());
+        rc = 1;
+      } else {
+        std::fprintf(stderr, "wrote slow-solve records to %s\n",
+                     slow_path.c_str());
       }
     }
     return rc;
@@ -953,7 +1026,8 @@ void maybe_start_exporter(obs::HttpExporter& exporter, const Args& args) {
     std::exit(1);
   }
   std::fprintf(stderr,
-               "telemetry: http://%s:%d/  (/metrics /healthz /solvez)\n",
+               "telemetry: http://%s:%d/  (/metrics /healthz /solvez "
+               "/slowz /profilez)\n",
                opt.bind_address.c_str(), exporter.port());
 }
 
@@ -968,8 +1042,36 @@ int main(int argc, char** argv) {
   Args args = parse_args(argc, argv, 2);
   g_telemetry.metrics_path = args.get("metrics-out", "");
   g_telemetry.trace_path = args.get("trace-out", "");
+  g_telemetry.profile_path = args.get("profile-out", "");
+  g_telemetry.slow_path = args.get("slow-solve-out", "");
   if (!g_telemetry.trace_path.empty()) {
     obs::set_trace_enabled(true);
+  }
+  if (args.flags.count("slow-solve-ms") != 0) {
+#if CUBISG_OBS_ENABLED
+    obs::FlightRecorder::global().arm(args.get_d("slow-solve-ms", 0.0) *
+                                      1e-3);
+#else
+    std::fprintf(stderr,
+                 "warning: --slow-solve-ms ignored (flight recorder "
+                 "compiled out with CUBISG_OBS=OFF)\n");
+#endif
+  }
+  if (!g_telemetry.profile_path.empty()) {
+    if (obs::profiler_available()) {
+      // The main thread samples too: one-shot commands (solve, patrol)
+      // run the solver right here.
+      obs::profiler_register_this_thread();
+      obs::ProfilerOptions popt;
+      popt.hz = static_cast<int>(args.get_i("profile-hz", 99));
+      if (!obs::profiler_start(popt)) {
+        std::fprintf(stderr, "warning: profiler failed to start (%s)\n",
+                     obs::profiler_last_error().c_str());
+      }
+    } else {
+      std::fprintf(stderr, "warning: --profile-out will be skipped (%s)\n",
+                   obs::profiler_last_error().c_str());
+    }
   }
   obs::HttpExporter exporter;
   maybe_start_exporter(exporter, args);

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -48,6 +49,38 @@ inline std::string cell(const std::vector<double>& v) {
 inline void rule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// CPU model string from /proc/cpuinfo ("unknown" elsewhere), sanitized
+/// for direct embedding in a JSON string literal.  Recorded in every
+/// BENCH_*.json so gate results are interpretable off the box they ran
+/// on (a skipped 4-worker gate on a 1-core runner, say).
+inline std::string cpu_model_name() {
+  std::string model = "unknown";
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f != nullptr) {
+    char line[512];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      if (std::strncmp(line, "model name", 10) != 0) continue;
+      const char* colon = std::strchr(line, ':');
+      if (colon == nullptr) break;
+      ++colon;
+      while (*colon == ' ' || *colon == '\t') ++colon;
+      model = colon;
+      while (!model.empty() &&
+             (model.back() == '\n' || model.back() == '\r')) {
+        model.pop_back();
+      }
+      break;
+    }
+    std::fclose(f);
+  }
+  std::string safe;
+  for (char c : model) {
+    if (c == '"' || c == '\\') safe += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) safe += c;
+  }
+  return safe;
 }
 
 /// Writes BENCH_<name>.json next to the binary: the bench's own results

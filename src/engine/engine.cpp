@@ -8,7 +8,11 @@
 #include "common/errors.hpp"
 #include "common/log.hpp"
 #include "core/workspace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/solve_report.hpp"
+#include "obs/trace.hpp"
 
 namespace cubisg::engine {
 
@@ -32,6 +36,10 @@ struct EngineMetrics {
       obs::Registry::global().counter("engine.jobs_cancelled_total");
   obs::Histogram& solve_latency =
       obs::Registry::global().histogram("engine.solve_latency");
+  obs::Histogram& queue_wait =
+      obs::Registry::global().histogram("engine.queue_wait_seconds");
+  obs::Counter& slow_solves =
+      obs::Registry::global().counter("engine.slow_solves_total");
 
   static EngineMetrics& get() {
     static EngineMetrics m;
@@ -72,6 +80,7 @@ std::future<JobOutcome> SolveEngine::enqueue_locked(SolveJob&& job) {
   Item item;
   item.job = std::move(job);
   item.id = next_id_++;
+  if (obs::trace_enabled()) item.trace_enqueue_ns = obs::trace_now_ns();
   std::future<JobOutcome> future = item.promise.get_future();
   queue_.push_back(std::move(item));
   EngineMetrics::get().accepted.add(1);
@@ -143,6 +152,9 @@ void SolveEngine::run_worker(std::size_t index) {
   // to fresh solves).
   core::SolveWorkspace workspace;
   SolveBudget& budget = workers_[index]->budget;
+  // Opt this worker into wall-clock sampling for the profiler's lifetime
+  // (no-op unless/until profiling starts).
+  obs::ProfiledThreadScope profiled;
   for (;;) {
     Item item;
     {
@@ -170,6 +182,15 @@ JobOutcome SolveEngine::execute(Item& item, std::size_t index,
   out.tag = std::move(item.job.tag);
   out.worker = index;
   out.queue_seconds = item.queued.seconds();
+  EngineMetrics::get().queue_wait.record(out.queue_seconds);
+  // The queue-wait span starts on the submitting thread (admission) and
+  // closes here on the worker; recorded manually since no single scope
+  // covers both threads.
+  if (item.trace_enqueue_ns >= 0) {
+    obs::record_trace_event("engine.queue_wait", item.trace_enqueue_ns,
+                            obs::trace_now_ns() - item.trace_enqueue_ns,
+                            item.id);
+  }
   if (cancelled()) {
     // Drain without starting: satisfy the promise, skip the solve.
     out.status = JobStatus::kCancelled;
@@ -189,23 +210,60 @@ JobOutcome SolveEngine::execute(Item& item, std::size_t index,
   // still trip this job's budget.
   if (cancelled()) budget.request_cancel();
 
+#if CUBISG_OBS_ENABLED
+  // Everything the solver records during this job — nested spans, the
+  // published SolveReport — is attributable to this job id.
+  obs::TraceJobScope job_scope(item.id);
+  obs::begin_phase_accounting();
+  const std::int64_t report_before =
+      obs::last_solve_report_on_this_thread().id;
+#endif
+
   Timer solve_timer;
-  try {
-    core::SolveContext ctx{*item.job.game, *item.job.bounds, &budget,
-                           &workspace};
-    out.solution = solver_->solve(ctx);
-    out.status = JobStatus::kCompleted;
-    out.solve_seconds = solve_timer.seconds();
-    EngineMetrics::get().completed.add(1);
-    EngineMetrics::get().solve_latency.record(out.solve_seconds);
-  } catch (const std::exception& e) {
-    out.status = JobStatus::kFailed;
-    out.error = e.what();
-    out.solve_seconds = solve_timer.seconds();
-    EngineMetrics::get().failed.add(1);
-    CUBISG_LOG(LogLevel::kError)
-        << "engine: job " << out.id << " failed: " << out.error;
+  {
+    obs::TraceSpan span("engine.execute");
+    try {
+      core::SolveContext ctx{*item.job.game, *item.job.bounds, &budget,
+                             &workspace};
+      out.solution = solver_->solve(ctx);
+      out.status = JobStatus::kCompleted;
+      out.solve_seconds = solve_timer.seconds();
+      EngineMetrics::get().completed.add(1);
+      EngineMetrics::get().solve_latency.record(out.solve_seconds);
+    } catch (const std::exception& e) {
+      out.status = JobStatus::kFailed;
+      out.error = e.what();
+      out.solve_seconds = solve_timer.seconds();
+      EngineMetrics::get().failed.add(1);
+      CUBISG_LOG(LogLevel::kError)
+          << "engine: job " << out.id << " failed: " << out.error;
+    }
   }
+
+#if CUBISG_OBS_ENABLED
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  if (recorder.armed() && out.solve_seconds >= recorder.slo_seconds()) {
+    EngineMetrics::get().slow_solves.add(1);
+    obs::FlightEntry entry;
+    entry.job_id = out.id;
+    entry.tag = out.tag;
+    entry.worker = index;
+    entry.queue_seconds = out.queue_seconds;
+    entry.solve_seconds = out.solve_seconds;
+    entry.slo_seconds = recorder.slo_seconds();
+    entry.budget_deadline_seconds = budget.deadline_seconds();
+    entry.budget_nodes = budget.nodes_charged();
+    entry.budget_iterations = budget.iterations_charged();
+    entry.budget_cancelled = budget.cancel_requested();
+    entry.phases = obs::collect_phase_accounting();
+    obs::SolveReport report = obs::last_solve_report_on_this_thread();
+    if (report.id != report_before) {
+      entry.has_report = true;
+      entry.report = std::move(report);
+    }
+    recorder.record(std::move(entry));
+  }
+#endif
   return out;
 }
 

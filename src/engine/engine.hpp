@@ -30,6 +30,18 @@
 //   engine.jobs_failed_total           solve escaped with an exception
 //   engine.jobs_cancelled_total        drained without starting
 //   engine.solve_latency               histogram of solve wall seconds
+//   engine.queue_wait_seconds          histogram, admission -> pickup
+//   engine.slow_solves_total           solves over the flight-recorder SLO
+//
+// Per-job tracing: when span collection is on, every job's id is carried
+// into the trace — the worker emits an "engine.queue_wait" span covering
+// admission -> pickup and an "engine.execute" span around the solve, and
+// every nested solver span (cubis.*, milp.*, lp.*) closed during the job
+// is tagged with the id (TraceJobScope), so a merged multi-worker Chrome
+// trace can be filtered to one job across its whole lifetime.  Slow jobs
+// (wall time >= the armed FlightRecorder SLO) additionally deposit a
+// forensic FlightEntry — SolveReport, per-phase totals, budget state —
+// into obs::FlightRecorder::global() (served at GET /slowz).
 #pragma once
 
 #include <atomic>
@@ -136,6 +148,9 @@ class SolveEngine {
     std::promise<JobOutcome> promise;
     std::uint64_t id = 0;
     Timer queued;  ///< started at admission
+    /// Trace-epoch timestamp of admission (-1 when tracing was off): the
+    /// worker that picks the job up emits the queue-wait span from it.
+    std::int64_t trace_enqueue_ns = -1;
   };
 
   struct Worker {

@@ -15,12 +15,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/process_metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/solve_report.hpp"
 #include "parallel/thread_pool.hpp"
@@ -86,6 +91,41 @@ bool read_request_head(int fd, std::string& head) {
   return true;
 }
 
+/// GET /profilez?seconds=N — on-demand profiling session.  Arms the
+/// sampler at the default 99 Hz, sleeps N seconds (default 5, capped at
+/// 60) on this handler thread, then returns collapsed stacks.  When a
+/// continuous session is already live (--profile-out), returns a
+/// snapshot of the accumulated samples immediately instead of stopping
+/// it.  Handler-pool note: the sleeping thread occupies one pool slot;
+/// the inflight cap already 503s pile-ups.
+void handle_profilez(int fd, const std::string& query_string) {
+  if (!profiler_available()) {
+    send_response(fd, "501 Not Implemented", "text/plain",
+                  profiler_last_error() + "\n");
+    return;
+  }
+  int seconds = 5;
+  const std::size_t pos = query_string.find("seconds=");
+  if (pos != std::string::npos) {
+    seconds = std::atoi(query_string.c_str() + pos + 8);
+  }
+  seconds = std::min(60, std::max(1, seconds));
+
+  if (profiler_running()) {
+    send_response(fd, "200 OK", "text/plain", profiler_collapsed_stacks());
+    return;
+  }
+  profiler_clear();  // scope the response to this window
+  if (!profiler_start({})) {
+    send_response(fd, "503 Service Unavailable", "text/plain",
+                  profiler_last_error() + "\n");
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  profiler_stop();
+  send_response(fd, "200 OK", "text/plain", profiler_collapsed_stacks());
+}
+
 void handle_connection(int fd) {
   std::string head;
   if (!read_request_head(fd, head)) {
@@ -104,8 +144,12 @@ void handle_connection(int fd) {
   }
   const std::string method = head.substr(0, m_end);
   std::string target = head.substr(m_end + 1, t_end - m_end - 1);
+  std::string query_string;
   const std::size_t query = target.find('?');
-  if (query != std::string::npos) target.resize(query);
+  if (query != std::string::npos) {
+    query_string = target.substr(query + 1);
+    target.resize(query);
+  }
 
   ExporterMetrics::get().requests.add(1);
   if (method != "GET") {
@@ -113,6 +157,7 @@ void handle_connection(int fd) {
                   "only GET is supported\n");
   } else if (target == "/metrics") {
     const auto t0 = std::chrono::steady_clock::now();
+    update_process_metrics();  // process_* gauges are scrape-time lazy
     const std::string body =
         to_prometheus_text(Registry::global().snapshot());
     ExporterMetrics::get().scrape_seconds.record(
@@ -124,9 +169,16 @@ void handle_connection(int fd) {
   } else if (target == "/solvez") {
     send_response(fd, "200 OK", "application/json",
                   SolveReportBuffer::global().to_json());
+  } else if (target == "/slowz") {
+    send_response(fd, "200 OK", "application/json",
+                  FlightRecorder::global().to_json());
+  } else if (target == "/profilez") {
+    handle_profilez(fd, query_string);
   } else {
-    send_response(fd, "404 Not Found", "text/plain",
-                  "unknown path (try /metrics, /healthz, /solvez)\n");
+    send_response(
+        fd, "404 Not Found", "text/plain",
+        "unknown path (try /metrics, /healthz, /solvez, /slowz, "
+        "/profilez?seconds=N)\n");
   }
   ::close(fd);
 }

@@ -1,8 +1,14 @@
 // Minimal blocking HTTP/1.1 server exposing the telemetry layer live:
 //
 //   GET /metrics  -> Prometheus text exposition of the global registry
+//                    (refreshes the process_* self-metrics per scrape)
 //   GET /healthz  -> 200 "ok" while the process is alive
 //   GET /solvez   -> JSON ring of recent per-solve convergence reports
+//   GET /slowz    -> JSON ring of slow-solve flight-recorder entries
+//   GET /profilez?seconds=N -> collapsed flamegraph stacks from an
+//                    N-second (default 5, max 60) on-demand sampling
+//                    session; snapshots a live --profile-out session
+//                    without stopping it
 //
 // Dependency-free (POSIX sockets only).  One acceptor thread accepts
 // connections and hands each socket to a small bounded ThreadPool

@@ -33,7 +33,12 @@ void append_escaped(std::string& out, const std::string& s) {
   out += '"';
 }
 
+/// Last report published by this thread (copy; see header).
+thread_local SolveReport t_last_report;
+
 }  // namespace
+
+SolveReport last_solve_report_on_this_thread() { return t_last_report; }
 
 std::string SolveReport::to_json() const {
   std::string out = "{\"id\":";
@@ -101,6 +106,7 @@ std::int64_t SolveReportBuffer::add(SolveReport report) {
   std::lock_guard<std::mutex> lock(mutex_);
   report.id = ++total_;
   const std::int64_t id = report.id;
+  t_last_report = report;  // per-thread copy for the flight recorder
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(report));
   } else {

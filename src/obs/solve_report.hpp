@@ -58,6 +58,14 @@ struct SolveReport {
   std::string to_json() const;
 };
 
+/// The most recent report published from the calling thread (id == 0
+/// when the thread has never published).  Solvers publish on the thread
+/// that ran the solve, and engine workers run one job at a time, so right
+/// after a solve this is that job's report — no ring scan, no race with
+/// other workers.  The flight recorder uses this to attach the full
+/// report to a slow-solve entry.
+SolveReport last_solve_report_on_this_thread();
+
 /// Thread-safe bounded ring buffer of the most recent reports.
 class SolveReportBuffer {
  public:

@@ -12,6 +12,19 @@
 // with set_trace_enabled(true) (the CLI does this for --trace-out), then
 // export via trace_to_chrome_json() / write_trace_json() and load the file
 // in chrome://tracing or https://ui.perfetto.dev.
+//
+// Two orthogonal extensions ride on the span machinery:
+//
+//  * Job tagging.  A thread can carry a current job id (TraceJobScope);
+//    every span closed while the scope is active records that id, so a
+//    multi-worker engine trace can be filtered to one SolveJob across
+//    queue-wait, execute, and nested solver phases.
+//
+//  * Phase accounting.  Independently of full trace collection, a thread
+//    can accumulate per-name span totals into a small thread-local table
+//    (begin_phase_accounting / collect_phase_accounting).  The flight
+//    recorder uses this to attach a per-phase breakdown to slow solves
+//    without paying for whole-process trace buffers.
 #pragma once
 
 #include <cstdint>
@@ -34,9 +47,75 @@ struct TraceEvent {
   std::int64_t dur_ns = 0;
   int tid = 0;    ///< dense per-thread id assigned at first span
   int depth = 0;  ///< nesting depth within the thread (0 = top level)
+  std::uint64_t job = 0;  ///< engine job id (0 = not part of a job)
 };
 
+/// Nanoseconds since the trace epoch (pins the epoch on first call).
+/// Use for manual events recorded via record_trace_event().
+std::int64_t trace_now_ns();
+
+/// Records one already-timed event on the calling thread's buffer (no-op
+/// when tracing is off).  Used for spans whose start predates the thread
+/// that completes them, e.g. engine queue-wait measured from admission on
+/// the submitting thread to pickup on the worker.
+void record_trace_event(const char* name, std::int64_t start_ns,
+                        std::int64_t dur_ns, std::uint64_t job);
+
+// ---- job tagging -------------------------------------------------------
+
+/// Current job id for spans closed on this thread (0 = none).
+std::uint64_t current_trace_job();
+void set_current_trace_job(std::uint64_t job);
+
+/// RAII: tags every span closed on this thread with `job` for the scope's
+/// lifetime, restoring the previous id on destruction.
+class TraceJobScope {
+ public:
+  explicit TraceJobScope(std::uint64_t job) {
+#if CUBISG_OBS_ENABLED
+    prev_ = current_trace_job();
+    set_current_trace_job(job);
+#else
+    (void)job;
+#endif
+  }
+  ~TraceJobScope() {
+#if CUBISG_OBS_ENABLED
+    set_current_trace_job(prev_);
+#endif
+  }
+  TraceJobScope(const TraceJobScope&) = delete;
+  TraceJobScope& operator=(const TraceJobScope&) = delete;
+
+ private:
+#if CUBISG_OBS_ENABLED
+  std::uint64_t prev_ = 0;
+#endif
+};
+
+// ---- phase accounting --------------------------------------------------
+
+/// Total time spent in spans of one name on one thread since the last
+/// begin_phase_accounting() call.
+struct PhaseTotal {
+  std::string name;
+  std::int64_t total_ns = 0;
+  std::int64_t count = 0;
+};
+
+/// Runtime switch for per-thread phase accumulation (default off).  Spans
+/// become active when either tracing or accounting is on.
+bool phase_accounting_enabled();
+void set_phase_accounting_enabled(bool on);
+
+/// Clears the calling thread's phase table (call at job start).
+void begin_phase_accounting();
+
+/// Snapshot of the calling thread's phase table since the last begin.
+std::vector<PhaseTotal> collect_phase_accounting();
+
 namespace detail {
+bool span_capture_enabled();
 void begin_span(const char* name, std::int64_t& start_ns, int& depth);
 void end_span(const char* name, std::int64_t start_ns, int depth);
 }  // namespace detail
@@ -47,7 +126,7 @@ class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
 #if CUBISG_OBS_ENABLED
-    if (trace_enabled()) {
+    if (detail::span_capture_enabled()) {
       name_ = name;
       detail::begin_span(name_, start_ns_, depth_);
     }

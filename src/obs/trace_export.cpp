@@ -61,6 +61,10 @@ std::string trace_to_chrome_json() {
     append_us(out, e.dur_ns);
     out += ",\"args\":{\"depth\":";
     out += std::to_string(e.depth);
+    if (e.job != 0) {
+      out += ",\"job\":";
+      out += std::to_string(e.job);
+    }
     out += "}}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";

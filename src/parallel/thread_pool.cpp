@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace cubisg {
 
@@ -62,6 +63,9 @@ void ThreadPool::note_task_done(
 }
 
 void ThreadPool::worker_loop() {
+  // Pool workers run solver phases (multisection lanes, MILP search), so
+  // they opt into wall-clock profiling like the engine's workers.
+  obs::ProfiledThreadScope profiled;
   for (;;) {
     Task task;
     {

@@ -21,7 +21,9 @@
 #include "core/cubis.hpp"
 #include "engine/engine.hpp"
 #include "games/generators.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cubisg::engine {
 namespace {
@@ -314,6 +316,114 @@ TEST(Engine, PerJobDeadlineProducesBudgetStatus) {
 
 TEST(Engine, NullSolverThrows) {
   EXPECT_THROW(SolveEngine(nullptr, {}), InvalidModelError);
+}
+
+// Per-job tracing: with collection on, every job run by a multi-worker
+// engine leaves an "engine.queue_wait" and an "engine.execute" event
+// tagged with its job id, mergeable across workers in one Chrome trace.
+TEST(Engine, TraceEventsKeyedByJobIdAcrossWorkers) {
+#if !CUBISG_OBS_ENABLED
+  GTEST_SKIP() << "tracing compiled out (CUBISG_OBS=OFF)";
+#else
+  const Instance inst = make_instance(4001, 12, 4.0, 1.5);
+  core::CubisOptions opt;
+  opt.segments = 5;
+  auto solver = std::make_shared<core::CubisSolver>(opt);
+
+  const std::int64_t waits_before = obs::Registry::global()
+                                        .histogram("engine.queue_wait_seconds")
+                                        .count();
+  obs::set_trace_enabled(true);
+  obs::clear_trace();
+  constexpr int kJobs = 12;
+  std::vector<std::uint64_t> job_ids;
+  {
+    SolveEngine eng(solver, {4, 16, 0.0, 0});
+    std::vector<std::future<JobOutcome>> futures;
+    for (int j = 0; j < kJobs; ++j) {
+      futures.push_back(eng.submit(job_for(inst)));
+    }
+    for (auto& f : futures) {
+      JobOutcome out = f.get();
+      ASSERT_EQ(out.status, JobStatus::kCompleted) << out.error;
+      job_ids.push_back(out.id);
+    }
+    eng.shutdown();
+  }
+  obs::set_trace_enabled(false);
+
+  // The queue-wait histogram saw every job.
+  EXPECT_EQ(obs::Registry::global()
+                .histogram("engine.queue_wait_seconds")
+                .count(),
+            waits_before + kJobs);
+
+  std::map<std::uint64_t, int> queue_waits;
+  std::map<std::uint64_t, int> executes;
+  std::map<int, std::int64_t> last_end_by_tid;
+  for (const obs::TraceEvent& e : obs::collect_trace_events()) {
+    if (e.name == std::string("engine.queue_wait")) ++queue_waits[e.job];
+    if (e.name == std::string("engine.execute")) ++executes[e.job];
+    // Completion timestamps stay monotonic within each worker thread.
+    const std::int64_t end_ns = e.start_ns + e.dur_ns;
+    auto it = last_end_by_tid.find(e.tid);
+    if (it != last_end_by_tid.end()) EXPECT_GE(end_ns, it->second);
+    last_end_by_tid[e.tid] = end_ns;
+  }
+  for (std::uint64_t id : job_ids) {
+    EXPECT_EQ(queue_waits[id], 1) << "job " << id;
+    EXPECT_EQ(executes[id], 1) << "job " << id;
+  }
+  obs::clear_trace();
+#endif
+}
+
+// Flight recorder: with a 0-second SLO armed, every engine solve is
+// "slow" — entries carry the job id, worker, phase breakdown and the
+// solver's published report, and the slow-solve counter advances.
+TEST(Engine, FlightRecorderCapturesSlowSolves) {
+#if !CUBISG_OBS_ENABLED
+  GTEST_SKIP() << "flight recorder compiled out (CUBISG_OBS=OFF)";
+#else
+  const Instance inst = make_instance(4002, 10, 3.0, 1.0);
+  core::CubisOptions opt;
+  opt.segments = 5;
+  auto solver = std::make_shared<core::CubisSolver>(opt);
+
+  obs::FlightRecorder& rec = obs::FlightRecorder::global();
+  rec.clear();
+  rec.arm(0.0);  // every solve meets the SLO threshold
+  const std::int64_t slow_before = obs::Registry::global()
+                                       .counter("engine.slow_solves_total")
+                                       .value();
+  std::uint64_t job_id = 0;
+  {
+    SolveEngine eng(solver, {2, 8, 0.0, 0});
+    SolveJob job = job_for(inst);
+    job.tag = "flight-test";
+    JobOutcome out = eng.submit(std::move(job)).get();
+    ASSERT_EQ(out.status, JobStatus::kCompleted) << out.error;
+    job_id = out.id;
+    eng.shutdown();
+  }
+  rec.disarm();
+
+  EXPECT_EQ(obs::Registry::global()
+                .counter("engine.slow_solves_total")
+                .value(),
+            slow_before + 1);
+  const std::vector<obs::FlightEntry> entries = rec.recent();
+  ASSERT_EQ(entries.size(), 1u);
+  const obs::FlightEntry& entry = entries.front();
+  EXPECT_EQ(entry.job_id, job_id);
+  EXPECT_EQ(entry.tag, "flight-test");
+  EXPECT_GT(entry.solve_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(entry.slo_seconds, 0.0);
+  EXPECT_TRUE(entry.has_report);
+  EXPECT_EQ(entry.report.solver, "cubis-dp");
+  EXPECT_FALSE(entry.phases.empty());
+  rec.clear();
+#endif
 }
 
 }  // namespace

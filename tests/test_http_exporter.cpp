@@ -16,8 +16,11 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process_metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/solve_report.hpp"
 
@@ -244,6 +247,85 @@ TEST_F(HttpExporterFixture, SecondStartWhileRunningFails) {
   opts.port = 0;
   EXPECT_FALSE(server_.start(opts));
   EXPECT_FALSE(server_.last_error().empty());
+}
+
+TEST_F(HttpExporterFixture, SlowzServesFlightRecorderJson) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::global();
+  rec.clear();
+  rec.arm(0.25);
+  obs::FlightEntry entry;
+  entry.job_id = 77;
+  entry.tag = "http-slow-test";
+  entry.solve_seconds = 0.4;
+  entry.slo_seconds = 0.25;
+  entry.phases.push_back({"cubis.solve", 1000000, 1});
+  ASSERT_GT(rec.record(entry), 0);
+  rec.disarm();
+
+  const HttpResponse resp = http_get(server_.port(), "/slowz");
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.headers.find("application/json"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"entries\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"job_id\":77"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"http-slow-test\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"cubis.solve\""), std::string::npos);
+  rec.clear();
+}
+
+TEST_F(HttpExporterFixture, MetricsRefreshesProcessGauges) {
+  if (!obs::process_metrics_available()) {
+    GTEST_SKIP() << "process metrics unavailable on this platform";
+  }
+  const HttpResponse resp = http_get(server_.port(), "/metrics");
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.status, 200);
+  // Scrape-time refresh: the gauges exist and RSS is a positive number.
+  EXPECT_NE(resp.body.find("# TYPE process_resident_memory_bytes gauge"),
+            std::string::npos);
+  const std::string sample = "\nprocess_resident_memory_bytes ";
+  const std::size_t pos = resp.body.find(sample);
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_GT(std::stod(resp.body.substr(pos + sample.size())), 0.0);
+  EXPECT_NE(resp.body.find("process_open_fds "), std::string::npos);
+  EXPECT_NE(resp.body.find("process_cpu_user_seconds "), std::string::npos);
+}
+
+TEST_F(HttpExporterFixture, ProfilezReturnsCollapsedStacksOrExplains) {
+  if (!obs::profiler_available()) {
+    const HttpResponse resp = http_get(server_.port(), "/profilez");
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.status, 501);
+    return;
+  }
+  // Run a live session so the route takes the snapshot path instead of
+  // sleeping for a full on-demand window inside the test.
+  obs::profiler_clear();
+  obs::profiler_register_this_thread();
+  ASSERT_TRUE(obs::profiler_start({})) << obs::profiler_last_error();
+  volatile double sink = 0.0;
+  for (int round = 0; round < 2000 && obs::profiler_samples_total() < 2;
+       ++round) {
+    for (int i = 0; i < 1000000; ++i) sink = sink + 1e-9 * i;
+  }
+  ASSERT_GE(obs::profiler_samples_total(), 2);
+  const HttpResponse resp = http_get(server_.port(), "/profilez?seconds=1");
+  obs::profiler_stop();
+  obs::profiler_unregister_this_thread();
+  obs::profiler_clear();
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.headers.find("text/plain"), std::string::npos);
+  ASSERT_FALSE(resp.body.empty());
+  // Collapsed format: last token of the first line is a count.
+  const std::size_t eol = resp.body.find('\n');
+  ASSERT_NE(eol, std::string::npos);
+  const std::string first = resp.body.substr(0, eol);
+  const std::size_t sp = first.rfind(' ');
+  ASSERT_NE(sp, std::string::npos);
+  for (std::size_t i = sp + 1; i < first.size(); ++i) {
+    EXPECT_TRUE(first[i] >= '0' && first[i] <= '9') << first;
+  }
 }
 
 // The headline tsan test: scrapers pull /metrics while writers hammer a

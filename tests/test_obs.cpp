@@ -5,7 +5,9 @@
 // (counter hammering, log-sink swapping mid-emit) are the ones that must
 // stay clean under ThreadSanitizer (-DCUBISG_ENABLE_TSAN=ON).
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,7 +15,10 @@
 #include <gtest/gtest.h>
 
 #include "common/log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process_metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/solve_report.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -357,6 +362,365 @@ TEST(SolveReportBuffer, ConcurrentAddsKeepRingConsistent) {
   for (std::size_t i = 1; i < recent.size(); ++i) {
     EXPECT_LT(recent[i - 1].id, recent[i].id);  // oldest-first ordering
   }
+}
+
+TEST(Trace, JobScopeTagsSpansAndManualEvents) {
+  CUBISG_SKIP_IF_OBS_COMPILED_OUT();
+  obs::set_trace_enabled(true);
+  obs::clear_trace();
+  EXPECT_EQ(obs::current_trace_job(), 0u);
+  {
+    obs::TraceJobScope scope(42);
+    EXPECT_EQ(obs::current_trace_job(), 42u);
+    obs::TraceSpan span("test.tagged");
+  }
+  EXPECT_EQ(obs::current_trace_job(), 0u);
+  const std::int64_t now = obs::trace_now_ns();
+  obs::record_trace_event("test.manual", now - 1000, 1000, 7);
+  obs::set_trace_enabled(false);
+  const std::vector<obs::TraceEvent> events = obs::collect_trace_events();
+  const obs::TraceEvent* tagged = nullptr;
+  const obs::TraceEvent* manual = nullptr;
+  for (const obs::TraceEvent& e : events) {
+    if (e.name == "test.tagged") tagged = &e;
+    if (e.name == "test.manual") manual = &e;
+  }
+  ASSERT_NE(tagged, nullptr);
+  EXPECT_EQ(tagged->job, 42u);
+  ASSERT_NE(manual, nullptr);
+  EXPECT_EQ(manual->job, 7u);
+  EXPECT_EQ(manual->dur_ns, 1000);
+  // Job ids surface in the Chrome export args.
+  obs::set_trace_enabled(true);
+  const std::string json = obs::trace_to_chrome_json();
+  obs::set_trace_enabled(false);
+  EXPECT_NE(json.find("\"job\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"job\":7"), std::string::npos);
+  obs::clear_trace();
+}
+
+// Satellite coverage: many workers emitting spans while exports run
+// concurrently.  The export must stay valid Chrome JSON, every worker's
+// events must carry its job id, and per-thread completion timestamps must
+// be monotonic.  TSAN judges the buffer/export synchronization.
+TEST(Trace, ConcurrentSpansExportValidChromeJson) {
+  CUBISG_SKIP_IF_OBS_COMPILED_OUT();
+  obs::set_trace_enabled(true);
+  obs::clear_trace();
+  constexpr int kThreads = 6;
+  constexpr int kSpansPerThread = 200;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&go, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      obs::TraceJobScope scope(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::TraceSpan outer("test.ct.outer");
+        obs::TraceSpan inner("test.ct.inner");
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Exports race the writers; they only see completed events but must
+  // never tear or crash.
+  for (int i = 0; i < 5; ++i) {
+    const std::string json = obs::trace_to_chrome_json();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  }
+  for (std::thread& t : threads) t.join();
+  obs::set_trace_enabled(false);
+
+  const std::vector<obs::TraceEvent> events = obs::collect_trace_events();
+  std::map<int, std::int64_t> last_end_by_tid;
+  std::map<std::uint64_t, int> events_by_job;
+  for (const obs::TraceEvent& e : events) {
+    if (e.name != "test.ct.outer" && e.name != "test.ct.inner") continue;
+    EXPECT_GE(e.start_ns, 0);
+    EXPECT_GE(e.dur_ns, 0);
+    EXPECT_GE(e.job, 1u);
+    EXPECT_LE(e.job, static_cast<std::uint64_t>(kThreads));
+    ++events_by_job[e.job];
+    // Spans complete in order on each thread, so per-tid completion
+    // timestamps are monotonic in buffer order.
+    const std::int64_t end_ns = e.start_ns + e.dur_ns;
+    auto it = last_end_by_tid.find(e.tid);
+    if (it != last_end_by_tid.end()) EXPECT_GE(end_ns, it->second);
+    last_end_by_tid[e.tid] = end_ns;
+  }
+  ASSERT_EQ(events_by_job.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [job, count] : events_by_job) {
+    EXPECT_EQ(count, 2 * kSpansPerThread) << "job " << job;
+  }
+
+  // Final export: full well-formedness check.
+  obs::set_trace_enabled(true);
+  const std::string json = obs::trace_to_chrome_json();
+  obs::set_trace_enabled(false);
+  std::int64_t braces = 0;
+  std::int64_t brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (ch == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += ch == '{' ? 1 : (ch == '}' ? -1 : 0);
+    brackets += ch == '[' ? 1 : (ch == ']' ? -1 : 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  obs::clear_trace();
+}
+
+TEST(Trace, PhaseAccountingAccumulatesPerName) {
+  CUBISG_SKIP_IF_OBS_COMPILED_OUT();
+  obs::set_phase_accounting_enabled(true);
+  obs::begin_phase_accounting();
+  for (int i = 0; i < 3; ++i) {
+    obs::TraceSpan span("test.phase_a");
+  }
+  {
+    obs::TraceSpan span("test.phase_b");
+  }
+  const std::vector<obs::PhaseTotal> phases =
+      obs::collect_phase_accounting();
+  obs::set_phase_accounting_enabled(false);
+  const obs::PhaseTotal* a = nullptr;
+  const obs::PhaseTotal* b = nullptr;
+  for (const obs::PhaseTotal& p : phases) {
+    if (p.name == "test.phase_a") a = &p;
+    if (p.name == "test.phase_b") b = &p;
+  }
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->count, 3);
+  EXPECT_GE(a->total_ns, 0);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->count, 1);
+  // Phase accounting alone must not feed the trace buffers.
+  for (const obs::TraceEvent& e : obs::collect_trace_events()) {
+    EXPECT_NE(e.name, "test.phase_a");
+  }
+}
+
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+double
+profiler_test_burn(int iters) {
+  volatile double acc = 0.0;
+  for (int i = 0; i < iters; ++i) acc = acc + 1e-9 * i;
+  return acc;
+}
+
+TEST(Profiler, CapturesSamplesFromBusyThread) {
+  if (!obs::profiler_available()) {
+    // Stub surface: every entry point must be safe to call.
+    EXPECT_FALSE(obs::profiler_start({}));
+    EXPECT_FALSE(obs::profiler_running());
+    EXPECT_NE(obs::profiler_last_error().find("compiled out"),
+              std::string::npos);
+    obs::profiler_register_this_thread();
+    obs::profiler_unregister_this_thread();
+    obs::profiler_stop();
+    EXPECT_EQ(obs::profiler_samples_total(), 0);
+    EXPECT_TRUE(obs::profiler_collapsed_stacks().empty());
+    GTEST_SKIP() << "profiler compiled out or unsupported platform";
+  }
+  obs::profiler_register_this_thread();
+  obs::profiler_clear();
+  obs::ProfilerOptions opts;
+  opts.hz = 997;  // dense sampling keeps the busy window short
+  ASSERT_TRUE(obs::profiler_start(opts)) << obs::profiler_last_error();
+  EXPECT_TRUE(obs::profiler_running());
+  // A second start while running must fail and leave sampling intact.
+  EXPECT_FALSE(obs::profiler_start(opts));
+  EXPECT_TRUE(obs::profiler_running());
+  // Burn until samples arrive (bounded; ~250ms of work at 997 Hz yields
+  // hundreds of samples even on a loaded box).
+  double sink = 0.0;
+  for (int round = 0; round < 200 && obs::profiler_samples_total() < 5;
+       ++round) {
+    sink += profiler_test_burn(2000000);
+  }
+  obs::profiler_stop();
+  EXPECT_FALSE(obs::profiler_running());
+  EXPECT_GT(sink, 0.0);
+  EXPECT_GE(obs::profiler_samples_total(), 5);
+
+  const std::string collapsed = obs::profiler_collapsed_stacks();
+  ASSERT_FALSE(collapsed.empty());
+  // Every line is "frame[;frame...] count\n".
+  std::size_t begin = 0;
+  while (begin < collapsed.size()) {
+    std::size_t end = collapsed.find('\n', begin);
+    ASSERT_NE(end, std::string::npos) << "unterminated collapsed line";
+    const std::string line = collapsed.substr(begin, end - begin);
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(space, 0u) << line;
+    for (std::size_t i = space + 1; i < line.size(); ++i) {
+      EXPECT_TRUE(line[i] >= '0' && line[i] <= '9') << line;
+    }
+    begin = end + 1;
+  }
+
+  obs::profiler_clear();
+  EXPECT_EQ(obs::profiler_samples_total(), 0);
+  EXPECT_TRUE(obs::profiler_collapsed_stacks().empty());
+  obs::profiler_unregister_this_thread();
+}
+
+TEST(Profiler, SamplesRegisteredWorkerThreads) {
+  if (!obs::profiler_available()) {
+    GTEST_SKIP() << "profiler compiled out or unsupported platform";
+  }
+  obs::profiler_clear();
+  ASSERT_TRUE(obs::profiler_start({})) << obs::profiler_last_error();
+  std::atomic<bool> stop{false};
+  // ProfiledThreadScope registers while sampling is live, so the timer
+  // arms immediately — the path engine/pool workers take.
+  std::thread worker([&stop] {
+    obs::ProfiledThreadScope profiled;
+    while (!stop.load(std::memory_order_acquire)) {
+      profiler_test_burn(500000);
+    }
+  });
+  for (int round = 0; round < 200 && obs::profiler_samples_total() < 3;
+       ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true, std::memory_order_release);
+  worker.join();
+  obs::profiler_stop();
+  EXPECT_GE(obs::profiler_samples_total(), 3);
+  obs::profiler_clear();
+}
+
+TEST(FlightRecorder, RecordsOnlyWhenArmedAndEvictsOldest) {
+  CUBISG_SKIP_IF_OBS_COMPILED_OUT();
+  obs::FlightRecorder rec(4);
+  obs::FlightEntry e;
+  e.tag = "disarmed";
+  EXPECT_EQ(rec.record(e), 0);  // disarmed: dropped
+  EXPECT_EQ(rec.size(), 0u);
+
+  rec.arm(0.25);
+  EXPECT_TRUE(rec.armed());
+  EXPECT_DOUBLE_EQ(rec.slo_seconds(), 0.25);
+  for (int i = 1; i <= 10; ++i) {
+    obs::FlightEntry entry;
+    entry.job_id = static_cast<std::uint64_t>(i);
+    entry.solve_seconds = 0.3 + 0.01 * i;
+    EXPECT_EQ(rec.record(entry), i);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 10);
+  const std::vector<obs::FlightEntry> recent = rec.recent();
+  ASSERT_EQ(recent.size(), 4u);
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].id, static_cast<std::int64_t>(7 + i));
+    EXPECT_EQ(recent[i].job_id, 7 + i);
+  }
+  rec.disarm();
+  EXPECT_FALSE(rec.armed());
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 10);
+}
+
+TEST(FlightRecorder, ArmTogglesPhaseAccounting) {
+  CUBISG_SKIP_IF_OBS_COMPILED_OUT();
+  obs::FlightRecorder rec(2);
+  EXPECT_FALSE(obs::phase_accounting_enabled());
+  rec.arm(1.0);
+  EXPECT_TRUE(obs::phase_accounting_enabled());
+  rec.disarm();
+  EXPECT_FALSE(obs::phase_accounting_enabled());
+}
+
+TEST(FlightRecorder, JsonCarriesForensicFields) {
+  CUBISG_SKIP_IF_OBS_COMPILED_OUT();
+  obs::FlightRecorder rec(8);
+  rec.arm(0.1);
+  obs::FlightEntry e;
+  e.job_id = 9;
+  e.tag = "t200_k10";
+  e.worker = 2;
+  e.queue_seconds = 0.004;
+  e.solve_seconds = 0.35;
+  e.slo_seconds = 0.1;
+  e.budget_deadline_seconds = 1.5;
+  e.budget_nodes = 123;
+  e.budget_iterations = 456;
+  e.budget_cancelled = false;
+  e.phases.push_back({"cubis.round", 2000000, 5});
+  e.has_report = true;
+  e.report.solver = "cubis";
+  e.report.status = "optimal";
+  rec.record(e);
+  rec.disarm();
+  const std::string json = rec.to_json();
+  EXPECT_NE(json.find("\"slo_seconds\":0.1"), std::string::npos);
+  EXPECT_NE(json.find("\"job_id\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"tag\":\"t200_k10\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"nodes_charged\":123"), std::string::npos);
+  EXPECT_NE(json.find("\"iterations_charged\":456"), std::string::npos);
+  EXPECT_NE(json.find("\"cubis.round\""), std::string::npos);
+  EXPECT_NE(json.find("\"solver\":\"cubis\""), std::string::npos);
+  std::int64_t braces = 0;
+  std::int64_t brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (ch == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += ch == '{' ? 1 : (ch == '}' ? -1 : 0);
+    brackets += ch == '[' ? 1 : (ch == ']' ? -1 : 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(SolveReportBuffer, LastReportOnThisThreadTracksAdds) {
+  obs::SolveReport r;
+  r.solver = "thread-local-test";
+  const std::int64_t id = obs::SolveReportBuffer::global().add(std::move(r));
+  const obs::SolveReport last = obs::last_solve_report_on_this_thread();
+  EXPECT_EQ(last.id, id);
+  EXPECT_EQ(last.solver, "thread-local-test");
+  // Another thread's adds never leak into this thread's slot.
+  std::thread other([] {
+    obs::SolveReport r2;
+    r2.solver = "other-thread";
+    obs::SolveReportBuffer::global().add(std::move(r2));
+  });
+  other.join();
+  EXPECT_EQ(obs::last_solve_report_on_this_thread().id, id);
+}
+
+TEST(ProcessMetrics, PopulatesSelfGauges) {
+  if (!obs::process_metrics_available()) {
+    obs::update_process_metrics();  // must be a safe no-op
+    GTEST_SKIP() << "process metrics compiled out or unsupported platform";
+  }
+  obs::update_process_metrics();
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  auto gauge = [&snap](const std::string& name) {
+    for (const auto& g : snap.gauges) {
+      if (g.name == name) return g.value;
+    }
+    ADD_FAILURE() << "gauge " << name << " not registered";
+    return 0.0;
+  };
+  EXPECT_GT(gauge("process.resident_memory_bytes"), 0.0);
+  EXPECT_GT(gauge("process.virtual_memory_bytes"), 0.0);
+  EXPECT_GE(gauge("process.cpu_user_seconds"), 0.0);
+  EXPECT_GE(gauge("process.cpu_system_seconds"), 0.0);
+  EXPECT_GT(gauge("process.open_fds"), 0.0);
+  EXPECT_GE(gauge("process.uptime_seconds"), 0.0);
 }
 
 }  // namespace

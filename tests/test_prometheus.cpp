@@ -286,6 +286,49 @@ TEST(Prometheus, EmptySnapshotIsEmptyText) {
   EXPECT_EQ(obs::to_prometheus_text(obs::MetricsSnapshot{}), "");
 }
 
+// Satellite lint: the metric families added by the profiler/flight-
+// recorder PR — process self-metrics, the engine queue-wait histogram,
+// the slow-solve counter — must serialize promtool-clean.  Hand-built
+// snapshot so the check runs fully with CUBISG_OBS=OFF too.
+TEST(Prometheus, NewObservabilityFamiliesLintClean) {
+  obs::MetricsSnapshot snap;
+  snap.gauges.push_back({"process.resident_memory_bytes", 1.5e8});
+  snap.gauges.push_back({"process.virtual_memory_bytes", 9.1e8});
+  snap.gauges.push_back({"process.cpu_user_seconds", 12.25});
+  snap.gauges.push_back({"process.cpu_system_seconds", 0.75});
+  snap.gauges.push_back({"process.open_fds", 24.0});
+  snap.gauges.push_back({"process.uptime_seconds", 360.5});
+  snap.counters.push_back({"engine.slow_solves_total", 2});
+  obs::HistogramSnapshot h;
+  h.name = "engine.queue_wait_seconds";
+  h.bounds = {0.001, 0.01, 0.1};
+  h.counts = {3, 2, 1, 0};
+  h.count = 6;
+  h.sum = 0.05;
+  snap.histograms.push_back(h);
+
+  const std::string text = obs::to_prometheus_text(snap);
+  std::vector<Sample> samples;
+  lint_exposition(text, &samples);
+
+  // Names map to the documented prometheus families, with no accidental
+  // double _total suffix on the already-suffixed counter.
+  const char* want[] = {
+      "process_resident_memory_bytes", "process_virtual_memory_bytes",
+      "process_cpu_user_seconds",      "process_cpu_system_seconds",
+      "process_open_fds",              "process_uptime_seconds",
+      "engine_slow_solves_total",      "engine_queue_wait_seconds_count",
+  };
+  for (const char* name : want) {
+    bool found = false;
+    for (const Sample& s : samples) found = found || s.name == name;
+    EXPECT_TRUE(found) << "family missing from exposition: " << name;
+  }
+  EXPECT_EQ(text.find("engine_slow_solves_total_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE engine_queue_wait_seconds histogram"),
+            std::string::npos);
+}
+
 TEST(Prometheus, LiveRegistrySnapshotLints) {
 #if !CUBISG_OBS_ENABLED
   GTEST_SKIP() << "telemetry compiled out (CUBISG_OBS=OFF)";
