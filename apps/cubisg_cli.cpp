@@ -30,9 +30,12 @@
 #include <utility>
 #include <vector>
 
+#include "audit/shadow.hpp"
+#include "audit/verify.hpp"
 #include "behavior/attacker_sim.hpp"
 #include "behavior/scenario.hpp"
 #include "common/budget.hpp"
+#include "common/build_info.hpp"
 #include "common/fault_inject.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -43,6 +46,7 @@
 #include "games/generators.hpp"
 #include "learning/data_io.hpp"
 #include "learning/suqr_mle.hpp"
+#include "obs/audit_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
@@ -66,6 +70,9 @@ using namespace cubisg;
                "                [--epsilon E] [--polish N] [--types N]\n"
                "                [--sections S] [--deadline-ms MS]\n"
                "                [--max-nodes N]\n"
+               "  cubisg verify FILE [--solver NAME] [solve flags]\n"
+               "                (solve, then independently re-verify the\n"
+               "                solution against its certificate)\n"
                "  cubisg compare FILE [--types N]\n"
                "  cubisg eval FILE --coverage x1,x2,...\n"
                "  cubisg patrol FILE [--solver NAME] [--days N] [--seed S]\n"
@@ -82,6 +89,8 @@ using namespace cubisg;
                "                [--queue N]  (shard scenario files — *.scn\n"
                "                or *.txt in DIR, or one path per line in a\n"
                "                manifest — across engine workers)\n"
+               "  cubisg --version     print build provenance (version, git\n"
+               "                sha, compiler, obs/fault-injection flags)\n"
                "\nglobal flags (any command):\n"
                "  --metrics-out FILE   write the metrics registry as JSON\n"
                "  --trace-out FILE     record phase spans; write Chrome\n"
@@ -100,6 +109,13 @@ using namespace cubisg;
                "                       record (served at GET /slowz)\n"
                "  --slow-solve-out FILE  write the flight-recorder ring as\n"
                "                       JSON when the command exits\n"
+               "  --audit-sample N     (serve/batch) shadow-audit every Nth\n"
+               "                       completed solve on a low-priority\n"
+               "                       worker; failures are served at GET\n"
+               "                       /auditz and counted in\n"
+               "                       audit.failures_total\n"
+               "  --audit-out FILE     write the audit-failure ring as JSON\n"
+               "                       when the command exits\n"
                "\nsolve budget (solve/patrol/serve; in serve mode the\n"
                "budget re-arms per request, acting as a watchdog):\n"
                "  --deadline-ms MS     wall-clock budget; on expiry the best\n"
@@ -111,6 +127,12 @@ using namespace cubisg;
                "                       coverage and [lb, ub] still printed\n"
                "  3  infeasible        the model admits no strategy\n"
                "  4  numeric failure   retries exhausted; check the logs\n"
+               "\nverify exit codes (in addition to the above):\n"
+               "  5  audit failure     the independent verifier refuted the\n"
+               "                       solution (bracket, feasibility or\n"
+               "                       worst-case mismatch)\n"
+               "  6  malformed certificate  the certificate is self-\n"
+               "                       inconsistent or for the wrong model\n"
                "\nsolvers:");
   for (const std::string& n : core::solver_names()) {
     std::fprintf(stderr, " %s", n.c_str());
@@ -373,6 +395,58 @@ int cmd_solve(const Args& args) {
                 std::string(to_string(sol.status)).c_str(), sol.lb, sol.ub);
   }
   return exit_code_for(sol.status);
+}
+
+/// Solve-then-audit: runs the requested solver, then hands the solution
+/// and its certificate to the independent verifier (src/audit), which
+/// re-derives feasibility, the worst-case utility and the bracket claims
+/// from the model alone.  Exit code 0 = verified clean, 5 = the verifier
+/// refuted the solution, 6 = the certificate itself is malformed.
+int cmd_verify(const Args& args) {
+  behavior::Scenario scenario = load_or_die(args.file);
+  auto bounds = scenario.make_bounds();
+  core::SolverSpec spec = spec_from(args, scenario);
+  auto solver = core::make_solver(spec);
+  SolveBudget budget;
+  arm_budget_from_flags(args, budget);
+  install_signal_handlers();
+  core::DefenderSolution sol;
+  {
+    BudgetRegistration reg(budget);
+    sol = solver->solve({scenario.game.game, bounds, &budget});
+  }
+  if (!sol.ok() && sol.strategy.empty()) {
+    std::fprintf(stderr, "verify: solve failed: %s\n",
+                 std::string(to_string(sol.status)).c_str());
+    return exit_code_for(sol.status);
+  }
+  const audit::AuditResult result =
+      audit::verify(scenario.game.game, bounds, sol);
+  audit::record_outcome(result, solver->name(), /*job_id=*/0, args.file);
+  std::printf("verify: %s\n",
+              result.ok()
+                  ? "PASS"
+                  : (std::string("FAIL (") +
+                     audit::audit_code_name(result.worst()) + ")")
+                        .c_str());
+  std::printf("  solver:                %s\n", solver->name().c_str());
+  std::printf("  recomputed worst-case: %+.6f (claimed %+.6f)\n",
+              result.recomputed_worst_case, sol.worst_case_utility);
+  if (sol.certificate.has_bracket) {
+    std::printf("  certified bracket:     [%.6f, %.6f] eps=%g K=%d%s\n",
+                sol.certificate.lb, sol.certificate.ub,
+                sol.certificate.epsilon, sol.certificate.segments,
+                sol.certificate.bracket_converged ? " (converged)" : "");
+  }
+  std::printf("  max residual:          %.3e\n", result.max_residual);
+  std::printf("  verify time:           %.2f ms\n",
+              result.verify_seconds * 1e3);
+  for (const audit::AuditFinding& f : result.findings) {
+    std::printf("  finding [%s]: %s (residual %.3e)\n",
+                audit::audit_code_name(f.code), f.detail.c_str(), f.residual);
+  }
+  if (result.ok()) return 0;
+  return result.worst() == audit::AuditCode::kMalformedCertificate ? 6 : 5;
 }
 
 int cmd_compare(const Args& args) {
@@ -652,6 +726,56 @@ engine::EngineOptions engine_options_from(const Args& args) {
   return eopt;
 }
 
+/// Shadow-audit wiring shared by serve and batch: --audit-sample N arms a
+/// ShadowAuditor and hooks it into the engine's completion callback, so
+/// every Nth completed solve is re-verified against its certificate on a
+/// low-priority background worker.  Returns nullptr when the flag is
+/// absent; with the observability layer compiled out the flag warns and
+/// no-ops (there would be no /auditz ring or audit.* metrics to see the
+/// verdicts in), so scripted runs keep working.
+std::unique_ptr<audit::ShadowAuditor> maybe_start_auditor(
+    const Args& args, engine::EngineOptions& eopt) {
+  const long every = args.get_i("audit-sample", 0);
+  if (every <= 0) return nullptr;
+#if CUBISG_OBS_ENABLED
+  audit::ShadowAuditor::Options aopt;
+  aopt.sample_every = static_cast<std::size_t>(every);
+  auto auditor = std::make_unique<audit::ShadowAuditor>(aopt);
+  auditor->start();
+  audit::ShadowAuditor* raw = auditor.get();
+  eopt.on_outcome = [raw](const engine::SolveJob& job,
+                          const engine::JobOutcome& out) {
+    // Only completed solves with a strategy are auditable; failed or
+    // drained jobs are already counted by the serve/batch loop.
+    if (out.status != engine::JobStatus::kCompleted ||
+        out.solution.strategy.empty()) {
+      return;
+    }
+    raw->observe(job.game, job.bounds, out.solution, out.id, out.tag);
+  };
+  std::fprintf(stderr, "shadow audit: verifying every %ldth solve\n",
+               every);
+  return auditor;
+#else
+  std::fprintf(stderr,
+               "warning: --audit-sample ignored (shadow audits need the "
+               "observability layer; built with CUBISG_OBS=OFF)\n");
+  return nullptr;
+#endif
+}
+
+/// Drains the auditor (if armed) and prints its exit summary.
+void finish_auditor(std::unique_ptr<audit::ShadowAuditor>& auditor) {
+  if (auditor == nullptr) return;
+  auditor->stop();
+  std::printf("shadow audit: observed %llu, audited %llu, failures %llu, "
+              "dropped %llu\n",
+              static_cast<unsigned long long>(auditor->observed()),
+              static_cast<unsigned long long>(auditor->audited()),
+              static_cast<unsigned long long>(auditor->failures()),
+              static_cast<unsigned long long>(auditor->dropped()));
+}
+
 /// Registers every engine worker budget in the signal table (SIGINT then
 /// cancels ALL in-flight jobs, not just one) and publishes the engine for
 /// the handler's queue-drain cancel.
@@ -731,7 +855,11 @@ int cmd_serve(const Args& args) {
   std::shared_ptr<const core::DefenderSolver> solver = core::make_solver(spec);
   const long max_solves = args.get_i("solves", 0);  // 0 = until signal
   const long interval_ms = args.get_i("interval-ms", 0);
-  const engine::EngineOptions eopt = engine_options_from(args);
+  engine::EngineOptions eopt = engine_options_from(args);
+  // The auditor outlives the engine: workers invoke the completion hook
+  // until shutdown() joins them.
+  std::unique_ptr<audit::ShadowAuditor> auditor =
+      maybe_start_auditor(args, eopt);
   install_signal_handlers();
   std::printf("serving %s with solver %s (%s, %zu workers)\n",
               args.file.c_str(), solver->name().c_str(),
@@ -786,6 +914,7 @@ int cmd_serve(const Args& args) {
     pending.pop_front();
   }
   eng.shutdown();
+  finish_auditor(auditor);
   std::printf("served %ld solves (%ld failed)\n", stats.done,
               stats.failures);
   return stats.failures == 0 ? 0 : 1;
@@ -848,7 +977,9 @@ int cmd_batch(const Args& args) {
 
   core::SolverSpec spec = base_spec_from(args);
   std::shared_ptr<const core::DefenderSolver> solver = core::make_solver(spec);
-  const engine::EngineOptions eopt = engine_options_from(args);
+  engine::EngineOptions eopt = engine_options_from(args);
+  std::unique_ptr<audit::ShadowAuditor> auditor =
+      maybe_start_auditor(args, eopt);
   install_signal_handlers();
   std::printf("batch: %zu scenario files on %zu workers (solver %s)\n",
               paths.size(), eopt.workers, solver->name().c_str());
@@ -901,6 +1032,7 @@ int cmd_batch(const Args& args) {
     pending.pop_front();
   }
   eng.shutdown();
+  finish_auditor(auditor);
   const double seconds = wall.seconds();
   const long failures = stats.failures + load_failures;
   std::printf("batch done: %zu files, %ld solved ok, %ld failed, "
@@ -916,6 +1048,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "generate") return cmd_generate(args);
   if (cmd == "table1") return cmd_table1(args);
   if (cmd == "solve") return cmd_solve(args);
+  if (cmd == "verify") return cmd_verify(args);
   if (cmd == "compare") return cmd_compare(args);
   if (cmd == "eval") return cmd_eval(args);
   if (cmd == "patrol") return cmd_patrol(args);
@@ -939,6 +1072,7 @@ struct TelemetryOutputs {
   std::string trace_path;
   std::string profile_path;
   std::string slow_path;
+  std::string audit_path;
   bool flushed = false;
 
   /// Returns 1 on I/O failure so a broken path fails the run visibly.
@@ -998,6 +1132,15 @@ struct TelemetryOutputs {
                      slow_path.c_str());
       }
     }
+    if (!audit_path.empty()) {
+      if (!obs::AuditLog::global().write_json(audit_path)) {
+        std::fprintf(stderr, "error: cannot write %s\n", audit_path.c_str());
+        rc = 1;
+      } else {
+        std::fprintf(stderr, "wrote audit failures to %s\n",
+                     audit_path.c_str());
+      }
+    }
     return rc;
   }
 
@@ -1035,15 +1178,28 @@ void maybe_start_exporter(obs::HttpExporter& exporter, const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  // --version takes no value, so it is handled before parse_args (which
+  // requires one after every flag).  The same provenance is exported as
+  // the cubisg_build_info gauge on /metrics and stamped into bench JSON.
+  if (cmd == "--version" || cmd == "version") {
+    std::printf("cubisg %s\n  git sha:         %s\n  compiler:        %s\n"
+                "  obs:             %s\n  fault injection: %s\n",
+                buildinfo::kVersion, buildinfo::kGitSha, buildinfo::kCompiler,
+                std::strcmp(buildinfo::kObsEnabled, "1") == 0 ? "on" : "off",
+                std::strcmp(buildinfo::kFaultInjection, "1") == 0 ? "on"
+                                                                  : "off");
+    return 0;
+  }
   // Test hook: CUBISG_FAULT_INJECT="site[:count[:skip]],..." arms the
   // deterministic fault-injection sites (no-op in production builds).
   faultinject::arm_from_env();
-  const std::string cmd = argv[1];
   Args args = parse_args(argc, argv, 2);
   g_telemetry.metrics_path = args.get("metrics-out", "");
   g_telemetry.trace_path = args.get("trace-out", "");
   g_telemetry.profile_path = args.get("profile-out", "");
   g_telemetry.slow_path = args.get("slow-solve-out", "");
+  g_telemetry.audit_path = args.get("audit-out", "");
   if (!g_telemetry.trace_path.empty()) {
     obs::set_trace_enabled(true);
   }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.hpp"
 #include "obs/metrics.hpp"
 
 namespace cubisg::bench {
@@ -94,8 +95,14 @@ inline bool write_bench_json(const std::string& name,
     std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
     return false;
   }
+  // Provenance: the same sha/compiler identity --version prints, so a
+  // recorded perf trajectory is attributable to the commit that ran it.
   std::string out = "{\"bench\":\"";
   out += name;
+  out += "\",\"git_sha\":\"";
+  out += buildinfo::kGitSha;
+  out += "\",\"compiler\":\"";
+  out += buildinfo::kCompiler;
   out += "\",\"results\":";
   out += results_json.empty() ? "{}" : results_json;
   out += ",\"telemetry\":";

@@ -1,0 +1,121 @@
+#include "audit/shadow.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace cubisg::audit {
+
+namespace {
+
+/// Best effort: demote the audit worker below every solve thread.  The
+/// shadow audit is advisory — losing the scheduling fight is fine, so
+/// failures (unprivileged containers, non-Linux) are ignored.
+void demote_current_thread() {
+#if defined(__linux__)
+  sched_param param{};
+  (void)pthread_setschedparam(pthread_self(), SCHED_IDLE, &param);
+#endif
+}
+
+}  // namespace
+
+ShadowAuditor::ShadowAuditor() : ShadowAuditor(Options{}) {}
+
+ShadowAuditor::ShadowAuditor(Options options) : options_(options) {}
+
+ShadowAuditor::~ShadowAuditor() { stop(); }
+
+void ShadowAuditor::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void ShadowAuditor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+void ShadowAuditor::observe(
+    std::shared_ptr<const games::SecurityGame> game,
+    std::shared_ptr<const behavior::AttractivenessBounds> bounds,
+    const core::DefenderSolution& solution, std::uint64_t job_id,
+    std::string tag) {
+  const std::uint64_t seen =
+      observed_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t every =
+      options_.sample_every == 0 ? 1 : options_.sample_every;
+  if (seen % every != 0) return;
+  if (game == nullptr || bounds == nullptr) return;
+
+  Sample sample;
+  sample.game = std::move(game);
+  sample.bounds = std::move(bounds);
+  sample.solution = solution;  // deliberate copy: audit runs later
+  sample.job_id = job_id;
+  sample.tag = std::move(tag);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_ || stopping_) return;
+    if (queue_.size() >= options_.queue_capacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("audit.dropped_total").add(1);
+      return;
+    }
+    queue_.push_back(std::move(sample));
+  }
+  cv_.notify_one();
+}
+
+void ShadowAuditor::worker_loop() {
+  demote_current_thread();
+  for (;;) {
+    Sample sample;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      sample = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    AuditResult result;
+    try {
+      result = verify(*sample.game, *sample.bounds, sample.solution,
+                      options_.audit);
+    } catch (const std::exception& e) {
+      // The verifier is meant to absorb bad data; an escape is itself an
+      // audit failure worth recording.
+      result.findings.push_back({AuditCode::kMalformedCertificate,
+                                 std::string("verifier threw: ") + e.what(),
+                                 0.0});
+    }
+    audited_.fetch_add(1, std::memory_order_relaxed);
+    if (!result.ok()) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      CUBISG_LOG(LogLevel::kError)
+          << "shadow audit failure (job " << sample.job_id << ", "
+          << sample.solution.certificate.solver
+          << "): " << audit_code_name(result.worst());
+    }
+    record_outcome(result, sample.solution.certificate.solver, sample.job_id,
+                   sample.tag);
+  }
+}
+
+}  // namespace cubisg::audit

@@ -1,0 +1,104 @@
+// Independent solution verifier: re-derives every certificate claim from
+// the model alone and reports typed findings.
+//
+// verify() shares no state with any solver — it reads the SecurityGame,
+// the AttractivenessBounds, the returned strategy and the certificate,
+// and recomputes feasibility (box bounds, sum x_i <= R; slack is legal
+// per Eq. 37) plus the worst-case robust utility over interval corners
+// via the canonical closed-form evaluator in core/worst_case.  Bracket
+// and MILP evidence are checked for internal consistency and against the
+// recomputed value.  This is the audit primitive the shadow auditor
+// (audit/shadow.hpp), the `verify` CLI subcommand, and future
+// differential harnesses (parallel B&B, cache transplant) all share.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/certificate.hpp"
+#include "behavior/bounds.hpp"
+#include "core/solvers.hpp"
+#include "games/security_game.hpp"
+
+namespace cubisg::audit {
+
+/// Typed audit verdicts, ordered by severity (higher = worse).  The CLI
+/// maps these onto exit codes: any kMalformedCertificate finding exits 6,
+/// any other finding exits 5.
+enum class AuditCode : int {
+  kOk = 0,
+  kMilpInconsistent,      ///< B&B incumbent exceeds its proven bound
+  kBracketViolated,       ///< W(x) < lb, or converged bracket wider than eps
+  kWorstCaseMismatch,     ///< recomputed W(x) disagrees with the claim
+  kInfeasibleStrategy,    ///< box or budget violation beyond tolerance
+  kMalformedCertificate,  ///< certificate self-inconsistent or wrong model
+};
+
+/// Stable name ("ok", "malformed-certificate", ...) for logs and JSON.
+const char* audit_code_name(AuditCode code);
+
+/// One failed check.  `residual` is the magnitude of the violation (0 for
+/// structural findings with no natural magnitude).
+struct AuditFinding {
+  AuditCode code = AuditCode::kOk;
+  std::string detail;
+  double residual = 0.0;
+};
+
+struct AuditOptions {
+  /// Box/budget slack: solvers round through K-segment grids and LP
+  /// pivots, so exact feasibility is not expected.
+  double feasibility_tol = 1e-6;
+  /// Recomputed-vs-claimed worst case.  The claim comes from the same
+  /// closed-form evaluator, so disagreement means the strategy or the
+  /// certificate changed after finalize_solution.
+  double value_tol = 1e-6;
+  /// Bracket checks: W(x) >= lb - tol and incumbent <= bound + tol.
+  double bracket_tol = 1e-6;
+  /// The K-segment linearization lets lb overstate W(x) by O(1/K); the
+  /// allowance is factor * payoff_scale / K (matches the convergence
+  /// tests' generous estimate of the Theorem 1 constant).
+  double linearization_slack_factor = 10.0;
+};
+
+/// Verifier outcome: empty findings = the solution checks out.
+struct AuditResult {
+  std::vector<AuditFinding> findings;
+  double recomputed_worst_case = 0.0;
+  /// Largest residual observed across every check, including checks that
+  /// passed — a health margin even when ok().
+  double max_residual = 0.0;
+  double verify_seconds = 0.0;
+
+  bool ok() const { return findings.empty(); }
+  /// kOk when clean, else the most severe finding's code.
+  AuditCode worst() const;
+  std::string to_json() const;
+};
+
+/// Re-derives everything from the model and checks it against `solution`
+/// and `certificate`.  Never throws on bad data — malformed input becomes
+/// a kMalformedCertificate / kInfeasibleStrategy finding.
+AuditResult verify(const games::SecurityGame& game,
+                   const behavior::AttractivenessBounds& bounds,
+                   const core::DefenderSolution& solution,
+                   const SolutionCertificate& certificate,
+                   const AuditOptions& options = {});
+
+/// Convenience overload using the certificate embedded in the solution.
+AuditResult verify(const games::SecurityGame& game,
+                   const behavior::AttractivenessBounds& bounds,
+                   const core::DefenderSolution& solution,
+                   const AuditOptions& options = {});
+
+/// Publishes a verify outcome: bumps audit.checks_total /
+/// audit.failures_total, keeps the audit.max_residual high-water gauge
+/// and the audit.verify_seconds histogram, and on failure deposits a
+/// record into obs::AuditLog::global() (served at GET /auditz).  Returns
+/// the AuditLog record id (0 when ok or observability is compiled out).
+std::int64_t record_outcome(const AuditResult& result,
+                            const std::string& solver, std::uint64_t job_id,
+                            const std::string& tag);
+
+}  // namespace cubisg::audit

@@ -16,6 +16,8 @@ const char* const kSiteNames[kSiteCount] = {
     "lu-factorize",     "simplex-deadline", "milp-deadline",
     "cubis-deadline",   "step-infeasible",  "step-alloc",
     "model-io",         "pool-submit",      "warm-start-reject",
+    "audit-corrupt-solution",
+    "audit-corrupt-certificate",
 };
 
 struct SiteState {

@@ -39,6 +39,8 @@ enum class Site : int {
   kModelIo,              ///< model/scenario file open fails
   kPoolSubmit,           ///< ThreadPool::submit throws PoolShutdownError
   kWarmStartReject,      ///< simplex treats a hinted basis as invalid
+  kAuditCorruptSolution,     ///< finalize corrupts one strategy coordinate
+  kAuditCorruptCertificate,  ///< finalize inverts the certified bracket
   kCount,                ///< sentinel, keep last
 };
 

@@ -107,6 +107,9 @@ StepResult extract_step_result(const milp::MilpSolution& sol,
                                const CubisOptions& opt) {
   StepResult out;
   out.milp_nodes = sol.nodes;
+  out.from_milp = true;
+  out.milp_incumbent = sol.has_solution() ? sol.objective : 0.0;
+  out.milp_bound = sol.best_bound;
   if (sol.status == SolverStatus::kEarlyPositive ||
       ((sol.status == SolverStatus::kOptimal ||
         sol.status == SolverStatus::kIterLimit ||
@@ -443,6 +446,12 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
     if (highest_feasible >= 0) {
       lo = cs[highest_feasible];
       best_x = results[highest_feasible].x;
+      // Certificate evidence from the step that proved this lb.
+      const StepResult& winner = results[highest_feasible];
+      sol.certificate.has_milp = winner.from_milp;
+      sol.certificate.milp_incumbent = winner.milp_incumbent;
+      sol.certificate.milp_bound = winner.milp_bound;
+      sol.certificate.milp_nodes = winner.milp_nodes;
     }
     if (lowest_infeasible < sections) {
       hi = cs[lowest_infeasible];
@@ -528,6 +537,25 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
   sol.solver_objective = lo;
   sol.status = final_status;
   sol.telemetry = scope.finish();
+  // Bracket + per-round sign evidence for the independent verifier
+  // (audit::verify).  Rounds mirror the report trajectory, which records
+  // the bracket after each multisection round unconditionally — the base
+  // claims (residuals, claimed worst case) are filled by
+  // finalize_solution below, after which nothing may change.
+  {
+    audit::SolutionCertificate& cert = sol.certificate;
+    cert.solver = name();
+    cert.has_bracket = true;
+    cert.bracket_converged = final_status == SolverStatus::kOptimal;
+    cert.epsilon = opt_.epsilon;
+    cert.segments = static_cast<int>(opt_.segments);
+    cert.lb = lo;
+    cert.ub = hi;
+    cert.rounds.reserve(report.trajectory.size());
+    for (const obs::BinarySearchRound& r : report.trajectory) {
+      cert.rounds.push_back({r.lo, r.hi, r.feasible, r.infeasible});
+    }
+  }
   finalize_solution(ctx, sol, timer.seconds());
 #if CUBISG_OBS_ENABLED
   // Publish the convergence report (served live at GET /solvez).  The

@@ -1,7 +1,9 @@
 #include "core/solvers.hpp"
 
+#include <algorithm>
 #include <string>
 
+#include "common/fault_inject.hpp"
 #include "common/timer.hpp"
 #include "core/worst_case.hpp"
 #include "games/strategy_space.hpp"
@@ -15,6 +17,42 @@ void finalize_solution(const SolveContext& ctx, DefenderSolution& sol,
   if (!sol.strategy.empty()) {
     sol.worst_case_utility =
         worst_case_utility(ctx.game, ctx.bounds, sol.strategy);
+  }
+  // Base certificate: every solver family carries enough evidence for
+  // audit::verify to re-check feasibility and the realized worst case.
+  audit::SolutionCertificate& cert = sol.certificate;
+  cert.present = true;
+  cert.targets = ctx.game.num_targets();
+  cert.resources = ctx.game.resources();
+  cert.claimed_worst_case = sol.worst_case_utility;
+  double sum = 0.0;
+  double box = 0.0;
+  for (double xi : sol.strategy) {
+    sum += xi;
+    box = std::max(box, std::max(-xi, xi - 1.0));
+  }
+  cert.box_residual = std::max(0.0, box);
+  cert.budget_residual = std::max(0.0, sum - ctx.game.resources());
+  // Injected corruptions, AFTER the claims above are recorded, so the
+  // independent verifier must catch the disagreement (end-to-end audit
+  // detection tests + CI smoke).
+  if (!sol.strategy.empty() &&
+      faultinject::should_fail(
+          faultinject::Site::kAuditCorruptSolution)) {
+    // Move coordinate 0 by 0.4 away from its nearest box edge: always a
+    // real change (never clamped into a no-op), so the recomputed worst
+    // case cannot match the claim.
+    double& x0 = sol.strategy.front();
+    x0 += x0 > 0.5 ? -0.4 : 0.4;
+  }
+  if (faultinject::should_fail(
+          faultinject::Site::kAuditCorruptCertificate)) {
+    // Invert the bracket: structurally malformed evidence.
+    cert.has_bracket = true;
+    cert.epsilon = cert.epsilon > 0.0 ? cert.epsilon : 1e-3;
+    cert.segments = std::max(cert.segments, 1);
+    cert.lb = cert.ub + 1.0;
+    cert.rounds.clear();
   }
   // Per-terminal-status counters: one family keyed by status name plus
   // dedicated totals for the two budget outcomes dashboards alert on.
@@ -36,6 +74,7 @@ DefenderSolution UniformSolver::solve(const SolveContext& ctx) const {
                                          ctx.game.resources());
   sol.status = SolverStatus::kOptimal;
   sol.solver_objective = 0.0;
+  sol.certificate.solver = name();
   finalize_solution(ctx, sol, timer.seconds());
   return sol;
 }

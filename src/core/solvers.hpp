@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/certificate.hpp"
 #include "behavior/bounds.hpp"
 #include "common/budget.hpp"
 #include "common/errors.hpp"
@@ -64,6 +65,10 @@ struct DefenderSolution {
   /// Registry delta covering this solve (empty when the solver predates
   /// instrumentation or observability is compiled out).
   obs::SolveTelemetry telemetry;
+  /// Solver-emitted evidence for audit::verify.  finalize_solution fills
+  /// the base claims (shape, residuals, claimed worst case) for every
+  /// solver; CUBIS adds bracket/round/MILP evidence before finalizing.
+  audit::SolutionCertificate certificate;
 
   bool ok() const { return status == SolverStatus::kOptimal; }
 };
@@ -86,7 +91,10 @@ class UniformSolver final : public DefenderSolver {
   DefenderSolution solve(const SolveContext& ctx) const override;
 };
 
-/// Fills a solution's evaluation fields (worst-case utility) and clock.
+/// Fills a solution's evaluation fields (worst-case utility), the base
+/// certificate claims (model shape, feasibility residuals, claimed worst
+/// case) and the clock.  Solver-specific certificate evidence (bracket,
+/// rounds, MILP pair) must be set before calling this.
 void finalize_solution(const SolveContext& ctx, DefenderSolution& sol,
                        double seconds);
 

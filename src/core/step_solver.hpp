@@ -32,6 +32,11 @@ struct StepResult {
   double objective = 0.0;      ///< max sum_i phi_i(x_i)
   std::vector<double> x;       ///< maximizing coverage vector
   std::int64_t milp_nodes = 0;
+  /// Branch-and-bound evidence (kMilp backend only): the incumbent and
+  /// its proven bound, carried into the solution certificate.
+  bool from_milp = false;
+  double milp_incumbent = 0.0;
+  double milp_bound = 0.0;
 };
 
 /// Exact DP solver over coverage units of 1/K.  When resources * segments

@@ -264,6 +264,13 @@ JobOutcome SolveEngine::execute(Item& item, std::size_t index,
     recorder.record(std::move(entry));
   }
 #endif
+  if (opt_.on_outcome) {
+    try {
+      opt_.on_outcome(item.job, out);
+    } catch (...) {
+      // Observers are advisory: a throwing hook must not fail the job.
+    }
+  }
   return out;
 }
 

@@ -49,6 +49,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -65,13 +66,22 @@
 
 namespace cubisg::engine {
 
-/// Engine sizing.  Both knobs are fixed at construction.
+struct SolveJob;
+struct JobOutcome;
+
+/// Engine sizing.  All knobs are fixed at construction.
 struct EngineOptions {
   std::size_t workers = 1;         ///< worker threads (min 1)
   std::size_t queue_capacity = 64; ///< jobs waiting beyond the workers
   /// Applied to jobs that do not set their own (0 = unbudgeted).
   double default_deadline_seconds = 0.0;
   std::int64_t default_max_nodes = 0;
+  /// Invoked on the worker thread after a job's outcome is built (any
+  /// status except jobs drained as kCancelled without starting), before
+  /// the future is fulfilled.  serve/batch wire the shadow auditor's
+  /// observe() here.  Must be cheap; exceptions are swallowed — the
+  /// engine stays audit-free, observers are advisory.  Null = disabled.
+  std::function<void(const SolveJob&, const JobOutcome&)> on_outcome;
 };
 
 /// One solve request.  shared_ptr ownership keeps the problem alive for

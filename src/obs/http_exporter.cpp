@@ -23,6 +23,8 @@
 #include <cstring>
 #include <thread>
 
+#include "common/build_info.hpp"
+#include "obs/audit_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/process_metrics.hpp"
 #include "obs/profiler.hpp"
@@ -33,6 +35,24 @@
 namespace cubisg::obs {
 
 namespace {
+
+/// `cubisg_build_info{...} 1` — the standard Prometheus idiom for build
+/// provenance: a constant gauge whose labels carry the sha/compiler/flag
+/// identity of the running binary.  Appended by hand because the registry
+/// is label-free by design.
+std::string build_info_exposition() {
+  std::string out = "# TYPE cubisg_build_info gauge\ncubisg_build_info{";
+  out += "version=\"" +
+         prometheus_escape_label(buildinfo::kVersion) + "\",";
+  out += "git_sha=\"" + prometheus_escape_label(buildinfo::kGitSha) + "\",";
+  out += "compiler=\"" +
+         prometheus_escape_label(buildinfo::kCompiler) + "\",";
+  out += "obs=\"" + prometheus_escape_label(buildinfo::kObsEnabled) + "\",";
+  out += "fault_injection=\"" +
+         prometheus_escape_label(buildinfo::kFaultInjection) + "\"";
+  out += "} 1\n";
+  return out;
+}
 
 /// Exporter self-metrics (they show up in /metrics like everything else).
 struct ExporterMetrics {
@@ -158,7 +178,7 @@ void handle_connection(int fd) {
   } else if (target == "/metrics") {
     const auto t0 = std::chrono::steady_clock::now();
     update_process_metrics();  // process_* gauges are scrape-time lazy
-    const std::string body =
+    const std::string body = build_info_exposition() +
         to_prometheus_text(Registry::global().snapshot());
     ExporterMetrics::get().scrape_seconds.record(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -172,12 +192,15 @@ void handle_connection(int fd) {
   } else if (target == "/slowz") {
     send_response(fd, "200 OK", "application/json",
                   FlightRecorder::global().to_json());
+  } else if (target == "/auditz") {
+    send_response(fd, "200 OK", "application/json",
+                  AuditLog::global().to_json());
   } else if (target == "/profilez") {
     handle_profilez(fd, query_string);
   } else {
     send_response(
         fd, "404 Not Found", "text/plain",
-        "unknown path (try /metrics, /healthz, /solvez, /slowz, "
+        "unknown path (try /metrics, /healthz, /solvez, /slowz, /auditz, "
         "/profilez?seconds=N)\n");
   }
   ::close(fd);

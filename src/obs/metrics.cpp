@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 namespace cubisg::obs {
@@ -148,6 +150,21 @@ struct Registry::Impl {
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  /// Metric-family hygiene: every registered name maps to exactly one
+  /// kind.  Before this map, registering "x" as a counter and again as a
+  /// gauge silently created two families that collapsed onto one
+  /// exposition name — the serializer dropped whichever sorted second.
+  std::map<std::string, const char*> kinds;
+
+  /// Records `name` as `kind`; throws std::logic_error on a conflict.
+  /// Call with `mutex` held.
+  void check_kind(const std::string& name, const char* kind) {
+    auto [it, inserted] = kinds.emplace(name, kind);
+    if (!inserted && std::strcmp(it->second, kind) != 0) {
+      throw std::logic_error("metric '" + name + "' already registered as " +
+                             it->second + ", cannot re-register as " + kind);
+    }
+  }
 };
 
 Registry::Impl& Registry::impl() const {
@@ -166,6 +183,7 @@ Registry& Registry::global() {
 Counter& Registry::counter(const std::string& name) {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mutex);
+  im.check_kind(name, "counter");
   auto& slot = im.counters[name];
   if (!slot) slot.reset(new Counter(name));
   return *slot;
@@ -174,6 +192,7 @@ Counter& Registry::counter(const std::string& name) {
 Gauge& Registry::gauge(const std::string& name) {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mutex);
+  im.check_kind(name, "gauge");
   auto& slot = im.gauges[name];
   if (!slot) slot.reset(new Gauge(name));
   return *slot;
@@ -183,6 +202,7 @@ Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> bounds) {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mutex);
+  im.check_kind(name, "histogram");
   auto& slot = im.histograms[name];
   if (!slot) slot.reset(new Histogram(name, std::move(bounds)));
   return *slot;

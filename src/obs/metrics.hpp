@@ -185,6 +185,11 @@ struct MetricsSnapshot {
 
 /// Name -> metric map.  References returned are stable for the process
 /// lifetime; instrumentation sites cache them in function-local statics.
+///
+/// Each name belongs to exactly one metric kind: re-registering an
+/// existing name as a different kind throws std::logic_error instead of
+/// silently creating a second family that would collapse onto the same
+/// exposition name (and be dropped by the Prometheus serializer).
 class Registry {
  public:
   static Registry& global();

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/audit_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
@@ -271,6 +272,53 @@ TEST_F(HttpExporterFixture, SlowzServesFlightRecorderJson) {
   EXPECT_NE(resp.body.find("\"http-slow-test\""), std::string::npos);
   EXPECT_NE(resp.body.find("\"cubis.solve\""), std::string::npos);
   rec.clear();
+}
+
+TEST_F(HttpExporterFixture, AuditzServesFailureRing) {
+  obs::AuditLog& log = obs::AuditLog::global();
+  log.clear();
+  obs::AuditRecord rec;
+  rec.job_id = 42;
+  rec.tag = "http-audit-test";
+  rec.solver = "cubis";
+  rec.worst_code = "worst-case-mismatch";
+  rec.detail = "claimed -1.25 but recomputed -1.75";
+  rec.findings = 1;
+  rec.max_residual = 0.5;
+  rec.recomputed_worst_case = -1.75;
+  rec.verify_seconds = 0.002;
+  ASSERT_GT(log.record(std::move(rec)), 0);
+
+  const HttpResponse resp = http_get(server_.port(), "/auditz");
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.headers.find("application/json"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"failures\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"job_id\":42"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"http-audit-test\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"worst-case-mismatch\""), std::string::npos);
+  log.clear();
+}
+
+TEST_F(HttpExporterFixture, MetricsCarriesBuildInfo) {
+  const HttpResponse resp = http_get(server_.port(), "/metrics");
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.status, 200);
+  // Provenance gauge: constant 1 with the build stamped into labels, so
+  // any scrape ties a metrics series back to an exact binary.
+  EXPECT_NE(resp.body.find("# TYPE cubisg_build_info gauge"),
+            std::string::npos);
+  const std::size_t pos = resp.body.find("cubisg_build_info{");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t eol = resp.body.find('\n', pos);
+  ASSERT_NE(eol, std::string::npos);
+  const std::string line = resp.body.substr(pos, eol - pos);
+  EXPECT_NE(line.find("version=\""), std::string::npos);
+  EXPECT_NE(line.find("git_sha=\""), std::string::npos);
+  EXPECT_TRUE(line.size() >= 2 &&
+              line.compare(line.size() - 2, 2, " 1") == 0)
+      << line;
+  check_exposition_consistent(resp.body);
 }
 
 TEST_F(HttpExporterFixture, MetricsRefreshesProcessGauges) {

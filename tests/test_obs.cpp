@@ -8,6 +8,7 @@
 #include <chrono>
 #include <future>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -133,6 +134,37 @@ TEST(Metrics, JsonContainsAllThreeKinds) {
   EXPECT_NE(json.find("\"test.json_histogram\""), std::string::npos);
   EXPECT_NE(json.find("\"bounds\""), std::string::npos);
   EXPECT_NE(json.find("\"counts\""), std::string::npos);
+}
+
+TEST(Metrics, SameKindReRegistrationReturnsTheSameMetric) {
+  // Registration is independent of the recording switch, so no OBS skip.
+  obs::Counter& a = obs::Registry::global().counter("test.kind_stable");
+  obs::Counter& b = obs::Registry::global().counter("test.kind_stable");
+  EXPECT_EQ(&a, &b);
+  obs::Histogram& h1 =
+      obs::Registry::global().histogram("test.kind_stable_hist", {1.0, 2.0});
+  // Bounds are first-registration-wins; re-registering is still the same
+  // family, not a conflict.
+  obs::Histogram& h2 =
+      obs::Registry::global().histogram("test.kind_stable_hist", {9.0});
+  EXPECT_EQ(&h1, &h2);
+  ASSERT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(Metrics, CrossKindReRegistrationThrows) {
+  // A name silently shadowed across kinds used to collapse onto one
+  // Prometheus family and drop whichever sorted second; now it is a
+  // programming error surfaced at registration time.
+  obs::Registry::global().counter("test.kind_conflict");
+  EXPECT_THROW(obs::Registry::global().gauge("test.kind_conflict"),
+               std::logic_error);
+  EXPECT_THROW(obs::Registry::global().histogram("test.kind_conflict"),
+               std::logic_error);
+  obs::Registry::global().gauge("test.kind_conflict_gauge");
+  EXPECT_THROW(obs::Registry::global().counter("test.kind_conflict_gauge"),
+               std::logic_error);
+  // The original registration keeps working after a rejected conflict.
+  EXPECT_NO_THROW(obs::Registry::global().counter("test.kind_conflict"));
 }
 
 TEST(Trace, NestedSpansRecordDepthAndContainment) {

@@ -329,6 +329,44 @@ TEST(Prometheus, NewObservabilityFamiliesLintClean) {
             std::string::npos);
 }
 
+// Satellite lint: the audit.* families added by the certificate/verifier
+// PR must serialize promtool-clean too — counters keep a single _total,
+// the residual gauge and verify-latency histogram obey the bucket
+// invariants.  Hand-built snapshot so the check runs with CUBISG_OBS=OFF.
+TEST(Prometheus, AuditFamiliesLintClean) {
+  obs::MetricsSnapshot snap;
+  snap.counters.push_back({"audit.checks_total", 128});
+  snap.counters.push_back({"audit.failures_total", 1});
+  snap.counters.push_back({"audit.dropped_total", 0});
+  snap.gauges.push_back({"audit.max_residual", 3.1e-12});
+  obs::HistogramSnapshot h;
+  h.name = "audit.verify_seconds";
+  h.bounds = {0.0001, 0.001, 0.01, 0.1};
+  h.counts = {90, 30, 7, 1, 0};
+  h.count = 128;
+  h.sum = 0.42;
+  snap.histograms.push_back(h);
+
+  const std::string text = obs::to_prometheus_text(snap);
+  std::vector<Sample> samples;
+  lint_exposition(text, &samples);
+
+  const char* want[] = {
+      "audit_checks_total",        "audit_failures_total",
+      "audit_dropped_total",       "audit_max_residual",
+      "audit_verify_seconds_count",
+  };
+  for (const char* name : want) {
+    bool found = false;
+    for (const Sample& s : samples) found = found || s.name == name;
+    EXPECT_TRUE(found) << "family missing from exposition: " << name;
+  }
+  // Already-suffixed counters must not get a second _total.
+  EXPECT_EQ(text.find("_total_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE audit_verify_seconds histogram"),
+            std::string::npos);
+}
+
 TEST(Prometheus, LiveRegistrySnapshotLints) {
 #if !CUBISG_OBS_ENABLED
   GTEST_SKIP() << "telemetry compiled out (CUBISG_OBS=OFF)";
