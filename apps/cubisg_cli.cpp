@@ -39,9 +39,13 @@
 #include "common/fault_inject.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include <set>
+
 #include "core/registry.hpp"
 #include "core/worst_case.hpp"
 #include "engine/engine.hpp"
+#include "engine/journal.hpp"
+#include "engine/process_pool.hpp"
 #include "games/comb_sampling.hpp"
 #include "games/generators.hpp"
 #include "learning/data_io.hpp"
@@ -83,12 +87,19 @@ using namespace cubisg;
                "  cubisg report FILE [--out REPORT.md]\n"
                "  cubisg serve FILE [--solver NAME] [--solves N]\n"
                "                [--interval-ms M] [--workers N] [--queue N]\n"
+               "                [--isolate 0|1] [--retries N]\n"
                "                (solve loop on the concurrent engine; keeps\n"
                "                the process alive for /metrics scraping)\n"
                "  cubisg batch DIR|MANIFEST [--solver NAME] [--workers N]\n"
-               "                [--queue N]  (shard scenario files — *.scn\n"
+               "                [--queue N] [--isolate 0|1] [--retries N]\n"
+               "                [--journal FILE] [--resume 0|1]\n"
+               "                (shard scenario files — *.scn\n"
                "                or *.txt in DIR, or one path per line in a\n"
-               "                manifest — across engine workers)\n"
+               "                manifest — across engine workers; malformed\n"
+               "                entries are skipped and counted, SIGINT\n"
+               "                prints a partial summary and exits 2, and\n"
+               "                --journal/--resume skip already-completed\n"
+               "                jobs after a crash or interrupt)\n"
                "  cubisg --version     print build provenance (version, git\n"
                "                sha, compiler, obs/fault-injection flags)\n"
                "\nglobal flags (any command):\n"
@@ -121,12 +132,35 @@ using namespace cubisg;
                "  --deadline-ms MS     wall-clock budget; on expiry the best\n"
                "                       incumbent + certified bracket return\n"
                "  --max-nodes N        cap total branch-and-bound nodes\n"
+               "\ncrash containment (serve/batch):\n"
+               "  --isolate 0|1        run each solve in a forked worker\n"
+               "                       process: a crashing solve is retried\n"
+               "                       on a respawned worker instead of\n"
+               "                       taking the service down (POSIX +\n"
+               "                       CUBISG_OBS=ON builds; degrades to\n"
+               "                       threads with a warning elsewhere);\n"
+               "                       live worker state at GET /workersz\n"
+               "  --retries N          extra attempts per job on transient\n"
+               "                       failures (numeric trouble, crashes);\n"
+               "                       deterministic failures never retry\n"
+               "  --max-crashes N      worker crashes one job may absorb\n"
+               "                       before quarantine (default 2)\n"
+               "  --journal FILE       (batch) append-only fsynced progress\n"
+               "                       journal, one record per finished job\n"
+               "  --resume 0|1         (batch) skip jobs the journal already\n"
+               "                       records as completed\n"
                "\nsolve exit codes:\n"
                "  0  optimal           solved to the requested epsilon\n"
                "  2  budget stop       deadline/cancel/cap hit; incumbent\n"
                "                       coverage and [lb, ub] still printed\n"
                "  3  infeasible        the model admits no strategy\n"
                "  4  numeric failure   retries exhausted; check the logs\n"
+               "\nbatch exit codes:\n"
+               "  0  every job solved  (resumed jobs count as solved)\n"
+               "  1  some jobs failed, were skipped or were quarantined\n"
+               "  2  interrupted       SIGINT/SIGTERM; journal flushed and\n"
+               "                       partial summary printed — rerun with\n"
+               "                       --resume to pick up where it stopped\n"
                "\nverify exit codes (in addition to the above):\n"
                "  5  audit failure     the independent verifier refuted the\n"
                "                       solution (bracket, feasibility or\n"
@@ -723,6 +757,15 @@ engine::EngineOptions engine_options_from(const Args& args) {
       std::max<long>(1, args.get_i("queue", 64)));
   eopt.default_deadline_seconds = args.get_d("deadline-ms", 0.0) * 1e-3;
   eopt.default_max_nodes = args.get_i("max-nodes", 0);
+  if (args.get_i("isolate", 0) != 0) {
+    eopt.isolation = engine::IsolationMode::kProcess;
+  }
+  // --retries N = extra attempts beyond the first; the engine retries
+  // only transient failures, so deterministic errors still fail fast.
+  eopt.retry.max_attempts =
+      1 + static_cast<int>(std::max<long>(0, args.get_i("retries", 0)));
+  eopt.retry.max_crashes =
+      static_cast<int>(std::max<long>(0, args.get_i("max-crashes", 2)));
   return eopt;
 }
 
@@ -800,38 +843,94 @@ class EngineSignalHookup {
 struct OutcomeStats {
   long done = 0;
   long failures = 0;
+  long cancelled = 0;  ///< of the failures, jobs drained after SIGINT
 };
+
+/// Canonical digest of a solution for the batch journal: FNV-1a 64 over
+/// the solution's wire bytes with everything run-specific zeroed (job
+/// id, wall clocks, telemetry), so the same scenario solved in different
+/// runs digests identically — the property the resume-idempotence tests
+/// assert.
+std::uint64_t solution_digest(const core::DefenderSolution& solution) {
+  engine::ResultFrame frame;
+  frame.id = 0;
+  frame.solution = solution;
+  frame.solution.wall_seconds = 0.0;
+  frame.solution.telemetry = {};
+  const std::string bytes = engine::encode_result(frame);
+  return engine::fnv1a64(bytes.data(), bytes.size());
+}
 
 void reap_outcome(long index, const std::string& label,
                   std::future<engine::JobOutcome>& fut, OutcomeStats& stats,
-                  obs::Counter& errors) {
+                  obs::Counter& errors,
+                  engine::BatchJournal* journal = nullptr) {
   engine::JobOutcome out = fut.get();
   ++stats.done;
-  if (out.status == engine::JobStatus::kCompleted) {
-    if (!out.solution.ok()) {
+  // A retried or crash-surviving job annotates its line so the recovery
+  // is visible without grepping worker logs.
+  char recovery[64] = "";
+  if (out.attempts > 1 || out.crashes > 0) {
+    std::snprintf(recovery, sizeof recovery, " attempts=%d crashes=%d",
+                  out.attempts, out.crashes);
+  }
+  const char* journal_status = nullptr;  // null = do not journal
+  std::uint64_t digest = 0;
+  switch (out.status) {
+    case engine::JobStatus::kCompleted:
+      if (!out.solution.ok()) {
+        ++stats.failures;
+        errors.add(1);
+      }
+      std::printf("%s %ld: status=%s worst-case=%+.4f gap=%.2e "
+                  "wall=%.1fms%s\n",
+                  label.c_str(), index,
+                  std::string(to_string(out.solution.status)).c_str(),
+                  out.solution.worst_case_utility,
+                  out.solution.ub - out.solution.lb,
+                  out.solution.wall_seconds * 1e3, recovery);
+      // Only a clean optimal solve earns an "ok" (resume skips those);
+      // budget stops and cancelled incumbents are re-attempted.
+      journal_status = out.solution.ok() ? "ok" : "failed";
+      digest = solution_digest(out.solution);
+      break;
+    case engine::JobStatus::kFailed:
       ++stats.failures;
       errors.add(1);
-    }
-    std::printf("%s %ld: status=%s worst-case=%+.4f gap=%.2e "
-                "wall=%.1fms\n",
-                label.c_str(), index,
-                std::string(to_string(out.solution.status)).c_str(),
-                out.solution.worst_case_utility,
-                out.solution.ub - out.solution.lb,
-                out.solution.wall_seconds * 1e3);
-  } else if (out.status == engine::JobStatus::kFailed) {
-    ++stats.failures;
-    errors.add(1);
-    std::printf("%s %ld: ERROR %s (continuing)\n", label.c_str(), index,
-                out.error.c_str());
-  } else {
-    ++stats.failures;
-    errors.add(1);
-    std::printf("%s %ld: status=cancelled (drained before start)\n",
-                label.c_str(), index);
+      std::printf("%s %ld: ERROR %s (continuing)%s\n", label.c_str(), index,
+                  out.error.c_str(), recovery);
+      journal_status = "failed";
+      break;
+    case engine::JobStatus::kWorkerCrashed:
+      ++stats.failures;
+      errors.add(1);
+      std::printf("%s %ld: WORKER CRASHED %s (continuing)%s\n",
+                  label.c_str(), index, out.error.c_str(), recovery);
+      journal_status = "crashed";
+      break;
+    case engine::JobStatus::kQuarantined:
+      ++stats.failures;
+      errors.add(1);
+      std::printf("%s %ld: QUARANTINED %s%s\n", label.c_str(), index,
+                  out.error.c_str(), recovery);
+      journal_status = "quarantined";
+      break;
+    case engine::JobStatus::kCancelled:
+      ++stats.failures;
+      ++stats.cancelled;
+      errors.add(1);
+      std::printf("%s %ld: status=cancelled (drained before start)\n",
+                  label.c_str(), index);
+      // Deliberately not journaled: a cancelled job was never attempted,
+      // so --resume must re-solve it.
+      break;
   }
   if (!out.tag.empty() && out.status != engine::JobStatus::kCompleted) {
     std::printf("  ^ %s\n", out.tag.c_str());
+  }
+  if (journal != nullptr && journal->is_open() && journal_status != nullptr &&
+      !out.tag.empty()) {
+    journal->record(out.tag, digest, journal_status);
   }
   std::fflush(stdout);
 }
@@ -892,6 +991,7 @@ int cmd_serve(const Args& args) {
     engine::SolveJob job;
     job.game = game_sp;
     job.bounds = bounds_sp;
+    job.scenario = scenario_sp;  // process isolation ships the text form
     try {
       std::future<engine::JobOutcome> fut = eng.submit(std::move(job));
       ++submitted;
@@ -985,6 +1085,40 @@ int cmd_batch(const Args& args) {
               paths.size(), eopt.workers, solver->name().c_str());
   obs::Counter& errors =
       obs::Registry::global().counter("solve.errors_total");
+  obs::Counter& skipped_counter =
+      obs::Registry::global().counter("batch.jobs_skipped_total");
+
+  // --resume: jobs a previous run's journal marks "ok" are not re-solved.
+  // failed/crashed/quarantined records are informational only — those
+  // jobs get another chance.  A missing/unreadable journal is a fresh
+  // start, not an error.
+  const std::string journal_path = args.get("journal", "");
+  std::set<std::string> already_done;
+  if (args.get_i("resume", 0) != 0) {
+    if (journal_path.empty()) usage("batch: --resume requires --journal");
+    std::vector<engine::JournalEntry> entries;
+    std::string jerr;
+    std::size_t torn = 0;
+    if (engine::BatchJournal::load(journal_path, entries, jerr, &torn)) {
+      for (const engine::JournalEntry& e : entries) {
+        if (e.status == "ok") already_done.insert(e.tag);
+      }
+      std::printf("resume: journal %s has %zu completed jobs"
+                  " (%zu malformed lines tolerated)\n",
+                  journal_path.c_str(), already_done.size(), torn);
+    } else {
+      std::fprintf(stderr, "warning: %s; starting fresh\n", jerr.c_str());
+    }
+  }
+  engine::BatchJournal journal;
+  if (!journal_path.empty()) {
+    std::string jerr;
+    if (!journal.open(journal_path, jerr)) {
+      std::fprintf(stderr, "error: %s\n", jerr.c_str());
+      return 1;
+    }
+  }
+  engine::BatchJournal* journal_ptr = journal.is_open() ? &journal : nullptr;
 
   engine::SolveEngine eng(solver, eopt);
   EngineSignalHookup hookup(eng);
@@ -993,9 +1127,14 @@ int cmd_batch(const Args& args) {
   std::deque<std::pair<long, std::future<engine::JobOutcome>>> pending;
   OutcomeStats stats;
   long submitted = 0;
-  long load_failures = 0;
+  long skipped = 0;
+  long resumed = 0;
   for (const std::string& path : paths) {
     if (g_interrupted.load()) break;
+    if (already_done.count(path) != 0) {
+      ++resumed;
+      continue;
+    }
     engine::SolveJob job;
     try {
       auto scn = std::make_shared<behavior::Scenario>(
@@ -1004,9 +1143,13 @@ int cmd_batch(const Args& args) {
           scn->make_bounds());
       job.game = std::shared_ptr<const games::SecurityGame>(
           scn, &scn->game.game);
+      job.scenario = scn;  // process isolation ships the text form
     } catch (const std::exception& e) {
-      ++load_failures;
-      std::printf("batch %s: LOAD ERROR %s (continuing)\n", path.c_str(),
+      // Malformed/truncated entry: skip it — typed, counted, visible in
+      // the summary — instead of failing or aborting the batch.
+      ++skipped;
+      skipped_counter.add(1);
+      std::printf("batch %s: SKIPPED (parse error: %s)\n", path.c_str(),
                   e.what());
       continue;
     }
@@ -1022,26 +1165,43 @@ int cmd_batch(const Args& args) {
     }
     while (pending.size() >= window) {
       reap_outcome(pending.front().first, "batch", pending.front().second,
-                   stats, errors);
+                   stats, errors, journal_ptr);
       pending.pop_front();
     }
   }
   while (!pending.empty()) {
     reap_outcome(pending.front().first, "batch", pending.front().second,
-                 stats, errors);
+                 stats, errors, journal_ptr);
     pending.pop_front();
   }
   eng.shutdown();
+  journal.close();  // final fsync before the summary claims durability
   finish_auditor(auditor);
   const double seconds = wall.seconds();
-  const long failures = stats.failures + load_failures;
+  const long solved_ok = stats.done - stats.failures + resumed;
+  const long failures = stats.failures - stats.cancelled;
+  const bool interrupted = g_interrupted.load();
+  if (interrupted) {
+    // Everything not completed or definitively failed remains to do:
+    // cancelled drains, never-submitted files, and skips (a malformed
+    // file is still "remaining" in the sense that rerunning reports it).
+    const long remaining =
+        static_cast<long>(paths.size()) - solved_ok - failures;
+    std::printf("batch interrupted: %ld completed, %ld failed, %ld "
+                "remaining%s\n",
+                solved_ok, failures, remaining,
+                journal.is_open() || !journal_path.empty()
+                    ? " (journal flushed; rerun with --resume)"
+                    : "");
+  }
   std::printf("batch done: %zu files, %ld solved ok, %ld failed, "
-              "%.2fs (%.2f solves/sec, %zu workers)\n",
-              paths.size(), stats.done - stats.failures, failures, seconds,
+              "%ld skipped, %.2fs (%.2f solves/sec, %zu workers)\n",
+              paths.size(), solved_ok, failures + skipped, skipped, seconds,
               seconds > 0.0 ? static_cast<double>(stats.done) / seconds
                             : 0.0,
               eopt.workers);
-  return failures == 0 ? 0 : 1;
+  if (interrupted) return 2;
+  return failures + skipped == 0 ? 0 : 1;
 }
 
 int dispatch(const std::string& cmd, const Args& args) {

@@ -4,11 +4,16 @@
 // SolveEngine at 1/2/4/8 workers (one shared solver instance, one pinned
 // workspace per worker) and reports solves/sec plus speedup over the
 // single-worker run.  Correctness is not re-checked here (test_engine owns
-// the bitwise-identity guarantee); this bench owns the scaling gate:
+// the bitwise-identity guarantee); this bench owns two gates:
 //
-//   gate: >= 3x solves/sec at 4 workers vs 1 worker, enforced only when
-//   the machine actually has >= 4 hardware threads — on smaller hosts the
-//   numbers are recorded but informational.
+//   scaling gate: >= 3x solves/sec at 4 workers vs 1 worker, enforced
+//   only when the machine actually has >= 4 hardware threads — on
+//   smaller hosts the numbers are recorded but informational.
+//
+//   isolation gate: process-isolated workers (fork + wire protocol +
+//   supervisor) may cost at most 10% solves/sec vs thread mode at 4
+//   workers.  Skipped (with a recorded reason) on hosts with < 4
+//   hardware threads or builds without process isolation.
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -17,10 +22,12 @@
 #include <vector>
 
 #include "behavior/bounds.hpp"
+#include "behavior/scenario.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/cubis.hpp"
 #include "engine/engine.hpp"
+#include "engine/process_pool.hpp"
 #include "games/generators.hpp"
 #include "bench_util.hpp"
 
@@ -41,12 +48,49 @@ int main() {
   auto game_sp = std::shared_ptr<const games::SecurityGame>(ug, &ug->game);
   auto bounds_sp = std::make_shared<behavior::SuqrIntervalBounds>(
       behavior::SuqrWeightIntervals{}, ug->attacker_intervals);
+  // Text-form carrier for process-isolated runs (the worker child
+  // re-reads the model from this).
+  auto scn_sp = std::make_shared<behavior::Scenario>(behavior::Scenario{
+      *ug, behavior::SuqrWeightIntervals{}, behavior::IntervalMode::kExactBox});
   core::CubisOptions opt;
   opt.segments = 10;
   opt.epsilon = 1e-3;
   auto solver = std::make_shared<core::CubisSolver>(opt);
 
   const int kJobs = 32;
+
+  // One timed batch: warm each worker's pinned state, then push kJobs
+  // through and report solves/sec.
+  const auto measure = [&](engine::EngineOptions eopt,
+                           bool with_scenario) -> double {
+    eopt.queue_capacity = static_cast<std::size_t>(kJobs);
+    engine::SolveEngine eng(solver, eopt);
+    const auto job = [&]() {
+      engine::SolveJob j;
+      j.game = game_sp;
+      j.bounds = bounds_sp;
+      if (with_scenario) j.scenario = scn_sp;
+      return j;
+    };
+    {
+      std::vector<std::future<engine::JobOutcome>> warm;
+      for (std::size_t j = 0; j < eopt.workers; ++j) {
+        warm.push_back(eng.submit(job()));
+      }
+      for (auto& f : warm) f.get();
+    }
+    Timer t;
+    std::vector<std::future<engine::JobOutcome>> futures;
+    for (int j = 0; j < kJobs; ++j) futures.push_back(eng.submit(job()));
+    long failed = 0;
+    for (auto& f : futures) {
+      if (f.get().status != engine::JobStatus::kCompleted) ++failed;
+    }
+    const double sps = kJobs / t.seconds();
+    if (failed > 0) std::printf("  (%ld FAILED)\n", failed);
+    return sps;
+  };
+
   const std::vector<std::size_t> kWorkerCounts = {1, 2, 4, 8};
   std::vector<double> sps;
   std::printf("\n%8s %14s %10s   (%d jobs, T=200, K=10)\n", "workers",
@@ -54,32 +98,9 @@ int main() {
   for (std::size_t w : kWorkerCounts) {
     engine::EngineOptions eopt;
     eopt.workers = w;
-    eopt.queue_capacity = static_cast<std::size_t>(kJobs);
-    engine::SolveEngine eng(solver, eopt);
-    // Warm every worker's pinned workspace (first solve per worker pays
-    // the allocations the remaining jobs reuse).
-    {
-      std::vector<std::future<engine::JobOutcome>> warm;
-      for (std::size_t j = 0; j < w; ++j) {
-        warm.push_back(eng.submit({game_sp, bounds_sp}));
-      }
-      for (auto& f : warm) f.get();
-    }
-    Timer t;
-    std::vector<std::future<engine::JobOutcome>> futures;
-    for (int j = 0; j < kJobs; ++j) {
-      futures.push_back(eng.submit({game_sp, bounds_sp}));
-    }
-    long failed = 0;
-    for (auto& f : futures) {
-      if (f.get().status != engine::JobStatus::kCompleted) ++failed;
-    }
-    const double solves_per_sec = kJobs / t.seconds();
-    sps.push_back(solves_per_sec);
-    std::printf("%8zu %14.2f %9.2fx", w, solves_per_sec,
-                solves_per_sec / sps.front());
-    if (failed > 0) std::printf("  (%ld FAILED)", failed);
-    std::printf("\n");
+    sps.push_back(measure(eopt, /*with_scenario=*/false));
+    std::printf("%8zu %14.2f %9.2fx\n", w, sps.back(),
+                sps.back() / sps.front());
   }
 
   const double speedup4 = sps[2] / sps[0];
@@ -98,28 +119,75 @@ int main() {
                 "hardware threads)\n", speedup4, hw);
   }
 
-  // gate_skipped_reason is null when the gate was enforced; otherwise it
+  // Process isolation at 4 workers: the fork/protocol/supervisor tax on
+  // chunky solves must stay within 10% of thread mode.
+  const bool iso_available = engine::process_isolation_available();
+  double proc_sps = 0.0;
+  double overhead = 0.0;
+  bool iso_gate_applies = iso_available && hw >= 4;
+  bool iso_ok = true;
+  if (iso_available) {
+    engine::EngineOptions eopt;
+    eopt.workers = 4;
+    eopt.isolation = engine::IsolationMode::kProcess;
+    proc_sps = measure(eopt, /*with_scenario=*/true);
+    overhead = (sps[2] - proc_sps) / sps[2];
+    std::printf("\n%8s %14s   (isolation_mode=process, 4 workers)\n",
+                "workers", "solves/sec");
+    std::printf("%8d %14.2f   overhead vs threads: %+.1f%%\n", 4, proc_sps,
+                overhead * 100.0);
+    if (iso_gate_applies) {
+      iso_ok = overhead <= 0.10;
+      std::printf("isolation gate: overhead <= 10%% -> %s\n",
+                  iso_ok ? "ok" : "FAILED");
+      if (!iso_ok) {
+        std::fprintf(stderr,
+                     "E5 FAILED: process-isolation overhead %.1f%% above "
+                     "the 10%% gate\n", overhead * 100.0);
+      }
+    } else {
+      std::printf("isolation gate skipped: only %u hardware threads\n", hw);
+    }
+  } else {
+    std::printf("\nprocess isolation unavailable on this build; "
+                "isolation gate skipped\n");
+  }
+
+  // gate_skipped_reason is null when a gate was enforced; otherwise it
   // names why the recorded numbers are informational only.
   const std::string skipped_reason =
       gate_applies ? "null" : "\"hardware_threads<4\"";
-  char results[1024];
+  const std::string iso_skipped_reason =
+      iso_gate_applies ? "null"
+      : iso_available  ? "\"hardware_threads<4\""
+                       : "\"process_isolation_unavailable\"";
+  char results[1536];
   std::snprintf(results, sizeof results,
                 "{\"targets\":200,\"jobs\":%d,\"hardware_threads\":%u,"
                 "\"cpu_model\":\"%s\",\"workers\":[1,2,4,8],"
+                "\"isolation_mode\":\"thread\","
                 "\"solves_per_sec\":[%.2f,%.2f,%.2f,%.2f],"
                 "\"speedup_vs_1\":[1.00,%.2f,%.2f,%.2f],"
                 "\"gate_4x_workers_min_3x\":{\"applies\":%s,"
                 "\"gate_skipped_reason\":%s,"
-                "\"speedup\":%.2f,\"ok\":%s}}",
+                "\"speedup\":%.2f,\"ok\":%s},"
+                "\"process_isolation\":{\"available\":%s,"
+                "\"workers\":4,\"isolation_mode\":\"process\","
+                "\"solves_per_sec\":%.2f,\"overhead_vs_thread\":%.4f,"
+                "\"gate_overhead_max_10pct\":{\"applies\":%s,"
+                "\"gate_skipped_reason\":%s,\"ok\":%s}}}",
                 kJobs, hw, bench::cpu_model_name().c_str(), sps[0], sps[1],
                 sps[2], sps[3], sps[1] / sps[0], sps[2] / sps[0],
                 sps[3] / sps[0], gate_applies ? "true" : "false",
-                skipped_reason.c_str(), speedup4, ok ? "true" : "false");
+                skipped_reason.c_str(), speedup4, ok ? "true" : "false",
+                iso_available ? "true" : "false", proc_sps, overhead,
+                iso_gate_applies ? "true" : "false",
+                iso_skipped_reason.c_str(), iso_ok ? "true" : "false");
   bench::write_bench_json("engine", results);
 
   std::printf(
       "\nShape check: one immutable solver + per-worker workspaces should\n"
       "scale near-linearly until workers exceed cores; the queue then\n"
       "holds throughput flat instead of degrading it.\n");
-  return ok ? 0 : 1;
+  return ok && iso_ok ? 0 : 1;
 }

@@ -18,12 +18,15 @@ const char* const kSiteNames[kSiteCount] = {
     "model-io",         "pool-submit",      "warm-start-reject",
     "audit-corrupt-solution",
     "audit-corrupt-certificate",
+    "worker-abort",     "worker-hang",      "journal-torn-write",
 };
 
 struct SiteState {
   bool armed = false;
   int skip = 0;
   int remaining = 0;  // -1 = unlimited
+  int period = 0;     // 0 = fire on every post-skip poll
+  std::int64_t polls = 0;  // post-skip polls (periodic mode bookkeeping)
   std::int64_t fired = 0;
 };
 
@@ -40,18 +43,20 @@ const char* site_name(Site site) {
   return (i >= 0 && i < kSiteCount) ? kSiteNames[i] : "unknown";
 }
 
-void arm(Site site, int fire_count, int skip) {
+void arm(Site site, int fire_count, int skip, int period) {
 #if CUBISG_FAULT_INJECTION_ENABLED
   const int i = static_cast<int>(site);
   if (i < 0 || i >= kSiteCount || fire_count == 0) return;
   std::lock_guard<std::mutex> lock(g_mutex);
   g_sites[i] = SiteState{true, skip < 0 ? 0 : skip,
-                         fire_count < 0 ? -1 : fire_count, 0};
+                         fire_count < 0 ? -1 : fire_count,
+                         period < 0 ? 0 : period, 0, 0};
   g_armed_mask.fetch_or(1u << i, std::memory_order_relaxed);
 #else
   (void)site;
   (void)fire_count;
   (void)skip;
+  (void)period;
 #endif
 }
 
@@ -91,6 +96,8 @@ bool should_fail(Site site) {
     return false;
   }
   if (s.remaining == 0) return false;
+  ++s.polls;
+  if (s.period > 0 && (s.polls % s.period) != 0) return false;
   if (s.remaining > 0) --s.remaining;
   ++s.fired;
   return true;
@@ -104,7 +111,7 @@ void arm_from_env() {
 #if CUBISG_FAULT_INJECTION_ENABLED
   const char* spec = std::getenv("CUBISG_FAULT_INJECT");
   if (spec == nullptr || *spec == '\0') return;
-  // Comma-split `name[:fire_count[:skip]]` entries.
+  // Comma-split `name[:fire_count[:skip[:period]]]` entries.
   std::string entry;
   for (const char* p = spec;; ++p) {
     if (*p != ',' && *p != '\0') {
@@ -115,18 +122,23 @@ void arm_from_env() {
       std::string name = entry;
       int count = 1;
       int skip = 0;
+      int period = 0;
       if (const std::size_t c1 = entry.find(':'); c1 != std::string::npos) {
         name = entry.substr(0, c1);
         count = std::atoi(entry.c_str() + c1 + 1);
         if (const std::size_t c2 = entry.find(':', c1 + 1);
             c2 != std::string::npos) {
           skip = std::atoi(entry.c_str() + c2 + 1);
+          if (const std::size_t c3 = entry.find(':', c2 + 1);
+              c3 != std::string::npos) {
+            period = std::atoi(entry.c_str() + c3 + 1);
+          }
         }
       }
       bool matched = false;
       for (int i = 0; i < kSiteCount; ++i) {
         if (name == kSiteNames[i]) {
-          arm(static_cast<Site>(i), count, skip);
+          arm(static_cast<Site>(i), count, skip, period);
           matched = true;
           break;
         }
@@ -142,5 +154,8 @@ void arm_from_env() {
   }
 #endif
 }
+
+void fork_lock() { g_mutex.lock(); }
+void fork_unlock() { g_mutex.unlock(); }
 
 }  // namespace cubisg::faultinject

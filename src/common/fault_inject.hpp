@@ -41,6 +41,9 @@ enum class Site : int {
   kWarmStartReject,      ///< simplex treats a hinted basis as invalid
   kAuditCorruptSolution,     ///< finalize corrupts one strategy coordinate
   kAuditCorruptCertificate,  ///< finalize inverts the certified bracket
+  kWorkerAbort,          ///< isolated worker process abort()s mid-job
+  kWorkerHang,           ///< isolated worker wedges past its deadline
+  kJournalTornWrite,     ///< batch journal record is half-written, no fsync
   kCount,                ///< sentinel, keep last
 };
 
@@ -51,9 +54,12 @@ const char* site_name(Site site);
 constexpr bool compiled_in() { return CUBISG_FAULT_INJECTION_ENABLED != 0; }
 
 /// Arms `site` to fire `fire_count` times (-1 = until disarmed) after
-/// ignoring its first `skip` triggers.  Re-arming replaces the previous
+/// ignoring its first `skip` triggers.  With `period` P > 0 the site
+/// instead fires every Pth poll after the skip window (poll P, 2P, ...),
+/// so chaos tests can crash "1 in N jobs" deterministically; fire_count
+/// still caps the total fires.  Re-arming replaces the previous
 /// configuration.  No-op when compiled out.
-void arm(Site site, int fire_count = 1, int skip = 0);
+void arm(Site site, int fire_count = 1, int skip = 0, int period = 0);
 
 void disarm(Site site);
 void disarm_all();
@@ -66,9 +72,17 @@ std::int64_t fire_count(Site site);
 bool should_fail(Site site);
 
 /// Arms sites from the CUBISG_FAULT_INJECT environment variable —
-/// a comma list of `name[:fire_count[:skip]]`, e.g.
-/// "lu-factorize:2,cubis-deadline:1:3".  Unknown names are ignored with a
-/// warning on stderr (a typo must not silently disable a fault test).
+/// a comma list of `name[:fire_count[:skip[:period]]]`, e.g.
+/// "lu-factorize:2,cubis-deadline:1:3" or "worker-abort:-1:0:8" (every
+/// 8th poll).  Unknown names are ignored with a warning on stderr (a typo
+/// must not silently disable a fault test).
 void arm_from_env();
+
+/// Fork support: the armed-state mutex must not be held across fork() (a
+/// forked child would inherit it locked).  The process-isolation layer
+/// locks every known global mutex before forking and unlocks on both
+/// sides; see engine/process_pool.cpp.
+void fork_lock();
+void fork_unlock();
 
 }  // namespace cubisg::faultinject

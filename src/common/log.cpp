@@ -89,6 +89,9 @@ void emit(LogLevel level, const std::string& message) {
   std::cerr << line;
 }
 
+void fork_lock() { g_sink_mutex.lock(); }
+void fork_unlock() { g_sink_mutex.unlock(); }
+
 }  // namespace log_detail
 
 }  // namespace cubisg

@@ -17,6 +17,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 namespace log_detail {
 void emit(LogLevel level, const std::string& message);
 bool enabled(LogLevel level);
+/// Fork support: holds/releases the sink mutex around fork() so a forked
+/// child never inherits it locked (see engine/process_pool.cpp).
+void fork_lock();
+void fork_unlock();
 }  // namespace log_detail
 
 /// Sets the minimum level that is emitted (default kWarn).

@@ -8,6 +8,8 @@
 #include "common/errors.hpp"
 #include "common/log.hpp"
 #include "core/workspace.hpp"
+#include "engine/process_pool.hpp"
+#include "engine/supervisor.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -40,6 +42,10 @@ struct EngineMetrics {
       obs::Registry::global().histogram("engine.queue_wait_seconds");
   obs::Counter& slow_solves =
       obs::Registry::global().counter("engine.slow_solves_total");
+  obs::Counter& retried =
+      obs::Registry::global().counter("engine.jobs_retried_total");
+  obs::Counter& quarantined =
+      obs::Registry::global().counter("engine.jobs_quarantined_total");
 
   static EngineMetrics& get() {
     static EngineMetrics m;
@@ -62,7 +68,28 @@ SolveEngine::SolveEngine(std::shared_ptr<const core::DefenderSolver> solver,
   }
   if (opt_.workers == 0) opt_.workers = 1;
   if (opt_.queue_capacity == 0) opt_.queue_capacity = 1;
+  if (opt_.retry.max_attempts < 1) opt_.retry.max_attempts = 1;
+  if (opt_.retry.max_crashes < 0) opt_.retry.max_crashes = 0;
   EngineMetrics::get();  // resolve before any signal handler runs
+  if (opt_.isolation == IsolationMode::kProcess) {
+    if (!process_isolation_available()) {
+      CUBISG_LOG(LogLevel::kWarn)
+          << "engine: process isolation unavailable on this build/platform; "
+             "falling back to threads";
+      opt_.isolation = IsolationMode::kThread;
+    } else {
+      // Fork the worker children before this process grows its own
+      // worker threads: the fork guard has less to protect and the
+      // children inherit the smallest possible thread/lock footprint.
+      Supervisor::Options sup;
+      sup.workers = opt_.workers;
+      sup.retry = opt_.retry;
+      sup.heartbeat_timeout_seconds = opt_.heartbeat_timeout_seconds;
+      sup.kill_grace_seconds = opt_.kill_grace_seconds;
+      sup.solver = solver_;
+      supervisor_ = std::make_unique<Supervisor>(std::move(sup));
+    }
+  }
   workers_.reserve(opt_.workers);
   for (std::size_t i = 0; i < opt_.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -169,9 +196,131 @@ void SolveEngine::run_worker(std::size_t index) {
           static_cast<double>(queue_.size()));
     }
     space_cv_.notify_one();
-    JobOutcome outcome = execute(item, index, workspace, budget);
+
+    // Queue-wait bookkeeping happens once per job, ahead of the attempt
+    // loop, so retries never double-record the admission -> pickup wait.
+    const double queue_seconds = item.queued.seconds();
+    EngineMetrics::get().queue_wait.record(queue_seconds);
+    if (item.trace_enqueue_ns >= 0) {
+      obs::record_trace_event("engine.queue_wait", item.trace_enqueue_ns,
+                              obs::trace_now_ns() - item.trace_enqueue_ns,
+                              item.id);
+    }
+    if (cancelled()) {
+      // Drain without starting: satisfy the promise, skip the solve (and
+      // the on_outcome hook — the job never ran).
+      JobOutcome outcome;
+      outcome.id = item.id;
+      outcome.tag = item.job.tag;
+      outcome.worker = index;
+      outcome.queue_seconds = queue_seconds;
+      outcome.status = JobStatus::kCancelled;
+      EngineMetrics::get().cancelled.add(1);
+      item.promise.set_value(std::move(outcome));
+      continue;
+    }
+
+    // Attempt loop: transient failures (numeric trouble, escaped
+    // non-deterministic exceptions, fault-injected faults) re-solve up
+    // to retry.max_attempts with capped backoff.  Worker-crash retries
+    // happen one level down, inside Supervisor::run_job.
+    JobOutcome outcome;
+    for (int attempt = 1;; ++attempt) {
+      outcome = (supervisor_ != nullptr && item.job.scenario != nullptr)
+                    ? execute_process(item, index, budget)
+                    : execute(item, index, workspace, budget);
+      outcome.attempts = attempt;
+      outcome.queue_seconds = queue_seconds;
+      if (attempt >= opt_.retry.max_attempts || !retryable(outcome) ||
+          cancelled()) {
+        break;
+      }
+      EngineMetrics::get().retried.add(1);
+      CUBISG_LOG(LogLevel::kWarn)
+          << "engine: job " << item.id << " transient failure (attempt "
+          << attempt << "/" << opt_.retry.max_attempts << "): "
+          << (outcome.error.empty() ? "numeric issue" : outcome.error)
+          << "; retrying";
+      if (!backoff_before_retry(attempt)) break;
+    }
+
+    // Terminal counting happens once per job, after retries, so the
+    // completed/failed totals match job counts exactly as before.
+    switch (outcome.status) {
+      case JobStatus::kCompleted:
+        EngineMetrics::get().completed.add(1);
+        break;
+      case JobStatus::kCancelled:
+        EngineMetrics::get().cancelled.add(1);
+        break;
+      case JobStatus::kQuarantined:
+        // engine.jobs_quarantined_total is bumped by the supervisor at
+        // the quarantine decision; not double-counted here.
+        break;
+      case JobStatus::kFailed:
+      case JobStatus::kWorkerCrashed:
+        EngineMetrics::get().failed.add(1);
+        break;
+    }
+    if (opt_.on_outcome) {
+      try {
+        opt_.on_outcome(item.job, outcome);
+      } catch (...) {
+        // Observers are advisory: a throwing hook must not fail the job.
+      }
+    }
     item.promise.set_value(std::move(outcome));
   }
+}
+
+bool SolveEngine::retryable(const JobOutcome& outcome) const {
+  if (outcome.status == JobStatus::kFailed) return outcome.transient;
+  if (outcome.status == JobStatus::kCompleted) {
+    // A solver that *returned* kNumericalIssue hit non-deterministic
+    // numeric trouble past its internal retry ladder; a fresh attempt
+    // (fresh workspace state, fresh perturbations) can succeed.
+    return outcome.solution.status == SolverStatus::kNumericalIssue;
+  }
+  return false;  // cancelled / crashed / quarantined are final
+}
+
+bool SolveEngine::backoff_before_retry(int attempt) {
+  double ms = opt_.retry.backoff_initial_ms;
+  for (int i = 1; i < attempt; ++i) ms *= 2.0;
+  if (ms > opt_.retry.backoff_max_ms) ms = opt_.retry.backoff_max_ms;
+  Timer timer;
+  while (timer.millis() < ms) {
+    if (cancelled()) return false;
+    std::this_thread::sleep_for(5ms);
+  }
+  return true;
+}
+
+JobOutcome SolveEngine::execute_process(Item& item, std::size_t index,
+                                        SolveBudget& budget) {
+  // The parent-side budget is a cancellation mirror only: the child
+  // enforces the deadline/node caps cooperatively on its own budget, and
+  // the supervisor adds the non-cooperative SIGKILL backstop.
+  budget.reset();
+  if (cancelled()) budget.request_cancel();
+  const double deadline = item.job.deadline_seconds > 0.0
+                              ? item.job.deadline_seconds
+                              : opt_.default_deadline_seconds;
+  const std::int64_t max_nodes =
+      item.job.max_nodes > 0 ? item.job.max_nodes : opt_.default_max_nodes;
+#if CUBISG_OBS_ENABLED
+  obs::TraceJobScope job_scope(item.id);
+#endif
+  obs::TraceSpan span("engine.execute");
+  JobOutcome out = supervisor_->run_job(index, item.job, item.id, deadline,
+                                        max_nodes, budget, cancelled_);
+  if (out.status == JobStatus::kCompleted) {
+    EngineMetrics::get().solve_latency.record(out.solve_seconds);
+  } else if (!out.error.empty()) {
+    CUBISG_LOG(LogLevel::kError)
+        << "engine: job " << out.id << " failed: " << out.error;
+  }
+  return out;
 }
 
 JobOutcome SolveEngine::execute(Item& item, std::size_t index,
@@ -179,24 +328,9 @@ JobOutcome SolveEngine::execute(Item& item, std::size_t index,
                                 SolveBudget& budget) {
   JobOutcome out;
   out.id = item.id;
-  out.tag = std::move(item.job.tag);
+  out.tag = item.job.tag;  // copied, not moved: retries reuse the item
   out.worker = index;
   out.queue_seconds = item.queued.seconds();
-  EngineMetrics::get().queue_wait.record(out.queue_seconds);
-  // The queue-wait span starts on the submitting thread (admission) and
-  // closes here on the worker; recorded manually since no single scope
-  // covers both threads.
-  if (item.trace_enqueue_ns >= 0) {
-    obs::record_trace_event("engine.queue_wait", item.trace_enqueue_ns,
-                            obs::trace_now_ns() - item.trace_enqueue_ns,
-                            item.id);
-  }
-  if (cancelled()) {
-    // Drain without starting: satisfy the promise, skip the solve.
-    out.status = JobStatus::kCancelled;
-    EngineMetrics::get().cancelled.add(1);
-    return out;
-  }
 
   budget.reset();
   const double deadline = item.job.deadline_seconds > 0.0
@@ -228,13 +362,20 @@ JobOutcome SolveEngine::execute(Item& item, std::size_t index,
       out.solution = solver_->solve(ctx);
       out.status = JobStatus::kCompleted;
       out.solve_seconds = solve_timer.seconds();
-      EngineMetrics::get().completed.add(1);
       EngineMetrics::get().solve_latency.record(out.solve_seconds);
-    } catch (const std::exception& e) {
+    } catch (const InvalidModelError& e) {
+      // Deterministic: the same model fails the same way on any retry.
       out.status = JobStatus::kFailed;
+      out.transient = false;
       out.error = e.what();
       out.solve_seconds = solve_timer.seconds();
-      EngineMetrics::get().failed.add(1);
+      CUBISG_LOG(LogLevel::kError)
+          << "engine: job " << out.id << " failed: " << out.error;
+    } catch (const std::exception& e) {
+      out.status = JobStatus::kFailed;
+      out.transient = true;
+      out.error = e.what();
+      out.solve_seconds = solve_timer.seconds();
       CUBISG_LOG(LogLevel::kError)
           << "engine: job " << out.id << " failed: " << out.error;
     }
@@ -264,13 +405,6 @@ JobOutcome SolveEngine::execute(Item& item, std::size_t index,
     recorder.record(std::move(entry));
   }
 #endif
-  if (opt_.on_outcome) {
-    try {
-      opt_.on_outcome(item.job, out);
-    } catch (...) {
-      // Observers are advisory: a throwing hook must not fail the job.
-    }
-  }
   return out;
 }
 

@@ -32,6 +32,22 @@
 //   engine.solve_latency               histogram of solve wall seconds
 //   engine.queue_wait_seconds          histogram, admission -> pickup
 //   engine.slow_solves_total           solves over the flight-recorder SLO
+//   engine.jobs_retried_total          transient-failure re-attempts
+//   engine.jobs_quarantined_total      jobs that kept crashing workers
+//   engine.worker_crashes_total        worker processes that died mid-job
+//   engine.worker_restarts_total       worker processes respawned
+//   engine.workers_alive               gauge, live worker processes
+//
+// Isolation: by default jobs run on the worker thread (kThread).  With
+// EngineOptions::isolation = kProcess, each worker thread instead drives
+// a forked child process (engine/process_pool.hpp) through a supervisor
+// (engine/supervisor.hpp) that detects crashes, respawns with capped
+// exponential backoff, SIGKILLs wedged children past deadline + grace,
+// and quarantines jobs that crash their worker repeatedly.  Process-mode
+// jobs must carry SolveJob::scenario (the child re-reads the model from
+// its lossless text form); jobs without one fall back to in-process
+// execution.  Clean process-mode solves are bitwise-identical to thread
+// mode except for wall_seconds and telemetry attribution.
 //
 // Per-job tracing: when span collection is on, every job's id is carried
 // into the trace — the worker emits an "engine.queue_wait" span covering
@@ -64,10 +80,40 @@
 #include "core/solvers.hpp"
 #include "games/security_game.hpp"
 
+namespace cubisg::behavior {
+struct Scenario;
+}  // namespace cubisg::behavior
+
 namespace cubisg::engine {
 
 struct SolveJob;
 struct JobOutcome;
+class Supervisor;
+
+/// Where jobs execute.
+enum class IsolationMode {
+  kThread,   ///< on the worker thread itself (default)
+  kProcess,  ///< in a forked, crash-contained worker child process
+};
+
+/// Retry behavior for failed jobs.  Transient failures — numeric-issue
+/// solve statuses, escaped non-deterministic exceptions, fault-injected
+/// failures, worker crashes — are worth re-attempting; deterministic
+/// ones (infeasible model, malformed input) fail identically every time
+/// and are never retried.
+struct RetryPolicy {
+  /// Solve attempts per job for transient failures.  1 = no retry
+  /// (default), matching the historical fail-fast behavior.
+  int max_attempts = 1;
+  /// Worker crashes a single job may absorb before it is quarantined
+  /// (process isolation only; counted separately from max_attempts).
+  /// 0 = the first crash fails the job with kWorkerCrashed.
+  int max_crashes = 2;
+  /// Backoff between attempts/respawns: initial * 2^n, capped, jittered
+  /// deterministically (+/-25%) so respawning workers do not stampede.
+  double backoff_initial_ms = 50.0;
+  double backoff_max_ms = 2000.0;
+};
 
 /// Engine sizing.  All knobs are fixed at construction.
 struct EngineOptions {
@@ -76,11 +122,23 @@ struct EngineOptions {
   /// Applied to jobs that do not set their own (0 = unbudgeted).
   double default_deadline_seconds = 0.0;
   std::int64_t default_max_nodes = 0;
-  /// Invoked on the worker thread after a job's outcome is built (any
-  /// status except jobs drained as kCancelled without starting), before
-  /// the future is fulfilled.  serve/batch wire the shadow auditor's
-  /// observe() here.  Must be cheap; exceptions are swallowed — the
-  /// engine stays audit-free, observers are advisory.  Null = disabled.
+  /// Job execution isolation.  kProcess silently degrades to kThread
+  /// (with one warning log) when process_isolation_available() is false.
+  IsolationMode isolation = IsolationMode::kThread;
+  RetryPolicy retry;
+  /// Process mode: a worker child silent for this long mid-job is
+  /// presumed wedged at the protocol layer and SIGKILLed (children
+  /// heartbeat every ~200 ms while solving).
+  double heartbeat_timeout_seconds = 5.0;
+  /// Process mode: how far past a job's cooperative deadline (or a
+  /// cancel request) a child may run before SIGKILL.
+  double kill_grace_seconds = 1.0;
+  /// Invoked on the worker thread after a job's final outcome is built
+  /// (any status except jobs drained as kCancelled without starting) —
+  /// once per job, after retries — before the future is fulfilled.
+  /// serve/batch wire the shadow auditor's observe() here.  Must be
+  /// cheap; exceptions are swallowed — the engine stays audit-free,
+  /// observers are advisory.  Null = disabled.
   std::function<void(const SolveJob&, const JobOutcome&)> on_outcome;
 };
 
@@ -90,6 +148,10 @@ struct EngineOptions {
 struct SolveJob {
   std::shared_ptr<const games::SecurityGame> game;
   std::shared_ptr<const behavior::AttractivenessBounds> bounds;
+  /// Required for process isolation: the child reconstructs the problem
+  /// from the scenario's lossless text form.  Jobs without one run
+  /// in-process even under IsolationMode::kProcess.
+  std::shared_ptr<const behavior::Scenario> scenario;
   double deadline_seconds = 0.0;  ///< 0 = engine default
   std::int64_t max_nodes = 0;     ///< 0 = engine default
   std::string tag;                ///< caller label (e.g. scenario path)
@@ -99,6 +161,13 @@ enum class JobStatus {
   kCompleted,  ///< the solver returned (solution.status may be a budget stop)
   kFailed,     ///< the solve escaped with an exception
   kCancelled,  ///< drained after cancel_all() without starting
+  /// Process isolation: the worker child died mid-job (crash, SIGKILL
+  /// after a wedge) and the crash-retry budget was exhausted or zero.
+  kWorkerCrashed,
+  /// Process isolation: this job crashed its worker more than
+  /// RetryPolicy::max_crashes times — poison input, set aside so the
+  /// rest of the batch can finish.
+  kQuarantined,
 };
 
 /// Typed per-job result delivered through the submit future.
@@ -111,6 +180,12 @@ struct JobOutcome {
   double queue_seconds = 0.0;  ///< admission -> worker pickup
   double solve_seconds = 0.0;  ///< worker pickup -> outcome
   std::size_t worker = 0;      ///< index of the worker that ran the job
+  int attempts = 1;            ///< solve attempts consumed (retries + 1)
+  int crashes = 0;             ///< worker crashes this job absorbed
+  /// kFailed only: the failure class the retry policy saw.  Transient
+  /// failures exhaust RetryPolicy::max_attempts first; deterministic
+  /// ones fail on the first attempt.
+  bool transient = false;
 };
 
 /// The engine.  Construction starts the workers; destruction (or
@@ -147,6 +222,10 @@ class SolveEngine {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
+  /// True when jobs run in forked worker processes (isolation was
+  /// requested *and* available; false after a degrade to threads).
+  bool process_mode() const { return supervisor_ != nullptr; }
+
   /// Stable per-worker budget storage (valid for the engine's lifetime).
   /// Exposed so a signal handler can reach every in-flight job's budget
   /// through a pre-registered table instead of a single active-solve slot.
@@ -171,10 +250,19 @@ class SolveEngine {
   void run_worker(std::size_t index);
   JobOutcome execute(Item& item, std::size_t index,
                      core::SolveWorkspace& workspace, SolveBudget& budget);
+  JobOutcome execute_process(Item& item, std::size_t index,
+                             SolveBudget& budget);
+  /// True when `outcome` is worth another attempt under the retry policy.
+  bool retryable(const JobOutcome& outcome) const;
+  /// Sleeps the capped, jittered backoff before attempt `attempt` + 1;
+  /// returns early (false) if the engine is cancelled or stopping.
+  bool backoff_before_retry(int attempt);
   std::future<JobOutcome> enqueue_locked(SolveJob&& job);
 
   std::shared_ptr<const core::DefenderSolver> solver_;
   EngineOptions opt_;
+  /// Non-null iff process isolation is active (see process_mode()).
+  std::unique_ptr<Supervisor> supervisor_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< queue became non-empty / stop

@@ -1,0 +1,379 @@
+#include "engine/supervisor.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "common/fault_inject.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "behavior/scenario.hpp"
+#include "engine/process_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/status_page.hpp"
+
+namespace cubisg::engine {
+
+namespace {
+
+/// Cached registry handles (same pattern as EngineMetrics in engine.cpp;
+/// names shared with the engine resolve to the same counters).
+struct SupervisorMetrics {
+  obs::Counter& worker_crashes =
+      obs::Registry::global().counter("engine.worker_crashes_total");
+  obs::Counter& worker_restarts =
+      obs::Registry::global().counter("engine.worker_restarts_total");
+  obs::Counter& jobs_retried =
+      obs::Registry::global().counter("engine.jobs_retried_total");
+  obs::Counter& jobs_quarantined =
+      obs::Registry::global().counter("engine.jobs_quarantined_total");
+  obs::Gauge& workers_alive =
+      obs::Registry::global().gauge("engine.workers_alive");
+
+  static SupervisorMetrics& get() {
+    static SupervisorMetrics m;
+    return m;
+  }
+};
+
+/// Socket poll granularity while awaiting a child: bounds cancel/kill
+/// latency without burning CPU (heartbeats arrive every ~200 ms).
+constexpr int kAwaitPollMs = 20;
+
+const char* state_name(int s) {
+  switch (s) {
+    case 0: return "idle";
+    case 1: return "solving";
+    case 2: return "backoff";
+    default: return "down";
+  }
+}
+
+}  // namespace
+
+struct Supervisor::Slot {
+  std::atomic<long> pid{-1};
+  std::atomic<int> fd{-1};
+  std::atomic<int> state{3};  // see state_name(); starts "down"
+  std::atomic<std::int64_t> spawns{0};
+  std::atomic<std::int64_t> restarts{0};
+  std::atomic<std::int64_t> crashes{0};
+  std::atomic<std::int64_t> jobs_completed{0};
+  int consecutive_crashes = 0;  // owning worker thread only
+  // Guarded by spawn_mutex_ (written by the owner, read by /workersz):
+  std::string last_exit;
+  std::string last_error;
+};
+
+enum class Supervisor::Await {
+  kDone,        ///< outcome filled; worker still healthy
+  kCrashed,     ///< worker died (or was SIGKILLed as wedged) mid-job
+  kCancelKill,  ///< SIGKILLed because it ignored a cancel past the grace
+};
+
+Supervisor::Supervisor(Options options) : opt_(std::move(options)) {
+  if (opt_.workers == 0) opt_.workers = 1;
+  slots_.reserve(opt_.workers);
+  for (std::size_t i = 0; i < opt_.workers; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  for (auto& slot : slots_) ensure_worker(*slot);
+  obs::register_status_page("/workersz", "application/json",
+                            [this] { return status_json(); });
+}
+
+Supervisor::~Supervisor() {
+  // Unregister first: render_status_page holds the page-registry mutex
+  // through provider calls, so after this no handler can be inside
+  // status_json() while the slots die.
+  obs::unregister_status_page("/workersz");
+  for (auto& slot : slots_) {
+    // Closing the socket first lets an idle child _exit(0) on EOF
+    // within the grace instead of eating a SIGKILL.
+    clear_slot(*slot, /*grace_ms=*/500);
+  }
+}
+
+bool Supervisor::ensure_worker(Slot& slot) {
+  if (slot.pid.load(std::memory_order_relaxed) > 0 &&
+      slot.fd.load(std::memory_order_relaxed) >= 0) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(spawn_mutex_);
+  std::vector<int> siblings;
+  siblings.reserve(slots_.size());
+  for (const auto& other : slots_) {
+    const int fd = other->fd.load(std::memory_order_relaxed);
+    if (fd >= 0) siblings.push_back(fd);
+  }
+  std::string error;
+  WorkerProcess worker = spawn_worker(opt_.solver, siblings, error);
+  if (!worker.valid()) {
+    slot.last_error = error;
+    slot.state.store(3, std::memory_order_relaxed);
+    CUBISG_LOG(LogLevel::kWarn) << "worker spawn failed: " << error;
+    return false;
+  }
+  if (slot.spawns.fetch_add(1, std::memory_order_relaxed) > 0) {
+    slot.restarts.fetch_add(1, std::memory_order_relaxed);
+    SupervisorMetrics::get().worker_restarts.add(1);
+  }
+  slot.pid.store(worker.pid, std::memory_order_relaxed);
+  slot.fd.store(worker.fd, std::memory_order_relaxed);
+  slot.state.store(0, std::memory_order_relaxed);
+  update_alive_gauge();
+  return true;
+}
+
+void Supervisor::clear_slot(Slot& slot, int grace_ms) {
+  std::lock_guard<std::mutex> lock(spawn_mutex_);
+  WorkerProcess worker;
+  worker.pid = slot.pid.load(std::memory_order_relaxed);
+  worker.fd = slot.fd.load(std::memory_order_relaxed);
+  slot.pid.store(-1, std::memory_order_relaxed);
+  slot.fd.store(-1, std::memory_order_relaxed);
+  slot.state.store(3, std::memory_order_relaxed);
+  if (worker.pid > 0 || worker.fd >= 0) {
+    slot.last_exit = reap_worker(worker, grace_ms);
+  }
+  update_alive_gauge();
+}
+
+void Supervisor::update_alive_gauge() {
+  double alive = 0;
+  for (const auto& slot : slots_) {
+    if (slot->pid.load(std::memory_order_relaxed) > 0) alive += 1;
+  }
+  SupervisorMetrics::get().workers_alive.set(alive);
+}
+
+bool Supervisor::backoff(std::size_t index, int consecutive_crashes,
+                         const SolveBudget& parent_budget,
+                         const std::atomic<bool>& engine_cancelled) {
+  const RetryPolicy& retry = opt_.retry;
+  double ms = retry.backoff_initial_ms;
+  for (int i = 1; i < consecutive_crashes; ++i) ms *= 2.0;
+  if (ms > retry.backoff_max_ms) ms = retry.backoff_max_ms;
+  // Deterministic jitter in [0.75, 1.25): respawning workers must not
+  // stampede the machine in lockstep, but test runs must reproduce.
+  const std::uint64_t h = (index + 1) * 2654435761ull +
+                          static_cast<std::uint64_t>(consecutive_crashes) *
+                              40503ull;
+  ms *= 0.75 + 0.5 * static_cast<double>(h % 1000) / 1000.0;
+  Timer t;
+  while (t.millis() < ms) {
+    if (engine_cancelled.load(std::memory_order_relaxed) ||
+        parent_budget.cancel_requested()) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+Supervisor::Await Supervisor::await_result(
+    Slot& slot, std::uint64_t id, double deadline_seconds,
+    const SolveBudget& parent_budget,
+    const std::atomic<bool>& engine_cancelled, JobOutcome& out) {
+  const int fd = slot.fd.load(std::memory_order_relaxed);
+  Timer elapsed;
+  auto last_heartbeat = std::chrono::steady_clock::now();
+  bool cancel_sent = false;
+  double kill_after_cancel_at = 0.0;
+  for (;;) {
+    Frame frame;
+    const ReadStatus rs = read_frame(fd, kAwaitPollMs, frame);
+    if (rs == ReadStatus::kEof || rs == ReadStatus::kError) {
+      return Await::kCrashed;
+    }
+    if (rs == ReadStatus::kFrame) {
+      switch (frame.type) {
+        case FrameType::kHeartbeat:
+          last_heartbeat = std::chrono::steady_clock::now();
+          continue;
+        case FrameType::kResult: {
+          ResultFrame result;
+          if (!decode_result(frame.payload, result) || result.id != id) {
+            // Protocol corruption: the channel can no longer be trusted.
+            return Await::kCrashed;
+          }
+          out.status = JobStatus::kCompleted;
+          out.solution = std::move(result.solution);
+          slot.jobs_completed.fetch_add(1, std::memory_order_relaxed);
+          return Await::kDone;
+        }
+        case FrameType::kError: {
+          ErrorFrame error;
+          if (!decode_error(frame.payload, error) || error.id != id) {
+            return Await::kCrashed;
+          }
+          out.status = JobStatus::kFailed;
+          out.error = error.message;
+          out.transient = error.retryable;
+          return Await::kDone;
+        }
+        default:
+          continue;  // unknown frame type: skip
+      }
+    }
+    // Timeout tick: liveness and cancellation checks.
+    const double now_s = elapsed.seconds();
+    if (!cancel_sent && (engine_cancelled.load(std::memory_order_relaxed) ||
+                         parent_budget.cancel_requested())) {
+      write_frame(fd, FrameType::kCancel, std::string());
+      cancel_sent = true;
+      kill_after_cancel_at = now_s + opt_.kill_grace_seconds;
+    }
+    if (cancel_sent && now_s >= kill_after_cancel_at) {
+      return Await::kCancelKill;
+    }
+    if (deadline_seconds > 0 &&
+        now_s >= deadline_seconds + opt_.kill_grace_seconds) {
+      // Cooperative deadline ignored: the child should have unwound with
+      // kDeadlineExceeded by now.  Treat the wedge as a crash.
+      return Await::kCrashed;
+    }
+    const double silent =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      last_heartbeat)
+            .count();
+    if (silent > opt_.heartbeat_timeout_seconds) {
+      return Await::kCrashed;
+    }
+  }
+}
+
+JobOutcome Supervisor::run_job(std::size_t index, const SolveJob& job,
+                               std::uint64_t id, double deadline_seconds,
+                               std::int64_t max_nodes,
+                               const SolveBudget& parent_budget,
+                               const std::atomic<bool>& engine_cancelled) {
+  JobOutcome out;
+  out.id = id;
+  out.tag = job.tag;
+  out.worker = index;
+  Slot& slot = *slots_[index];
+
+  JobFrame frame;
+  frame.id = id;
+  frame.deadline_seconds = deadline_seconds;
+  frame.max_nodes = max_nodes;
+  {
+    std::ostringstream os;
+    behavior::write_scenario(os, *job.scenario);
+    frame.scenario_text = os.str();
+  }
+
+  Timer solve_timer;
+  for (;;) {
+    if (!ensure_worker(slot)) {
+      if (engine_cancelled.load(std::memory_order_relaxed) ||
+          parent_budget.cancel_requested()) {
+        out.status = JobStatus::kCancelled;
+        out.error = "cancelled before a worker could be spawned";
+      } else {
+        out.status = JobStatus::kFailed;
+        out.transient = true;
+        std::lock_guard<std::mutex> lock(spawn_mutex_);
+        out.error = "worker spawn failed: " + slot.last_error;
+      }
+      break;
+    }
+    // Chaos flags are polled in the parent so the shared fault table
+    // counts every attempt exactly once; the child just obeys the bits.
+    frame.chaos_abort = faultinject::should_fail(faultinject::Site::kWorkerAbort);
+    frame.chaos_hang = faultinject::should_fail(faultinject::Site::kWorkerHang);
+
+    slot.state.store(1, std::memory_order_relaxed);
+    Await result = Await::kCrashed;  // a failed send == the child is gone
+    if (write_frame(slot.fd.load(std::memory_order_relaxed), FrameType::kJob,
+                    encode_job(frame))) {
+      result = await_result(slot, id, deadline_seconds, parent_budget,
+                            engine_cancelled, out);
+    }
+    if (result == Await::kDone) {
+      slot.consecutive_crashes = 0;
+      slot.state.store(0, std::memory_order_relaxed);
+      break;
+    }
+    if (result == Await::kCancelKill) {
+      clear_slot(slot, /*grace_ms=*/0);
+      out.status = JobStatus::kCancelled;
+      out.error = "worker ignored cancel past the grace period (SIGKILL)";
+      break;
+    }
+    // Crash: reap, classify, and decide between retry and giving up.
+    clear_slot(slot, /*grace_ms=*/500);
+    ++out.crashes;
+    ++slot.consecutive_crashes;
+    slot.crashes.fetch_add(1, std::memory_order_relaxed);
+    SupervisorMetrics::get().worker_crashes.add(1);
+    std::string exit_desc;
+    {
+      std::lock_guard<std::mutex> lock(spawn_mutex_);
+      exit_desc = slot.last_exit;
+    }
+    CUBISG_LOG(LogLevel::kWarn)
+        << "worker " << index << " died mid-job " << id << " (" << exit_desc
+        << "), crash " << out.crashes << "/" << opt_.retry.max_crashes
+        << " for this job";
+    if (engine_cancelled.load(std::memory_order_relaxed) ||
+        parent_budget.cancel_requested()) {
+      out.status = JobStatus::kWorkerCrashed;
+      out.error = "worker " + exit_desc + "; cancellation pending";
+      break;
+    }
+    if (out.crashes > opt_.retry.max_crashes) {
+      if (opt_.retry.max_crashes > 0) {
+        out.status = JobStatus::kQuarantined;
+        out.error = "quarantined after " + std::to_string(out.crashes) +
+                    " worker crashes (last: " + exit_desc + ")";
+        SupervisorMetrics::get().jobs_quarantined.add(1);
+        CUBISG_LOG(LogLevel::kError)
+            << "job " << id << (job.tag.empty() ? "" : " [" + job.tag + "]")
+            << " quarantined: " << out.error;
+      } else {
+        out.status = JobStatus::kWorkerCrashed;
+        out.error = "worker " + exit_desc;
+      }
+      break;
+    }
+    SupervisorMetrics::get().jobs_retried.add(1);
+    slot.state.store(2, std::memory_order_relaxed);
+    if (!backoff(index, slot.consecutive_crashes, parent_budget,
+                 engine_cancelled)) {
+      out.status = JobStatus::kWorkerCrashed;
+      out.error = "worker " + exit_desc + "; cancelled during respawn backoff";
+      break;
+    }
+  }
+  out.solve_seconds = solve_timer.seconds();
+  return out;
+}
+
+std::string Supervisor::status_json() const {
+  std::ostringstream os;
+  std::lock_guard<std::mutex> lock(spawn_mutex_);
+  std::size_t alive = 0;
+  os << "{\"workers\":[";
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = *slots_[i];
+    const long pid = slot.pid.load(std::memory_order_relaxed);
+    if (pid > 0) ++alive;
+    if (i > 0) os << ",";
+    os << "{\"slot\":" << i << ",\"pid\":" << pid << ",\"state\":\""
+       << state_name(slot.state.load(std::memory_order_relaxed))
+       << "\",\"spawns\":" << slot.spawns.load(std::memory_order_relaxed)
+       << ",\"restarts\":" << slot.restarts.load(std::memory_order_relaxed)
+       << ",\"crashes\":" << slot.crashes.load(std::memory_order_relaxed)
+       << ",\"jobs_completed\":"
+       << slot.jobs_completed.load(std::memory_order_relaxed)
+       << ",\"last_exit\":\"" << slot.last_exit << "\"}";
+  }
+  os << "],\"alive\":" << alive << ",\"slots\":" << slots_.size() << "}";
+  return os.str();
+}
+
+}  // namespace cubisg::engine

@@ -1,0 +1,117 @@
+// Worker-process supervisor: the parent-side state machine for
+// crash-contained solving (see engine/process_pool.hpp for the child
+// side and the wire protocol).
+//
+// One Supervisor owns one slot per engine worker thread.  Each slot
+// holds at most one forked child; the owning worker thread drives its
+// slot exclusively through run_job(), so per-slot state needs no lock —
+// only spawning (fork + the sibling-fd list) and the /workersz renderer
+// serialize on a supervisor-wide mutex.
+//
+// Per-job state machine, as run by run_job():
+//
+//   spawn (if slot empty; exponential backoff + deterministic jitter
+//          after consecutive crash-respawns)
+//     -> send job frame
+//     -> await: heartbeats refresh the liveness clock
+//               result/error frame  -> done (worker stays up, reused)
+//               EOF / socket error  -> worker crashed
+//               heartbeat silence past heartbeat_timeout  -> SIGKILL
+//               deadline + kill grace exceeded            -> SIGKILL
+//               cancel requested -> cancel frame; SIGKILL after grace
+//                                   if the child will not unwind
+//
+// A crash (including a SIGKILLed wedge) increments the job's crash
+// count: within RetryPolicy::max_crashes the job is retried on a fresh
+// child after backoff; beyond it the job is quarantined (kQuarantined)
+// so one poison input cannot sink the batch — unless max_crashes is 0,
+// where the first crash simply fails the job (kWorkerCrashed).
+//
+// Metrics: engine.worker_crashes_total, engine.worker_restarts_total,
+// engine.jobs_retried_total (shared with the engine's transient-failure
+// retries), engine.jobs_quarantined_total, engine.workers_alive gauge.
+// Live state is served as JSON at GET /workersz via the status-page
+// registry (obs/status_page.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/budget.hpp"
+#include "engine/engine.hpp"
+
+namespace cubisg::engine {
+
+class Supervisor {
+ public:
+  struct Options {
+    std::size_t workers = 1;
+    RetryPolicy retry;
+    double heartbeat_timeout_seconds = 5.0;
+    double kill_grace_seconds = 1.0;
+    std::shared_ptr<const core::DefenderSolver> solver;
+  };
+
+  /// Spawns the initial worker children eagerly (fork before the engine's
+  /// own worker threads exist keeps the fork guard's job small) and
+  /// registers /workersz.  A failed initial spawn leaves the slot empty;
+  /// run_job() retries lazily.
+  explicit Supervisor(Options options);
+  /// Closes every child's socket (idle children _exit on EOF), reaps
+  /// with a short grace, SIGKILLs stragglers, unregisters /workersz.
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Runs `job` (must carry job.scenario) on slot `index`'s child.
+  /// Blocking; must be called only from the engine worker thread that
+  /// owns slot `index`.  `deadline_seconds`/`max_nodes` are the
+  /// engine-resolved effective budget (0 = none); `parent_budget`
+  /// mirrors external cancellation (the CLI signal table) and
+  /// `engine_cancelled` the engine-wide cancel latch.  Returns a final
+  /// outcome: kCompleted / kFailed (worker alive and reused),
+  /// kCancelled, kWorkerCrashed or kQuarantined.  Does not apply the
+  /// engine's transient-failure retry policy — only crash retries.
+  JobOutcome run_job(std::size_t index, const SolveJob& job,
+                     std::uint64_t id, double deadline_seconds,
+                     std::int64_t max_nodes, const SolveBudget& parent_budget,
+                     const std::atomic<bool>& engine_cancelled);
+
+  /// The /workersz JSON body (also callable directly in tests).
+  std::string status_json() const;
+
+  std::size_t num_slots() const { return slots_.size(); }
+
+ private:
+  struct Slot;
+  enum class Await;  // result of one send-and-wait round
+
+  bool ensure_worker(Slot& slot);
+  Await await_result(Slot& slot, std::uint64_t id, double deadline_seconds,
+                     const SolveBudget& parent_budget,
+                     const std::atomic<bool>& engine_cancelled,
+                     JobOutcome& out);
+  /// Reaps (grace, then SIGKILL) the slot's child and records the exit
+  /// description; updates the alive gauge.
+  void clear_slot(Slot& slot, int grace_ms);
+  void update_alive_gauge();
+  /// Interruptible exponential-backoff sleep before respawn attempt
+  /// `consecutive_crashes`; false when interrupted by cancellation.
+  bool backoff(std::size_t index, int consecutive_crashes,
+               const SolveBudget& parent_budget,
+               const std::atomic<bool>& engine_cancelled);
+
+  Options opt_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  /// Serializes fork (the sibling-fd snapshot must be stable across it)
+  /// and guards each slot's last_exit/last_error strings for /workersz.
+  mutable std::mutex spawn_mutex_;
+};
+
+}  // namespace cubisg::engine

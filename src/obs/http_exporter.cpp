@@ -30,6 +30,7 @@
 #include "obs/profiler.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/solve_report.hpp"
+#include "obs/status_page.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace cubisg::obs {
@@ -198,10 +199,22 @@ void handle_connection(int fd) {
   } else if (target == "/profilez") {
     handle_profilez(fd, query_string);
   } else {
-    send_response(
-        fd, "404 Not Found", "text/plain",
-        "unknown path (try /metrics, /healthz, /solvez, /slowz, /auditz, "
-        "/profilez?seconds=N)\n");
+    // Pluggable pages (e.g. the supervisor's /workersz) registered by
+    // subsystems above this library in the link graph.
+    std::string content_type;
+    std::string body;
+    if (render_status_page(target, content_type, body)) {
+      send_response(fd, "200 OK", content_type.c_str(), body);
+    } else {
+      std::string hint =
+          "unknown path (try /metrics, /healthz, /solvez, /slowz, "
+          "/auditz, /profilez?seconds=N";
+      for (const std::string& p : status_page_paths()) {
+        hint += ", " + p;
+      }
+      hint += ")\n";
+      send_response(fd, "404 Not Found", "text/plain", hint);
+    }
   }
   ::close(fd);
 }

@@ -236,6 +236,9 @@ void Registry::reset() {
   for (auto& [name, h] : im.histograms) h->reset();
 }
 
+void Registry::fork_lock() { impl().mutex.lock(); }
+void Registry::fork_unlock() { impl().mutex.unlock(); }
+
 // ---- MetricsSnapshot ---------------------------------------------------
 
 std::int64_t MetricsSnapshot::counter(const std::string& name) const {

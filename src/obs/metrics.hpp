@@ -204,6 +204,12 @@ class Registry {
   /// Zeroes every value; identities (and cached references) stay valid.
   void reset();
 
+  /// Fork support: holds/releases the registration mutex around fork()
+  /// so a forked worker child never inherits it locked (recording itself
+  /// is lock-free; only name lookup takes the mutex).
+  void fork_lock();
+  void fork_unlock();
+
  private:
   Registry() = default;
   struct Impl;

@@ -93,6 +93,12 @@ class SolveReportBuffer {
   /// {"total": N, "capacity": C, "reports": [...oldest first...]}
   std::string to_json() const;
 
+  /// Fork support: holds/releases the ring mutex around fork() so a
+  /// forked worker child (which publishes its own solve reports) never
+  /// inherits it locked.
+  void fork_lock() { mutex_.lock(); }
+  void fork_unlock() { mutex_.unlock(); }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mutex_;

@@ -1,0 +1,68 @@
+#include "obs/status_page.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace cubisg::obs {
+
+namespace {
+
+struct PageEntry {
+  std::string content_type;
+  StatusPageProvider provider;
+};
+
+struct PageRegistry {
+  std::mutex mutex;
+  std::map<std::string, PageEntry> pages;  // guarded by mutex
+};
+
+PageRegistry& registry() {
+  // Immortal, like the metrics registry: a provider unregistering during
+  // static destruction must find the map alive.
+  static PageRegistry* r = new PageRegistry();
+  return *r;
+}
+
+}  // namespace
+
+void register_status_page(const std::string& path,
+                          const std::string& content_type,
+                          StatusPageProvider provider) {
+  if (path.empty() || path[0] != '/' || !provider) return;
+  PageRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.pages[path] = PageEntry{content_type, std::move(provider)};
+}
+
+void unregister_status_page(const std::string& path) {
+  PageRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.pages.erase(path);
+}
+
+bool render_status_page(const std::string& path, std::string& content_type,
+                        std::string& body) {
+  PageRegistry& r = registry();
+  // Render under the mutex: unregister_status_page then cannot return
+  // while the provider (whose captures it is about to invalidate) runs.
+  // Providers are cheap JSON serializers; requests are rare.
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.pages.find(path);
+  if (it == r.pages.end()) return false;
+  content_type = it->second.content_type;
+  body = it->second.provider();
+  return true;
+}
+
+std::vector<std::string> status_page_paths() {
+  PageRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> out;
+  out.reserve(r.pages.size());
+  for (const auto& [path, entry] : r.pages) out.push_back(path);
+  return out;
+}
+
+}  // namespace cubisg::obs

@@ -1,0 +1,46 @@
+// Pluggable status pages for the live telemetry server.
+//
+// Subsystems that live above the HTTP exporter in the link graph (the
+// solve engine's process supervisor, for example) can still expose a
+// debug endpoint: they register a path ("/workersz") with a provider
+// callback here, and the exporter consults this registry for any path it
+// does not handle natively.  Providers return the full response body;
+// the exporter adds the HTTP framing.
+//
+// Registration is cheap and rare (one per subsystem lifetime); lookups
+// take the same mutex per request, which is negligible next to the
+// socket round trip.  Providers must be callable from any handler thread
+// and must not block on the registering subsystem's shutdown (register
+// in the constructor, unregister in the destructor, and the unregister
+// waits for in-flight calls via the registry mutex).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cubisg::obs {
+
+/// A status-page body producer.  Returns the response body; the content
+/// type is fixed per registration.
+using StatusPageProvider = std::function<std::string()>;
+
+/// Registers `provider` for GET `path` (must start with '/').  Replaces
+/// any previous provider for the path.
+void register_status_page(const std::string& path,
+                          const std::string& content_type,
+                          StatusPageProvider provider);
+
+/// Removes the provider for `path` (no-op when absent).  Blocks until no
+/// handler is mid-call into the provider being removed.
+void unregister_status_page(const std::string& path);
+
+/// Invokes the provider for `path`.  Returns false when no provider is
+/// registered; otherwise fills `content_type` and `body`.
+bool render_status_page(const std::string& path, std::string& content_type,
+                        std::string& body);
+
+/// Registered paths, sorted (for the exporter's 404 hint).
+std::vector<std::string> status_page_paths();
+
+}  // namespace cubisg::obs

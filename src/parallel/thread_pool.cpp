@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -8,6 +9,11 @@
 namespace cubisg {
 
 namespace {
+
+/// The global pool instance once constructed (nullptr before first use).
+/// The fork hooks need to reach it without triggering construction — a
+/// forked child must neutralize an *inherited* pool, never create one.
+std::atomic<ThreadPool*> g_global_pool{nullptr};
 
 obs::Gauge& queue_depth_gauge() {
   static obs::Gauge& g =
@@ -86,7 +92,29 @@ void ThreadPool::worker_loop() {
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
+  g_global_pool.store(&pool, std::memory_order_release);
   return pool;
+}
+
+void ThreadPool::fork_prepare() {
+  if (ThreadPool* p = g_global_pool.load(std::memory_order_acquire)) {
+    p->mutex_.lock();
+  }
+}
+
+void ThreadPool::fork_parent() {
+  if (ThreadPool* p = g_global_pool.load(std::memory_order_acquire)) {
+    p->mutex_.unlock();
+  }
+}
+
+void ThreadPool::fork_child() {
+  if (ThreadPool* p = g_global_pool.load(std::memory_order_acquire)) {
+    // The workers died with the fork; draining mode makes submit() throw
+    // PoolShutdownError, which parallel_for absorbs by running inline.
+    p->stopping_ = true;
+    p->mutex_.unlock();
+  }
 }
 
 }  // namespace cubisg

@@ -89,6 +89,17 @@ class ThreadPool {
   /// hardware thread.  Solvers use this unless handed an explicit pool.
   static ThreadPool& global();
 
+  /// Fork support for the process-isolated engine workers.  The pool's
+  /// threads do not survive fork(), so a child that inherited a live
+  /// global pool would submit tasks nobody runs.  fork_prepare() locks
+  /// the global pool's mutex (if the pool was ever constructed) so the
+  /// child cannot inherit it mid-operation; fork_parent() unlocks it;
+  /// fork_child() marks the inherited pool stopping and unlocks, so
+  /// parallel_for falls back to inline execution in the child.
+  static void fork_prepare();
+  static void fork_parent();
+  static void fork_child();
+
  private:
   /// A queued task plus its submit time (for the latency histogram).
   struct Task {

@@ -1,0 +1,179 @@
+// Batch journal: append-only durability records driving `batch --resume`.
+// The format must round-trip, tolerate the torn final record a kill -9
+// can leave (simulated by the journal-torn-write fault site), survive a
+// reopen-after-tear without corrupting the next record, and let later
+// records supersede earlier ones for the same tag (a resumed run
+// re-records its jobs).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_inject.hpp"
+#include "engine/journal.hpp"
+
+namespace cubisg::engine {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+struct FaultGuard {
+  FaultGuard() { faultinject::disarm_all(); }
+  ~FaultGuard() { faultinject::disarm_all(); }
+};
+
+const JournalEntry* find(const std::vector<JournalEntry>& entries,
+                         const std::string& tag) {
+  for (const JournalEntry& e : entries) {
+    if (e.tag == tag) return &e;
+  }
+  return nullptr;
+}
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  // Published FNV-1a 64 test vectors.
+  EXPECT_EQ(fnv1a64("", 0), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(Journal, RecordLoadRoundTrip) {
+  TempFile tmp("journal_roundtrip.log");
+  BatchJournal j;
+  std::string err;
+  ASSERT_TRUE(j.open(tmp.path, err)) << err;
+  ASSERT_TRUE(j.record("runs/a.scn", 0x1111111111111111ull, "ok"));
+  ASSERT_TRUE(j.record("runs/with space.scn", 0x2222222222222222ull, "ok"));
+  ASSERT_TRUE(j.record("runs/b.scn", 0, "failed"));
+  j.close();
+
+  std::vector<JournalEntry> entries;
+  std::size_t malformed = 9;
+  ASSERT_TRUE(BatchJournal::load(tmp.path, entries, err, &malformed)) << err;
+  EXPECT_EQ(malformed, 0u);
+  ASSERT_EQ(entries.size(), 3u);
+  const JournalEntry* a = find(entries, "runs/a.scn");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->status, "ok");
+  EXPECT_EQ(a->digest, 0x1111111111111111ull);
+  const JournalEntry* spaced = find(entries, "runs/with space.scn");
+  ASSERT_NE(spaced, nullptr) << "tags with spaces must survive";
+  EXPECT_EQ(spaced->digest, 0x2222222222222222ull);
+  const JournalEntry* b = find(entries, "runs/b.scn");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->status, "failed");
+}
+
+TEST(Journal, LaterRecordForSameTagWins) {
+  TempFile tmp("journal_rerecord.log");
+  BatchJournal j;
+  std::string err;
+  ASSERT_TRUE(j.open(tmp.path, err)) << err;
+  ASSERT_TRUE(j.record("a.scn", 1, "crashed"));
+  ASSERT_TRUE(j.record("a.scn", 0xabc, "ok"));
+  j.close();
+
+  std::vector<JournalEntry> entries;
+  ASSERT_TRUE(BatchJournal::load(tmp.path, entries, err, nullptr));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].status, "ok");
+  EXPECT_EQ(entries[0].digest, 0xabcull);
+}
+
+TEST(Journal, TornFinalRecordToleratedEarlierRecordsSurvive) {
+  if (!faultinject::compiled_in()) GTEST_SKIP() << "fault hooks compiled out";
+  FaultGuard guard;
+  TempFile tmp("journal_torn.log");
+  BatchJournal j;
+  std::string err;
+  ASSERT_TRUE(j.open(tmp.path, err)) << err;
+  ASSERT_TRUE(j.record("a.scn", 11, "ok"));
+  ASSERT_TRUE(j.record("b.scn", 22, "ok"));
+  faultinject::arm(faultinject::Site::kJournalTornWrite, /*fire_count=*/1);
+  ASSERT_TRUE(j.record("c.scn", 33, "ok"));  // half-written, no newline
+  j.close();
+
+  std::vector<JournalEntry> entries;
+  std::size_t malformed = 0;
+  ASSERT_TRUE(BatchJournal::load(tmp.path, entries, err, &malformed)) << err;
+  EXPECT_EQ(malformed, 1u) << "the torn tail must count, not crash";
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_NE(find(entries, "a.scn"), nullptr);
+  EXPECT_NE(find(entries, "b.scn"), nullptr);
+  EXPECT_EQ(find(entries, "c.scn"), nullptr) << "torn record half-loaded";
+}
+
+TEST(Journal, ReopenAfterTearDoesNotCorruptNextRecord) {
+  if (!faultinject::compiled_in()) GTEST_SKIP() << "fault hooks compiled out";
+  FaultGuard guard;
+  TempFile tmp("journal_reopen.log");
+  std::string err;
+  {
+    BatchJournal j;
+    ASSERT_TRUE(j.open(tmp.path, err)) << err;
+    ASSERT_TRUE(j.record("a.scn", 11, "ok"));
+    faultinject::arm(faultinject::Site::kJournalTornWrite, 1);
+    ASSERT_TRUE(j.record("b.scn", 22, "ok"));  // torn, no newline
+    j.close();
+  }
+  {
+    // The resumed run re-records b: open() must terminate the torn line
+    // so this record is not glued onto it and lost too.
+    BatchJournal j;
+    ASSERT_TRUE(j.open(tmp.path, err)) << err;
+    ASSERT_TRUE(j.record("b.scn", 22, "ok"));
+    j.close();
+  }
+  std::vector<JournalEntry> entries;
+  std::size_t malformed = 0;
+  ASSERT_TRUE(BatchJournal::load(tmp.path, entries, err, &malformed)) << err;
+  EXPECT_EQ(malformed, 1u);
+  const JournalEntry* b = find(entries, "b.scn");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->digest, 22ull);
+  EXPECT_EQ(b->status, "ok");
+}
+
+TEST(Journal, CorruptCrcAndForeignLinesSkipped) {
+  TempFile tmp("journal_corrupt.log");
+  {
+    BatchJournal j;
+    std::string err;
+    ASSERT_TRUE(j.open(tmp.path, err)) << err;
+    ASSERT_TRUE(j.record("good.scn", 7, "ok"));
+    j.close();
+  }
+  {
+    std::ofstream out(tmp.path, std::ios::app);
+    out << "done 0000000000000007 ok deadbeef flipped.scn\n";  // bad CRC
+    out << "not a journal line at all\n";
+    out << "\n";
+  }
+  std::vector<JournalEntry> entries;
+  std::string err;
+  std::size_t malformed = 0;
+  ASSERT_TRUE(BatchJournal::load(tmp.path, entries, err, &malformed)) << err;
+  EXPECT_EQ(malformed, 2u);  // bad CRC + foreign line (blank ignored)
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].tag, "good.scn");
+}
+
+TEST(Journal, MissingFileIsLoadErrorNotCrash) {
+  std::vector<JournalEntry> entries;
+  std::string err;
+  EXPECT_FALSE(
+      BatchJournal::load("/nonexistent/journal.log", entries, err, nullptr));
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace cubisg::engine

@@ -1,0 +1,358 @@
+// Crash-contained process isolation: the wire protocol must round-trip
+// solutions losslessly, a clean process-mode solve must be bitwise-
+// identical to thread mode, and the supervisor must absorb the failure
+// modes it exists for — worker aborts (respawn + retry), wedged workers
+// (hard-deadline SIGKILL), and poison jobs (quarantine) — without
+// losing the rest of the batch.  Deliberately NOT tsan-labelled: these
+// tests fork multi-threaded processes, which TSan does not support.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "behavior/scenario.hpp"
+#include "common/fault_inject.hpp"
+#include "common/rng.hpp"
+#include "core/cubis.hpp"
+#include "engine/engine.hpp"
+#include "engine/process_pool.hpp"
+#include "games/generators.hpp"
+#include "obs/metrics.hpp"
+
+namespace cubisg::engine {
+namespace {
+
+struct FaultGuard {
+  FaultGuard() { faultinject::disarm_all(); }
+  ~FaultGuard() { faultinject::disarm_all(); }
+};
+
+/// A full problem instance owned by one Scenario, engine-ready.
+std::shared_ptr<behavior::Scenario> make_scenario(std::uint64_t seed,
+                                                  std::size_t targets,
+                                                  double resources,
+                                                  double width) {
+  Rng rng(seed);
+  return std::make_shared<behavior::Scenario>(behavior::Scenario{
+      games::random_uncertain_game(rng, targets, resources, width),
+      behavior::SuqrWeightIntervals{}, behavior::IntervalMode::kExactBox});
+}
+
+SolveJob job_for(const std::shared_ptr<behavior::Scenario>& scn) {
+  SolveJob job;
+  job.game =
+      std::shared_ptr<const games::SecurityGame>(scn, &scn->game.game);
+  job.bounds =
+      std::make_shared<behavior::SuqrIntervalBounds>(scn->make_bounds());
+  job.scenario = scn;
+  return job;
+}
+
+std::shared_ptr<const core::DefenderSolver> make_solver() {
+  core::CubisOptions opt;
+  opt.segments = 10;
+  opt.epsilon = 1e-3;
+  return std::make_shared<core::CubisSolver>(opt);
+}
+
+/// Canonical wire bytes with everything run-specific (id, clocks,
+/// telemetry) zeroed: byte equality here IS bitwise solution equality —
+/// strategy, bracket, certificate, every field the child serialized.
+std::string canonical_bytes(const core::DefenderSolution& sol) {
+  ResultFrame frame;
+  frame.id = 0;
+  frame.solution = sol;
+  frame.solution.wall_seconds = 0.0;
+  frame.solution.telemetry = {};
+  return encode_result(frame);
+}
+
+void expect_identical(const core::DefenderSolution& got,
+                      const core::DefenderSolution& want) {
+  // Field-level first for readable failures, then the byte-level catch-all.
+  EXPECT_EQ(got.status, want.status);
+  EXPECT_EQ(got.worst_case_utility, want.worst_case_utility);
+  EXPECT_EQ(got.lb, want.lb);
+  EXPECT_EQ(got.ub, want.ub);
+  EXPECT_EQ(got.binary_steps, want.binary_steps);
+  ASSERT_EQ(got.strategy.size(), want.strategy.size());
+  for (std::size_t i = 0; i < want.strategy.size(); ++i) {
+    EXPECT_EQ(got.strategy[i], want.strategy[i]) << "target " << i;
+  }
+  EXPECT_EQ(canonical_bytes(got), canonical_bytes(want));
+}
+
+std::int64_t counter_value(const std::string& name) {
+  return obs::Registry::global().snapshot().counter(name);
+}
+
+// ---- wire protocol (runs on every platform) ---------------------------
+
+TEST(Wire, JobFrameRoundTrip) {
+  JobFrame job;
+  job.id = 0x1122334455667788ull;
+  job.deadline_seconds = 1.5;
+  job.max_nodes = 12345;
+  job.chaos_abort = true;
+  job.chaos_hang = false;
+  job.scenario_text = "scenario body\nwith lines\n";
+  JobFrame out;
+  ASSERT_TRUE(decode_job(encode_job(job), out));
+  EXPECT_EQ(out.id, job.id);
+  EXPECT_EQ(out.deadline_seconds, job.deadline_seconds);
+  EXPECT_EQ(out.max_nodes, job.max_nodes);
+  EXPECT_EQ(out.chaos_abort, job.chaos_abort);
+  EXPECT_EQ(out.chaos_hang, job.chaos_hang);
+  EXPECT_EQ(out.scenario_text, job.scenario_text);
+}
+
+TEST(Wire, ResultFrameRoundTripsEveryField) {
+  ResultFrame r;
+  r.id = 42;
+  r.solution.status = SolverStatus::kDeadlineExceeded;
+  r.solution.strategy = {0.25, 0.5, 0.0, 1.0};
+  r.solution.worst_case_utility = -1.25;
+  r.solution.solver_objective = -1.5;
+  r.solution.lb = -1.5;
+  r.solution.ub = -1.0;
+  r.solution.binary_steps = 7;
+  r.solution.milp_nodes = 99;
+  r.solution.wall_seconds = 0.125;
+  auto& cert = r.solution.certificate;
+  cert.present = true;
+  cert.solver = "cubis-dp";
+  cert.targets = 4;
+  cert.resources = 2.0;
+  cert.has_bracket = true;
+  cert.bracket_converged = false;
+  cert.epsilon = 1e-3;
+  cert.segments = 10;
+  cert.lb = -1.5;
+  cert.ub = -1.0;
+  cert.rounds.push_back({-2.0, -1.0, 3, 1});
+  cert.rounds.push_back({-1.5, -1.0, 0, 2});
+  cert.claimed_worst_case = -1.25;
+  cert.budget_residual = 0.5;
+  cert.box_residual = 0.0;
+  ResultFrame out;
+  ASSERT_TRUE(decode_result(encode_result(r), out));
+  EXPECT_EQ(out.id, r.id);
+  EXPECT_EQ(out.solution.certificate.rounds.size(), 2u);
+  EXPECT_EQ(out.solution.certificate.solver, "cubis-dp");
+  // Byte-level identity is the real assertion: a field the codec forgot
+  // would re-encode differently (or be zero) on the other side.
+  EXPECT_EQ(encode_result(out), encode_result(r));
+}
+
+TEST(Wire, ErrorFrameRoundTrip) {
+  ErrorFrame e;
+  e.id = 7;
+  e.retryable = false;
+  e.message = "invalid model: 0 targets";
+  ErrorFrame out;
+  ASSERT_TRUE(decode_error(encode_error(e), out));
+  EXPECT_EQ(out.id, e.id);
+  EXPECT_EQ(out.retryable, e.retryable);
+  EXPECT_EQ(out.message, e.message);
+}
+
+TEST(Wire, DecodeRejectsTruncatedPayload) {
+  ResultFrame r;
+  r.solution.strategy = {0.5, 0.5};
+  const std::string bytes = encode_result(r);
+  ResultFrame out;
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 3) {
+    EXPECT_FALSE(decode_result(bytes.substr(0, cut), out))
+        << "truncation at " << cut << " decoded";
+  }
+  EXPECT_TRUE(decode_result(bytes, out));
+}
+
+// ---- process isolation (POSIX + obs builds only) ----------------------
+
+#define SKIP_WITHOUT_ISOLATION()                                     \
+  if (!process_isolation_available())                                \
+  GTEST_SKIP() << "process isolation not available on this build"
+
+TEST(ProcessIsolation, CleanSolvesMatchThreadModeBitwise) {
+  SKIP_WITHOUT_ISOLATION();
+  FaultGuard guard;
+  const std::vector<std::shared_ptr<behavior::Scenario>> scns = {
+      make_scenario(2001, 30, 9.0, 2.0),
+      make_scenario(2002, 12, 4.0, 1.5),
+      make_scenario(2003, 20, 6.0, 1.0),
+  };
+  auto solver = make_solver();
+
+  std::vector<core::DefenderSolution> want;
+  {
+    SolveEngine eng(solver, {});  // thread-mode oracle
+    for (const auto& scn : scns) {
+      JobOutcome out = eng.submit(job_for(scn)).get();
+      ASSERT_EQ(out.status, JobStatus::kCompleted);
+      want.push_back(out.solution);
+    }
+  }
+
+  EngineOptions eopt;
+  eopt.workers = 2;
+  eopt.isolation = IsolationMode::kProcess;
+  SolveEngine eng(solver, eopt);
+  ASSERT_TRUE(eng.process_mode());
+  for (std::size_t i = 0; i < scns.size(); ++i) {
+    JobOutcome out = eng.submit(job_for(scns[i])).get();
+    ASSERT_EQ(out.status, JobStatus::kCompleted) << out.error;
+    EXPECT_EQ(out.attempts, 1);
+    EXPECT_EQ(out.crashes, 0);
+    expect_identical(out.solution, want[i]);
+  }
+}
+
+TEST(ProcessIsolation, PeriodicAbortsAllRecoverBitwise) {
+  SKIP_WITHOUT_ISOLATION();
+  FaultGuard guard;
+  auto scn = make_scenario(2004, 16, 5.0, 2.0);
+  auto solver = make_solver();
+
+  core::DefenderSolution want;
+  {
+    SolveEngine eng(solver, {});
+    JobOutcome out = eng.submit(job_for(scn)).get();
+    ASSERT_EQ(out.status, JobStatus::kCompleted);
+    want = out.solution;
+  }
+
+  const std::int64_t crashes_before =
+      counter_value("engine.worker_crashes_total");
+  const std::int64_t quarantined_before =
+      counter_value("engine.jobs_quarantined_total");
+
+  // Every 3rd job-dispatch poll crashes the worker: with 12 jobs on one
+  // worker several crash once and succeed on the respawned worker.
+  faultinject::arm(faultinject::Site::kWorkerAbort, /*fire_count=*/-1,
+                   /*skip=*/0, /*period=*/3);
+  EngineOptions eopt;
+  eopt.workers = 1;
+  eopt.isolation = IsolationMode::kProcess;
+  eopt.retry.max_crashes = 2;
+  SolveEngine eng(solver, eopt);
+  ASSERT_TRUE(eng.process_mode());
+
+  int recovered = 0;
+  for (int i = 0; i < 12; ++i) {
+    JobOutcome out = eng.submit(job_for(scn)).get();
+    ASSERT_EQ(out.status, JobStatus::kCompleted) << out.error;
+    expect_identical(out.solution, want);
+    if (out.crashes > 0) ++recovered;
+  }
+  faultinject::disarm_all();
+  EXPECT_GT(recovered, 0) << "chaos never fired";
+  EXPECT_GT(counter_value("engine.worker_crashes_total"), crashes_before);
+  EXPECT_EQ(counter_value("engine.jobs_quarantined_total"),
+            quarantined_before);
+}
+
+TEST(ProcessIsolation, PoisonJobQuarantinedRestOfBatchFinishes) {
+  SKIP_WITHOUT_ISOLATION();
+  FaultGuard guard;
+  auto scn = make_scenario(2005, 14, 4.0, 1.5);
+  auto solver = make_solver();
+
+  const std::int64_t quarantined_before =
+      counter_value("engine.jobs_quarantined_total");
+
+  // One worker, FIFO: the first job's dispatches consume all three
+  // fires (initial attempt + 2 crash retries), so it alone exceeds
+  // max_crashes = 2 and is quarantined; later jobs run clean.
+  faultinject::arm(faultinject::Site::kWorkerAbort, /*fire_count=*/3);
+  EngineOptions eopt;
+  eopt.workers = 1;
+  eopt.isolation = IsolationMode::kProcess;
+  eopt.retry.max_crashes = 2;
+  eopt.retry.backoff_initial_ms = 5.0;
+  SolveEngine eng(solver, eopt);
+  ASSERT_TRUE(eng.process_mode());
+
+  std::vector<std::future<JobOutcome>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(eng.submit(job_for(scn)));
+  JobOutcome poison = futs[0].get();
+  EXPECT_EQ(poison.status, JobStatus::kQuarantined);
+  EXPECT_EQ(poison.crashes, 3);
+  for (std::size_t i = 1; i < futs.size(); ++i) {
+    JobOutcome out = futs[i].get();
+    EXPECT_EQ(out.status, JobStatus::kCompleted) << out.error;
+  }
+  faultinject::disarm_all();
+  EXPECT_EQ(counter_value("engine.jobs_quarantined_total"),
+            quarantined_before + 1);
+}
+
+TEST(ProcessIsolation, FirstCrashFailsJobWhenMaxCrashesZero) {
+  SKIP_WITHOUT_ISOLATION();
+  FaultGuard guard;
+  auto scn = make_scenario(2006, 10, 3.0, 1.0);
+  auto solver = make_solver();
+
+  faultinject::arm(faultinject::Site::kWorkerAbort, /*fire_count=*/1);
+  EngineOptions eopt;
+  eopt.workers = 1;
+  eopt.isolation = IsolationMode::kProcess;
+  eopt.retry.max_crashes = 0;
+  SolveEngine eng(solver, eopt);
+  ASSERT_TRUE(eng.process_mode());
+
+  JobOutcome crashed = eng.submit(job_for(scn)).get();
+  EXPECT_EQ(crashed.status, JobStatus::kWorkerCrashed);
+  EXPECT_EQ(crashed.crashes, 1);
+  faultinject::disarm_all();
+  // The worker respawns: the engine stays serviceable after the failure.
+  JobOutcome clean = eng.submit(job_for(scn)).get();
+  EXPECT_EQ(clean.status, JobStatus::kCompleted) << clean.error;
+}
+
+TEST(ProcessIsolation, WedgedWorkerKilledPastDeadlineThenRecovers) {
+  SKIP_WITHOUT_ISOLATION();
+  FaultGuard guard;
+  auto scn = make_scenario(2007, 10, 3.0, 1.0);
+  auto solver = make_solver();
+
+  // The wedged child keeps heartbeating, so only the hard deadline
+  // (job deadline + kill grace) ends it: SIGKILL, crash-retry, solve.
+  faultinject::arm(faultinject::Site::kWorkerHang, /*fire_count=*/1);
+  EngineOptions eopt;
+  eopt.workers = 1;
+  eopt.isolation = IsolationMode::kProcess;
+  eopt.retry.max_crashes = 2;
+  eopt.kill_grace_seconds = 0.3;
+  SolveEngine eng(solver, eopt);
+  ASSERT_TRUE(eng.process_mode());
+
+  SolveJob job = job_for(scn);
+  job.deadline_seconds = 0.3;
+  JobOutcome out = eng.submit(std::move(job)).get();
+  EXPECT_EQ(out.status, JobStatus::kCompleted) << out.error;
+  EXPECT_EQ(out.crashes, 1);
+  EXPECT_TRUE(out.solution.ok());
+}
+
+TEST(ProcessIsolation, JobWithoutScenarioRunsInProcess) {
+  SKIP_WITHOUT_ISOLATION();
+  FaultGuard guard;
+  auto scn = make_scenario(2008, 10, 3.0, 1.0);
+  auto solver = make_solver();
+
+  EngineOptions eopt;
+  eopt.isolation = IsolationMode::kProcess;
+  SolveEngine eng(solver, eopt);
+  ASSERT_TRUE(eng.process_mode());
+
+  SolveJob job = job_for(scn);
+  job.scenario = nullptr;  // no text form -> in-process fallback
+  JobOutcome out = eng.submit(std::move(job)).get();
+  EXPECT_EQ(out.status, JobStatus::kCompleted) << out.error;
+  EXPECT_TRUE(out.solution.ok());
+}
+
+}  // namespace
+}  // namespace cubisg::engine
