@@ -88,11 +88,13 @@ using namespace cubisg;
                "  cubisg serve FILE [--solver NAME] [--solves N]\n"
                "                [--interval-ms M] [--workers N] [--queue N]\n"
                "                [--isolate 0|1] [--retries N]\n"
+               "                [--cache MODE] [--cache-entries N]\n"
                "                (solve loop on the concurrent engine; keeps\n"
                "                the process alive for /metrics scraping)\n"
                "  cubisg batch DIR|MANIFEST [--solver NAME] [--workers N]\n"
                "                [--queue N] [--isolate 0|1] [--retries N]\n"
                "                [--journal FILE] [--resume 0|1]\n"
+               "                [--cache MODE] [--cache-entries N]\n"
                "                (shard scenario files — *.scn\n"
                "                or *.txt in DIR, or one path per line in a\n"
                "                manifest — across engine workers; malformed\n"
@@ -149,6 +151,19 @@ using namespace cubisg;
                "                       journal, one record per finished job\n"
                "  --resume 0|1         (batch) skip jobs the journal already\n"
                "                       records as completed\n"
+               "\ncross-solve cache (serve/batch):\n"
+               "  --cache MODE         off (default) | exact | transplant.\n"
+               "                       exact: identical scenarios are served\n"
+               "                       from an engine-level LRU, bitwise-\n"
+               "                       identical to a fresh solve.  transplant\n"
+               "                       additionally warm-starts near-miss\n"
+               "                       solves from the nearest cached\n"
+               "                       neighbor (adopt/repair/reject per\n"
+               "                       target; never the simplex basis) —\n"
+               "                       results stay bitwise-identical to a\n"
+               "                       cold solve.  Live state at GET /cachez\n"
+               "  --cache-entries N    LRU capacity in cached solutions\n"
+               "                       (default 256)\n"
                "\nsolve exit codes:\n"
                "  0  optimal           solved to the requested epsilon\n"
                "  2  budget stop       deadline/cancel/cap hit; incumbent\n"
@@ -766,6 +781,16 @@ engine::EngineOptions engine_options_from(const Args& args) {
       1 + static_cast<int>(std::max<long>(0, args.get_i("retries", 0)));
   eopt.retry.max_crashes =
       static_cast<int>(std::max<long>(0, args.get_i("max-crashes", 2)));
+  // Cross-solve cache: --cache off|exact|transplant + --cache-entries N.
+  // The caller must still stamp eopt.cache.solver_config from its solver
+  // spec (canonical_solver_config) so fingerprints are config-scoped.
+  const std::string cache_mode = args.get("cache", "off");
+  if (!engine::parse_cache_mode(cache_mode, eopt.cache.mode)) {
+    usage(("bad --cache value '" + cache_mode +
+           "' (off|exact|transplant)").c_str());
+  }
+  eopt.cache.entries = static_cast<std::size_t>(
+      std::max<long>(1, args.get_i("cache-entries", 256)));
   return eopt;
 }
 
@@ -844,6 +869,8 @@ struct OutcomeStats {
   long done = 0;
   long failures = 0;
   long cancelled = 0;  ///< of the failures, jobs drained after SIGINT
+  long cache_hits = 0;        ///< served from the cross-solve cache
+  long cache_transplants = 0; ///< solved from a transplant seed
 };
 
 /// Canonical digest of a solution for the batch journal: FNV-1a 64 over
@@ -869,10 +896,20 @@ void reap_outcome(long index, const std::string& label,
   ++stats.done;
   // A retried or crash-surviving job annotates its line so the recovery
   // is visible without grepping worker logs.
-  char recovery[64] = "";
+  char recovery[96] = "";
   if (out.attempts > 1 || out.crashes > 0) {
     std::snprintf(recovery, sizeof recovery, " attempts=%d crashes=%d",
                   out.attempts, out.crashes);
+  }
+  // Cache involvement annotates the line so warm solves are visible
+  // without scraping /cachez.
+  if (out.cache_hit) {
+    ++stats.cache_hits;
+    std::strncat(recovery, " cache=hit", sizeof recovery - strlen(recovery) - 1);
+  } else if (out.cache_transplant) {
+    ++stats.cache_transplants;
+    std::strncat(recovery, " cache=transplant",
+                 sizeof recovery - strlen(recovery) - 1);
   }
   const char* journal_status = nullptr;  // null = do not journal
   std::uint64_t digest = 0;
@@ -930,7 +967,8 @@ void reap_outcome(long index, const std::string& label,
   }
   if (journal != nullptr && journal->is_open() && journal_status != nullptr &&
       !out.tag.empty()) {
-    journal->record(out.tag, digest, journal_status);
+    journal->record(out.tag, digest, journal_status, out.cache_hit ? 1 : 0,
+                    out.cache_transplant ? 1 : 0);
   }
   std::fflush(stdout);
 }
@@ -955,6 +993,7 @@ int cmd_serve(const Args& args) {
   const long max_solves = args.get_i("solves", 0);  // 0 = until signal
   const long interval_ms = args.get_i("interval-ms", 0);
   engine::EngineOptions eopt = engine_options_from(args);
+  eopt.cache.solver_config = core::canonical_solver_config(spec);
   // The auditor outlives the engine: workers invoke the completion hook
   // until shutdown() joins them.
   std::unique_ptr<audit::ShadowAuditor> auditor =
@@ -1015,8 +1054,15 @@ int cmd_serve(const Args& args) {
   }
   eng.shutdown();
   finish_auditor(auditor);
-  std::printf("served %ld solves (%ld failed)\n", stats.done,
-              stats.failures);
+  if (eopt.cache.mode != engine::CacheMode::kOff) {
+    std::printf("served %ld solves (%ld failed, %ld cache hits, "
+                "%ld transplants)\n",
+                stats.done, stats.failures, stats.cache_hits,
+                stats.cache_transplants);
+  } else {
+    std::printf("served %ld solves (%ld failed)\n", stats.done,
+                stats.failures);
+  }
   return stats.failures == 0 ? 0 : 1;
 }
 
@@ -1078,6 +1124,7 @@ int cmd_batch(const Args& args) {
   core::SolverSpec spec = base_spec_from(args);
   std::shared_ptr<const core::DefenderSolver> solver = core::make_solver(spec);
   engine::EngineOptions eopt = engine_options_from(args);
+  eopt.cache.solver_config = core::canonical_solver_config(spec);
   std::unique_ptr<audit::ShadowAuditor> auditor =
       maybe_start_auditor(args, eopt);
   install_signal_handlers();
@@ -1195,11 +1242,12 @@ int cmd_batch(const Args& args) {
                     : "");
   }
   std::printf("batch done: %zu files, %ld solved ok, %ld failed, "
-              "%ld skipped, %.2fs (%.2f solves/sec, %zu workers)\n",
+              "%ld skipped, %.2fs (%.2f solves/sec, %zu workers), "
+              "cache_hits=%ld cache_transplants=%ld\n",
               paths.size(), solved_ok, failures + skipped, skipped, seconds,
               seconds > 0.0 ? static_cast<double>(stats.done) / seconds
                             : 0.0,
-              eopt.workers);
+              eopt.workers, stats.cache_hits, stats.cache_transplants);
   if (interrupted) return 2;
   return failures + skipped == 0 ? 0 : 1;
 }

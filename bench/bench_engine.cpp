@@ -14,6 +14,11 @@
 //   supervisor) may cost at most 10% solves/sec vs thread mode at 4
 //   workers.  Skipped (with a recorded reason) on hosts with < 4
 //   hardware threads or builds without process isolation.
+//
+//   R9 cache gate: a repeat mix (4 scenario variants cycled through the
+//   batch) with the exact-hit cross-solve cache must run >= 2x the
+//   solves/sec of the same mix solved cold.  Skipped (recorded) on
+//   single-core hosts.
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -153,6 +158,87 @@ int main() {
                 "isolation gate skipped\n");
   }
 
+  // R9 — cross-solve cache on a repeat mix: 4 scenario variants (the base
+  // instance plus three one-target perturbations) cycled through kJobs
+  // submissions.  Cold solves every job; the exact cache serves every
+  // repeat from the LRU after the first pass over the variants.
+  struct MixInstance {
+    std::shared_ptr<const behavior::Scenario> scenario;
+    std::shared_ptr<const behavior::SuqrIntervalBounds> bounds;
+    std::shared_ptr<const games::SecurityGame> game;
+  };
+  const auto wrap_scenario = [](behavior::Scenario s) {
+    auto sp = std::make_shared<behavior::Scenario>(std::move(s));
+    MixInstance mi;
+    mi.scenario = sp;
+    mi.bounds = std::make_shared<behavior::SuqrIntervalBounds>(
+        sp->make_bounds());
+    mi.game = std::shared_ptr<const games::SecurityGame>(sp, &sp->game.game);
+    return mi;
+  };
+  std::vector<MixInstance> mix;
+  mix.push_back(wrap_scenario(*scn_sp));
+  for (std::size_t v = 1; v <= 3; ++v) {
+    std::vector<games::TargetPayoffs> payoffs;
+    for (std::size_t t = 0; t < ug->game.num_targets(); ++t) {
+      payoffs.push_back(ug->game.target(t));
+    }
+    payoffs[v].attacker_reward += 0.25 * static_cast<double>(v);
+    mix.push_back(wrap_scenario(behavior::Scenario{
+        games::UncertainGame{
+            games::SecurityGame(std::move(payoffs), ug->game.resources()),
+            ug->attacker_intervals},
+        behavior::SuqrWeightIntervals{},
+        behavior::IntervalMode::kExactBox}));
+  }
+  const auto measure_mix = [&](engine::EngineOptions eopt) -> double {
+    eopt.queue_capacity = static_cast<std::size_t>(kJobs);
+    engine::SolveEngine eng(solver, eopt);
+    Timer t;
+    std::vector<std::future<engine::JobOutcome>> futures;
+    for (int j = 0; j < kJobs; ++j) {
+      const MixInstance& mi = mix[static_cast<std::size_t>(j) % mix.size()];
+      engine::SolveJob job;
+      job.game = mi.game;
+      job.bounds = mi.bounds;
+      job.scenario = mi.scenario;
+      futures.push_back(eng.submit(std::move(job)));
+    }
+    long failed = 0;
+    for (auto& f : futures) {
+      if (f.get().status != engine::JobStatus::kCompleted) ++failed;
+    }
+    const double mix_sps = kJobs / t.seconds();
+    if (failed > 0) std::printf("  (%ld FAILED)\n", failed);
+    return mix_sps;
+  };
+  engine::EngineOptions mix_cold_opt;
+  mix_cold_opt.workers = 2;
+  const double mix_cold = measure_mix(mix_cold_opt);
+  engine::EngineOptions mix_warm_opt;
+  mix_warm_opt.workers = 2;
+  mix_warm_opt.cache.mode = engine::CacheMode::kExact;
+  mix_warm_opt.cache.entries = 8;
+  mix_warm_opt.cache.solver_config = "bench-cubis-t200-k10";
+  const double mix_warm = measure_mix(mix_warm_opt);
+  const double warm_speedup = mix_warm / mix_cold;
+  const bool r9_applies = hw >= 2;
+  const bool r9_ok = !r9_applies || warm_speedup >= 2.0;
+  std::printf("\nR9 repeat mix (4 variants, %d jobs, 2 workers):\n"
+              "  cache=off   %10.2f solves/sec\n"
+              "  cache=exact %10.2f solves/sec  (%.2fx)\n",
+              kJobs, mix_cold, mix_warm, warm_speedup);
+  if (r9_applies) {
+    std::printf("R9 gate: warm >= 2x cold -> %s\n", r9_ok ? "ok" : "FAILED");
+    if (!r9_ok) {
+      std::fprintf(stderr,
+                   "E5 FAILED: warm repeat-mix speedup %.2fx below the 2x "
+                   "R9 gate\n", warm_speedup);
+    }
+  } else {
+    std::printf("R9 gate skipped: only %u hardware threads\n", hw);
+  }
+
   // gate_skipped_reason is null when a gate was enforced; otherwise it
   // names why the recorded numbers are informational only.
   const std::string skipped_reason =
@@ -161,11 +247,13 @@ int main() {
       iso_gate_applies ? "null"
       : iso_available  ? "\"hardware_threads<4\""
                        : "\"process_isolation_unavailable\"";
-  char results[1536];
+  const std::string r9_skipped_reason =
+      r9_applies ? "null" : "\"hardware_threads<2\"";
+  char results[2048];
   std::snprintf(results, sizeof results,
                 "{\"targets\":200,\"jobs\":%d,\"hardware_threads\":%u,"
                 "\"cpu_model\":\"%s\",\"workers\":[1,2,4,8],"
-                "\"isolation_mode\":\"thread\","
+                "\"isolation_mode\":\"thread\",\"cache_mode\":\"off\","
                 "\"solves_per_sec\":[%.2f,%.2f,%.2f,%.2f],"
                 "\"speedup_vs_1\":[1.00,%.2f,%.2f,%.2f],"
                 "\"gate_4x_workers_min_3x\":{\"applies\":%s,"
@@ -175,6 +263,12 @@ int main() {
                 "\"workers\":4,\"isolation_mode\":\"process\","
                 "\"solves_per_sec\":%.2f,\"overhead_vs_thread\":%.4f,"
                 "\"gate_overhead_max_10pct\":{\"applies\":%s,"
+                "\"gate_skipped_reason\":%s,\"ok\":%s}},"
+                "\"cache_repeat_mix\":{\"variants\":4,\"workers\":2,"
+                "\"cold_cache_mode\":\"off\",\"warm_cache_mode\":\"exact\","
+                "\"cold_solves_per_sec\":%.2f,"
+                "\"warm_solves_per_sec\":%.2f,\"warm_speedup\":%.2f,"
+                "\"gate_warm_min_2x\":{\"applies\":%s,"
                 "\"gate_skipped_reason\":%s,\"ok\":%s}}}",
                 kJobs, hw, bench::cpu_model_name().c_str(), sps[0], sps[1],
                 sps[2], sps[3], sps[1] / sps[0], sps[2] / sps[0],
@@ -182,12 +276,15 @@ int main() {
                 skipped_reason.c_str(), speedup4, ok ? "true" : "false",
                 iso_available ? "true" : "false", proc_sps, overhead,
                 iso_gate_applies ? "true" : "false",
-                iso_skipped_reason.c_str(), iso_ok ? "true" : "false");
+                iso_skipped_reason.c_str(), iso_ok ? "true" : "false",
+                mix_cold, mix_warm, warm_speedup,
+                r9_applies ? "true" : "false", r9_skipped_reason.c_str(),
+                r9_ok ? "true" : "false");
   bench::write_bench_json("engine", results);
 
   std::printf(
       "\nShape check: one immutable solver + per-worker workspaces should\n"
       "scale near-linearly until workers exceed cores; the queue then\n"
       "holds throughput flat instead of degrading it.\n");
-  return ok && iso_ok ? 0 : 1;
+  return ok && iso_ok && r9_ok ? 0 : 1;
 }

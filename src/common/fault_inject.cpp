@@ -19,6 +19,7 @@ const char* const kSiteNames[kSiteCount] = {
     "audit-corrupt-solution",
     "audit-corrupt-certificate",
     "worker-abort",     "worker-hang",      "journal-torn-write",
+    "transplant-reject",
 };
 
 struct SiteState {

@@ -44,6 +44,7 @@ enum class Site : int {
   kWorkerAbort,          ///< isolated worker process abort()s mid-job
   kWorkerHang,           ///< isolated worker wedges past its deadline
   kJournalTornWrite,     ///< batch journal record is half-written, no fsync
+  kTransplantReject,     ///< cross-solve transplant ladder rejects the seed
   kCount,                ///< sentinel, keep last
 };
 

@@ -202,6 +202,54 @@ StepResult solve_step_milp_cached(const SolveContext& ctx,
   return extract_step_result(sol, layout, opt);
 }
 
+/// Cross-solve transplant of the breakpoint tables — the adopt/repair
+/// rungs of the ladder.  Returns false (reject rung) when the donor's
+/// shape does not match or the transplant-reject fault fires; the caller
+/// then cold-builds.  Adoption is bitwise-safe by construction: a step
+/// table samples only per-target payoff/interval quantities and the
+/// compat-checked weights/mode at x = k/K (R never enters), so a target
+/// whose fingerprint block equals the donor's bitwise rebuilds to
+/// exactly the donor's rows.  Non-matching targets are repaired with the
+/// fresh formula, making the result identical to build_step_tables_into.
+bool transplant_step_tables(const SolveContext& ctx, std::size_t segments,
+                            const TransplantSeed& seed, StepTables& out,
+                            TransplantStats& stats) {
+  const TransplantDonor* donor = seed.donor.get();
+  const std::size_t n = ctx.game.num_targets();
+  if (donor == nullptr || donor->tables.segments != segments ||
+      donor->tables.lower.size() != n || seed.adopt.size() != n) {
+    return false;
+  }
+  if (faultinject::should_fail(faultinject::Site::kTransplantReject)) {
+    return false;
+  }
+  out.segments = segments;
+  out.lower.resize(n);
+  out.upper.resize(n);
+  out.utility.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (seed.adopt[i] != 0) {
+      out.lower[i] = donor->tables.lower[i];
+      out.upper[i] = donor->tables.upper[i];
+      out.utility[i] = donor->tables.utility[i];
+      ++stats.adopted;
+      continue;
+    }
+    out.lower[i].resize(segments + 1);
+    out.upper[i].resize(segments + 1);
+    out.utility[i].resize(segments + 1);
+    for (std::size_t k = 0; k <= segments; ++k) {
+      const double x =
+          static_cast<double>(k) / static_cast<double>(segments);
+      out.lower[i][k] = ctx.bounds.lower(i, x);
+      out.upper[i][k] = ctx.bounds.upper(i, x);
+      out.utility[i][k] = ctx.game.defender_utility(i, x);
+    }
+    ++stats.repaired;
+  }
+  return true;
+}
+
 }  // namespace
 
 StepTables build_step_tables(const SolveContext& ctx,
@@ -342,11 +390,26 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
   SolveWorkspace local_ws;
   SolveWorkspace& ws = ctx.workspace != nullptr ? *ctx.workspace : local_ws;
   // The bounds/utility breakpoint values do not depend on c: sample them
-  // once and let every step reuse them.
+  // once and let every step reuse them.  A transplant seed (cross-solve
+  // cache) is consumed exactly once — adopted rows are bitwise-identical
+  // to a rebuild, everything else is repaired, and any mismatch rejects
+  // into the cold build.
+  const std::shared_ptr<const TransplantSeed> seed =
+      std::move(ws.transplant_seed);
   {
     obs::TraceSpan tspan("cubis.build_tables");
-    build_step_tables_into(ctx, opt_.segments, ws.tables);
+    bool transplanted = false;
+    if (seed != nullptr) {
+      ws.transplant_stats.used = true;
+      transplanted = transplant_step_tables(ctx, opt_.segments, *seed,
+                                            ws.tables, ws.transplant_stats);
+      if (!transplanted) ws.transplant_stats.rejected = true;
+    }
+    if (!transplanted) build_step_tables_into(ctx, opt_.segments, ws.tables);
   }
+  // Mark the tables as belonging to THIS job's scenario (donor-harvest
+  // gate; the engine zeroes the token before every job).
+  ws.tables_token = 1;
   const StepTables& tables = ws.tables;
   // One cross-round reuse slot per multisection lane (never shared across
   // lanes: set_value and the DP scratch mutate in place).  Grouped budgets
@@ -355,6 +418,26 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
   if (use_lanes) {
     ws.ensure_cubis_lanes(static_cast<std::size_t>(sections), tables,
                           opt_.backend == StepBackend::kMilp);
+    // Skeleton transplant (kMilp): the dense skeleton's structure depends
+    // only on (T, K, R) — all compat-checked — and solve_step_milp_cached
+    // patches every value-dependent entry before first use, so adopting
+    // the donor's copy is bitwise-safe.  The donor's root basis is never
+    // carried (see TransplantDonor), so the first round's relaxation
+    // cold-starts exactly like a fresh solve.
+    if (seed != nullptr && !ws.transplant_stats.rejected &&
+        opt_.backend == StepBackend::kMilp && seed->donor != nullptr &&
+        seed->donor->has_skeleton &&
+        seed->donor->skeleton_layout.t_count == n &&
+        seed->donor->skeleton_layout.k_count == opt_.segments &&
+        seed->donor->skeleton_resources == ctx.game.resources()) {
+      ws.cubis_lanes[0]->milp = std::make_unique<MilpStepCache>(
+          seed->donor->skeleton_model, seed->donor->skeleton_layout,
+          seed->donor->skeleton_rows);
+    }
+    // Token 2: the lanes (and any skeleton lane 0 builds during the
+    // rounds below) also belong to this scenario, so the engine may
+    // harvest the skeleton as a donor too.
+    ws.tables_token = 2;
   }
   // kOptimal until a round fails or the budget trips; becomes the final
   // DefenderSolution status.  A non-optimal verdict never throws away the

@@ -1,0 +1,120 @@
+#include "core/fingerprint.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "behavior/scenario.hpp"
+
+namespace cubisg::core {
+
+std::uint64_t fp_fnv1a64(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+void put_u8(std::string& buf, std::uint8_t v) {
+  buf.push_back(static_cast<char>(v));
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Raw IEEE-754 bytes, little-endian — the same lossless convention as
+/// the wire protocol, so +0.0 and -0.0 (distinct solves through signed
+/// comparisons) fingerprint distinctly.
+void put_f64(std::string& buf, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(buf, bits);
+}
+
+}  // namespace
+
+Fingerprint fingerprint_scenario(const behavior::Scenario& scenario,
+                                 std::string_view solver_config) {
+  const games::SecurityGame& g = scenario.game.game;
+  const std::size_t n = g.num_targets();
+
+  std::string buf;
+  buf.reserve(64 + solver_config.size() +
+              n * kFingerprintBlockDoubles * sizeof(double));
+  // Compat prefix: versioned header, solver config, interval semantics,
+  // resources, weight boxes, target count.
+  buf.append("cubisg-fp 1");
+  buf.push_back('\0');
+  buf.append(solver_config.data(), solver_config.size());
+  buf.push_back('\0');
+  put_u8(buf, scenario.mode == behavior::IntervalMode::kPaperCorners ? 1 : 2);
+  put_f64(buf, g.resources());
+  put_f64(buf, scenario.weights.w1.lo());
+  put_f64(buf, scenario.weights.w1.hi());
+  put_f64(buf, scenario.weights.w2.lo());
+  put_f64(buf, scenario.weights.w2.hi());
+  put_f64(buf, scenario.weights.w3.lo());
+  put_f64(buf, scenario.weights.w3.hi());
+  put_u64(buf, static_cast<std::uint64_t>(n));
+
+  Fingerprint fp;
+  fp.compat = fp_fnv1a64(buf.data(), buf.size());
+
+  fp.blocks.reserve(n * kFingerprintBlockDoubles);
+  for (std::size_t i = 0; i < n; ++i) {
+    const games::TargetPayoffs& p = g.target(i);
+    const games::IntervalPayoffs& iv = scenario.game.attacker_intervals[i];
+    const double block[kFingerprintBlockDoubles] = {
+        p.attacker_reward,          p.attacker_penalty,
+        p.defender_reward,          p.defender_penalty,
+        iv.attacker_reward.lo(),    iv.attacker_reward.hi(),
+        iv.attacker_penalty.lo(),   iv.attacker_penalty.hi()};
+    for (double v : block) {
+      fp.blocks.push_back(v);
+      put_f64(buf, v);
+    }
+  }
+  fp.digest = fp_fnv1a64(buf.data(), buf.size());
+  return fp;
+}
+
+double fingerprint_distance(const Fingerprint& a, const Fingerprint& b) {
+  if (a.compat != b.compat || a.blocks.size() != b.blocks.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  std::size_t differing = 0;
+  double l1 = 0.0;
+  const std::size_t n = a.blocks.size() / kFingerprintBlockDoubles;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool same = true;
+    for (std::size_t j = 0; j < kFingerprintBlockDoubles; ++j) {
+      const double av = a.blocks[i * kFingerprintBlockDoubles + j];
+      const double bv = b.blocks[i * kFingerprintBlockDoubles + j];
+      // Bitwise comparison, matching the transplant adopt test: -0.0 and
+      // +0.0 count as different, NaNs with equal payloads as equal.
+      std::uint64_t abits;
+      std::uint64_t bbits;
+      std::memcpy(&abits, &av, sizeof abits);
+      std::memcpy(&bbits, &bv, sizeof bbits);
+      if (abits != bbits) {
+        same = false;
+        l1 += std::abs(av - bv);
+      }
+    }
+    if (!same) ++differing;
+  }
+  // The block count dominates; the L1 tiebreak stays below 1 so it never
+  // outranks one extra differing target.
+  return static_cast<double>(differing) + l1 / (1.0 + l1);
+}
+
+}  // namespace cubisg::core

@@ -1,0 +1,83 @@
+// Canonical scenario fingerprints for the cross-solve result cache.
+//
+// A Fingerprint is an order-stable digest of everything that determines a
+// solve's bitwise result: the per-target payoffs, the attacker payoff
+// intervals [L_i, U_i] feeding the behavioral bounds, the resource count
+// R, the SUQR weight boxes and interval mode, and the solver's identity
+// plus every tolerance-relevant option (canonical_solver_config).  Two
+// scenarios with equal fingerprints produce byte-identical canonical
+// solutions from the same solver, so the engine's SolveCache may return a
+// cached result for an exact hit (re-stamping only the job id and
+// telemetry, the same fields the batch journal's solution digest zeroes).
+//
+// Layout mirrors the journal's digest conventions: a little-endian byte
+// buffer hashed with FNV-1a 64.  The buffer has two regions:
+//
+//   compat prefix   header, solver config, interval mode, R, weight
+//                   boxes, target count — everything that must match
+//                   before any per-target state is comparable at all.
+//   target blocks   8 doubles per target (Ra, Pa, Rd, Pd, iv.Ra.lo/hi,
+//                   iv.Pa.lo/hi), kept verbatim in Fingerprint::blocks
+//                   so near-miss candidates can be compared bitwise
+//                   per target without reloading the scenario.
+//
+// `digest` hashes the whole buffer; `compat` hashes only the prefix.
+// fingerprint_distance() is +inf across differing compat hashes or block
+// shapes (transplanting between them is meaningless), else the number of
+// per-target blocks that differ bitwise, with a bounded L1 tiebreak so
+// "one target nudged slightly" beats "one target replaced".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cubisg::behavior {
+struct Scenario;
+}  // namespace cubisg::behavior
+
+namespace cubisg::core {
+
+/// FNV-1a 64 over raw bytes (same primitive and constants as the batch
+/// journal's engine::fnv1a64; duplicated here because core must not
+/// depend on the engine layer).
+std::uint64_t fp_fnv1a64(const void* data, std::size_t len);
+
+/// Doubles per target block (Ra, Pa, Rd, Pd, ivRa.lo, ivRa.hi, ivPa.lo,
+/// ivPa.hi).
+inline constexpr std::size_t kFingerprintBlockDoubles = 8;
+
+struct Fingerprint {
+  /// Hash of the full canonical buffer: equal digests (plus equal blocks,
+  /// checked by the cache against collisions) mean bitwise-equal solves.
+  std::uint64_t digest = 0;
+  /// Hash of the compat prefix only (solver config, mode, R, weights, T):
+  /// transplant candidates must match it exactly.
+  std::uint64_t compat = 0;
+  /// The per-target doubles, flattened [T][kFingerprintBlockDoubles].
+  std::vector<double> blocks;
+
+  std::size_t num_targets() const {
+    return blocks.size() / kFingerprintBlockDoubles;
+  }
+  bool operator==(const Fingerprint& other) const {
+    return digest == other.digest && compat == other.compat &&
+           blocks == other.blocks;
+  }
+};
+
+/// Builds the canonical fingerprint of `scenario` under `solver_config`
+/// (canonical_solver_config of the solver that will run the job; any
+/// stable string works as long as distinct tolerance-relevant configs map
+/// to distinct strings).
+Fingerprint fingerprint_scenario(const behavior::Scenario& scenario,
+                                 std::string_view solver_config);
+
+/// Transplant nearness: +inf when compat or shape differs; otherwise the
+/// count of per-target blocks that differ bitwise plus an L1 tiebreak in
+/// [0, 1).  0.0 means identical fingerprints.
+double fingerprint_distance(const Fingerprint& a, const Fingerprint& b);
+
+}  // namespace cubisg::core

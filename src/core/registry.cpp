@@ -1,5 +1,8 @@
 #include "core/registry.hpp"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "core/adaptive.hpp"
 #include "core/cubis.hpp"
 #include "core/gradient.hpp"
@@ -15,6 +18,19 @@ std::vector<std::string> solver_names() {
   return {"cubis",   "cubis-milp", "cubis-adaptive", "midpoint",
           "maximin", "gradient",   "sse",            "origami",
           "uniform", "robust-types", "bayesian"};
+}
+
+std::string canonical_solver_config(const SolverSpec& spec) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "|k=%zu|eps=%a|polish=%d|sections=%d|starts=%d|seed=%llu"
+                "|types=%zu",
+                spec.segments, spec.epsilon, spec.polish_iterations,
+                std::max(1, spec.parallel_sections), spec.num_starts,
+                static_cast<unsigned long long>(spec.seed),
+                spec.population != nullptr ? spec.population->num_types()
+                                           : std::size_t{0});
+  return spec.name + buf;
 }
 
 std::unique_ptr<DefenderSolver> make_solver(const SolverSpec& spec) {

@@ -29,6 +29,15 @@ struct SolverSpec {
 /// All registered solver names.
 std::vector<std::string> solver_names();
 
+/// Stable canonical string of every tolerance-relevant field of `spec`,
+/// the solver-identity component of a core::Fingerprint.  Two specs map
+/// to the same string iff make_solver would build solvers whose solutions
+/// are bitwise-interchangeable on every scenario (floating-point fields
+/// are rendered losslessly with %a).  Over-discrimination is safe — a
+/// field some solver ignores only costs cache hits across configs that
+/// differ in it — so every spec field is included.
+std::string canonical_solver_config(const SolverSpec& spec);
+
 /// Builds the solver described by `spec`.  Throws InvalidModelError on an
 /// unknown name or a missing required field.
 std::unique_ptr<DefenderSolver> make_solver(const SolverSpec& spec);

@@ -139,6 +139,16 @@ class MilpStepCache {
   MilpStepCache(const SolveContext& ctx, const RoundCache& cache,
                 const CubisOptions& opt);
 
+  /// Seeds the skeleton from a transplant donor's copy (cross-solve
+  /// cache).  The structure must come from the same (T, K, R, group
+  /// config); every value-dependent entry is stale until the caller's
+  /// first patch(), and the root basis starts empty — a donor's basis is
+  /// never carried across solves.
+  MilpStepCache(lp::Model model, MilpLayout layout, MilpRowIds rows)
+      : model_(std::move(model)),
+        layout_(std::move(layout)),
+        rows_(std::move(rows)) {}
+
   /// Rewrites the c-dependent pieces (objective coefficients, big-M
   /// entries, RHS, v bounds) for the cache's current round.  Counts one
   /// milp.model_patches_total.
@@ -146,6 +156,7 @@ class MilpStepCache {
 
   const lp::Model& model() const { return model_; }
   const MilpLayout& layout() const { return layout_; }
+  const MilpRowIds& rows() const { return rows_; }
   lp::WarmStart& root_basis() { return root_basis_; }
 
  private:

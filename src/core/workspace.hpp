@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -30,6 +31,48 @@
 #include "lp/model.hpp"
 
 namespace cubisg::core {
+
+/// Cross-solve donor state harvested from a completed CUBIS solve by the
+/// engine's SolveCache: the breakpoint tables plus (MILP backend only)
+/// the dense step-MILP skeleton.  Immutable once published — many
+/// concurrent solves may seed from one donor, so consumers copy, never
+/// mutate.  The donor's simplex root basis is deliberately NOT carried:
+/// a stale basis could steer the next solve's branch-and-bound
+/// differently (the same reason RoundReuse::reset drops it).
+struct TransplantDonor {
+  StepTables tables;
+  /// The donor fingerprint's per-target blocks and compat hash
+  /// (core/fingerprint.hpp), kept so seeds can be built by bitwise
+  /// per-target comparison without reloading the donor scenario.
+  std::vector<double> blocks;
+  std::uint64_t compat = 0;
+  /// MILP skeleton (kMilp backend): structure depends only on compat
+  /// quantities (T, K, R, group config), and patch() rewrites every
+  /// value-dependent entry before first use.
+  bool has_skeleton = false;
+  double skeleton_resources = 0.0;
+  lp::Model skeleton_model;
+  MilpLayout skeleton_layout;
+  MilpRowIds skeleton_rows;
+};
+
+/// One transplant offer, attached to SolveWorkspace::transplant_seed by
+/// the engine before a near-miss solve.  `adopt[i]` is 1 when target i's
+/// fingerprint block matches the donor's bitwise — those targets' table
+/// rows may be adopted verbatim; the rest are repaired (recomputed).
+struct TransplantSeed {
+  std::shared_ptr<const TransplantDonor> donor;
+  std::vector<std::uint8_t> adopt;
+};
+
+/// Outcome of the adopt/repair/reject ladder, read back by the engine
+/// for the cache.transplants/transplant_rejects counters.
+struct TransplantStats {
+  bool used = false;      ///< a solve consumed the seed
+  bool rejected = false;  ///< ladder rejected it wholesale (cold build)
+  std::uint32_t adopted = 0;   ///< targets copied from the donor
+  std::uint32_t repaired = 0;  ///< targets recomputed fresh
+};
 
 /// Patchable skeleton of the maximin LP (columns x_0..x_{T-1}, z; one
 /// budget row, one floor row per target).  The entry layout only depends
@@ -80,6 +123,20 @@ struct SolveWorkspace {
 
   // ---- maximin ----
   MaximinSkeleton maximin;
+
+  // ---- cross-solve transplant (engine SolveCache) ----
+  /// Consumed (moved out) by the first CUBIS solve that sees it; solvers
+  /// that never read ws.tables ignore it, and the engine clears it after
+  /// every job either way.
+  std::shared_ptr<const TransplantSeed> transplant_seed;
+  /// Written by the ladder; the engine zeroes it before each job.
+  TransplantStats transplant_stats;
+  /// Donor-harvest gate, zeroed by the engine before each job so a
+  /// harvest can never pick up a previous job's stale state from a
+  /// reused workspace: 1 after a solve (re)built `tables` for ITS OWN
+  /// scenario, 2 when it additionally rebuilt `cubis_lanes` (so lane 0's
+  /// MILP skeleton, if any, is also this scenario's).
+  std::uint64_t tables_token = 0;
 };
 
 }  // namespace cubisg::core

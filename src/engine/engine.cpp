@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "behavior/scenario.hpp"
 #include "common/errors.hpp"
 #include "common/log.hpp"
 #include "core/workspace.hpp"
@@ -89,6 +90,10 @@ SolveEngine::SolveEngine(std::shared_ptr<const core::DefenderSolver> solver,
       sup.solver = solver_;
       supervisor_ = std::make_unique<Supervisor>(std::move(sup));
     }
+  }
+  if (opt_.cache.mode != CacheMode::kOff) {
+    cache_ = std::make_unique<SolveCache>(opt_.cache.mode, opt_.cache.entries,
+                                          opt_.cache.shards);
   }
   workers_.reserve(opt_.workers);
   for (std::size_t i = 0; i < opt_.workers; ++i) {
@@ -220,15 +225,70 @@ void SolveEngine::run_worker(std::size_t index) {
       continue;
     }
 
+    // Cross-solve cache: one fingerprint per scenario-carrying job.  An
+    // exact hit skips the solve entirely; the outcome is re-stamped with
+    // THIS job's id/tag/worker, so a cached result never resurfaces
+    // under a stale identity (the --resume regression test pins this).
+    std::optional<core::Fingerprint> fp;
+    std::shared_ptr<const core::TransplantSeed> seed;
+    if (cache_ != nullptr && item.job.scenario != nullptr) {
+      fp = core::fingerprint_scenario(*item.job.scenario,
+                                      opt_.cache.solver_config);
+      core::DefenderSolution hit;
+      if (cache_->lookup_exact(*fp, hit)) {
+        JobOutcome outcome;
+        outcome.id = item.id;
+        outcome.tag = item.job.tag;
+        outcome.worker = index;
+        outcome.queue_seconds = queue_seconds;
+        outcome.status = JobStatus::kCompleted;
+        outcome.solution = std::move(hit);
+        outcome.cache_hit = true;
+        EngineMetrics::get().completed.add(1);
+        if (opt_.on_outcome) {
+          try {
+            opt_.on_outcome(item.job, outcome);
+          } catch (...) {
+          }
+        }
+        item.promise.set_value(std::move(outcome));
+        continue;
+      }
+      if (cache_->mode() == CacheMode::kTransplant) {
+        seed = make_transplant_seed(cache_->nearest(*fp), *fp);
+      }
+    }
+
+    // Process-mode cache plumbing: the seed crosses the wire ahead of
+    // the job; a donor frame (stats + harvested tables) comes back after
+    // the result.  Thread mode uses the workspace fields directly.
+    const bool process_job =
+        supervisor_ != nullptr && item.job.scenario != nullptr;
+    CacheSeedFrame seed_frame;
+    const CacheSeedFrame* seed_frame_ptr = nullptr;
+    CacheDonorFrame donor_frame;
+    CacheDonorFrame* donor_frame_ptr = nullptr;
+    if (process_job && fp.has_value() &&
+        cache_->mode() == CacheMode::kTransplant) {
+      if (seed != nullptr) {
+        seed_frame.id = item.id;
+        seed_frame.tables = seed->donor->tables;
+        seed_frame.adopt = seed->adopt;
+        seed_frame_ptr = &seed_frame;
+      }
+      donor_frame_ptr = &donor_frame;
+    }
+
     // Attempt loop: transient failures (numeric trouble, escaped
     // non-deterministic exceptions, fault-injected faults) re-solve up
     // to retry.max_attempts with capped backoff.  Worker-crash retries
     // happen one level down, inside Supervisor::run_job.
     JobOutcome outcome;
     for (int attempt = 1;; ++attempt) {
-      outcome = (supervisor_ != nullptr && item.job.scenario != nullptr)
-                    ? execute_process(item, index, budget)
-                    : execute(item, index, workspace, budget);
+      outcome = process_job
+                    ? execute_process(item, index, budget, seed_frame_ptr,
+                                      donor_frame_ptr)
+                    : execute(item, index, workspace, budget, seed);
       outcome.attempts = attempt;
       outcome.queue_seconds = queue_seconds;
       if (attempt >= opt_.retry.max_attempts || !retryable(outcome) ||
@@ -242,6 +302,59 @@ void SolveEngine::run_worker(std::size_t index) {
           << (outcome.error.empty() ? "numeric issue" : outcome.error)
           << "; retrying";
       if (!backoff_before_retry(attempt)) break;
+    }
+
+    // Cache bookkeeping after the final attempt: transplant counters,
+    // donor harvest, insert.  Only clean optimal completions are cached
+    // (budget stops and numeric trouble are run-specific, not reusable).
+    if (cache_ != nullptr && fp.has_value()) {
+      bool transplant_used = false;
+      bool transplant_rejected = false;
+      std::shared_ptr<core::TransplantDonor> harvested;
+      const bool optimal = outcome.status == JobStatus::kCompleted &&
+                           outcome.solution.status == SolverStatus::kOptimal;
+      if (process_job) {
+        transplant_used = donor_frame.used && !donor_frame.rejected;
+        transplant_rejected = donor_frame.rejected;
+        if (optimal && donor_frame.has_tables) {
+          harvested = std::make_shared<core::TransplantDonor>();
+          harvested->tables = std::move(donor_frame.tables);
+        }
+      } else {
+        const core::TransplantStats& st = workspace.transplant_stats;
+        transplant_used = seed != nullptr && st.used && !st.rejected;
+        transplant_rejected = seed != nullptr && st.rejected;
+        if (optimal && cache_->mode() == CacheMode::kTransplant &&
+            workspace.tables_token != 0) {
+          harvested = std::make_shared<core::TransplantDonor>();
+          harvested->tables = workspace.tables;
+          // The MILP skeleton is only trustworthy when the lanes were
+          // rebuilt by this very solve (token 2) — see SolveWorkspace.
+          if (workspace.tables_token == 2 &&
+              !workspace.cubis_lanes.empty() &&
+              workspace.cubis_lanes[0]->milp != nullptr) {
+            const core::MilpStepCache& sk = *workspace.cubis_lanes[0]->milp;
+            harvested->has_skeleton = true;
+            harvested->skeleton_resources = item.job.game->resources();
+            harvested->skeleton_model = sk.model();
+            harvested->skeleton_layout = sk.layout();
+            harvested->skeleton_rows = sk.rows();
+          }
+        }
+      }
+      if (transplant_used) {
+        cache_->count_transplant();
+        outcome.cache_transplant = true;
+      }
+      if (transplant_rejected) cache_->count_transplant_reject();
+      if (optimal) {
+        if (harvested != nullptr) {
+          harvested->blocks = fp->blocks;
+          harvested->compat = fp->compat;
+        }
+        cache_->insert(*fp, outcome.solution, std::move(harvested));
+      }
+      workspace.transplant_seed.reset();
     }
 
     // Terminal counting happens once per job, after retries, so the
@@ -297,7 +410,9 @@ bool SolveEngine::backoff_before_retry(int attempt) {
 }
 
 JobOutcome SolveEngine::execute_process(Item& item, std::size_t index,
-                                        SolveBudget& budget) {
+                                        SolveBudget& budget,
+                                        const CacheSeedFrame* cache_seed,
+                                        CacheDonorFrame* cache_donor) {
   // The parent-side budget is a cancellation mirror only: the child
   // enforces the deadline/node caps cooperatively on its own budget, and
   // the supervisor adds the non-cooperative SIGKILL backstop.
@@ -312,8 +427,9 @@ JobOutcome SolveEngine::execute_process(Item& item, std::size_t index,
   obs::TraceJobScope job_scope(item.id);
 #endif
   obs::TraceSpan span("engine.execute");
-  JobOutcome out = supervisor_->run_job(index, item.job, item.id, deadline,
-                                        max_nodes, budget, cancelled_);
+  JobOutcome out =
+      supervisor_->run_job(index, item.job, item.id, deadline, max_nodes,
+                           budget, cancelled_, cache_seed, cache_donor);
   if (out.status == JobStatus::kCompleted) {
     EngineMetrics::get().solve_latency.record(out.solve_seconds);
   } else if (!out.error.empty()) {
@@ -323,9 +439,10 @@ JobOutcome SolveEngine::execute_process(Item& item, std::size_t index,
   return out;
 }
 
-JobOutcome SolveEngine::execute(Item& item, std::size_t index,
-                                core::SolveWorkspace& workspace,
-                                SolveBudget& budget) {
+JobOutcome SolveEngine::execute(
+    Item& item, std::size_t index, core::SolveWorkspace& workspace,
+    SolveBudget& budget,
+    const std::shared_ptr<const core::TransplantSeed>& seed) {
   JobOutcome out;
   out.id = item.id;
   out.tag = item.job.tag;  // copied, not moved: retries reuse the item
@@ -343,6 +460,13 @@ JobOutcome SolveEngine::execute(Item& item, std::size_t index,
   // Close the reset race: a cancel_all between reset() and here must
   // still trip this job's budget.
   if (cancelled()) budget.request_cancel();
+
+  // Cross-solve transplant: install this attempt's seed and zero the
+  // stats/token so a reused workspace can never leak a previous job's
+  // transplant state into this job's accounting or donor harvest.
+  workspace.transplant_seed = seed;
+  workspace.transplant_stats = {};
+  workspace.tables_token = 0;
 
 #if CUBISG_OBS_ENABLED
   // Everything the solver records during this job — nested spans, the

@@ -78,6 +78,7 @@
 #include "common/budget.hpp"
 #include "common/timer.hpp"
 #include "core/solvers.hpp"
+#include "engine/solve_cache.hpp"
 #include "games/security_game.hpp"
 
 namespace cubisg::behavior {
@@ -89,6 +90,8 @@ namespace cubisg::engine {
 struct SolveJob;
 struct JobOutcome;
 class Supervisor;
+struct CacheSeedFrame;
+struct CacheDonorFrame;
 
 /// Where jobs execute.
 enum class IsolationMode {
@@ -140,6 +143,18 @@ struct EngineOptions {
   /// cheap; exceptions are swallowed — the engine stays audit-free,
   /// observers are advisory.  Null = disabled.
   std::function<void(const SolveJob&, const JobOutcome&)> on_outcome;
+  /// Cross-solve memoization (engine/solve_cache.hpp).  Only jobs that
+  /// carry a SolveJob::scenario participate — the scenario is the
+  /// fingerprint source.  solver_config must be the canonical config
+  /// string of the engine's solver (core::canonical_solver_config); it
+  /// is folded into every fingerprint so caches never serve results
+  /// across differently-configured solvers.
+  struct CacheOptions {
+    CacheMode mode = CacheMode::kOff;
+    std::size_t entries = 256;  ///< total LRU capacity (--cache-entries)
+    std::size_t shards = 0;     ///< 0 = auto
+    std::string solver_config;
+  } cache;
 };
 
 /// One solve request.  shared_ptr ownership keeps the problem alive for
@@ -186,6 +201,14 @@ struct JobOutcome {
   /// failures exhaust RetryPolicy::max_attempts first; deterministic
   /// ones fail on the first attempt.
   bool transient = false;
+  /// Served from the solve cache without running a solve.  The id, tag,
+  /// worker and queue_seconds above are THIS job's (re-stamped), never
+  /// the original producer's.
+  bool cache_hit = false;
+  /// The solve ran seeded by a cached donor's tables (and the seed was
+  /// not rejected).  The solution is still bitwise-identical to a cold
+  /// solve — this only records that the warm start was consumed.
+  bool cache_transplant = false;
 };
 
 /// The engine.  Construction starts the workers; destruction (or
@@ -226,6 +249,11 @@ class SolveEngine {
   /// requested *and* available; false after a degrade to threads).
   bool process_mode() const { return supervisor_ != nullptr; }
 
+  /// The cross-solve cache, or null when EngineOptions::cache.mode is
+  /// kOff.  Exposed for /cachez-style introspection and tests; safe to
+  /// read concurrently with running jobs.
+  SolveCache* cache() const { return cache_.get(); }
+
   /// Stable per-worker budget storage (valid for the engine's lifetime).
   /// Exposed so a signal handler can reach every in-flight job's budget
   /// through a pre-registered table instead of a single active-solve slot.
@@ -249,9 +277,12 @@ class SolveEngine {
 
   void run_worker(std::size_t index);
   JobOutcome execute(Item& item, std::size_t index,
-                     core::SolveWorkspace& workspace, SolveBudget& budget);
+                     core::SolveWorkspace& workspace, SolveBudget& budget,
+                     const std::shared_ptr<const core::TransplantSeed>& seed);
   JobOutcome execute_process(Item& item, std::size_t index,
-                             SolveBudget& budget);
+                             SolveBudget& budget,
+                             const CacheSeedFrame* cache_seed,
+                             CacheDonorFrame* cache_donor);
   /// True when `outcome` is worth another attempt under the retry policy.
   bool retryable(const JobOutcome& outcome) const;
   /// Sleeps the capped, jittered backoff before attempt `attempt` + 1;
@@ -263,6 +294,8 @@ class SolveEngine {
   EngineOptions opt_;
   /// Non-null iff process isolation is active (see process_mode()).
   std::unique_ptr<Supervisor> supervisor_;
+  /// Non-null iff cache.mode != kOff.
+  std::unique_ptr<SolveCache> cache_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< queue became non-empty / stop

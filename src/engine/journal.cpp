@@ -1,6 +1,7 @@
 #include "engine/journal.hpp"
 
 #include <cinttypes>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -17,7 +18,16 @@ namespace cubisg::engine {
 
 namespace {
 
-constexpr char kHeader[] = "cubisg-journal 1";
+constexpr char kHeader[] = "cubisg-journal 2";
+constexpr char kHeaderV1[] = "cubisg-journal 1";
+
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
 
 std::uint32_t fnv1a32(const std::string& s) {
   std::uint32_t h = 2166136261u;
@@ -77,12 +87,16 @@ bool BatchJournal::open(const std::string& path, std::string& error) {
 }
 
 bool BatchJournal::record(const std::string& tag, std::uint64_t digest,
-                          const std::string& status) {
+                          const std::string& status, std::int64_t cache_hits,
+                          std::int64_t cache_transplants) {
   if (file_ == nullptr) return false;
-  const std::string payload = hex16(digest) + " " + status + " " + tag;
-  const std::string line =
-      "done " + hex16(digest) + " " + status + " " + hex8(fnv1a32(payload)) +
-      " " + tag + "\n";
+  const std::string counts = std::to_string(cache_hits) + " " +
+                             std::to_string(cache_transplants);
+  const std::string payload =
+      hex16(digest) + " " + status + " " + counts + " " + tag;
+  const std::string line = "done " + hex16(digest) + " " + status + " " +
+                           counts + " " + hex8(fnv1a32(payload)) + " " + tag +
+                           "\n";
   if (faultinject::should_fail(faultinject::Site::kJournalTornWrite)) {
     // Simulated power cut mid-append: half the record reaches the file,
     // no newline, no fsync.  load() must shrug this off.
@@ -126,43 +140,86 @@ bool BatchJournal::load(const std::string& path,
   while (std::getline(in, line)) {
     if (first) {
       first = false;
-      if (line == kHeader) continue;
+      if (line == kHeader || line == kHeaderV1) continue;
       // Headerless/foreign file: fall through and try the line as a
       // record; it will count as malformed if it is not one.
     }
     if (line.empty()) continue;
     std::istringstream ls(line);
-    std::string word, digest_hex, status, crc_hex;
-    if (!(ls >> word >> digest_hex >> status >> crc_hex) || word != "done" ||
-        digest_hex.size() != 16 || crc_hex.size() != 8) {
+    std::string word, digest_hex, status;
+    if (!(ls >> word >> digest_hex >> status) || word != "done" ||
+        digest_hex.size() != 16) {
       ++bad;
       continue;
     }
-    std::string tag;
-    std::getline(ls, tag);
-    if (!tag.empty() && tag[0] == ' ') tag.erase(0, 1);
     std::uint64_t digest = 0;
-    std::uint32_t crc = 0;
-    if (std::sscanf(digest_hex.c_str(), "%" SCNx64, &digest) != 1 ||
-        std::sscanf(crc_hex.c_str(), "%x", &crc) != 1) {
+    if (std::sscanf(digest_hex.c_str(), "%" SCNx64, &digest) != 1) {
       ++bad;
       continue;
     }
-    if (fnv1a32(digest_hex + " " + status + " " + tag) != crc) {
+    // Per-line version disambiguation: a v2 record has
+    // "<hits> <transplants> <crc> <tag...>" left, a v1 record
+    // "<crc> <tag...>".  Whichever layout's CRC verifies wins; a tag
+    // that *looks* like the other version's fields cannot be confused
+    // because the CRC covers the exact field split.
+    std::string rest;
+    std::getline(ls, rest);
+    if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+    JournalEntry entry;
+    entry.status = status;
+    entry.digest = digest;
+    bool parsed = false;
+    {
+      // v2 attempt.
+      std::istringstream rs(rest);
+      std::string hits, transplants, crc_hex;
+      if (rs >> hits >> transplants >> crc_hex && all_digits(hits) &&
+          all_digits(transplants) && crc_hex.size() == 8) {
+        std::string tag;
+        std::getline(rs, tag);
+        if (!tag.empty() && tag[0] == ' ') tag.erase(0, 1);
+        std::uint32_t crc = 0;
+        if (std::sscanf(crc_hex.c_str(), "%x", &crc) == 1 &&
+            fnv1a32(digest_hex + " " + status + " " + hits + " " +
+                    transplants + " " + tag) == crc) {
+          entry.tag = tag;
+          entry.cache_hits = std::strtoll(hits.c_str(), nullptr, 10);
+          entry.cache_transplants =
+              std::strtoll(transplants.c_str(), nullptr, 10);
+          parsed = true;
+        }
+      }
+    }
+    if (!parsed) {
+      // v1 attempt.
+      std::istringstream rs(rest);
+      std::string crc_hex;
+      if (rs >> crc_hex && crc_hex.size() == 8) {
+        std::string tag;
+        std::getline(rs, tag);
+        if (!tag.empty() && tag[0] == ' ') tag.erase(0, 1);
+        std::uint32_t crc = 0;
+        if (std::sscanf(crc_hex.c_str(), "%x", &crc) == 1 &&
+            fnv1a32(digest_hex + " " + status + " " + tag) == crc) {
+          entry.tag = tag;
+          parsed = true;
+        }
+      }
+    }
+    if (!parsed) {
       ++bad;
       continue;
     }
     // Later records for a tag win (a resumed run re-records its jobs).
     bool replaced = false;
     for (JournalEntry& e : out) {
-      if (e.tag == tag) {
-        e.status = status;
-        e.digest = digest;
+      if (e.tag == entry.tag) {
+        e = entry;
         replaced = true;
         break;
       }
     }
-    if (!replaced) out.push_back(JournalEntry{tag, status, digest});
+    if (!replaced) out.push_back(std::move(entry));
   }
   if (malformed != nullptr) *malformed = bad;
   return true;

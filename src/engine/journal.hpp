@@ -4,16 +4,26 @@
 //
 // Format — text, one record per line, append-only, fsynced per record:
 //
-//   cubisg-journal 1                                  <- header
-//   done <digest> <status> <crc> <tag...>             <- one per job
+//   cubisg-journal 2                                  <- header
+//   done <digest> <status> <hits> <transplants> <crc> <tag...>
 //
 // where <digest> is the 16-hex-digit FNV-1a 64 of the job's canonical
 // solution bytes (engine::encode_result with the job id, wall clocks
 // and telemetry zeroed, so the digest is stable across runs),
 // <status> is ok/failed/crashed/quarantined,
-// <crc> is the 8-hex-digit FNV-1a 32 of "<digest> <status> <tag>", and
-// <tag> — last, because it may contain spaces — is the job tag (the
-// scenario path in batch mode).
+// <hits>/<transplants> are 0/1 cache involvement flags for the job
+// (served from the cross-solve cache / solved from a transplant seed),
+// <crc> is the 8-hex-digit FNV-1a 32 of
+// "<digest> <status> <hits> <transplants> <tag>", and <tag> — last,
+// because it may contain spaces — is the job tag (the scenario path in
+// batch mode).
+//
+// Version tolerance: load() accepts v1 lines
+// (`done <digest> <status> <crc> <tag...>`, crc over
+// "<digest> <status> <tag>") interleaved with v2 lines regardless of
+// the header, disambiguating per line by which layout's CRC verifies —
+// so resuming a v1 journal with a v2 binary (which appends v2 records
+// to the same file) round-trips every record.
 //
 // Durability and tolerance: each record is fflush+fsynced before the
 // submit loop moves on, so after kill -9 the journal holds every
@@ -46,6 +56,10 @@ struct JournalEntry {
   std::string tag;
   std::string status;  ///< ok | failed | crashed | quarantined
   std::uint64_t digest = 0;
+  /// Cache involvement (v2 records; v1 loads as 0/0): the job was
+  /// served from the cross-solve cache / solved from a transplant seed.
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_transplants = 0;
 };
 
 class BatchJournal {
@@ -60,11 +74,12 @@ class BatchJournal {
   /// file is new/empty.  False + `error` on I/O failure.
   bool open(const std::string& path, std::string& error);
 
-  /// Appends one record and makes it durable (fflush + fsync).  Under
-  /// the journal-torn-write fault site, writes half the record and
-  /// skips the fsync instead — simulating a crash mid-append.
+  /// Appends one record (v2 layout) and makes it durable (fflush +
+  /// fsync).  Under the journal-torn-write fault site, writes half the
+  /// record and skips the fsync instead — simulating a crash mid-append.
   bool record(const std::string& tag, std::uint64_t digest,
-              const std::string& status);
+              const std::string& status, std::int64_t cache_hits = 0,
+              std::int64_t cache_transplants = 0);
 
   void close();
   bool is_open() const { return file_ != nullptr; }

@@ -138,7 +138,82 @@ bool read_certificate(ByteReader& r, audit::SolutionCertificate& c) {
   return r.ok();
 }
 
+// Breakpoint tables ride as raw doubles: transplanted rows must land in
+// the child bitwise-equal to the parent's cached copy, or adoption would
+// not reproduce the cold build.
+void write_tables(ByteWriter& w, const core::StepTables& t) {
+  w.u64(static_cast<std::uint64_t>(t.segments));
+  w.u32(static_cast<std::uint32_t>(t.lower.size()));
+  for (const auto* rows : {&t.lower, &t.upper, &t.utility}) {
+    for (const std::vector<double>& row : *rows) {
+      w.u32(static_cast<std::uint32_t>(row.size()));
+      for (double v : row) w.f64(v);
+    }
+  }
+}
+
+bool read_tables(ByteReader& r, core::StepTables& t) {
+  t.segments = static_cast<std::size_t>(r.u64());
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > (1u << 24)) return false;
+  for (auto* rows : {&t.lower, &t.upper, &t.utility}) {
+    rows->resize(n);
+    for (std::vector<double>& row : *rows) {
+      const std::uint32_t k = r.u32();
+      if (!r.ok() || k > (1u << 24)) return false;
+      row.resize(k);
+      for (double& v : row) v = r.f64();
+    }
+  }
+  return r.ok();
+}
+
 }  // namespace
+
+std::string encode_cache_seed(const CacheSeedFrame& seed) {
+  ByteWriter w;
+  w.u64(seed.id);
+  write_tables(w, seed.tables);
+  w.u32(static_cast<std::uint32_t>(seed.adopt.size()));
+  for (std::uint8_t a : seed.adopt) w.u8(a);
+  return w.take();
+}
+
+bool decode_cache_seed(const std::string& payload, CacheSeedFrame& out) {
+  ByteReader r(payload);
+  out.id = r.u64();
+  if (!read_tables(r, out.tables)) return false;
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > (1u << 24)) return false;
+  out.adopt.resize(n);
+  for (std::uint8_t& a : out.adopt) a = r.u8();
+  return r.at_end();
+}
+
+std::string encode_cache_donor(const CacheDonorFrame& donor) {
+  ByteWriter w;
+  w.u64(donor.id);
+  w.u8(static_cast<std::uint8_t>((donor.used ? 1 : 0) |
+                                 (donor.rejected ? 2 : 0) |
+                                 (donor.has_tables ? 4 : 0)));
+  w.u32(donor.adopted);
+  w.u32(donor.repaired);
+  if (donor.has_tables) write_tables(w, donor.tables);
+  return w.take();
+}
+
+bool decode_cache_donor(const std::string& payload, CacheDonorFrame& out) {
+  ByteReader r(payload);
+  out.id = r.u64();
+  const std::uint8_t flags = r.u8();
+  out.used = (flags & 1) != 0;
+  out.rejected = (flags & 2) != 0;
+  out.has_tables = (flags & 4) != 0;
+  out.adopted = r.u32();
+  out.repaired = r.u32();
+  if (out.has_tables && !read_tables(r, out.tables)) return false;
+  return r.at_end();
+}
 
 std::string encode_job(const JobFrame& job) {
   ByteWriter w;
@@ -146,7 +221,8 @@ std::string encode_job(const JobFrame& job) {
   w.f64(job.deadline_seconds);
   w.i64(job.max_nodes);
   w.u8(static_cast<std::uint8_t>((job.chaos_abort ? 1 : 0) |
-                                 (job.chaos_hang ? 2 : 0)));
+                                 (job.chaos_hang ? 2 : 0) |
+                                 (job.want_donor ? 4 : 0)));
   w.str(job.scenario_text);
   return w.take();
 }
@@ -159,6 +235,7 @@ bool decode_job(const std::string& payload, JobFrame& out) {
   const std::uint8_t chaos = r.u8();
   out.chaos_abort = (chaos & 1) != 0;
   out.chaos_hang = (chaos & 2) != 0;
+  out.want_donor = (chaos & 4) != 0;
   out.scenario_text = r.str();
   return r.at_end();
 }
@@ -260,6 +337,7 @@ bool decode_error(const std::string& payload, ErrorFrame& out) {
 #include "behavior/scenario.hpp"
 #include "common/fault_inject.hpp"
 #include "common/log.hpp"
+#include "core/workspace.hpp"
 #include "obs/solve_report.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -353,9 +431,11 @@ namespace {
 
 /// Runs one job on a dedicated solve thread while this (the child's
 /// socket-owning) thread streams heartbeats and watches for cancel
-/// frames.  Returns false when the parent is unreachable.
+/// frames.  Returns false when the parent is unreachable.  `seed` (may
+/// be null) is the parent cache's transplant offer for this job; with
+/// job.want_donor set, a kCacheDonor frame follows the result/error.
 bool serve_one_job(int fd, const core::DefenderSolver& solver,
-                   const JobFrame& job) {
+                   const JobFrame& job, const CacheSeedFrame* seed) {
   SolveBudget budget;
   if (job.deadline_seconds > 0) budget.set_deadline_after(job.deadline_seconds);
   if (job.max_nodes > 0) budget.set_node_limit(job.max_nodes);
@@ -365,6 +445,18 @@ bool serve_one_job(int fd, const core::DefenderSolver& solver,
   ErrorFrame error;
   error.id = job.id;
   std::atomic<bool> failed{false};
+  // Per-job workspace (fresh, so the token/stat zeroing the engine does
+  // for its thread-mode workspaces holds by construction here): carries
+  // the transplant seed in and the stats + harvested tables out.
+  core::SolveWorkspace ws;
+  if (seed != nullptr) {
+    auto donor = std::make_shared<core::TransplantDonor>();
+    donor->tables = seed->tables;
+    auto transplant = std::make_shared<core::TransplantSeed>();
+    transplant->donor = std::move(donor);
+    transplant->adopt = seed->adopt;
+    ws.transplant_seed = std::move(transplant);
+  }
   std::promise<void> done_promise;
   std::future<void> done = done_promise.get_future();
   std::thread solve_thread([&] {
@@ -378,7 +470,7 @@ bool serve_one_job(int fd, const core::DefenderSolver& solver,
       std::istringstream in(job.scenario_text);
       const behavior::Scenario scenario = behavior::read_scenario(in);
       const auto bounds = scenario.make_bounds();
-      core::SolveContext ctx{scenario.game.game, bounds, &budget, nullptr};
+      core::SolveContext ctx{scenario.game.game, bounds, &budget, &ws};
       result.solution = solver.solve(ctx);
     } catch (const InvalidModelError& e) {
       failed = true;
@@ -425,10 +517,26 @@ bool serve_one_job(int fd, const core::DefenderSolver& solver,
   }
   solve_thread.join();
   if (parent_gone) return false;
-  if (failed.load()) {
-    return write_frame(fd, FrameType::kError, encode_error(error));
+  bool sent = failed.load()
+                  ? write_frame(fd, FrameType::kError, encode_error(error))
+                  : write_frame(fd, FrameType::kResult, encode_result(result));
+  if (sent && job.want_donor) {
+    // Transplant bookkeeping + donor harvest for the parent cache.  The
+    // tables travel only when the solve marked them as its own (the
+    // token gate — a non-CUBIS solver never sets it).
+    CacheDonorFrame donor;
+    donor.id = job.id;
+    donor.used = ws.transplant_stats.used;
+    donor.rejected = ws.transplant_stats.rejected;
+    donor.adopted = ws.transplant_stats.adopted;
+    donor.repaired = ws.transplant_stats.repaired;
+    if (!failed.load() && ws.tables_token != 0) {
+      donor.has_tables = true;
+      donor.tables = std::move(ws.tables);
+    }
+    sent = write_frame(fd, FrameType::kCacheDonor, encode_cache_donor(donor));
   }
-  return write_frame(fd, FrameType::kResult, encode_result(result));
+  return sent;
 }
 
 [[noreturn]] void worker_child_main(int fd,
@@ -444,16 +552,28 @@ bool serve_one_job(int fd, const core::DefenderSolver& solver,
   // would interleave garbage, so turn both off at the atomics.
   obs::set_trace_enabled(false);
   obs::set_phase_accounting_enabled(false);
+  // At most one pending transplant seed: the parent sends it immediately
+  // before the kJob frame it belongs to (matched by id, so a seed left
+  // behind by a cancelled send can never warm the wrong job).
+  CacheSeedFrame pending_seed;
+  bool has_seed = false;
   for (;;) {
     Frame frame;
     const ReadStatus rs = read_frame(fd, -1, frame);
     if (rs != ReadStatus::kFrame) _exit(0);  // parent closed our end
     if (frame.type == FrameType::kCancel) continue;  // stale: job already done
+    if (frame.type == FrameType::kCacheSeed) {
+      has_seed = decode_cache_seed(frame.payload, pending_seed);
+      continue;
+    }
     if (frame.type != FrameType::kJob) continue;
     JobFrame job;
     if (!decode_job(frame.payload, job)) _exit(3);
     if (job.chaos_abort) std::abort();  // fault site: crash mid-job
-    if (!serve_one_job(fd, solver, job)) _exit(0);
+    const CacheSeedFrame* seed =
+        has_seed && pending_seed.id == job.id ? &pending_seed : nullptr;
+    has_seed = false;
+    if (!serve_one_job(fd, solver, job, seed)) _exit(0);
   }
 }
 

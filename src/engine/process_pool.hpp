@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cubis.hpp"  // StepTables (cache seed/donor frames)
 #include "core/solvers.hpp"
 #include "obs/metrics.hpp"  // CUBISG_OBS_ENABLED
 
@@ -64,6 +65,14 @@ enum class FrameType : std::uint8_t {
   kError = 3,      ///< child -> parent: the solve escaped with an exception
   kHeartbeat = 4,  ///< child -> parent: liveness while solving
   kCancel = 5,     ///< parent -> child: trip the in-flight job's budget
+  /// Cross-solve cache (engine/solve_cache.hpp).  Both sides skip frame
+  /// types they do not know, so a peer without cache support degrades
+  /// gracefully: an old child ignores the seed and never sends a donor
+  /// (the parent's bounded donor read times out), and an old parent
+  /// leaves an unread donor in the socket to be skipped by the next
+  /// job's await loop.
+  kCacheSeed = 6,   ///< parent -> child: transplant seed for the next job
+  kCacheDonor = 7,  ///< child -> parent: harvested donor after a result
 };
 
 struct Frame {
@@ -78,6 +87,10 @@ struct JobFrame {
   std::int64_t max_nodes = 0;     ///< 0 = uncapped
   bool chaos_abort = false;  ///< fault injection: abort() before solving
   bool chaos_hang = false;   ///< fault injection: wedge the solve thread
+  /// Parent runs a transplant-mode cache: after the result/error the
+  /// child should send a kCacheDonor frame (rides the chaos byte, bit 4,
+  /// so old children ignore it harmlessly).
+  bool want_donor = false;
   std::string scenario_text;  ///< behavior::write_scenario output
 };
 
@@ -98,12 +111,39 @@ struct ErrorFrame {
   std::string message;
 };
 
+/// Transplant seed for the job with the same id, sent immediately before
+/// its kJob frame.  Only the breakpoint tables and adopt flags travel —
+/// the MILP skeleton is a same-process optimization (shipping the dense
+/// model would dwarf the solve it saves), so process-mode transplants
+/// seed tables only.
+struct CacheSeedFrame {
+  std::uint64_t id = 0;
+  core::StepTables tables;
+  std::vector<std::uint8_t> adopt;  ///< one flag per target
+};
+
+/// Transplant outcome + harvested donor tables, sent by the child after
+/// the job's kResult/kError frame when JobFrame::want_donor was set.
+struct CacheDonorFrame {
+  std::uint64_t id = 0;
+  bool used = false;      ///< TransplantStats::used
+  bool rejected = false;  ///< TransplantStats::rejected
+  std::uint32_t adopted = 0;
+  std::uint32_t repaired = 0;
+  bool has_tables = false;  ///< tables below are this job's (token set)
+  core::StepTables tables;
+};
+
 std::string encode_job(const JobFrame& job);
 bool decode_job(const std::string& payload, JobFrame& out);
 std::string encode_result(const ResultFrame& result);
 bool decode_result(const std::string& payload, ResultFrame& out);
 std::string encode_error(const ErrorFrame& error);
 bool decode_error(const std::string& payload, ErrorFrame& out);
+std::string encode_cache_seed(const CacheSeedFrame& seed);
+bool decode_cache_seed(const std::string& payload, CacheSeedFrame& out);
+std::string encode_cache_donor(const CacheDonorFrame& donor);
+bool decode_cache_donor(const std::string& payload, CacheDonorFrame& out);
 
 // ---- process + socket layer (POSIX only; stubs elsewhere) --------------
 

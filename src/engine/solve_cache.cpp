@@ -1,0 +1,259 @@
+#include "engine/solve_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/status_page.hpp"
+
+namespace cubisg::engine {
+
+namespace {
+
+/// Registry handles for the cache, resolved once.  These are process-
+/// global monotonic totals (summed across every SolveCache instance);
+/// per-cache numbers live in CacheStats.
+struct CacheMetrics {
+  obs::Counter& hits =
+      obs::Registry::global().counter("cache.hits_total");
+  obs::Counter& misses =
+      obs::Registry::global().counter("cache.misses_total");
+  obs::Counter& transplants =
+      obs::Registry::global().counter("cache.transplants_total");
+  obs::Counter& transplant_rejects =
+      obs::Registry::global().counter("cache.transplant_rejects_total");
+  obs::Counter& evictions =
+      obs::Registry::global().counter("cache.evictions_total");
+  obs::Gauge& entries = obs::Registry::global().gauge("cache.entries");
+
+  static CacheMetrics& get() {
+    static CacheMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+const char* to_string(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kOff:
+      return "off";
+    case CacheMode::kExact:
+      return "exact";
+    case CacheMode::kTransplant:
+      return "transplant";
+  }
+  return "off";
+}
+
+bool parse_cache_mode(const std::string& text, CacheMode& out) {
+  if (text == "off") {
+    out = CacheMode::kOff;
+  } else if (text == "exact") {
+    out = CacheMode::kExact;
+  } else if (text == "transplant") {
+    out = CacheMode::kTransplant;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SolveCache::SolveCache(CacheMode mode, std::size_t capacity,
+                       std::size_t shards)
+    : mode_(mode), capacity_(std::max<std::size_t>(1, capacity)) {
+  // Auto shard count scales with capacity: lock spread only pays off
+  // once shards hold a real working set each — a small cache split into
+  // 1-entry shards would evict digest-colliding entries that the budget
+  // has plenty of room for (conflict misses with a half-empty cache).
+  std::size_t count = shards != 0 ? shards : std::max<std::size_t>(
+      1, std::min<std::size_t>(8, capacity_ / 8));
+  count = std::clamp<std::size_t>(count, 1, capacity_);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  CacheMetrics::get();  // resolve eagerly, mirroring EngineMetrics
+  obs::register_status_page("/cachez", "application/json",
+                            [this] { return status_json(); });
+}
+
+SolveCache::~SolveCache() { obs::unregister_status_page("/cachez"); }
+
+std::size_t SolveCache::shard_capacity(std::size_t shard_index) const {
+  // Distribute the budget as evenly as possible; every shard gets >= 1
+  // because the shard count is clamped to the capacity.
+  const std::size_t n = shards_.size();
+  return capacity_ / n + (shard_index < capacity_ % n ? 1 : 0);
+}
+
+void SolveCache::publish_entries_gauge() {
+  CacheMetrics::get().entries.set(
+      static_cast<double>(entries_.load(std::memory_order_relaxed)));
+}
+
+bool SolveCache::lookup_exact(const core::Fingerprint& fp,
+                              core::DefenderSolution& out) {
+  Shard& shard = shard_for(fp.digest);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(fp.digest);
+    // Full-fingerprint compare guards against 64-bit digest collisions:
+    // a colliding entry is treated as a miss, never served or evicted.
+    if (it != shard.index.end() && it->second->fp == fp) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      out = shard.lru.front().solution;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      CacheMetrics::get().hits.add(1);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::get().misses.add(1);
+  return false;
+}
+
+std::shared_ptr<const core::TransplantDonor> SolveCache::nearest(
+    const core::Fingerprint& fp) const {
+  std::shared_ptr<const core::TransplantDonor> best;
+  double best_distance = std::numeric_limits<double>::infinity();
+  std::uint64_t best_digest = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& entry : shard->lru) {
+      if (entry.donor == nullptr) continue;
+      const double d = fingerprint_distance(fp, entry.fp);
+      if (d == std::numeric_limits<double>::infinity()) continue;
+      // Ties break on the digest so the choice is deterministic under
+      // any shard iteration order.
+      if (d < best_distance ||
+          (d == best_distance && entry.fp.digest < best_digest)) {
+        best_distance = d;
+        best_digest = entry.fp.digest;
+        best = entry.donor;
+      }
+    }
+  }
+  return best;
+}
+
+void SolveCache::insert(const core::Fingerprint& fp,
+                        const core::DefenderSolution& solution,
+                        std::shared_ptr<const core::TransplantDonor> donor) {
+  Entry entry;
+  entry.fp = fp;
+  entry.solution = solution;
+  // Canonical form: everything run-specific zeroed, matching the batch
+  // journal's solution digest, so a future hit is re-stamped cleanly.
+  entry.solution.wall_seconds = 0.0;
+  entry.solution.telemetry = {};
+  entry.donor = std::move(donor);
+
+  const std::size_t shard_index = fp.digest % shards_.size();
+  Shard& shard = *shards_[shard_index];
+  std::size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(fp.digest);
+    if (it != shard.index.end()) {
+      // Refresh in place (same scenario re-solved, or a collision — the
+      // newer entry wins either way).
+      *it->second = std::move(entry);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(std::move(entry));
+      shard.index.emplace(fp.digest, shard.lru.begin());
+      entries_.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t cap = shard_capacity(shard_index);
+      while (shard.lru.size() > cap) {
+        shard.index.erase(shard.lru.back().fp.digest);
+        shard.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) {
+    entries_.fetch_sub(evicted, std::memory_order_relaxed);
+    evictions_.fetch_add(static_cast<std::int64_t>(evicted),
+                         std::memory_order_relaxed);
+    CacheMetrics::get().evictions.add(static_cast<std::int64_t>(evicted));
+  }
+  publish_entries_gauge();
+}
+
+void SolveCache::count_transplant() {
+  transplants_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::get().transplants.add(1);
+}
+
+void SolveCache::count_transplant_reject() {
+  transplant_rejects_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::get().transplant_rejects.add(1);
+}
+
+CacheStats SolveCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.transplants = transplants_.load(std::memory_order_relaxed);
+  s.transplant_rejects =
+      transplant_rejects_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.capacity = capacity_;
+  s.shards = shards_.size();
+  return s;
+}
+
+std::string SolveCache::status_json() const {
+  const CacheStats s = stats();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"mode\":\"%s\",\"capacity\":%zu,\"shards\":%zu,\"entries\":%zu,"
+      "\"hits\":%lld,\"misses\":%lld,\"transplants\":%lld,"
+      "\"transplant_rejects\":%lld,\"evictions\":%lld}\n",
+      to_string(mode_), s.capacity, s.shards, s.entries,
+      static_cast<long long>(s.hits), static_cast<long long>(s.misses),
+      static_cast<long long>(s.transplants),
+      static_cast<long long>(s.transplant_rejects),
+      static_cast<long long>(s.evictions));
+  return buf;
+}
+
+std::shared_ptr<const core::TransplantSeed> make_transplant_seed(
+    std::shared_ptr<const core::TransplantDonor> donor,
+    const core::Fingerprint& fp) {
+  if (donor == nullptr) return nullptr;
+  const std::size_t n = fp.num_targets();
+  if (donor->blocks.size() != fp.blocks.size()) return nullptr;
+  auto seed = std::make_shared<core::TransplantSeed>();
+  seed->adopt.assign(n, 0);
+  std::size_t adoptable = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool same = true;
+    for (std::size_t j = 0; j < core::kFingerprintBlockDoubles; ++j) {
+      const std::size_t idx = i * core::kFingerprintBlockDoubles + j;
+      std::uint64_t a;
+      std::uint64_t b;
+      std::memcpy(&a, &fp.blocks[idx], sizeof a);
+      std::memcpy(&b, &donor->blocks[idx], sizeof b);
+      if (a != b) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      seed->adopt[i] = 1;
+      ++adoptable;
+    }
+  }
+  if (adoptable == 0) return nullptr;
+  seed->donor = std::move(donor);
+  return seed;
+}
+
+}  // namespace cubisg::engine

@@ -1,0 +1,154 @@
+// Cross-solve memoization: a sharded LRU of canonical solutions keyed by
+// scenario fingerprint (core/fingerprint.hpp), with warm-start transplant
+// donors for near misses.
+//
+// Two service levels, selected by CacheMode:
+//
+//   kExact       an exact fingerprint hit returns the cached canonical
+//                solution without solving; the engine re-stamps the job
+//                id and leaves telemetry empty (the same fields the batch
+//                journal's solution digest zeroes), so a hit is bitwise-
+//                identical to a cold solve under that digest.
+//   kTransplant  exact hits as above; on a miss the nearest same-compat
+//                neighbor (fingerprint_distance) donates its breakpoint
+//                tables and MILP skeleton as a TransplantSeed.  The
+//                solver's adopt/repair/reject ladder (core/cubis.cpp)
+//                guarantees the seeded solve stays bitwise-identical to
+//                a cold solve; the cache only makes it cheaper.
+//
+// Concurrency: each shard has its own mutex; lookups copy the solution
+// out under the lock and donors are immutable shared_ptrs, so concurrent
+// mixed hit/miss load is race-free (the TSan-labeled differential tests
+// pin this).  Capacity is per-cache and split across shards; eviction is
+// per-shard LRU.
+//
+// Observability: cache.{hits,misses,transplants,transplant_rejects,
+// evictions}_total counters, a cache.entries gauge, and a /cachez JSON
+// status page (registered while a cache exists, like /workersz).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/solvers.hpp"
+#include "core/workspace.hpp"
+
+namespace cubisg::engine {
+
+enum class CacheMode {
+  kOff,        ///< no cache (the engine skips fingerprinting entirely)
+  kExact,      ///< exact-hit returns only
+  kTransplant, ///< exact hits + nearest-neighbor warm-start transplant
+};
+
+const char* to_string(CacheMode mode);
+/// Parses "off" | "exact" | "transplant" (the --cache flag); false on
+/// anything else.
+bool parse_cache_mode(const std::string& text, CacheMode& out);
+
+/// Local (per-cache) counter snapshot; the registry counters are global
+/// totals across every cache in the process.
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t transplants = 0;
+  std::int64_t transplant_rejects = 0;
+  std::int64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+  std::size_t shards = 0;
+};
+
+class SolveCache {
+ public:
+  /// `capacity` is the total entry budget (min 1), split across `shards`
+  /// (0 = auto: capacity/8 shards, clamped to [1, 8], so small caches
+  /// stay single-sharded instead of thrashing 1-entry shards).
+  /// Registers /cachez.
+  SolveCache(CacheMode mode, std::size_t capacity, std::size_t shards = 0);
+  ~SolveCache();
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  CacheMode mode() const { return mode_; }
+
+  /// Exact hit: copies the canonical solution into `out` (id 0, wall 0,
+  /// telemetry empty — the caller re-stamps) and refreshes LRU.  A miss
+  /// (or a digest collision with different fingerprint content) counts
+  /// cache.misses_total and returns false.
+  bool lookup_exact(const core::Fingerprint& fp,
+                    core::DefenderSolution& out);
+
+  /// Nearest same-compat donor for a transplant (kTransplant mode), or
+  /// null when no cached entry is compatible.  Does not touch LRU order
+  /// or the hit/miss counters — the preceding lookup_exact already
+  /// counted this job's miss.
+  std::shared_ptr<const core::TransplantDonor> nearest(
+      const core::Fingerprint& fp) const;
+
+  /// Inserts (or refreshes) the entry for `fp`.  The solution is
+  /// canonicalized (wall zeroed, telemetry cleared) before storage;
+  /// `donor` may be null (exact-only entries still serve hits).
+  void insert(const core::Fingerprint& fp,
+              const core::DefenderSolution& solution,
+              std::shared_ptr<const core::TransplantDonor> donor);
+
+  /// Counter feeds for transplant outcomes observed by the engine after
+  /// a seeded solve returns.
+  void count_transplant();
+  void count_transplant_reject();
+
+  CacheStats stats() const;
+  /// The /cachez body (also callable directly in tests).
+  std::string status_json() const;
+
+ private:
+  struct Entry {
+    core::Fingerprint fp;
+    core::DefenderSolution solution;
+    std::shared_ptr<const core::TransplantDonor> donor;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recent
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+  };
+
+  Shard& shard_for(std::uint64_t digest) {
+    return *shards_[digest % shards_.size()];
+  }
+  const Shard& shard_for(std::uint64_t digest) const {
+    return *shards_[digest % shards_.size()];
+  }
+  std::size_t shard_capacity(std::size_t shard_index) const;
+  void publish_entries_gauge();
+
+  CacheMode mode_;
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> transplants_{0};
+  std::atomic<std::int64_t> transplant_rejects_{0};
+  std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::size_t> entries_{0};
+};
+
+/// Builds the per-job transplant seed from a donor: adopt flags by
+/// bitwise per-target block comparison against the job's fingerprint.
+/// Returns null when nothing is adoptable (a seed that repairs every
+/// target saves no work over the cold build).
+std::shared_ptr<const core::TransplantSeed> make_transplant_seed(
+    std::shared_ptr<const core::TransplantDonor> donor,
+    const core::Fingerprint& fp);
+
+}  // namespace cubisg::engine

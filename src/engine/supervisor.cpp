@@ -245,11 +245,34 @@ Supervisor::Await Supervisor::await_result(
   }
 }
 
+void Supervisor::read_cache_donor(Slot& slot, std::uint64_t id,
+                                  CacheDonorFrame& out) {
+  const int fd = slot.fd.load(std::memory_order_relaxed);
+  // The child writes the donor frame right after the result, so it is
+  // normally already buffered; the bound only matters when the child
+  // does not speak the cache protocol at all.
+  for (int polls = 0; polls < 5; ++polls) {
+    Frame frame;
+    const ReadStatus rs = read_frame(fd, 200, frame);
+    if (rs == ReadStatus::kTimeout) continue;
+    if (rs != ReadStatus::kFrame) return;  // EOF/error: next job handles it
+    if (frame.type == FrameType::kHeartbeat) continue;
+    if (frame.type != FrameType::kCacheDonor) return;  // unexpected: drop
+    CacheDonorFrame donor;
+    if (decode_cache_donor(frame.payload, donor) && donor.id == id) {
+      out = std::move(donor);
+    }
+    return;
+  }
+}
+
 JobOutcome Supervisor::run_job(std::size_t index, const SolveJob& job,
                                std::uint64_t id, double deadline_seconds,
                                std::int64_t max_nodes,
                                const SolveBudget& parent_budget,
-                               const std::atomic<bool>& engine_cancelled) {
+                               const std::atomic<bool>& engine_cancelled,
+                               const CacheSeedFrame* cache_seed,
+                               CacheDonorFrame* cache_donor) {
   JobOutcome out;
   out.id = id;
   out.tag = job.tag;
@@ -260,11 +283,14 @@ JobOutcome Supervisor::run_job(std::size_t index, const SolveJob& job,
   frame.id = id;
   frame.deadline_seconds = deadline_seconds;
   frame.max_nodes = max_nodes;
+  frame.want_donor = cache_donor != nullptr;
   {
     std::ostringstream os;
     behavior::write_scenario(os, *job.scenario);
     frame.scenario_text = os.str();
   }
+  const std::string seed_payload =
+      cache_seed != nullptr ? encode_cache_seed(*cache_seed) : std::string();
 
   Timer solve_timer;
   for (;;) {
@@ -288,12 +314,21 @@ JobOutcome Supervisor::run_job(std::size_t index, const SolveJob& job,
 
     slot.state.store(1, std::memory_order_relaxed);
     Await result = Await::kCrashed;  // a failed send == the child is gone
-    if (write_frame(slot.fd.load(std::memory_order_relaxed), FrameType::kJob,
-                    encode_job(frame))) {
+    const int fd = slot.fd.load(std::memory_order_relaxed);
+    // The seed rides ahead of the job on the same stream (re-sent on
+    // every crash retry); a child that predates the cache protocol just
+    // skips the unknown frame type.
+    const bool seed_ok =
+        cache_seed == nullptr ||
+        write_frame(fd, FrameType::kCacheSeed, seed_payload);
+    if (seed_ok && write_frame(fd, FrameType::kJob, encode_job(frame))) {
       result = await_result(slot, id, deadline_seconds, parent_budget,
                             engine_cancelled, out);
     }
     if (result == Await::kDone) {
+      if (cache_donor != nullptr) {
+        read_cache_donor(slot, id, *cache_donor);
+      }
       slot.consecutive_crashes = 0;
       slot.state.store(0, std::memory_order_relaxed);
       break;

@@ -78,10 +78,19 @@ class Supervisor {
   /// outcome: kCompleted / kFailed (worker alive and reused),
   /// kCancelled, kWorkerCrashed or kQuarantined.  Does not apply the
   /// engine's transient-failure retry policy — only crash retries.
+  ///
+  /// Cross-solve cache plumbing (both optional): `cache_seed` is sent
+  /// as a kCacheSeed frame before every kJob send (re-sent per crash
+  /// retry — a respawned child has no memory of it); a non-null
+  /// `cache_donor` sets JobFrame::want_donor and performs one bounded
+  /// read for the child's kCacheDonor frame after the result.  Either
+  /// side lacking cache support degrades to a plain solve.
   JobOutcome run_job(std::size_t index, const SolveJob& job,
                      std::uint64_t id, double deadline_seconds,
                      std::int64_t max_nodes, const SolveBudget& parent_budget,
-                     const std::atomic<bool>& engine_cancelled);
+                     const std::atomic<bool>& engine_cancelled,
+                     const CacheSeedFrame* cache_seed = nullptr,
+                     CacheDonorFrame* cache_donor = nullptr);
 
   /// The /workersz JSON body (also callable directly in tests).
   std::string status_json() const;
@@ -97,6 +106,10 @@ class Supervisor {
                      const SolveBudget& parent_budget,
                      const std::atomic<bool>& engine_cancelled,
                      JobOutcome& out);
+  /// One bounded read (~1 s) for the post-result kCacheDonor frame; a
+  /// timeout or mismatch leaves `out` untouched (graceful degradation
+  /// when the child predates the cache protocol).
+  void read_cache_donor(Slot& slot, std::uint64_t id, CacheDonorFrame& out);
   /// Reaps (grace, then SIGKILL) the slot's child and records the exit
   /// description; updates the alive gauge.
   void clear_slot(Slot& slot, int grace_ms);

@@ -42,7 +42,7 @@ grep -q "^batch interrupted: " "$WORK/out.txt" \
   || fail "partial summary line missing"
 grep -q "rerun with --resume" "$WORK/out.txt" \
   || fail "resume hint missing from partial summary"
-grep -qE "^done [0-9a-f]{16} ok [0-9a-f]{8} " "$WORK/journal.log" \
+grep -qE "^done [0-9a-f]{16} ok [0-9]+ [0-9]+ [0-9a-f]{8} " "$WORK/journal.log" \
   || fail "journal holds no completed record after SIGINT"
 
 # The journal must make the interrupted work resumable to completion.

@@ -26,7 +26,7 @@ done
 "$CUBISG" batch "$WORK/manifest.txt" --workers 1 --segments 25 \
   --journal "$WORK/oracle.log" > "$WORK/oracle.txt" 2>&1 \
   || fail "oracle run failed"
-[ "$(grep -cE '^done [0-9a-f]{16} ok [0-9a-f]{8} ' "$WORK/oracle.log")" -eq "$N" ] \
+[ "$(grep -cE '^done [0-9a-f]{16} ok [0-9]+ [0-9]+ [0-9a-f]{8} ' "$WORK/oracle.log")" -eq "$N" ] \
   || fail "oracle journal incomplete"
 
 # Interrupted run: kill -9 once at least two jobs are journaled (kill -9
@@ -35,7 +35,7 @@ done
   --journal "$WORK/journal.log" > "$WORK/run1.txt" 2>&1 &
 PID=$!
 for _ in $(seq 1 200); do
-  if [ "$(grep -cE '^done [0-9a-f]{16} ok [0-9a-f]{8} ' "$WORK/journal.log" 2>/dev/null)" -ge 2 ]
+  if [ "$(grep -cE '^done [0-9a-f]{16} ok [0-9]+ [0-9]+ [0-9a-f]{8} ' "$WORK/journal.log" 2>/dev/null)" -ge 2 ]
   then
     break
   fi
@@ -45,7 +45,7 @@ done
 kill -9 "$PID" 2>/dev/null || fail "batch gone before kill -9"
 wait "$PID" 2>/dev/null
 
-DONE_BEFORE=$(grep -cE '^done [0-9a-f]{16} ok [0-9a-f]{8} ' "$WORK/journal.log")
+DONE_BEFORE=$(grep -cE '^done [0-9a-f]{16} ok [0-9]+ [0-9]+ [0-9a-f]{8} ' "$WORK/journal.log")
 [ "$DONE_BEFORE" -ge 2 ] || fail "journal lost records after kill -9"
 [ "$DONE_BEFORE" -lt "$N" ] || fail "batch finished before kill -9"
 
@@ -63,10 +63,10 @@ RESOLVED=$(grep -c '^batch [0-9]*: status=' "$WORK/run2.txt")
 
 # Bitwise idempotence: per-tag digests equal the uninterrupted oracle's.
 # Strict record regex so a torn half-line from the kill can never match.
-REC='^done [0-9a-f]{16} ok [0-9a-f]{8} '
-grep -E "$REC" "$WORK/oracle.log" | awk '{print $5, $2}' | sort \
+REC='^done [0-9a-f]{16} ok [0-9]+ [0-9]+ [0-9a-f]{8} '
+grep -E "$REC" "$WORK/oracle.log" | awk '{print $7, $2}' | sort \
   > "$WORK/oracle.digests"
-grep -E "$REC" "$WORK/journal.log" | awk '{print $5, $2}' | sort -u \
+grep -E "$REC" "$WORK/journal.log" | awk '{print $7, $2}' | sort -u \
   > "$WORK/resumed.digests"
 diff "$WORK/oracle.digests" "$WORK/resumed.digests" \
   || fail "resumed digests differ from the uninterrupted run"

@@ -1,0 +1,243 @@
+// Canonical scenario fingerprints: the cross-solve cache's correctness
+// rests on two properties pinned here.  Completeness: every input that can
+// change a solve's bitwise result — any payoff, any interval endpoint, R,
+// the weight boxes, the interval mode, the solver config, the target
+// count — must change the fingerprint (a collision here would serve a
+// WRONG cached solution).  Stability: equal scenarios fingerprint equally
+// across rebuilds, and the byte layout never drifts silently (pinned hash
+// vectors fail loudly on any layout change, forcing a deliberate bump).
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "behavior/scenario.hpp"
+#include "common/rng.hpp"
+#include "core/fingerprint.hpp"
+#include "core/registry.hpp"
+#include "games/generators.hpp"
+
+namespace cubisg::core {
+namespace {
+
+constexpr const char* kConfig = "cubis|test-config";
+
+behavior::Scenario make_scenario(std::uint64_t seed, std::size_t targets,
+                                 double resources = 3.0,
+                                 double width = 1.5) {
+  Rng rng(seed);
+  return behavior::Scenario{
+      games::random_uncertain_game(rng, targets, resources, width),
+      behavior::SuqrWeightIntervals{}, behavior::IntervalMode::kExactBox};
+}
+
+/// Rebuilds `base` with target `i`'s payoffs replaced (SecurityGame
+/// validates on construction, so perturbations go through a full rebuild
+/// exactly like a scenario reloaded from disk would).
+behavior::Scenario with_payoffs(const behavior::Scenario& base,
+                                std::size_t i, games::TargetPayoffs p) {
+  std::vector<games::TargetPayoffs> payoffs;
+  for (std::size_t t = 0; t < base.game.game.num_targets(); ++t) {
+    payoffs.push_back(base.game.game.target(t));
+  }
+  payoffs[i] = p;
+  return behavior::Scenario{
+      games::UncertainGame{
+          games::SecurityGame(std::move(payoffs),
+                              base.game.game.resources()),
+          base.game.attacker_intervals},
+      base.weights, base.mode};
+}
+
+behavior::Scenario with_intervals(const behavior::Scenario& base,
+                                  std::size_t i,
+                                  games::IntervalPayoffs iv) {
+  std::vector<games::IntervalPayoffs> intervals =
+      base.game.attacker_intervals;
+  intervals[i] = iv;
+  std::vector<games::TargetPayoffs> payoffs;
+  for (std::size_t t = 0; t < base.game.game.num_targets(); ++t) {
+    payoffs.push_back(base.game.game.target(t));
+  }
+  return behavior::Scenario{
+      games::UncertainGame{
+          games::SecurityGame(std::move(payoffs),
+                              base.game.game.resources()),
+          std::move(intervals)},
+      base.weights, base.mode};
+}
+
+TEST(FpFnv1a64, MatchesReferenceVectors) {
+  // Same published vectors the journal's fnv1a64 pins: the two
+  // implementations must never drift apart.
+  EXPECT_EQ(fp_fnv1a64("", 0), 14695981039346656037ull);
+  EXPECT_EQ(fp_fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fp_fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(Fingerprint, EqualScenariosFingerprintEqually) {
+  const behavior::Scenario a = make_scenario(7001, 12);
+  const behavior::Scenario b = make_scenario(7001, 12);  // regenerated
+  const Fingerprint fa = fingerprint_scenario(a, kConfig);
+  const Fingerprint fb = fingerprint_scenario(b, kConfig);
+  EXPECT_TRUE(fa == fb);
+  EXPECT_EQ(fa.num_targets(), 12u);
+  EXPECT_EQ(fa.blocks.size(), 12u * kFingerprintBlockDoubles);
+  EXPECT_EQ(fingerprint_distance(fa, fb), 0.0);
+}
+
+TEST(Fingerprint, EveryPayoffFieldPerturbsDigestNotCompat) {
+  const behavior::Scenario base = make_scenario(7002, 8);
+  const Fingerprint f0 = fingerprint_scenario(base, kConfig);
+  const games::TargetPayoffs orig = base.game.game.target(3);
+  // One perturbed variant per payoff field, each keeping the game valid
+  // (Ra > Pa, Rd > Pd hold after a +1e-9 nudge on a reward / -1e-9 on a
+  // penalty).
+  games::TargetPayoffs ra = orig, pa = orig, rd = orig, pd = orig;
+  ra.attacker_reward += 1e-9;
+  pa.attacker_penalty -= 1e-9;
+  rd.defender_reward += 1e-9;
+  pd.defender_penalty -= 1e-9;
+  for (const games::TargetPayoffs& p : {ra, pa, rd, pd}) {
+    const Fingerprint f = fingerprint_scenario(with_payoffs(base, 3, p),
+                                               kConfig);
+    EXPECT_NE(f.digest, f0.digest);
+    EXPECT_EQ(f.compat, f0.compat) << "payoffs are per-target state";
+    // Exactly one 8-double block differs: distance is 1 + tiny L1 tiebreak.
+    const double d = fingerprint_distance(f0, f);
+    EXPECT_GE(d, 1.0);
+    EXPECT_LT(d, 2.0);
+  }
+}
+
+TEST(Fingerprint, EveryIntervalEndpointPerturbsDigestNotCompat) {
+  const behavior::Scenario base = make_scenario(7003, 8);
+  const Fingerprint f0 = fingerprint_scenario(base, kConfig);
+  const games::IntervalPayoffs orig = base.game.attacker_intervals[5];
+  games::IntervalPayoffs variants[4] = {orig, orig, orig, orig};
+  variants[0].attacker_reward = Interval(orig.attacker_reward.lo() - 1e-9,
+                                         orig.attacker_reward.hi());
+  variants[1].attacker_reward = Interval(orig.attacker_reward.lo(),
+                                         orig.attacker_reward.hi() + 1e-9);
+  variants[2].attacker_penalty = Interval(orig.attacker_penalty.lo() - 1e-9,
+                                          orig.attacker_penalty.hi());
+  variants[3].attacker_penalty = Interval(orig.attacker_penalty.lo(),
+                                          orig.attacker_penalty.hi() + 1e-9);
+  for (const games::IntervalPayoffs& iv : variants) {
+    const Fingerprint f =
+        fingerprint_scenario(with_intervals(base, 5, iv), kConfig);
+    EXPECT_NE(f.digest, f0.digest);
+    EXPECT_EQ(f.compat, f0.compat);
+  }
+}
+
+TEST(Fingerprint, CompatCoversResourcesWeightsModeConfigAndShape) {
+  const behavior::Scenario base = make_scenario(7004, 6);
+  const Fingerprint f0 = fingerprint_scenario(base, kConfig);
+
+  // Solver config: distinct strings must separate cache populations.
+  const Fingerprint fcfg = fingerprint_scenario(base, "cubis|other-config");
+  EXPECT_NE(fcfg.compat, f0.compat);
+  EXPECT_NE(fcfg.digest, f0.digest);
+
+  // Resource count R.
+  behavior::Scenario res = make_scenario(7004, 6);
+  {
+    std::vector<games::TargetPayoffs> payoffs;
+    for (std::size_t t = 0; t < res.game.game.num_targets(); ++t) {
+      payoffs.push_back(res.game.game.target(t));
+    }
+    res.game.game = games::SecurityGame(std::move(payoffs), 2.5);
+  }
+  const Fingerprint fres = fingerprint_scenario(res, kConfig);
+  EXPECT_NE(fres.compat, f0.compat);
+
+  // SUQR weight box endpoint.
+  behavior::Scenario weights = make_scenario(7004, 6);
+  weights.weights.w2 = Interval(weights.weights.w2.lo(),
+                                weights.weights.w2.hi() + 1e-9);
+  EXPECT_NE(fingerprint_scenario(weights, kConfig).compat, f0.compat);
+
+  // Interval semantics.
+  behavior::Scenario mode = make_scenario(7004, 6);
+  mode.mode = behavior::IntervalMode::kPaperCorners;
+  EXPECT_NE(fingerprint_scenario(mode, kConfig).compat, f0.compat);
+
+  // Target count.
+  const Fingerprint fshape =
+      fingerprint_scenario(make_scenario(7004, 7), kConfig);
+  EXPECT_NE(fshape.compat, f0.compat);
+
+  // Any compat mismatch makes transplanting meaningless: distance +inf.
+  for (const Fingerprint* f : {&fcfg, &fres, &fshape}) {
+    EXPECT_EQ(fingerprint_distance(f0, *f),
+              std::numeric_limits<double>::infinity());
+  }
+}
+
+TEST(Fingerprint, DistanceCountsDifferingBlocksWithL1Tiebreak) {
+  const behavior::Scenario base = make_scenario(7005, 10);
+  const Fingerprint f0 = fingerprint_scenario(base, kConfig);
+
+  // Perturb k targets: the integer part of the distance is exactly k.
+  behavior::Scenario three = base;
+  for (std::size_t i : {1u, 4u, 8u}) {
+    games::TargetPayoffs p = three.game.game.target(i);
+    p.attacker_reward += 0.25;
+    three = with_payoffs(three, i, p);
+  }
+  const double d3 = fingerprint_distance(
+      f0, fingerprint_scenario(three, kConfig));
+  EXPECT_EQ(std::floor(d3), 3.0);
+
+  // Tiebreak: a tiny nudge on one target is strictly nearer than a large
+  // rewrite of the same target — both differ in one block, the L1 term
+  // (bounded below 1) orders them.
+  games::TargetPayoffs tiny = base.game.game.target(2);
+  tiny.attacker_reward += 1e-9;
+  games::TargetPayoffs big = base.game.game.target(2);
+  big.attacker_reward += 5.0;
+  const double dtiny = fingerprint_distance(
+      f0, fingerprint_scenario(with_payoffs(base, 2, tiny), kConfig));
+  const double dbig = fingerprint_distance(
+      f0, fingerprint_scenario(with_payoffs(base, 2, big), kConfig));
+  EXPECT_LT(dtiny, dbig);
+  EXPECT_GE(dtiny, 1.0);
+  EXPECT_LT(dbig, 2.0);
+}
+
+TEST(Fingerprint, CanonicalSolverConfigSeparatesToleranceFields) {
+  SolverSpec a;  // defaults
+  SolverSpec b = a;
+  EXPECT_EQ(canonical_solver_config(a), canonical_solver_config(b));
+  b.epsilon = a.epsilon * (1.0 + 1e-15);  // sub-printf-precision change
+  EXPECT_NE(canonical_solver_config(a), canonical_solver_config(b))
+      << "%a rendering must be lossless";
+  SolverSpec c = a;
+  c.segments += 1;
+  EXPECT_NE(canonical_solver_config(a), canonical_solver_config(c));
+  SolverSpec d = a;
+  d.name = "cubis-milp";
+  EXPECT_NE(canonical_solver_config(a), canonical_solver_config(d));
+}
+
+// Pinned vectors: the exact digests of the paper's Table I instance under
+// a fixed config string.  These change ONLY when the fingerprint byte
+// layout changes — which invalidates every cached entry and must be a
+// deliberate, reviewed decision (bump the header version when doing so).
+TEST(Fingerprint, PinnedHashVectors) {
+  const behavior::Scenario table1{games::table1_game(),
+                                  behavior::SuqrWeightIntervals{},
+                                  behavior::IntervalMode::kExactBox};
+  const Fingerprint f = fingerprint_scenario(table1, "pinned-config");
+  EXPECT_EQ(f.blocks.size(), 2u * kFingerprintBlockDoubles);
+  EXPECT_EQ(f.digest, 0x10f8406e1f5822b2ull)
+      << "layout drift: got digest 0x" << std::hex << f.digest;
+  EXPECT_EQ(f.compat, 0xb11c45ffb8ee38ebull)
+      << "layout drift: got compat 0x" << std::hex << f.compat;
+}
+
+}  // namespace
+}  // namespace cubisg::core

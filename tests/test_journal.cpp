@@ -6,13 +6,20 @@
 // re-records its jobs).
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "behavior/scenario.hpp"
 #include "common/fault_inject.hpp"
+#include "common/rng.hpp"
+#include "core/registry.hpp"
+#include "engine/engine.hpp"
 #include "engine/journal.hpp"
+#include "engine/process_pool.hpp"
+#include "games/generators.hpp"
 
 namespace cubisg::engine {
 namespace {
@@ -165,6 +172,165 @@ TEST(Journal, CorruptCrcAndForeignLinesSkipped) {
   EXPECT_EQ(malformed, 2u);  // bad CRC + foreign line (blank ignored)
   ASSERT_EQ(entries.size(), 1u);
   EXPECT_EQ(entries[0].tag, "good.scn");
+}
+
+TEST(Journal, CacheFieldsRoundTrip) {
+  TempFile tmp("journal_cache_fields.log");
+  BatchJournal j;
+  std::string err;
+  ASSERT_TRUE(j.open(tmp.path, err)) << err;
+  ASSERT_TRUE(j.record("cold.scn", 0xAAAA, "ok", 0, 0));
+  ASSERT_TRUE(j.record("hit.scn", 0xAAAA, "ok", 1, 0));
+  ASSERT_TRUE(j.record("warm.scn", 0xBBBB, "ok", 0, 1));
+  j.close();
+
+  std::vector<JournalEntry> entries;
+  std::size_t malformed = 9;
+  ASSERT_TRUE(BatchJournal::load(tmp.path, entries, err, &malformed)) << err;
+  EXPECT_EQ(malformed, 0u);
+  ASSERT_EQ(entries.size(), 3u);
+  const JournalEntry* cold = find(entries, "cold.scn");
+  ASSERT_NE(cold, nullptr);
+  EXPECT_EQ(cold->cache_hits, 0);
+  EXPECT_EQ(cold->cache_transplants, 0);
+  const JournalEntry* hit = find(entries, "hit.scn");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cache_hits, 1);
+  EXPECT_EQ(hit->cache_transplants, 0);
+  const JournalEntry* warm = find(entries, "warm.scn");
+  ASSERT_NE(warm, nullptr);
+  EXPECT_EQ(warm->cache_hits, 0);
+  EXPECT_EQ(warm->cache_transplants, 1);
+}
+
+// Resuming a v1 journal with a v2 binary appends v2 records to the same
+// file.  load() must round-trip the mix: v1 lines parse with zero cache
+// fields, v2 lines with theirs, and later records still win per tag.
+TEST(Journal, MixedV1AndV2LinesLoadTogether) {
+  TempFile tmp("journal_mixed_versions.log");
+  {
+    // Hand-written v1 journal (header + one record, CRC computed with
+    // the same FNV-1a 32 the v1 writer used).
+    const auto crc32 = [](const std::string& s) {
+      std::uint32_t h = 2166136261u;
+      for (unsigned char c : s) {
+        h ^= c;
+        h *= 16777619u;
+      }
+      return h;
+    };
+    const std::string digest_hex = "00000000000000ab";
+    char crc_hex[9];
+    std::snprintf(crc_hex, sizeof crc_hex, "%08x",
+                  crc32(digest_hex + " ok old.scn"));
+    std::ofstream out(tmp.path);
+    out << "cubisg-journal 1\n";
+    out << "done " << digest_hex << " ok " << crc_hex << " old.scn\n";
+    std::snprintf(crc_hex, sizeof crc_hex, "%08x",
+                  crc32(digest_hex + " crashed rerun.scn"));
+    out << "done " << digest_hex << " crashed " << crc_hex
+        << " rerun.scn\n";
+  }
+  {
+    // The resumed (v2) run appends its records to the v1 file.
+    BatchJournal j;
+    std::string err;
+    ASSERT_TRUE(j.open(tmp.path, err)) << err;
+    ASSERT_TRUE(j.record("new.scn", 0xCD, "ok", 1, 0));
+    ASSERT_TRUE(j.record("rerun.scn", 0xEF, "ok", 0, 1));
+    j.close();
+  }
+  std::vector<JournalEntry> entries;
+  std::string err;
+  std::size_t malformed = 9;
+  ASSERT_TRUE(BatchJournal::load(tmp.path, entries, err, &malformed)) << err;
+  EXPECT_EQ(malformed, 0u);
+  ASSERT_EQ(entries.size(), 3u);
+  const JournalEntry* old = find(entries, "old.scn");
+  ASSERT_NE(old, nullptr);
+  EXPECT_EQ(old->status, "ok");
+  EXPECT_EQ(old->digest, 0xabull);
+  EXPECT_EQ(old->cache_hits, 0) << "v1 records load with zero cache fields";
+  const JournalEntry* fresh = find(entries, "new.scn");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->cache_hits, 1);
+  const JournalEntry* rerun = find(entries, "rerun.scn");
+  ASSERT_NE(rerun, nullptr);
+  EXPECT_EQ(rerun->status, "ok") << "later v2 record supersedes the v1 one";
+  EXPECT_EQ(rerun->digest, 0xefull);
+  EXPECT_EQ(rerun->cache_transplants, 1);
+}
+
+// --resume regression: a cache-served job must journal under the NEW
+// job's identity with the same canonical digest a cold solve records.
+// If the engine returned the cached outcome un-restamped (the donor
+// job's id, its wall clock and telemetry), a resumed run would either
+// re-solve needlessly on a digest mismatch or — worse — skip a job whose
+// recorded digest never matched a real solve of it.
+TEST(Journal, CacheServedJobsJournalWithFreshIdentityAndColdDigest) {
+  Rng rng(9001);
+  auto scenario = std::make_shared<behavior::Scenario>(behavior::Scenario{
+      games::random_uncertain_game(rng, 10, 3.0, 1.0),
+      behavior::SuqrWeightIntervals{}, behavior::IntervalMode::kExactBox});
+  auto bounds = std::make_shared<behavior::SuqrIntervalBounds>(
+      scenario->make_bounds());
+  std::shared_ptr<const games::SecurityGame> game(scenario,
+                                                  &scenario->game.game);
+  const auto job = [&] {
+    SolveJob j;
+    j.game = game;
+    j.bounds = bounds;
+    j.scenario = scenario;
+    j.tag = "job.scn";
+    return j;
+  };
+  const auto canonical_digest = [](const core::DefenderSolution& sol) {
+    ResultFrame frame;
+    frame.id = 0;
+    frame.solution = sol;
+    frame.solution.wall_seconds = 0.0;
+    frame.solution.telemetry = {};
+    const std::string bytes = encode_result(frame);
+    return fnv1a64(bytes.data(), bytes.size());
+  };
+
+  core::SolverSpec spec;
+  spec.segments = 6;
+  spec.epsilon = 1e-2;
+  EngineOptions eopt;
+  eopt.workers = 1;
+  eopt.cache.mode = CacheMode::kExact;
+  eopt.cache.solver_config = core::canonical_solver_config(spec);
+  SolveEngine eng(core::make_solver(spec), eopt);
+  const JobOutcome cold = eng.submit(job()).get();
+  const JobOutcome cached = eng.submit(job()).get();
+  eng.shutdown();
+  ASSERT_EQ(cold.status, JobStatus::kCompleted) << cold.error;
+  ASSERT_EQ(cached.status, JobStatus::kCompleted) << cached.error;
+  ASSERT_TRUE(cached.cache_hit);
+  EXPECT_NE(cached.id, cold.id)
+      << "the cached outcome resurfaced under the donor job's id";
+
+  // Journal both runs the way the batch loop does; the resumed load must
+  // see one entry whose digest matches the cold solve's canonical bytes.
+  TempFile tmp("journal_cache_digest.log");
+  {
+    BatchJournal j;
+    std::string err;
+    ASSERT_TRUE(j.open(tmp.path, err)) << err;
+    ASSERT_TRUE(j.record(cold.tag, canonical_digest(cold.solution), "ok",
+                         0, 0));
+    ASSERT_TRUE(j.record(cached.tag, canonical_digest(cached.solution),
+                         "ok", 1, 0));
+    j.close();
+  }
+  std::vector<JournalEntry> entries;
+  std::string err;
+  ASSERT_TRUE(BatchJournal::load(tmp.path, entries, err, nullptr));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].digest, canonical_digest(cold.solution))
+      << "cache involvement must not change the canonical digest";
+  EXPECT_EQ(entries[0].cache_hits, 1);
 }
 
 TEST(Journal, MissingFileIsLoadErrorNotCrash) {
