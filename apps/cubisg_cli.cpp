@@ -1,7 +1,7 @@
 // cubisg — command-line front end for the library.
 //
 //   cubisg generate --targets N [--resources R] [--width W] [--seed S]
-//                   [--zero-sum 0|1] --out FILE
+//                   [--zero-sum 0|1] [--family F] --out FILE
 //   cubisg table1 --out FILE
 //   cubisg solve FILE [--solver NAME] [--segments K] [--epsilon E]
 //                [--polish N] [--types N]
@@ -69,6 +69,11 @@ using namespace cubisg;
                "usage:\n"
                "  cubisg generate --targets N [--resources R] [--width W]\n"
                "                  [--seed S] [--zero-sum 0|1] --out FILE\n"
+               "                  [--family simplex|multi-defender|\n"
+               "                   patrol-graph]\n"
+               "                  multi-defender: [--defenders D] [--block T]\n"
+               "                  [--budget B];  patrol-graph: [--locations L]\n"
+               "                  [--slots S] [--per-slot B]\n"
                "  cubisg table1 --out FILE\n"
                "  cubisg solve FILE [--solver NAME] [--segments K]\n"
                "                [--epsilon E] [--polish N] [--types N]\n"
@@ -231,6 +236,13 @@ behavior::Scenario load_or_die(const std::string& path) {
   return behavior::load_scenario(path);
 }
 
+/// The scenario's coverage polytope as a SolveContext::space pointer:
+/// null for the default simplex (the legacy, bitwise-pinned path), else
+/// the scenario's own polytope.  The scenario outlives every solve here.
+const games::CoverageSpace* space_of(const behavior::Scenario& scenario) {
+  return scenario.coverage.is_default() ? nullptr : &scenario.coverage;
+}
+
 /// Scenario-independent part of the solver spec (everything but the
 /// sampled population).  Used directly by `batch`, which shares one solver
 /// across many scenarios.
@@ -280,26 +292,59 @@ void print_solution(const behavior::Scenario& scenario,
 }
 
 int cmd_generate(const Args& args) {
-  const std::size_t targets =
-      static_cast<std::size_t>(args.get_i("targets", 0));
-  if (targets == 0) usage("--targets required");
-  const double resources = args.get_d(
-      "resources", std::max(1.0, 0.3 * static_cast<double>(targets)));
   const double width = args.get_d("width", 2.0);
   Rng rng(static_cast<std::uint64_t>(args.get_i("seed", 1)));
   games::GeneratorOptions gopt;
   gopt.zero_sum = args.get_i("zero-sum", 1) != 0;
-  behavior::Scenario scenario{
-      games::random_uncertain_game(rng, targets, resources, width, gopt),
-      behavior::SuqrWeightIntervals{}, behavior::IntervalMode::kExactBox};
+  const std::string family = args.get("family", "simplex");
+
+  games::FamilyGame fg = [&]() -> games::FamilyGame {
+    if (family == "simplex") {
+      const std::size_t targets =
+          static_cast<std::size_t>(args.get_i("targets", 0));
+      if (targets == 0) usage("--targets required");
+      const double resources = args.get_d(
+          "resources", std::max(1.0, 0.3 * static_cast<double>(targets)));
+      return {games::random_uncertain_game(rng, targets, resources, width,
+                                           gopt),
+              games::CoverageSpace{}};
+    }
+    if (family == "multi-defender") {
+      const std::size_t defenders =
+          static_cast<std::size_t>(args.get_i("defenders", 3));
+      const std::size_t block =
+          static_cast<std::size_t>(args.get_i("block", 5));
+      const double budget = args.get_d(
+          "budget", std::max(1.0, 0.3 * static_cast<double>(block)));
+      return games::multi_defender_uncertain_game(rng, defenders, block,
+                                                  budget, width, gopt);
+    }
+    if (family == "patrol-graph") {
+      const std::size_t locations =
+          static_cast<std::size_t>(args.get_i("locations", 5));
+      const std::size_t slots =
+          static_cast<std::size_t>(args.get_i("slots", 4));
+      const double per_slot = args.get_d("per-slot", 2.0);
+      return games::patrol_graph_uncertain_game(rng, locations, slots,
+                                                per_slot, width, gopt);
+    }
+    usage("--family must be simplex, multi-defender or patrol-graph");
+  }();
+  behavior::Scenario scenario{std::move(fg.game),
+                              behavior::SuqrWeightIntervals{},
+                              behavior::IntervalMode::kExactBox,
+                              std::move(fg.coverage)};
+
   const std::string out = args.get("out", "");
   if (out.empty()) usage("--out required");
   if (!behavior::save_scenario(out, scenario)) {
     std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
     return 1;
   }
-  std::printf("wrote %s (%zu targets, %.1f resources, width %.1f)\n",
-              out.c_str(), targets, resources, width);
+  std::printf("wrote %s (%s, %zu targets, %.1f resources, width %.1f)\n",
+              out.c_str(), family.c_str(),
+              scenario.game.game.num_targets(),
+              scenario.game.game.resources(), width);
   return 0;
 }
 
@@ -411,7 +456,8 @@ int cmd_solve(const Args& args) {
 #endif
   {
     BudgetRegistration reg(budget);
-    sol = solver->solve({scenario.game.game, bounds, &budget});
+    sol = solver->solve({scenario.game.game, bounds, &budget,
+                         /*workspace=*/nullptr, space_of(scenario)});
   }
 #if CUBISG_OBS_ENABLED
   // One-shot solves feed the flight recorder too (job_id 0): the same
@@ -462,7 +508,8 @@ int cmd_verify(const Args& args) {
   core::DefenderSolution sol;
   {
     BudgetRegistration reg(budget);
-    sol = solver->solve({scenario.game.game, bounds, &budget});
+    sol = solver->solve({scenario.game.game, bounds, &budget,
+                         /*workspace=*/nullptr, space_of(scenario)});
   }
   if (!sol.ok() && sol.strategy.empty()) {
     std::fprintf(stderr, "verify: solve failed: %s\n",
@@ -501,7 +548,8 @@ int cmd_verify(const Args& args) {
 int cmd_compare(const Args& args) {
   behavior::Scenario scenario = load_or_die(args.file);
   auto bounds = scenario.make_bounds();
-  core::SolveContext ctx{scenario.game.game, bounds};
+  core::SolveContext ctx{scenario.game.game, bounds, /*budget=*/nullptr,
+                         /*workspace=*/nullptr, space_of(scenario)};
   std::printf("%-16s %12s %12s %10s\n", "solver", "worst-case", "best-case",
               "time(ms)");
   for (const std::string& name : core::solver_names()) {
@@ -559,7 +607,8 @@ int cmd_patrol(const Args& args) {
   core::DefenderSolution sol;
   {
     BudgetRegistration reg(budget);
-    sol = solver->solve({scenario.game.game, bounds, &budget});
+    sol = solver->solve({scenario.game.game, bounds, &budget,
+                         /*workspace=*/nullptr, space_of(scenario)});
   }
   if (!sol.ok()) {
     std::fprintf(stderr, "solve failed: %s\n",
@@ -611,7 +660,8 @@ std::vector<double> parse_csv_doubles(const std::string& s) {
 int cmd_report(const Args& args) {
   behavior::Scenario scenario = load_or_die(args.file);
   auto bounds = scenario.make_bounds();
-  core::SolveContext ctx{scenario.game.game, bounds};
+  core::SolveContext ctx{scenario.game.game, bounds, /*budget=*/nullptr,
+                         /*workspace=*/nullptr, space_of(scenario)};
   const std::string out_path = args.get("out", "");
   std::FILE* out = out_path.empty() ? stdout
                                     : std::fopen(out_path.c_str(), "w");

@@ -239,6 +239,55 @@ int main() {
     std::printf("R9 gate skipped: only %u hardware threads\n", hw);
   }
 
+  // Per-family throughput: the same engine recipe over one instance of
+  // each coverage family, so BENCH_engine.json tracks how the polytope
+  // (grouped budgets, reachability caps) moves solves/sec.  The family
+  // instances match the main workload's scale (T=200, K=10).
+  std::vector<std::pair<std::string, MixInstance>> families;
+  families.emplace_back("simplex", wrap_scenario(*scn_sp));
+  {
+    Rng frng(2002);
+    games::FamilyGame md =
+        games::multi_defender_uncertain_game(frng, 8, 25, 7.5, 1.5);
+    families.emplace_back(
+        "multi-defender",
+        wrap_scenario(behavior::Scenario{
+            std::move(md.game), behavior::SuqrWeightIntervals{},
+            behavior::IntervalMode::kExactBox, std::move(md.coverage)}));
+    games::FamilyGame pg =
+        games::patrol_graph_uncertain_game(frng, 20, 10, 3.0, 1.5);
+    families.emplace_back(
+        "patrol-graph",
+        wrap_scenario(behavior::Scenario{
+            std::move(pg.game), behavior::SuqrWeightIntervals{},
+            behavior::IntervalMode::kExactBox, std::move(pg.coverage)}));
+  }
+  const int kFamilyJobs = 16;
+  std::vector<double> family_sps;
+  std::printf("\nper-family throughput (%d jobs, 2 workers):\n", kFamilyJobs);
+  for (const auto& [family_name, mi] : families) {
+    engine::EngineOptions eopt;
+    eopt.workers = 2;
+    eopt.queue_capacity = static_cast<std::size_t>(kFamilyJobs);
+    engine::SolveEngine eng(solver, eopt);
+    Timer t;
+    std::vector<std::future<engine::JobOutcome>> futures;
+    for (int j = 0; j < kFamilyJobs; ++j) {
+      engine::SolveJob job;
+      job.game = mi.game;
+      job.bounds = mi.bounds;
+      job.scenario = mi.scenario;
+      futures.push_back(eng.submit(std::move(job)));
+    }
+    long failed = 0;
+    for (auto& f : futures) {
+      if (f.get().status != engine::JobStatus::kCompleted) ++failed;
+    }
+    family_sps.push_back(kFamilyJobs / t.seconds());
+    std::printf("  %-16s %10.2f solves/sec%s\n", family_name.c_str(),
+                family_sps.back(), failed > 0 ? "  (FAILED jobs)" : "");
+  }
+
   // gate_skipped_reason is null when a gate was enforced; otherwise it
   // names why the recorded numbers are informational only.
   const std::string skipped_reason =
@@ -249,10 +298,11 @@ int main() {
                        : "\"process_isolation_unavailable\"";
   const std::string r9_skipped_reason =
       r9_applies ? "null" : "\"hardware_threads<2\"";
-  char results[2048];
+  char results[3072];
   std::snprintf(results, sizeof results,
                 "{\"targets\":200,\"jobs\":%d,\"hardware_threads\":%u,"
                 "\"cpu_model\":\"%s\",\"workers\":[1,2,4,8],"
+                "\"game_family\":\"simplex\","
                 "\"isolation_mode\":\"thread\",\"cache_mode\":\"off\","
                 "\"solves_per_sec\":[%.2f,%.2f,%.2f,%.2f],"
                 "\"speedup_vs_1\":[1.00,%.2f,%.2f,%.2f],"
@@ -269,7 +319,13 @@ int main() {
                 "\"cold_solves_per_sec\":%.2f,"
                 "\"warm_solves_per_sec\":%.2f,\"warm_speedup\":%.2f,"
                 "\"gate_warm_min_2x\":{\"applies\":%s,"
-                "\"gate_skipped_reason\":%s,\"ok\":%s}}}",
+                "\"gate_skipped_reason\":%s,\"ok\":%s}},"
+                "\"family_throughput\":[{\"game_family\":\"simplex\","
+                "\"solves_per_sec\":%.2f},"
+                "{\"game_family\":\"multi-defender\","
+                "\"solves_per_sec\":%.2f},"
+                "{\"game_family\":\"patrol-graph\","
+                "\"solves_per_sec\":%.2f}]}",
                 kJobs, hw, bench::cpu_model_name().c_str(), sps[0], sps[1],
                 sps[2], sps[3], sps[1] / sps[0], sps[2] / sps[0],
                 sps[3] / sps[0], gate_applies ? "true" : "false",
@@ -279,7 +335,8 @@ int main() {
                 iso_skipped_reason.c_str(), iso_ok ? "true" : "false",
                 mix_cold, mix_warm, warm_speedup,
                 r9_applies ? "true" : "false", r9_skipped_reason.c_str(),
-                r9_ok ? "true" : "false");
+                r9_ok ? "true" : "false", family_sps[0], family_sps[1],
+                family_sps[2]);
   bench::write_bench_json("engine", results);
 
   std::printf(

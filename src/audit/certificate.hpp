@@ -45,6 +45,11 @@ struct SolutionCertificate {
   std::string solver;       ///< DefenderSolver::name(); may be empty
   std::size_t targets = 0;  ///< game.num_targets() at solve time
   double resources = 0.0;   ///< game.resources() at solve time
+  /// Canonical games::CoverageSpace::descriptor() of the polytope the
+  /// solve ran on; empty = the paper's simplex.  Self-contained: the
+  /// verifier re-derives the feasibility residuals from this string, so
+  /// a certificate audits correctly without the original space object.
+  std::string coverage;
 
   // Binary-search evidence (CUBIS families).  The bracket claims
   // W(x) >= lb and, when the solve ran to optimality, ub - lb <= epsilon
@@ -68,8 +73,11 @@ struct SolutionCertificate {
   // Feasibility evidence measured on the final strategy by the solver
   // itself (the verifier recomputes both from scratch).
   double claimed_worst_case = 0.0;  ///< W(x) via the canonical evaluator
-  double budget_residual = 0.0;     ///< max(0, sum_i x_i - R)
-  double box_residual = 0.0;        ///< max_i max(-x_i, x_i - 1, 0)
+  /// max over budget groups of max(0, sum_g x_i - B_g); the simplex has a
+  /// single group with B = R.
+  double budget_residual = 0.0;
+  /// max_i max(-x_i, x_i - cap_i, 0); the simplex has unit caps.
+  double box_residual = 0.0;
 };
 
 }  // namespace cubisg::audit

@@ -5,8 +5,11 @@
 #include <cmath>
 #include <cstdio>
 
+#include <optional>
+
 #include "common/timer.hpp"
 #include "core/worst_case.hpp"
+#include "games/coverage_space.hpp"
 #include "obs/audit_log.hpp"
 #include "obs/metrics.hpp"
 
@@ -114,6 +117,8 @@ AuditResult verify(const games::SecurityGame& game,
 
   // ---- Certificate structure: self-consistency + model match. ----
   bool cert_sound = cert.present;
+  games::CoverageSpace space;  // set from cert.coverage when non-simplex
+  bool space_set = false;
   if (cert.present) {
     if (cert.targets != n) {
       note(AuditCode::kMalformedCertificate,
@@ -170,6 +175,34 @@ AuditResult verify(const games::SecurityGame& game,
         }
       }
     }
+    // Coverage polytope: the certificate is self-contained — the
+    // descriptor alone must reconstruct the feasible set the solve ran
+    // on.  Empty or "simplex" means the paper's X (legacy certificates
+    // predate the field and stay verifiable unchanged).
+    if (!cert.coverage.empty() && cert.coverage != "simplex") {
+      std::optional<games::CoverageSpace> parsed =
+          games::CoverageSpace::from_descriptor(cert.coverage);
+      if (!parsed.has_value() || parsed->is_default()) {
+        note(AuditCode::kMalformedCertificate,
+             "unparseable coverage descriptor \"" + cert.coverage + "\"");
+        cert_sound = false;
+      } else if (parsed->num_targets() != n) {
+        note(AuditCode::kMalformedCertificate,
+             "coverage descriptor spans " +
+                 std::to_string(parsed->num_targets()) +
+                 " targets but model has " + std::to_string(n));
+        cert_sound = false;
+      } else if (std::abs(parsed->total_budget() - budget) >
+                 opt.feasibility_tol) {
+        note(AuditCode::kMalformedCertificate,
+             "coverage budgets sum to " + fmt(parsed->total_budget()) +
+                 " but model has R=" + fmt(budget));
+        cert_sound = false;
+      } else {
+        space = std::move(*parsed);
+        space_set = true;
+      }
+    }
     if (cert.has_milp) {
       if (!std::isfinite(cert.milp_incumbent) ||
           !std::isfinite(cert.milp_bound)) {
@@ -213,19 +246,41 @@ AuditResult verify(const games::SecurityGame& game,
     out.verify_seconds = timer.seconds();
     return out;
   }
-  box = std::max(box, 0.0);
-  track(box);
-  if (box > opt.feasibility_tol) {
-    note(AuditCode::kInfeasibleStrategy,
-         "box violation " + fmt(box) + " beyond tolerance", box);
-  }
-  // Eq. 37 allows slack (sum x < R is legal); only excess is a violation.
-  const double over = std::max(0.0, sum - budget);
-  track(over);
-  if (over > opt.feasibility_tol) {
-    note(AuditCode::kInfeasibleStrategy,
-         "budget violation: sum x = " + fmt(sum) + " > R = " + fmt(budget),
-         over);
+  if (space_set) {
+    // Polytope feasibility re-measured from the certificate's own
+    // descriptor: per-group budget rows and per-target caps.  Slack is
+    // legal (Eq. 37 generalizes group-wise); only excess violates.
+    double budget_over = 0.0;
+    double box_over = 0.0;
+    space.residuals(x, budget_over, box_over);
+    track(box_over);
+    if (box_over > opt.feasibility_tol) {
+      note(AuditCode::kInfeasibleStrategy,
+           "cap/box violation " + fmt(box_over) + " beyond tolerance",
+           box_over);
+    }
+    track(budget_over);
+    if (budget_over > opt.feasibility_tol) {
+      note(AuditCode::kInfeasibleStrategy,
+           "group budget violation " + fmt(budget_over) +
+               " beyond tolerance",
+           budget_over);
+    }
+  } else {
+    box = std::max(box, 0.0);
+    track(box);
+    if (box > opt.feasibility_tol) {
+      note(AuditCode::kInfeasibleStrategy,
+           "box violation " + fmt(box) + " beyond tolerance", box);
+    }
+    // Eq. 37 allows slack (sum x < R is legal); only excess violates.
+    const double over = std::max(0.0, sum - budget);
+    track(over);
+    if (over > opt.feasibility_tol) {
+      note(AuditCode::kInfeasibleStrategy,
+           "budget violation: sum x = " + fmt(sum) + " > R = " + fmt(budget),
+           over);
+    }
   }
 
   // ---- Worst-case recompute over interval corners (closed form). ----

@@ -3,9 +3,14 @@
 //
 // verify() shares no state with any solver — it reads the SecurityGame,
 // the AttractivenessBounds, the returned strategy and the certificate,
-// and recomputes feasibility (box bounds, sum x_i <= R; slack is legal
-// per Eq. 37) plus the worst-case robust utility over interval corners
-// via the canonical closed-form evaluator in core/worst_case.  Bracket
+// and recomputes feasibility plus the worst-case robust utility over
+// interval corners via the canonical closed-form evaluator in
+// core/worst_case.  Feasibility is re-derived from the certificate's own
+// coverage descriptor (games::CoverageSpace) when one is present: group
+// budget rows and per-target caps for the non-simplex families, the
+// legacy box + sum x_i <= R check otherwise (slack is legal per Eq. 37).
+// A descriptor that fails to parse or disagrees with the model is a
+// kMalformedCertificate finding.  Bracket
 // and MILP evidence are checked for internal consistency and against the
 // recomputed value.  This is the audit primitive the shadow auditor
 // (audit/shadow.hpp), the `verify` CLI subcommand, and future

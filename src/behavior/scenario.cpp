@@ -36,6 +36,11 @@ void write_scenario(std::ostream& os, const Scenario& scenario) {
      << fmt(scenario.weights.w2.hi()) << ' '
      << fmt(scenario.weights.w3.lo()) << ' '
      << fmt(scenario.weights.w3.hi()) << '\n';
+  if (!scenario.coverage.is_default() && !scenario.coverage.is_simplex()) {
+    // Single whitespace-free token (see CoverageSpace::descriptor), so the
+    // line-oriented reader can treat it like any other keyed field.
+    os << "coverage " << scenario.coverage.descriptor() << '\n';
+  }
   for (std::size_t i = 0; i < g.num_targets(); ++i) {
     const games::TargetPayoffs& p = g.target(i);
     const games::IntervalPayoffs& iv = scenario.game.attacker_intervals[i];
@@ -79,11 +84,34 @@ Scenario read_scenario(std::istream& is) {
   weights.w2 = Interval(parse(w[2]), parse(w[3]));
   weights.w3 = Interval(parse(w[4]), parse(w[5]));
 
+  // Optional `coverage <descriptor>` line (format addition; absent in
+  // legacy files, which jump straight to the target rows).
+  games::CoverageSpace coverage;
+  bool key_pending = false;
+  if (is >> key) {
+    if (key == "coverage") {
+      std::string desc;
+      if (!(is >> desc)) return fail("coverage");
+      auto parsed = games::CoverageSpace::from_descriptor(desc);
+      if (!parsed) return fail("coverage descriptor");
+      if (!parsed->is_default() && parsed->num_targets() != targets) {
+        return fail("coverage target count");
+      }
+      coverage = *parsed;
+    } else {
+      key_pending = true;
+    }
+  }
+
   std::vector<games::TargetPayoffs> payoffs;
   std::vector<games::IntervalPayoffs> intervals;
   for (std::size_t i = 0; i < targets; ++i) {
     std::string f[8];
-    if (!(is >> key >> f[0] >> f[1] >> f[2] >> f[3] >> f[4] >> f[5] >> f[6] >>
+    if (!key_pending && !(is >> key)) {
+      return fail("target row " + std::to_string(i));
+    }
+    key_pending = false;
+    if (!(is >> f[0] >> f[1] >> f[2] >> f[3] >> f[4] >> f[5] >> f[6] >>
           f[7]) ||
         key != "target") {
       return fail("target row " + std::to_string(i));
@@ -95,7 +123,7 @@ Scenario read_scenario(std::istream& is) {
   Scenario s{games::UncertainGame{
                  games::SecurityGame(std::move(payoffs), parse(resources)),
                  std::move(intervals)},
-             weights, mode};
+             weights, mode, coverage};
   return s;
 }
 

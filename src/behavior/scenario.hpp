@@ -8,6 +8,7 @@
 #include <string>
 
 #include "behavior/bounds.hpp"
+#include "games/coverage_space.hpp"
 #include "games/generators.hpp"
 
 namespace cubisg::behavior {
@@ -17,6 +18,11 @@ struct Scenario {
   games::UncertainGame game;
   SuqrWeightIntervals weights;
   IntervalMode mode = IntervalMode::kExactBox;
+  /// Coverage polytope the defender optimizes over.  Default-constructed
+  /// (or an explicit simplex) = the paper's Σx_i = R setting, serialized
+  /// as nothing so legacy scenario files round-trip byte-identically;
+  /// non-simplex spaces write one `coverage <descriptor>` line.
+  games::CoverageSpace coverage{};
 
   /// Bounds object for this scenario (construct once, reuse).
   SuqrIntervalBounds make_bounds() const {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <new>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 
 #include "common/fault_inject.hpp"
@@ -40,6 +41,28 @@ struct CubisMetrics {
     return m;
   }
 };
+
+/// Resolves the coverage polytope a step optimizes over.  An explicit
+/// SolveContext::space wins; the legacy CubisOptions group fields are an
+/// instance of the grouped family; the default is the paper's simplex.
+/// The simplex instance routes every caller onto the legacy byte-for-byte
+/// arithmetic via is_simplex().
+games::CoverageSpace step_space(const SolveContext& ctx,
+                                const CubisOptions& opt) {
+  if (ctx.space != nullptr && !ctx.space->is_default()) {
+    return effective_space(ctx);
+  }
+  if (!opt.group_budgets.empty()) {
+    try {
+      return games::CoverageSpace::grouped(opt.target_groups,
+                                           opt.group_budgets);
+    } catch (const std::invalid_argument& e) {
+      throw InvalidModelError(std::string("cubis: ") + e.what());
+    }
+  }
+  return games::CoverageSpace::simplex(ctx.game.num_targets(),
+                                       ctx.game.resources());
+}
 
 std::vector<TargetPls> build_f_pls(const SolveContext& ctx, double c,
                                    std::size_t segments,
@@ -143,9 +166,11 @@ StepResult extract_step_result(const milp::MilpSolution& sol,
 
 StepResult solve_step_milp(const SolveContext& ctx,
                            const std::vector<TargetPls>& pls,
-                           const CubisOptions& opt) {
+                           const CubisOptions& opt,
+                           const games::CoverageSpace& space) {
   MilpLayout layout;
-  lp::Model model = build_step_milp(ctx, pls, step_big_m(pls), opt, layout);
+  lp::Model model = build_step_milp(ctx, pls, step_big_m(pls), opt, layout,
+                                    /*dense=*/false, nullptr, &space);
   // One (34)-(36) big-M block per target.
   CubisMetrics::get().bigm_linearizations.add(
       static_cast<std::int64_t>(layout.t_count));
@@ -154,11 +179,12 @@ StepResult solve_step_milp(const SolveContext& ctx,
   mopt.sign_threshold = -opt.feasibility_slack;
   if (mopt.budget == nullptr) mopt.budget = ctx.budget;
   if (opt.warm_start_from_dp) {
+    // The space-driven DP matches the legacy single-budget / grouped
+    // warm starts exactly (same per-group knapsacks, same stitching).
     StepResult dp =
-        opt.group_budgets.empty()
+        space.is_simplex()
             ? solve_step_dp(phi_from(pls), ctx.game.resources())
-            : solve_step_dp_grouped(phi_from(pls), opt.target_groups,
-                                    opt.group_budgets);
+            : solve_step_dp_space(phi_from(pls), space);
     mopt.warm_start = milp_point_from_x(layout, pls, dp.x, model.num_cols());
   }
   milp::MilpSolution sol = milp::solve_milp(model, mopt);
@@ -296,7 +322,8 @@ StepResult cubis_step(const SolveContext& ctx, double c,
     forced.status = SolverStatus::kInfeasible;
     return forced;
   }
-  if (reuse != nullptr && options.group_budgets.empty()) {
+  const games::CoverageSpace space = step_space(ctx, options);
+  if (reuse != nullptr && space.is_simplex()) {
     if (reuse->cache.k_count() != options.segments) {
       throw InvalidModelError("cubis_step: reuse segment-count mismatch");
     }
@@ -311,13 +338,12 @@ StepResult cubis_step(const SolveContext& ctx, double c,
   const std::vector<TargetPls> pls =
       build_f_pls(ctx, c, options.segments, tables);
   if (options.backend == StepBackend::kDp) {
-    if (!options.group_budgets.empty()) {
-      return solve_step_dp_grouped(phi_from(pls), options.target_groups,
-                                   options.group_budgets);
+    if (space.is_simplex()) {
+      return solve_step_dp(phi_from(pls), ctx.game.resources());
     }
-    return solve_step_dp(phi_from(pls), ctx.game.resources());
+    return solve_step_dp_space(phi_from(pls), space);
   }
-  return solve_step_milp(ctx, pls, options);
+  return solve_step_milp(ctx, pls, options, space);
 }
 
 CubisSolver::CubisSolver(CubisOptions options) : opt_(options) {
@@ -356,26 +382,18 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
           "CubisSolver: group budgets must sum to the game's resources");
     }
   }
+  // The coverage polytope this solve optimizes over; the paper's simplex
+  // unless the caller supplied a SolveContext::space or the legacy
+  // CubisOptions group fields (now one instance of the grouped family).
+  const games::CoverageSpace space = step_space(ctx, opt_);
   DefenderSolution sol;
 
   double lo = ctx.game.min_defender_penalty();
   double hi = ctx.game.max_defender_reward();
   // Any strategy's worst case is a convex combination of the u_i, hence
-  // >= lo; the (per-group) uniform strategy is the fallback witness.
-  std::vector<double> best_x;
-  if (opt_.group_budgets.empty()) {
-    best_x = games::uniform_strategy(n, ctx.game.resources());
-  } else {
-    std::vector<std::size_t> group_sizes(opt_.group_budgets.size(), 0);
-    for (std::size_t i = 0; i < n; ++i) ++group_sizes[opt_.target_groups[i]];
-    best_x.assign(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t g = opt_.target_groups[i];
-      best_x[i] = std::min(
-          1.0, opt_.group_budgets[g] /
-                   std::max<std::size_t>(1, group_sizes[g]));
-    }
-  }
+  // >= lo; the polytope's uniform seed is the fallback witness (simplex:
+  // R/T exactly; grouped: per-group B_g/|g| clamped to the caps).
+  std::vector<double> best_x = space.uniform_seed();
 
   int steps = 0;
   std::int64_t nodes = 0;
@@ -412,9 +430,10 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
   ws.tables_token = 1;
   const StepTables& tables = ws.tables;
   // One cross-round reuse slot per multisection lane (never shared across
-  // lanes: set_value and the DP scratch mutate in place).  Grouped budgets
-  // keep the fresh path — the grouped DP is not flattened.
-  const bool use_lanes = opt_.reuse_rounds && opt_.group_budgets.empty();
+  // lanes: set_value and the DP scratch mutate in place).  Non-simplex
+  // polytopes keep the fresh path — the per-group DP is not flattened and
+  // the MILP skeleton's budget rows are never patched.
+  const bool use_lanes = opt_.reuse_rounds && space.is_simplex();
   if (use_lanes) {
     ws.ensure_cubis_lanes(static_cast<std::size_t>(sections), tables,
                           opt_.backend == StepBackend::kMilp);
@@ -429,7 +448,8 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
         seed->donor->has_skeleton &&
         seed->donor->skeleton_layout.t_count == n &&
         seed->donor->skeleton_layout.k_count == opt_.segments &&
-        seed->donor->skeleton_resources == ctx.game.resources()) {
+        seed->donor->skeleton_resources == ctx.game.resources() &&
+        seed->donor->skeleton_space == space.descriptor()) {
       ws.cubis_lanes[0]->milp = std::make_unique<MilpStepCache>(
           seed->donor->skeleton_model, seed->donor->skeleton_layout,
           seed->donor->skeleton_rows);
@@ -529,9 +549,13 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
     if (highest_feasible >= 0) {
       lo = cs[highest_feasible];
       best_x = results[highest_feasible].x;
-      // Certificate evidence from the step that proved this lb.
+      // Certificate evidence from the step that proved this lb.  An
+      // early-positive stop leaves the frontier bound at infinity — that
+      // is "no proven bound", not evidence, so don't claim any.
       const StepResult& winner = results[highest_feasible];
-      sol.certificate.has_milp = winner.from_milp;
+      sol.certificate.has_milp = winner.from_milp &&
+                                 std::isfinite(winner.milp_incumbent) &&
+                                 std::isfinite(winner.milp_bound);
       sol.certificate.milp_incumbent = winner.milp_incumbent;
       sol.certificate.milp_bound = winner.milp_bound;
       sol.certificate.milp_nodes = winner.milp_nodes;
@@ -556,17 +580,13 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
     // budget groups, slack is redistributed within each group only.
     obs::TraceSpan top_up_span("cubis.top_up");
     std::vector<double> topped = best_x;
-    const std::size_t num_groups =
-        opt_.group_budgets.empty() ? 1 : opt_.group_budgets.size();
+    const std::size_t num_groups = space.num_groups();
     std::vector<double> slack(num_groups);
     for (std::size_t g = 0; g < num_groups; ++g) {
-      slack[g] = opt_.group_budgets.empty() ? ctx.game.resources()
-                                            : opt_.group_budgets[g];
+      slack[g] = space.is_simplex() ? ctx.game.resources() : space.budget(g);
     }
     for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t g =
-          opt_.target_groups.empty() ? 0 : opt_.target_groups[i];
-      slack[g] -= topped[i];
+      slack[space.group_of(i)] -= topped[i];
     }
     double total_slack = 0.0;
     for (double s : slack) total_slack += std::max(0.0, s);
@@ -582,10 +602,11 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
                          pb.defender_reward - pb.defender_penalty;
                 });
       for (std::size_t idx : order) {
-        const std::size_t g =
-            opt_.target_groups.empty() ? 0 : opt_.target_groups[idx];
-        const double add =
-            std::min(1.0 - topped[idx], std::max(0.0, slack[g]));
+        const std::size_t g = space.group_of(idx);
+        // Reachability caps bound the fill; cap(i) is 1 off patrol graphs,
+        // so the simplex/grouped arithmetic is unchanged.
+        const double add = std::min(space.cap(idx) - topped[idx],
+                                    std::max(0.0, slack[g]));
         topped[idx] += add;
         slack[g] -= add;
       }
@@ -596,11 +617,17 @@ DefenderSolution CubisSolver::solve(const SolveContext& ctx) const {
     }
   }
 
+  // Polish is allowed when the ascent's projection matches this solve's
+  // polytope: always on the simplex, and on any space announced through
+  // SolveContext::space (local_ascent projects via effective_space).  The
+  // legacy options-only grouped config is invisible to the gradient, so
+  // polish stays off there.
+  const bool polish_feasible =
+      space.is_simplex() ||
+      (ctx.space != nullptr && !ctx.space->is_default());
   if (final_status == SolverStatus::kOptimal && opt_.polish_iterations > 0 &&
-      opt_.group_budgets.empty()) {
-    // (Polish projects onto the single-budget polytope; with budget
-    // groups it would leave the feasible set, so it is skipped there.
-    // After a budget trip or failure it is skipped too: the caller asked
+      polish_feasible) {
+    // (After a budget trip or failure polish is skipped: the caller asked
     // to stop, and top-up already salvaged the cheap improvement.)
     obs::TraceSpan polish_span("cubis.polish");
     CubisMetrics::get().polish_runs.add(1);

@@ -51,8 +51,10 @@ Fingerprint fingerprint_scenario(const behavior::Scenario& scenario,
   buf.reserve(64 + solver_config.size() +
               n * kFingerprintBlockDoubles * sizeof(double));
   // Compat prefix: versioned header, solver config, interval semantics,
-  // resources, weight boxes, target count.
-  buf.append("cubisg-fp 1");
+  // resources, weight boxes, target count, coverage polytope.  Version 2
+  // added the coverage descriptor so scenarios differing only in the
+  // polytope (e.g. per-slot budgets) can never alias in the exact cache.
+  buf.append("cubisg-fp 2");
   buf.push_back('\0');
   buf.append(solver_config.data(), solver_config.size());
   buf.push_back('\0');
@@ -65,6 +67,11 @@ Fingerprint fingerprint_scenario(const behavior::Scenario& scenario,
   put_f64(buf, scenario.weights.w3.lo());
   put_f64(buf, scenario.weights.w3.hi());
   put_u64(buf, static_cast<std::uint64_t>(n));
+  const std::string space_desc = scenario.coverage.is_default()
+                                     ? std::string("simplex")
+                                     : scenario.coverage.descriptor();
+  buf.append(space_desc);
+  buf.push_back('\0');
 
   Fingerprint fp;
   fp.compat = fp_fnv1a64(buf.data(), buf.size());

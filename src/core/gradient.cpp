@@ -9,7 +9,7 @@
 #include "common/timer.hpp"
 #include "core/workspace.hpp"
 #include "core/worst_case.hpp"
-#include "games/strategy_space.hpp"
+#include "games/coverage_space.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace cubisg::core {
@@ -17,15 +17,18 @@ namespace cubisg::core {
 namespace {
 
 /// One projected-gradient ascent run from `x0`; returns the best iterate.
+/// Trial steps are projected onto `space`; the simplex instance delegates
+/// to the legacy project_to_simplex_box arithmetic bit-for-bit.
 std::pair<std::vector<double>, double> ascend(
     const std::function<double(const std::vector<double>&)>& w_of,
-    double resources, const GradientOptions& opt, std::vector<double> x) {
+    const games::CoverageSpace& space, const GradientOptions& opt,
+    std::vector<double> x) {
   const std::size_t n = x.size();
   double w = w_of(x);
   std::vector<double> grad(n), trial(n), shifted;
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
     // Central differences (projected evaluation keeps arguments in box;
-    // the sum constraint is handled by projecting the ascent step).
+    // the polytope constraints are handled by projecting the ascent step).
     for (std::size_t i = 0; i < n; ++i) {
       shifted = x;
       const double hi_pt = std::min(1.0, x[i] + opt.grad_eps);
@@ -41,7 +44,7 @@ std::pair<std::vector<double>, double> ascend(
     bool improved = false;
     for (int bt = 0; bt < opt.max_backtracks; ++bt) {
       for (std::size_t i = 0; i < n; ++i) trial[i] = x[i] + step * grad[i];
-      trial = games::project_to_simplex_box(trial, resources);
+      trial = space.project(trial);
       const double wt = w_of(trial);
       if (wt > w + 1e-12) {
         double delta = 0.0;
@@ -67,7 +70,11 @@ std::pair<std::vector<double>, double> projected_ascent(
     const std::function<double(const std::vector<double>&)>& objective,
     double resources, std::vector<double> x0,
     const GradientOptions& options) {
-  return ascend(objective, resources, options, std::move(x0));
+  // Read the size before std::move(x0): function arguments are
+  // indeterminately sequenced, so the by-value move may run first.
+  const std::size_t n = x0.size();
+  return ascend(objective, games::CoverageSpace::simplex(n, resources),
+                options, std::move(x0));
 }
 
 std::pair<std::vector<double>, double> local_ascent(
@@ -76,7 +83,7 @@ std::pair<std::vector<double>, double> local_ascent(
   auto w_of = [&ctx](const std::vector<double>& xx) {
     return worst_case_utility(ctx.game, ctx.bounds, xx);
   };
-  return ascend(w_of, ctx.game.resources(), options, std::move(x0));
+  return ascend(w_of, effective_space(ctx), options, std::move(x0));
 }
 
 GradientSolver::GradientSolver(GradientOptions options) : opt_(options) {
@@ -88,27 +95,28 @@ GradientSolver::GradientSolver(GradientOptions options) : opt_(options) {
 DefenderSolution GradientSolver::solve(const SolveContext& ctx) const {
   Timer timer;
   const std::size_t n = ctx.game.num_targets();
-  const double resources = ctx.game.resources();
+  const games::CoverageSpace space = effective_space(ctx);
 
-  // Start set: uniform, greedy-by-penalty, then random points.  The
-  // buffer comes from the workspace (cleared, so only capacity is reused).
+  // Start set: uniform, greedy-by-penalty, then random points, each a
+  // feasible point of the coverage polytope.  The buffer comes from the
+  // workspace (cleared, so only capacity is reused).
   SolveWorkspace local_ws;
   SolveWorkspace& ws = ctx.workspace != nullptr ? *ctx.workspace : local_ws;
   std::vector<std::vector<double>>& starts = ws.gradient_starts;
   starts.clear();
-  starts.push_back(games::uniform_strategy(n, resources));
+  starts.push_back(space.uniform_seed());
   {
     std::vector<double> penalties(n);
     for (std::size_t i = 0; i < n; ++i) {
       penalties[i] = ctx.game.target(i).defender_penalty;
     }
-    starts.push_back(games::greedy_by_penalty(penalties, resources));
+    starts.push_back(space.greedy_seed(penalties));
   }
   Rng rng(opt_.seed);
   while (starts.size() < static_cast<std::size_t>(opt_.num_starts) + 2) {
     std::vector<double> x(n);
     for (double& xi : x) xi = rng.uniform();
-    starts.push_back(games::project_to_simplex_box(x, resources));
+    starts.push_back(space.project(x));
   }
 
   ThreadPool& pool = opt_.pool ? *opt_.pool : ThreadPool::global();
@@ -117,7 +125,7 @@ DefenderSolution GradientSolver::solve(const SolveContext& ctx) const {
   };
   std::vector<std::pair<std::vector<double>, double>> results =
       parallel_map(pool, starts.size(), [&](std::size_t s) {
-        return ascend(w_of, resources, opt_, starts[s]);
+        return ascend(w_of, space, opt_, starts[s]);
       });
 
   DefenderSolution sol;

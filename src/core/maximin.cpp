@@ -40,20 +40,65 @@ void build_maximin_skeleton(const SolveContext& ctx, std::size_t n,
   sk.built = true;
 }
 
+/// Space-driven variant for non-simplex polytopes, built fresh per solve
+/// (the patchable skeleton encodes the single simplex budget row, which
+/// patch never rewrites): per-group <= budget rows, column upper bounds
+/// from the reachability caps, same floor rows.
+void build_maximin_space_model(const SolveContext& ctx,
+                               const games::CoverageSpace& space,
+                               std::size_t n, MaximinSkeleton& sk) {
+  sk.model = lp::Model();
+  sk.model.set_objective_sense(lp::Objective::kMaximize);
+  sk.xcol.resize(n);
+  sk.floor_rows.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sk.xcol[i] = sk.model.add_col("x" + std::to_string(i), 0.0,
+                                  space.cap(i), 0.0);
+  }
+  sk.zcol = sk.model.add_col("z", -lp::kInf, lp::kInf, 1.0);
+  sk.budget_row = -1;
+  for (std::size_t g = 0; g < space.num_groups(); ++g) {
+    // <= (not ==): with caps an equality can be unattainable, and more
+    // coverage never lowers the floor objective anyway.
+    const int row = sk.model.add_row("budget" + std::to_string(g),
+                                     lp::Sense::kLe, space.budget(g));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (space.group_of(i) == g) sk.model.set_coeff(row, sk.xcol[i], 1.0);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& p = ctx.game.target(i);
+    sk.floor_rows[i] = sk.model.add_row("floor" + std::to_string(i),
+                                        lp::Sense::kLe, p.defender_penalty);
+    sk.model.set_coeff(sk.floor_rows[i], sk.zcol, 1.0);
+    sk.model.set_coeff(sk.floor_rows[i], sk.xcol[i],
+                       -(p.defender_reward - p.defender_penalty));
+  }
+  sk.targets = n;
+  // Deliberately NOT reusable as a patch target: the in-place rewrite
+  // below assumes the simplex layout.
+  sk.built = false;
+}
+
 }  // namespace
 
 DefenderSolution MaximinSolver::solve(const SolveContext& ctx) const {
   Timer timer;
   const std::size_t n = ctx.game.num_targets();
+  const games::CoverageSpace space = effective_space(ctx);
 
   // The LP's entry layout depends only on the target count, so a workspace
   // with a shape-matching skeleton just rewrites the game-dependent
   // numbers in place; the patched model equals a freshly built one
   // coefficient-for-coefficient (every entry is stored unconditionally).
+  // Non-simplex polytopes rebuild fresh every call — their row set varies
+  // with the space, so the skeleton contract does not apply.
   SolveWorkspace local_ws;
   SolveWorkspace& ws = ctx.workspace != nullptr ? *ctx.workspace : local_ws;
   MaximinSkeleton& sk = ws.maximin;
-  if (!sk.built || sk.targets != n) {
+  if (!space.is_simplex()) {
+    build_maximin_space_model(ctx, space, n, sk);
+  } else if (!sk.built || sk.targets != n) {
     build_maximin_skeleton(ctx, n, sk);
   } else {
     sk.model.set_row_rhs(sk.budget_row, ctx.game.resources());

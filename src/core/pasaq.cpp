@@ -8,7 +8,7 @@
 #include "common/timer.hpp"
 #include "core/step_solver.hpp"
 #include "core/workspace.hpp"
-#include "games/strategy_space.hpp"
+#include "games/coverage_space.hpp"
 #include "obs/metrics.hpp"
 
 namespace cubisg::core {
@@ -67,8 +67,10 @@ DefenderSolution PasaqSolver::solve(const SolveContext& ctx) const {
 
   double lo = ctx.game.min_defender_penalty();
   double hi = ctx.game.max_defender_reward();
-  std::vector<double> best_x =
-      games::uniform_strategy(n, ctx.game.resources());
+  // Coverage polytope (simplex unless the context announces otherwise);
+  // the simplex instance keeps every step below byte-for-byte legacy.
+  const games::CoverageSpace space = effective_space(ctx);
+  std::vector<double> best_x = space.uniform_seed();
   int steps = 0;
 
   // Round-invariant breakpoint tables: F_i(k/K) and Ud_i(k/K) do not
@@ -99,9 +101,12 @@ DefenderSolution PasaqSolver::solve(const SolveContext& ctx) const {
       ws.pasaq_phi[j] = ws.pasaq_f[j] * (ws.pasaq_ud[j] - c);
     }
     cache_hits.add(static_cast<std::int64_t>(n));
-    StepResult step = solve_step_dp_flat(ws.pasaq_phi.data(), n,
-                                         opt_.segments, ctx.game.resources(),
-                                         ws.pasaq_scratch);
+    StepResult step =
+        space.is_simplex()
+            ? solve_step_dp_flat(ws.pasaq_phi.data(), n, opt_.segments,
+                                 ctx.game.resources(), ws.pasaq_scratch)
+            : solve_step_dp_flat_space(ws.pasaq_phi.data(), n, opt_.segments,
+                                       space, ws.pasaq_scratch);
     ++steps;
     const bool feasible = step.objective >= -opt_.feasibility_slack;
     CUBISG_LOG(LogLevel::kDebug)
@@ -115,7 +120,7 @@ DefenderSolution PasaqSolver::solve(const SolveContext& ctx) const {
     }
   }
 
-  if (opt_.top_up_resources) {
+  if (opt_.top_up_resources && space.is_simplex()) {
     // Saturate the budget; keep whichever the believed model rates higher.
     std::vector<double> topped = best_x;
     double slack = ctx.game.resources();
@@ -139,6 +144,35 @@ DefenderSolution PasaqSolver::solve(const SolveContext& ctx) const {
       if (believed_utility(ctx, topped) >= believed_utility(ctx, best_x)) {
         best_x = std::move(topped);
       }
+    }
+  } else if (opt_.top_up_resources) {
+    // Per-group slack redistribution, bounded by the reachability caps.
+    std::vector<double> topped = best_x;
+    std::vector<double> slack(space.num_groups());
+    for (std::size_t g = 0; g < space.num_groups(); ++g) {
+      slack[g] = space.budget(g);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      slack[space.group_of(i)] -= topped[i];
+    }
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                const auto& pa = ctx.game.target(a);
+                const auto& pb = ctx.game.target(b);
+                return pa.defender_reward - pa.defender_penalty >
+                       pb.defender_reward - pb.defender_penalty;
+              });
+    for (std::size_t idx : order) {
+      const std::size_t g = space.group_of(idx);
+      const double add = std::min(space.cap(idx) - topped[idx],
+                                  std::max(0.0, slack[g]));
+      topped[idx] += add;
+      slack[g] -= add;
+    }
+    if (believed_utility(ctx, topped) >= believed_utility(ctx, best_x)) {
+      best_x = std::move(topped);
     }
   }
 

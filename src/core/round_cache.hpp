@@ -74,11 +74,16 @@ struct MilpRowIds {
 /// With `dense` set, the (35)/(36) rows store every x coefficient even
 /// when it is zero, so the entry layout is invariant under later patching
 /// (explicit zeros are dropped again by the simplex standard form and by
-/// presolve, so the solved problem is identical).
+/// presolve, so the solved problem is identical).  `space`, when non-null
+/// and not the simplex, drives the (37) budget rows instead of the legacy
+/// CubisOptions group fields: one row per polytope budget group plus one
+/// cap row per target with cap < 1 (patrol-graph reachability).  Null or
+/// simplex keeps the legacy emission byte-for-byte.
 lp::Model build_step_milp(const SolveContext& ctx,
                           const std::vector<TargetPls>& pls, double big_m,
                           const CubisOptions& opt, MilpLayout& layout,
-                          bool dense = false, MilpRowIds* rows = nullptr);
+                          bool dense = false, MilpRowIds* rows = nullptr,
+                          const games::CoverageSpace* space = nullptr);
 
 /// Maps a coverage vector x (on the segment grid or not) to a full MILP
 /// variable assignment satisfying (34)-(40).

@@ -11,9 +11,36 @@
 
 namespace cubisg::core {
 
+games::CoverageSpace effective_space(const SolveContext& ctx) {
+  if (ctx.space != nullptr && !ctx.space->is_default()) {
+    if (ctx.space->num_targets() != ctx.game.num_targets()) {
+      throw InvalidModelError(
+          "effective_space: coverage space does not match the game's "
+          "target count");
+    }
+    return *ctx.space;
+  }
+  return games::CoverageSpace::simplex(ctx.game.num_targets(),
+                                       ctx.game.resources());
+}
+
 void finalize_solution(const SolveContext& ctx, DefenderSolution& sol,
                        double seconds) {
   sol.wall_seconds = seconds;
+  // Non-simplex polytope: solvers without native support produce a
+  // simplex-feasible strategy; the degrade path projects it onto the
+  // actual space before anything downstream (worst case, certificate
+  // residuals) is measured.  Natively-feasible strategies pass the check
+  // untouched, and the simplex path never enters this branch, keeping it
+  // bitwise-identical to the pre-abstraction behavior.
+  const bool nontrivial_space = ctx.space != nullptr &&
+                                !ctx.space->is_default() &&
+                                !ctx.space->is_simplex();
+  if (nontrivial_space &&
+      sol.strategy.size() == ctx.space->num_targets() &&
+      !ctx.space->is_feasible(sol.strategy, 1e-9)) {
+    sol.strategy = ctx.space->project(sol.strategy);
+  }
   if (!sol.strategy.empty()) {
     sol.worst_case_utility =
         worst_case_utility(ctx.game, ctx.bounds, sol.strategy);
@@ -25,14 +52,20 @@ void finalize_solution(const SolveContext& ctx, DefenderSolution& sol,
   cert.targets = ctx.game.num_targets();
   cert.resources = ctx.game.resources();
   cert.claimed_worst_case = sol.worst_case_utility;
-  double sum = 0.0;
-  double box = 0.0;
-  for (double xi : sol.strategy) {
-    sum += xi;
-    box = std::max(box, std::max(-xi, xi - 1.0));
+  if (nontrivial_space) {
+    cert.coverage = ctx.space->descriptor();
+    ctx.space->residuals(sol.strategy, cert.budget_residual,
+                         cert.box_residual);
+  } else {
+    double sum = 0.0;
+    double box = 0.0;
+    for (double xi : sol.strategy) {
+      sum += xi;
+      box = std::max(box, std::max(-xi, xi - 1.0));
+    }
+    cert.box_residual = std::max(0.0, box);
+    cert.budget_residual = std::max(0.0, sum - ctx.game.resources());
   }
-  cert.box_residual = std::max(0.0, box);
-  cert.budget_residual = std::max(0.0, sum - ctx.game.resources());
   // Injected corruptions, AFTER the claims above are recorded, so the
   // independent verifier must catch the disagreement (end-to-end audit
   // detection tests + CI smoke).
@@ -70,8 +103,8 @@ void finalize_solution(const SolveContext& ctx, DefenderSolution& sol,
 DefenderSolution UniformSolver::solve(const SolveContext& ctx) const {
   Timer timer;
   DefenderSolution sol;
-  sol.strategy = games::uniform_strategy(ctx.game.num_targets(),
-                                         ctx.game.resources());
+  // The simplex seed is R/T exactly — the legacy uniform_strategy.
+  sol.strategy = effective_space(ctx).uniform_seed();
   sol.status = SolverStatus::kOptimal;
   sol.solver_objective = 0.0;
   sol.certificate.solver = name();

@@ -15,6 +15,7 @@
 #include "behavior/bounds.hpp"
 #include "common/budget.hpp"
 #include "common/errors.hpp"
+#include "games/coverage_space.hpp"
 #include "games/security_game.hpp"
 #include "obs/metrics.hpp"
 
@@ -41,7 +42,19 @@ struct SolveContext {
   /// One workspace per concurrent solve: the workspace is mutable
   /// single-threaded state even though the solver itself is shareable.
   SolveWorkspace* workspace = nullptr;
+  /// Optional coverage polytope overriding the paper's default simplex
+  /// X = {0 <= x <= 1, sum <= R}.  Null (or the default-constructed
+  /// sentinel) means "simplex from the game's own T and R" — that path is
+  /// bitwise-identical to the pre-abstraction behavior.  Non-simplex
+  /// spaces route solvers through the grouped/capped machinery; solvers
+  /// without native support are projected onto the space by
+  /// finalize_solution (the degrade path).  Must outlive the solve call.
+  const games::CoverageSpace* space = nullptr;
 };
+
+/// The polytope a solve actually runs on: `ctx.space` when it is set and
+/// non-default, else the simplex over the game's T and R.
+games::CoverageSpace effective_space(const SolveContext& ctx);
 
 /// Outcome of a defender solve.
 struct DefenderSolution {

@@ -164,6 +164,75 @@ StepResult solve_step_dp_flat(const double* phi_flat, std::size_t t_count,
   return out;
 }
 
+namespace {
+
+/// solve_step_dp with per-target unit caps: target i takes at most
+/// unit_caps[i] units.  With every cap at K this evaluates exactly the
+/// candidate set of solve_step_dp; the cap only shrinks the inner take
+/// loop, so the DP stays an exact grid optimizer.
+StepResult solve_step_dp_capped(const std::vector<PiecewiseLinear>& phi,
+                                double resources,
+                                const std::vector<std::size_t>& unit_caps) {
+  if (phi.empty()) throw InvalidModelError("solve_step_dp: no targets");
+  const std::size_t t_count = phi.size();
+  const std::size_t k_count = phi.front().segments();
+  for (const PiecewiseLinear& p : phi) {
+    if (p.segments() != k_count) {
+      throw InvalidModelError("solve_step_dp: mismatched segment counts");
+    }
+  }
+  const double units_exact = resources * static_cast<double>(k_count);
+  const auto units =
+      static_cast<std::size_t>(std::floor(units_exact + 1e-9));
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> value(units + 1, kNegInf);
+  value[0] = 0.0;
+  std::vector<std::vector<std::uint16_t>> choice(
+      t_count, std::vector<std::uint16_t>(units + 1, 0));
+
+  std::vector<double> next(units + 1);
+  for (std::size_t i = 0; i < t_count; ++i) {
+    std::fill(next.begin(), next.end(), kNegInf);
+    const std::size_t max_take =
+        std::min({units, k_count, unit_caps[i]});
+    for (std::size_t u = 0; u <= units; ++u) {
+      if (value[u] == kNegInf) continue;
+      for (std::size_t t = 0; t <= max_take && u + t <= units; ++t) {
+        const double cand = value[u] + phi[i].value_at_breakpoint(t);
+        if (cand > next[u + t]) {
+          next[u + t] = cand;
+          choice[i][u + t] = static_cast<std::uint16_t>(t);
+        }
+      }
+    }
+    value.swap(next);
+  }
+
+  std::size_t best_u = 0;
+  double best = kNegInf;
+  for (std::size_t u = 0; u <= units; ++u) {
+    if (value[u] > best) {
+      best = value[u];
+      best_u = u;
+    }
+  }
+
+  StepResult out;
+  out.status = SolverStatus::kOptimal;
+  out.objective = best;
+  out.x.assign(t_count, 0.0);
+  std::size_t u = best_u;
+  for (std::size_t ii = t_count; ii-- > 0;) {
+    const std::size_t t = choice[ii][u];
+    out.x[ii] = static_cast<double>(t) / static_cast<double>(k_count);
+    u -= t;
+  }
+  return out;
+}
+
+}  // namespace
+
 StepResult solve_step_dp_grouped(const std::vector<PiecewiseLinear>& phi,
                                  const std::vector<std::size_t>& groups,
                                  const std::vector<double>& budgets) {
@@ -198,6 +267,77 @@ StepResult solve_step_dp_grouped(const std::vector<PiecewiseLinear>& phi,
     }
   }
   return out;
+}
+
+StepResult solve_step_dp_space(const std::vector<PiecewiseLinear>& phi,
+                               const games::CoverageSpace& space) {
+  if (phi.empty()) throw InvalidModelError("solve_step_dp_space: no targets");
+  if (!space.is_default() && space.num_targets() != phi.size()) {
+    throw InvalidModelError("solve_step_dp_space: space size mismatch");
+  }
+  if (space.is_default() || space.is_simplex()) {
+    const double budget =
+        space.is_default() ? 0.0 : space.budget(0);
+    return solve_step_dp(phi, budget);
+  }
+  const std::size_t k_count = phi.front().segments();
+  // Partition target indices by group (same stitching as _grouped).
+  std::vector<std::vector<std::size_t>> members(space.num_groups());
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    members[space.group_of(i)].push_back(i);
+  }
+  StepResult out;
+  out.status = SolverStatus::kOptimal;
+  out.objective = 0.0;
+  out.x.assign(phi.size(), 0.0);
+  for (std::size_t g = 0; g < space.num_groups(); ++g) {
+    if (members[g].empty()) continue;
+    std::vector<PiecewiseLinear> sub;
+    sub.reserve(members[g].size());
+    for (std::size_t i : members[g]) sub.push_back(phi[i]);
+    StepResult part;
+    if (space.has_caps()) {
+      std::vector<std::size_t> unit_caps;
+      unit_caps.reserve(members[g].size());
+      for (std::size_t i : members[g]) {
+        // Floored like the budget: a fractional cap under-covers by at
+        // most one grid unit, conservatively feasible.
+        unit_caps.push_back(static_cast<std::size_t>(std::floor(
+            space.cap(i) * static_cast<double>(k_count) + 1e-9)));
+      }
+      part = solve_step_dp_capped(sub, space.budget(g), unit_caps);
+    } else {
+      part = solve_step_dp(sub, space.budget(g));
+    }
+    out.objective += part.objective;
+    for (std::size_t j = 0; j < members[g].size(); ++j) {
+      out.x[members[g][j]] = part.x[j];
+    }
+  }
+  return out;
+}
+
+StepResult solve_step_dp_flat_space(const double* phi_flat,
+                                    std::size_t t_count,
+                                    std::size_t segments,
+                                    const games::CoverageSpace& space,
+                                    DpScratch& scratch) {
+  if (space.is_default() || space.is_simplex()) {
+    const double budget =
+        space.is_default() ? 0.0 : space.budget(0);
+    return solve_step_dp_flat(phi_flat, t_count, segments, budget, scratch);
+  }
+  // Grouped/capped spaces rebuild PiecewiseLinear views of the flat rows
+  // and run the per-group DP; the allocation is acceptable off the
+  // simplex fast path (the flat layout only pays off with one knapsack).
+  std::vector<PiecewiseLinear> phi;
+  phi.reserve(t_count);
+  for (std::size_t i = 0; i < t_count; ++i) {
+    std::vector<double> values(phi_flat + i * (segments + 1),
+                               phi_flat + (i + 1) * (segments + 1));
+    phi.emplace_back(std::move(values));
+  }
+  return solve_step_dp_space(phi, space);
 }
 
 }  // namespace cubisg::core

@@ -23,6 +23,7 @@
 
 #include "common/errors.hpp"
 #include "core/piecewise.hpp"
+#include "games/coverage_space.hpp"
 
 namespace cubisg::core {
 
@@ -75,5 +76,23 @@ StepResult solve_step_dp_flat(const double* phi_flat, std::size_t t_count,
 StepResult solve_step_dp_grouped(const std::vector<PiecewiseLinear>& phi,
                                  const std::vector<std::size_t>& groups,
                                  const std::vector<double>& budgets);
+
+/// Polytope-driven variant: one knapsack DP per budget group of `space`,
+/// honoring per-target coverage caps (a target with cap c_i contributes
+/// at most floor(c_i * K) units).  The simplex instance delegates to
+/// solve_step_dp — bit-identical to the legacy single-budget path.  Caps
+/// keep the problem separable, so the DP stays exact on the grid.
+StepResult solve_step_dp_space(const std::vector<PiecewiseLinear>& phi,
+                               const games::CoverageSpace& space);
+
+/// Flat-breakpoint variant of solve_step_dp_space for the PASAQ-style
+/// round-invariant tables (phi_flat[i * (segments + 1) + k]).  Simplex
+/// delegates to solve_step_dp_flat (bit-identical, allocation-free);
+/// grouped/capped spaces run the per-group DP.
+StepResult solve_step_dp_flat_space(const double* phi_flat,
+                                    std::size_t t_count,
+                                    std::size_t segments,
+                                    const games::CoverageSpace& space,
+                                    DpScratch& scratch);
 
 }  // namespace cubisg::core

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/round_cache.hpp"
@@ -51,6 +52,11 @@ struct TransplantDonor {
   /// value-dependent entry before first use.
   bool has_skeleton = false;
   double skeleton_resources = 0.0;
+  /// Canonical games::CoverageSpace::descriptor() of the polytope whose
+  /// budget rows the skeleton encodes; a consumer adopts the skeleton
+  /// only when its own descriptor matches exactly (patch() never rewrites
+  /// budget or cap rows).
+  std::string skeleton_space;
   lp::Model skeleton_model;
   MilpLayout skeleton_layout;
   MilpRowIds skeleton_rows;

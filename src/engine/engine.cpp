@@ -336,6 +336,14 @@ void SolveEngine::run_worker(std::size_t index) {
             const core::MilpStepCache& sk = *workspace.cubis_lanes[0]->milp;
             harvested->has_skeleton = true;
             harvested->skeleton_resources = item.job.game->resources();
+            // Donor-compatibility: consumers adopt the skeleton only when
+            // their own polytope descriptor matches (lanes are currently
+            // simplex-only, but the gate is descriptor-driven).
+            harvested->skeleton_space =
+                item.job.scenario != nullptr &&
+                        !item.job.scenario->coverage.is_default()
+                    ? item.job.scenario->coverage.descriptor()
+                    : std::string("simplex");
             harvested->skeleton_model = sk.model();
             harvested->skeleton_layout = sk.layout();
             harvested->skeleton_rows = sk.rows();
@@ -483,6 +491,13 @@ JobOutcome SolveEngine::execute(
     try {
       core::SolveContext ctx{*item.job.game, *item.job.bounds, &budget,
                              &workspace};
+      // Coverage polytope: jobs built from a scenario announce its space
+      // (null = the paper's simplex, the legacy bitwise path).  The
+      // scenario shared_ptr outlives the solve, so the pointer is stable.
+      if (item.job.scenario != nullptr &&
+          !item.job.scenario->coverage.is_default()) {
+        ctx.space = &item.job.scenario->coverage;
+      }
       out.solution = solver_->solve(ctx);
       out.status = JobStatus::kCompleted;
       out.solve_seconds = solve_timer.seconds();

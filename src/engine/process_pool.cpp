@@ -86,6 +86,7 @@ void write_certificate(ByteWriter& w, const audit::SolutionCertificate& c) {
   w.str(c.solver);
   w.u64(static_cast<std::uint64_t>(c.targets));
   w.f64(c.resources);
+  w.str(c.coverage);
   w.u8(c.has_bracket ? 1 : 0);
   w.u8(c.bracket_converged ? 1 : 0);
   w.f64(c.epsilon);
@@ -113,6 +114,7 @@ bool read_certificate(ByteReader& r, audit::SolutionCertificate& c) {
   c.solver = r.str();
   c.targets = static_cast<std::size_t>(r.u64());
   c.resources = r.f64();
+  c.coverage = r.str();
   c.has_bracket = r.u8() != 0;
   c.bracket_converged = r.u8() != 0;
   c.epsilon = r.f64();
@@ -471,6 +473,9 @@ bool serve_one_job(int fd, const core::DefenderSolver& solver,
       const behavior::Scenario scenario = behavior::read_scenario(in);
       const auto bounds = scenario.make_bounds();
       core::SolveContext ctx{scenario.game.game, bounds, &budget, &ws};
+      // Coverage polytope from the scenario's optional `coverage` line;
+      // default = simplex, matching the in-process engine path.
+      if (!scenario.coverage.is_default()) ctx.space = &scenario.coverage;
       result.solution = solver.solve(ctx);
     } catch (const InvalidModelError& e) {
       failed = true;

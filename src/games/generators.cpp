@@ -161,4 +161,105 @@ UncertainGame wildlife_grid_game(Rng& rng, std::size_t rows,
                        std::move(intervals)};
 }
 
+FamilyGame multi_defender_uncertain_game(Rng& rng, std::size_t num_defenders,
+                                         std::size_t targets_per_defender,
+                                         double budget_per_defender,
+                                         double payoff_width,
+                                         const GeneratorOptions& options) {
+  if (num_defenders == 0 || targets_per_defender == 0) {
+    throw InvalidModelError(
+        "multi_defender_uncertain_game: defenders and block size must be "
+        "positive");
+  }
+  if (!(budget_per_defender > 0.0)) {
+    throw InvalidModelError(
+        "multi_defender_uncertain_game: budget must be positive");
+  }
+  // Private pools: jitter each defender's budget so the blocks are
+  // genuinely heterogeneous (equal pools would be indistinguishable from
+  // a scaled simplex for many instances).
+  std::vector<std::size_t> blocks(num_defenders, targets_per_defender);
+  std::vector<double> budgets(num_defenders);
+  double total = 0.0;
+  for (double& b : budgets) {
+    b = std::min(static_cast<double>(targets_per_defender),
+                 budget_per_defender * rng.uniform(0.8, 1.2));
+    total += b;
+  }
+  const std::size_t n = num_defenders * targets_per_defender;
+  UncertainGame game =
+      random_uncertain_game(rng, n, total, payoff_width, options);
+  return FamilyGame{std::move(game),
+                    CoverageSpace::multi_defender(blocks, std::move(budgets))};
+}
+
+FamilyGame patrol_graph_uncertain_game(Rng& rng, std::size_t num_locations,
+                                       std::size_t num_slots,
+                                       double per_slot_budget,
+                                       double payoff_width,
+                                       const GeneratorOptions& options) {
+  if (num_locations == 0 || num_slots == 0) {
+    throw InvalidModelError(
+        "patrol_graph_uncertain_game: locations and slots must be positive");
+  }
+  if (!(per_slot_budget > 0.0)) {
+    throw InvalidModelError(
+        "patrol_graph_uncertain_game: per-slot budget must be positive");
+  }
+  const std::size_t n = num_locations * num_slots;
+  const double hw = 0.5 * payoff_width;
+
+  // Per-location base payoffs; the time-expanded copies jitter around
+  // them so each slot sees a correlated but distinct instance.
+  std::vector<double> base_ra(num_locations);
+  std::vector<double> base_pa(num_locations);
+  for (std::size_t l = 0; l < num_locations; ++l) {
+    base_ra[l] =
+        rng.uniform(options.attacker_reward_lo, options.attacker_reward_hi);
+    base_pa[l] =
+        rng.uniform(options.attacker_penalty_lo, options.attacker_penalty_hi);
+  }
+
+  std::vector<TargetPayoffs> payoffs(n);
+  std::vector<IntervalPayoffs> intervals(n);
+  std::vector<std::size_t> groups(n);
+  std::vector<double> caps(n);
+  std::vector<double> budgets(num_slots);
+  double total = 0.0;
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    // Path graph, depot at location 0: dist(depot, l) = l, so location l
+    // is unreachable before slot l and capped to 0 there.
+    const std::size_t reachable = std::min(num_locations, s + 1);
+    budgets[s] = std::min(per_slot_budget, static_cast<double>(reachable));
+    total += budgets[s];
+    for (std::size_t l = 0; l < num_locations; ++l) {
+      const std::size_t i = s * num_locations + l;
+      groups[i] = s;
+      caps[i] = l <= s ? 1.0 : 0.0;
+      const double ra = base_ra[l] * rng.uniform(0.85, 1.15);
+      const double pa = base_pa[l] * rng.uniform(0.85, 1.15);
+      intervals[i].attacker_reward = clip_interval(ra, hw, 0.1, 1e6);
+      intervals[i].attacker_penalty = clip_interval(pa, hw, -1e6, -0.1);
+      TargetPayoffs& p = payoffs[i];
+      p.attacker_reward = intervals[i].attacker_reward.mid();
+      p.attacker_penalty = intervals[i].attacker_penalty.mid();
+      if (options.zero_sum) {
+        p.defender_reward = -p.attacker_penalty;
+        p.defender_penalty = -p.attacker_reward;
+      } else {
+        p.defender_reward = rng.uniform(options.attacker_reward_lo,
+                                        options.attacker_reward_hi);
+        p.defender_penalty = rng.uniform(options.attacker_penalty_lo,
+                                         options.attacker_penalty_hi);
+      }
+    }
+  }
+  UncertainGame game{SecurityGame(std::move(payoffs), total),
+                     std::move(intervals)};
+  return FamilyGame{
+      std::move(game),
+      CoverageSpace::patrol_graph(std::move(groups), std::move(budgets),
+                                  std::move(caps))};
+}
+
 }  // namespace cubisg::games

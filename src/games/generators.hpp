@@ -11,6 +11,7 @@
 
 #include "common/interval.hpp"
 #include "common/rng.hpp"
+#include "games/coverage_space.hpp"
 #include "games/security_game.hpp"
 
 namespace cubisg::games {
@@ -75,5 +76,40 @@ UncertainGame table1_game();
 UncertainGame wildlife_grid_game(Rng& rng, std::size_t rows,
                                  std::size_t cols, double resources,
                                  double payoff_width);
+
+/// A generated instance of one of the non-simplex coverage families: the
+/// uncertain game plus the polytope the defender optimizes over.  The
+/// game's `resources` always equals `coverage.total_budget()`, so the
+/// instance is valid under both the legacy single-budget checks and the
+/// family-aware ones.
+struct FamilyGame {
+  UncertainGame game;
+  CoverageSpace coverage;
+};
+
+/// Multi-defender SSG (Mutzari et al., arXiv:2204.14000): `num_defenders`
+/// defenders each own a contiguous block of `targets_per_defender`
+/// targets with a private resource pool drawn around
+/// `budget_per_defender` (clamped to the block size).  The coverage
+/// polytope is the product of the per-block simplices.
+FamilyGame multi_defender_uncertain_game(Rng& rng, std::size_t num_defenders,
+                                         std::size_t targets_per_defender,
+                                         double budget_per_defender,
+                                         double payoff_width,
+                                         const GeneratorOptions& options = {});
+
+/// Patrol-graph SSG (Yang et al., arXiv:2410.15600): `num_locations`
+/// locations on a path graph with the depot at location 0, time-expanded
+/// over `num_slots` slots (target (l, s) has flat index s*L + l).  A
+/// location farther than s hops from the depot is unreachable by slot s
+/// and gets coverage cap 0 there; each slot's budget is
+/// min(per_slot_budget, #reachable(s)).  Payoffs are drawn per location
+/// and jittered per slot, so the time-expanded copies are correlated but
+/// not identical.
+FamilyGame patrol_graph_uncertain_game(Rng& rng, std::size_t num_locations,
+                                       std::size_t num_slots,
+                                       double per_slot_budget,
+                                       double payoff_width,
+                                       const GeneratorOptions& options = {});
 
 }  // namespace cubisg::games

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "games/coverage_space.hpp"
 #include "games/generators.hpp"
 
 namespace cubisg::games {
@@ -36,6 +37,10 @@ struct ScheduledGame {
   std::vector<std::size_t> target_groups() const;
   /// group_budgets vector for CubisOptions.
   std::vector<double> group_budgets() const;
+  /// The per-slot budget polytope as a CoverageSpace (kGrouped).
+  CoverageSpace coverage_space() const {
+    return CoverageSpace::grouped(target_groups(), group_budgets());
+  }
 };
 
 /// Unrolls `base` over `slots` time slots with `per_slot_resources` patrol

@@ -1,11 +1,8 @@
 #include "games/strategy_space.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
 #include <stdexcept>
 
-#include "common/math_util.hpp"
+#include "games/coverage_space.hpp"
 
 namespace cubisg::games {
 
@@ -14,8 +11,7 @@ std::vector<double> uniform_strategy(std::size_t num_targets,
   if (num_targets == 0) {
     throw std::invalid_argument("uniform_strategy: empty game");
   }
-  return std::vector<double>(num_targets,
-                             resources / static_cast<double>(num_targets));
+  return CoverageSpace::simplex(num_targets, resources).uniform_seed();
 }
 
 std::vector<double> project_to_simplex_box(std::span<const double> v,
@@ -25,58 +21,14 @@ std::vector<double> project_to_simplex_box(std::span<const double> v,
   if (resources < 0.0 || resources > static_cast<double>(n)) {
     throw std::invalid_argument("project: resources out of [0, n]");
   }
-  // x(tau)_i = clamp(v_i - tau, 0, 1); sum x(tau) is continuous and
-  // non-increasing in tau, from n (tau -> -inf) to 0 (tau -> +inf).
-  auto sum_at = [&](double tau) {
-    double s = 0.0;
-    for (double vi : v) s += clamp(vi - tau, 0.0, 1.0);
-    return s;
-  };
-  double lo = -1.0, hi = 1.0;
-  {
-    const auto [mn, mx] = std::minmax_element(v.begin(), v.end());
-    lo = *mn - 1.5;  // sum_at(lo) == n >= resources
-    hi = *mx + 0.5;  // sum_at(hi) == 0 <= resources
-  }
-  for (int iter = 0; iter < 200 && hi - lo > 1e-14; ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    if (sum_at(mid) > resources) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  const double tau = 0.5 * (lo + hi);
-  std::vector<double> x(n);
-  for (std::size_t i = 0; i < n; ++i) x[i] = clamp(v[i] - tau, 0.0, 1.0);
-  // Tiny residual redistribution so the sum is exact.
-  double residual = resources;
-  for (double xi : x) residual -= xi;
-  for (std::size_t i = 0; i < n && std::abs(residual) > 1e-15; ++i) {
-    const double adj = clamp(x[i] + residual, 0.0, 1.0) - x[i];
-    x[i] += adj;
-    residual -= adj;
-  }
-  return x;
+  return CoverageSpace::simplex(n, resources).project(v);
 }
 
 std::vector<double> greedy_by_penalty(std::span<const double> penalties,
                                       double resources) {
   const std::size_t n = penalties.size();
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return penalties[a] < penalties[b];  // most negative (worst) first
-  });
-  std::vector<double> x(n, 0.0);
-  double left = resources;
-  for (std::size_t idx : order) {
-    const double add = std::min(1.0, left);
-    x[idx] = add;
-    left -= add;
-    if (left <= 0.0) break;
-  }
-  return x;
+  if (n == 0) throw std::invalid_argument("greedy_by_penalty: empty game");
+  return CoverageSpace::simplex(n, resources).greedy_seed(penalties);
 }
 
 }  // namespace cubisg::games

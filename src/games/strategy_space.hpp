@@ -1,4 +1,8 @@
-// Operations on the defender's strategy space X = {0 <= x <= 1, sum = R}.
+// Operations on the paper's defender strategy space X = {0 <= x <= 1,
+// sum = R}.  These are thin wrappers over the simplex instance of
+// games::CoverageSpace (coverage_space.hpp), which owns the canonical
+// implementations for every supported coverage polytope; the arithmetic
+// behind these three helpers is unchanged from the pre-abstraction code.
 #pragma once
 
 #include <span>

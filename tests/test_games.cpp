@@ -1,10 +1,13 @@
-// Tests for the SSG model, generators and strategy-space operations.
+// Tests for the SSG model, generators, strategy-space operations and the
+// coverage-polytope abstraction.
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "games/coverage_space.hpp"
 #include "games/generators.hpp"
 #include "games/security_game.hpp"
 #include "games/strategy_space.hpp"
@@ -252,6 +255,211 @@ TEST(StrategySpace, GreedyCoversWorstTargetsFirst) {
   EXPECT_DOUBLE_EQ(x[1], 1.0);   // worst penalty gets full coverage
   EXPECT_DOUBLE_EQ(x[2], 0.5);   // next worst gets the remainder
   EXPECT_DOUBLE_EQ(x[0], 0.0);
+}
+
+// ---- project_to_simplex_box edge cases (historically untested). ----
+
+TEST(StrategySpace, ProjectionWithZeroResourcesIsAllZeros) {
+  std::vector<double> v{0.9, -0.3, 2.0, 0.5};
+  auto x = project_to_simplex_box(v, 0.0);
+  ASSERT_EQ(x.size(), 4u);
+  for (double xi : x) EXPECT_DOUBLE_EQ(xi, 0.0);
+}
+
+TEST(StrategySpace, ProjectionSaturatesWhenResourcesEqualTargets) {
+  // R = T: the box clamp saturates every coordinate at 1 and the budget
+  // row is tight at the corner.
+  std::vector<double> v{-1.0, 0.2, 5.0};
+  auto x = project_to_simplex_box(v, 3.0);
+  for (double xi : x) EXPECT_DOUBLE_EQ(xi, 1.0);
+  // R > T has no feasible point: the wrapper rejects it up front.
+  EXPECT_THROW(project_to_simplex_box(v, 3.0 + 1e-6),
+               std::invalid_argument);
+}
+
+TEST(StrategySpace, ProjectionOfEqualInputsIsEqualAndDeterministic) {
+  // All-equal input: every coordinate gets R/T and repeated calls are
+  // bitwise identical.  (Exact within-vector ties are NOT guaranteed:
+  // the pinned legacy arithmetic dumps the residual of the tau
+  // bisection onto a prefix of the coordinates, so the low-order ~1e-14
+  // can differ between coordinates -- but never between calls.)
+  std::vector<double> v(8, 0.37);
+  const auto a = project_to_simplex_box(v, 2.0);
+  const auto b = project_to_simplex_box(v, 2.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "projection must be deterministic";
+    EXPECT_NEAR(a[i], 0.25, 1e-12);
+    EXPECT_NEAR(a[i], a[0], 1e-12) << "equal inputs stay tied";
+  }
+}
+
+TEST(StrategySpace, GreedyTieOrderingIsPinnedToTargetIndex) {
+  // Equal penalties: coverage is assigned in ascending target index, a
+  // pinned ordering warm starts and goldens rely on.
+  std::vector<double> penalties{-4.0, -4.0, -4.0};
+  auto x = greedy_by_penalty(penalties, 1.5);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+  EXPECT_DOUBLE_EQ(x[2], 0.0);
+}
+
+// ---- CoverageSpace: the polytope abstraction. ----
+
+TEST(CoverageSpace, SimplexMatchesLegacyHelpersBitwise) {
+  Rng rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 9));
+    const double r = rng.uniform(0.0, static_cast<double>(n));
+    const CoverageSpace space = CoverageSpace::simplex(n, r);
+    ASSERT_TRUE(space.is_simplex());
+    const auto u1 = space.uniform_seed();
+    const auto u2 = uniform_strategy(n, r);
+    std::vector<double> v(n), pen(n);
+    for (auto& vi : v) vi = rng.uniform(-2.0, 3.0);
+    for (auto& p : pen) p = rng.uniform(-9.0, -1.0);
+    const auto p1 = space.project(v);
+    const auto p2 = project_to_simplex_box(v, r);
+    const auto g1 = space.greedy_seed(pen);
+    const auto g2 = greedy_by_penalty(pen, r);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(u1[i], u2[i]);
+      EXPECT_EQ(p1[i], p2[i]);
+      EXPECT_EQ(g1[i], g2[i]);
+    }
+  }
+}
+
+TEST(CoverageSpace, DescriptorRoundTripsEveryFamily) {
+  const std::vector<CoverageSpace> spaces = {
+      CoverageSpace::grouped({0, 0, 1, 1}, {1.0, 1.5}),
+      CoverageSpace::multi_defender({2, 3}, {1.0, 2.0}),
+      CoverageSpace::patrol_graph({0, 0, 1, 1}, {1.0, 1.5},
+                                  {1.0, 0.0, 1.0, 1.0}),
+  };
+  for (const CoverageSpace& s : spaces) {
+    const std::string d = s.descriptor();
+    EXPECT_EQ(d.find(' '), std::string::npos)
+        << "descriptor must be a single token: " << d;
+    const std::optional<CoverageSpace> back =
+        CoverageSpace::from_descriptor(d);
+    ASSERT_TRUE(back.has_value()) << d;
+    EXPECT_TRUE(*back == s) << d;
+    EXPECT_EQ(back->descriptor(), d);
+  }
+  // The simplex is shape-less on the wire: it renders as "simplex" and
+  // parses back to the default sentinel (consumers derive T and R from
+  // the game itself).  Empty behaves the same for legacy certificates.
+  EXPECT_EQ(CoverageSpace::simplex(4, 1.5).descriptor(), "simplex");
+  const auto sentinel = CoverageSpace::from_descriptor("simplex");
+  ASSERT_TRUE(sentinel.has_value());
+  EXPECT_TRUE(sentinel->is_default());
+  const auto empty = CoverageSpace::from_descriptor("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->is_default());
+  EXPECT_FALSE(CoverageSpace::from_descriptor("grouped;nonsense").has_value());
+  EXPECT_FALSE(CoverageSpace::from_descriptor("bogus;g=0;b=1").has_value());
+}
+
+TEST(CoverageSpace, DescriptorDistinguishesBudgetsAndCaps) {
+  // The cache-aliasing regression at the games layer: same groups,
+  // different per-slot budgets (or caps) must never share a descriptor.
+  const auto a = CoverageSpace::grouped({0, 0, 1, 1}, {1.0, 1.0});
+  const auto b = CoverageSpace::grouped({0, 0, 1, 1}, {1.5, 0.5});
+  EXPECT_NE(a.descriptor(), b.descriptor());
+  const auto c = CoverageSpace::patrol_graph({0, 0, 1, 1}, {1.0, 1.0},
+                                             {1.0, 1.0, 1.0, 1.0});
+  const auto d = CoverageSpace::patrol_graph({0, 0, 1, 1}, {1.0, 1.0},
+                                             {1.0, 1.0, 1.0, 0.5});
+  EXPECT_NE(c.descriptor(), d.descriptor());
+  EXPECT_NE(a.descriptor(), c.descriptor());
+}
+
+TEST(CoverageSpace, ValidatesInput) {
+  EXPECT_THROW(CoverageSpace::simplex(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(CoverageSpace::simplex(2, 3.0), std::invalid_argument);
+  EXPECT_THROW(CoverageSpace::grouped({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CoverageSpace::grouped({0, 2}, {1.0, 1.0}),
+               std::invalid_argument);  // group id out of range
+  EXPECT_THROW(CoverageSpace::grouped({0, 1}, {1.0, -0.5}),
+               std::invalid_argument);  // negative budget
+  EXPECT_THROW(CoverageSpace::grouped({0, 0, 1}, {1.0, 1.5}),
+               std::invalid_argument);  // budget exceeds group capacity
+  EXPECT_THROW(
+      CoverageSpace::patrol_graph({0, 1}, {1.0, 1.0}, {1.0, 1.5}),
+      std::invalid_argument);  // cap out of [0, 1]
+  EXPECT_THROW(
+      CoverageSpace::patrol_graph({0, 1}, {1.0, 1.0}, {1.0, 0.5}),
+      std::invalid_argument);  // budget exceeds reachable capacity
+}
+
+TEST(CoverageSpace, GroupedProjectionHitsBudgetsAndCaps) {
+  const auto space = CoverageSpace::patrol_graph(
+      {0, 0, 0, 1, 1, 1}, {1.5, 1.0}, {1.0, 0.5, 1.0, 1.0, 0.0, 1.0});
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> v(6);
+    for (auto& vi : v) vi = rng.uniform(-1.0, 2.0);
+    const auto x = space.project(v);
+    double g0 = x[0] + x[1] + x[2];
+    double g1 = x[3] + x[4] + x[5];
+    EXPECT_NEAR(g0, 1.5, 1e-9);
+    EXPECT_NEAR(g1, 1.0, 1e-9);
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_GE(x[i], -1e-12);
+      EXPECT_LE(x[i], space.cap(i) + 1e-12);
+    }
+    EXPECT_DOUBLE_EQ(x[4], 0.0);  // cap 0 forces the coordinate to 0
+    EXPECT_TRUE(space.is_feasible(x, 1e-9));
+  }
+}
+
+TEST(CoverageSpace, ResidualsMeasureViolations) {
+  const auto space = CoverageSpace::grouped({0, 0, 1, 1}, {1.0, 1.0});
+  double budget_over = 0.0;
+  double box_over = 0.0;
+  space.residuals(std::vector<double>{0.8, 0.5, 0.2, 0.3}, budget_over,
+                  box_over);
+  EXPECT_NEAR(budget_over, 0.3, 1e-12);  // group 0 over by 0.3
+  EXPECT_DOUBLE_EQ(box_over, 0.0);
+  space.residuals(std::vector<double>{1.2, -0.1, 0.2, 0.3}, budget_over,
+                  box_over);
+  EXPECT_NEAR(box_over, 0.2, 1e-12);
+}
+
+TEST(Generators, MultiDefenderFamilyIsConsistent) {
+  Rng rng(31);
+  const FamilyGame fg = multi_defender_uncertain_game(rng, 3, 4, 1.2, 1.0);
+  EXPECT_EQ(fg.game.game.num_targets(), 12u);
+  EXPECT_EQ(fg.coverage.num_targets(), 12u);
+  EXPECT_EQ(fg.coverage.num_groups(), 3u);
+  EXPECT_EQ(fg.coverage.family(), CoverageFamily::kMultiDefender);
+  EXPECT_NEAR(fg.coverage.total_budget(), fg.game.game.resources(), 1e-12);
+  // Contiguous defender blocks.
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(fg.coverage.group_of(i), i / 4);
+  }
+}
+
+TEST(Generators, PatrolGraphFamilyEncodesReachability) {
+  Rng rng(32);
+  const std::size_t locations = 5;
+  const std::size_t slots = 3;
+  const FamilyGame fg =
+      patrol_graph_uncertain_game(rng, locations, slots, 2.0, 1.0);
+  EXPECT_EQ(fg.game.game.num_targets(), locations * slots);
+  EXPECT_EQ(fg.coverage.family(), CoverageFamily::kPatrolGraph);
+  EXPECT_TRUE(fg.coverage.has_caps());
+  EXPECT_NEAR(fg.coverage.total_budget(), fg.game.game.resources(), 1e-12);
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::size_t reachable = std::min(locations, s + 1);
+    EXPECT_LE(fg.coverage.budget(s),
+              static_cast<double>(reachable) + 1e-12);
+    for (std::size_t l = 0; l < locations; ++l) {
+      const std::size_t i = s * locations + l;
+      EXPECT_EQ(fg.coverage.group_of(i), s);
+      EXPECT_DOUBLE_EQ(fg.coverage.cap(i), l <= s ? 1.0 : 0.0);
+    }
+  }
 }
 
 }  // namespace

@@ -87,6 +87,39 @@ TEST(Schedule, UnrollShapes) {
   EXPECT_DOUBLE_EQ(budgets[0], 2.0);
 }
 
+TEST(Schedule, RoundTripProperties) {
+  // flat_index / group_of are inverses over the whole grid, the groups
+  // vector agrees with group_of, and the per-slot budgets sum to the
+  // flattened game's resources.
+  auto base = base_game(9);
+  auto sched = games::unroll_schedule(base, 3, 2.0);
+  const auto groups = sched.target_groups();
+  for (std::size_t s = 0; s < sched.slots; ++s) {
+    for (std::size_t l = 0; l < sched.locations; ++l) {
+      const std::size_t flat = sched.flat_index(l, s);
+      ASSERT_LT(flat, sched.flattened.game.num_targets());
+      EXPECT_EQ(sched.group_of(flat), s);
+      EXPECT_EQ(groups[flat], s);
+      // Recover the location: flat_index is slot-major.
+      EXPECT_EQ(flat % sched.locations, l);
+    }
+  }
+  const auto budgets = sched.group_budgets();
+  double total = 0.0;
+  for (double b : budgets) total += b;
+  EXPECT_NEAR(total, sched.flattened.game.resources(), 1e-12);
+
+  // The CoverageSpace view carries the same shape.
+  const games::CoverageSpace space = sched.coverage_space();
+  EXPECT_EQ(space.num_targets(), sched.flattened.game.num_targets());
+  EXPECT_EQ(space.num_groups(), sched.slots);
+  EXPECT_NEAR(space.total_budget(), sched.flattened.game.resources(),
+              1e-12);
+  for (std::size_t flat = 0; flat < space.num_targets(); ++flat) {
+    EXPECT_EQ(space.group_of(flat), sched.group_of(flat));
+  }
+}
+
 TEST(Schedule, RewardDriftScalesSlots) {
   auto base = base_game(2);
   auto sched = games::unroll_schedule(base, 2, 1.0, {1.0, 2.0});
